@@ -1,0 +1,262 @@
+(* CacheBox command-line interface.
+
+   Subcommands mirror the paper artifact's workflow:
+     list       - enumerate the benchmark roster
+     simulate   - trace-driven cache/hierarchy simulation (ChampSim role)
+     heatmap    - trace -> access/miss heatmaps (HeatmapDataGenerator role)
+     train      - train a CB-GAN and write a checkpoint
+     infer      - load a checkpoint and predict hit rates (+ hit-rate calc)
+     baselines  - HRD / STM / TabSynth predictions for comparison *)
+
+open Cmdliner
+
+(* --- shared arguments --- *)
+
+let sets_arg =
+  Arg.(value & opt int 64 & info [ "sets" ] ~docv:"N" ~doc:"Number of cache sets (power of two).")
+
+let ways_arg = Arg.(value & opt int 12 & info [ "ways" ] ~docv:"N" ~doc:"Cache associativity.")
+
+let trace_len_arg =
+  Arg.(value & opt int 16_000 & info [ "trace-len" ] ~docv:"N" ~doc:"Accesses per benchmark trace.")
+
+let workload_arg idx =
+  Arg.(required & pos idx (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see $(b,cachebox list)).")
+
+let find_workload name =
+  try Suite.find name
+  with Not_found ->
+    Fmt.epr "unknown benchmark %S; try `cachebox list`@." name;
+    exit 2
+
+let cache_config ~sets ~ways = Cache.config ~sets ~ways ()
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun suite ->
+        Fmt.pr "== %s ==@." (Workload.suite_name suite);
+        List.iter
+          (fun w -> Fmt.pr "  %-28s (group %s)@." w.Workload.name w.Workload.group)
+          (Suite.of_suite suite))
+      [ Workload.Spec; Workload.Ligra; Workload.Polybench ]
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark roster")
+    Term.(const run $ const ())
+
+(* --- simulate --- *)
+
+let simulate_cmd =
+  let levels_arg =
+    Arg.(value & opt int 1 & info [ "levels" ] ~docv:"N" ~doc:"Hierarchy depth (1-3).")
+  in
+  let prefetcher_arg =
+    Arg.(value & opt string "none" & info [ "prefetcher" ] ~docv:"KIND" ~doc:"L1 prefetcher: none, next-line or stride.")
+  in
+  let run name sets ways trace_len levels prefetcher =
+    let w = find_workload name in
+    let trace = w.Workload.generate trace_len in
+    let l1 = cache_config ~sets ~ways in
+    let l2 = if levels >= 2 then Some (cache_config ~sets:(sets * 4) ~ways:8) else None in
+    let l3 = if levels >= 3 then Some (cache_config ~sets:(sets * 8) ~ways:16) else None in
+    let pf =
+      match prefetcher with
+      | "none" -> Prefetch.No_prefetch
+      | "next-line" -> Prefetch.Next_line
+      | "stride" -> Prefetch.Stride { degree = 2; table_size = 64 }
+      | other ->
+        Fmt.epr "unknown prefetcher %S@." other;
+        exit 2
+    in
+    let h = Hierarchy.create ?l2 ?l3 ~l1_prefetcher:pf ~l1 () in
+    Hierarchy.run h trace;
+    Fmt.pr "benchmark: %s (%d accesses)@." name trace_len;
+    List.iter
+      (fun (lvl, (s : Cache.stats)) ->
+        Fmt.pr "%s: accesses %8d  hits %8d  misses %8d  hit rate %.4f@."
+          (Hierarchy.level_name lvl) s.Cache.accesses s.Cache.hits s.Cache.misses
+          (Cache.hit_rate s))
+      (Hierarchy.stats h);
+    let pf_count = Array.length (Hierarchy.prefetched_addresses h) in
+    if pf_count > 0 then Fmt.pr "prefetches issued: %d@." pf_count
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run a benchmark through the cache hierarchy simulator")
+    Term.(const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ levels_arg $ prefetcher_arg)
+
+(* --- heatmap --- *)
+
+let heatmap_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc:"Write PGM images into DIR.")
+  in
+  let run name sets ways trace_len out =
+    let w = find_workload name in
+    let spec = Heatmap.spec () in
+    let trace = w.Workload.generate trace_len in
+    let cache = Cache.create (cache_config ~sets ~ways) in
+    let hits = Array.map (fun a -> Cache.access cache a) trace in
+    let pairs = Heatmap.pair_of_trace spec ~addresses:trace ~hits in
+    Fmt.pr "%d heatmap pair(s); true hit rate %.4f@." (List.length pairs)
+      (Heatmap.hit_rate spec ~access:(List.map fst pairs) ~miss:(List.map snd pairs));
+    (match pairs with
+    | (a, m) :: _ ->
+      Fmt.pr "access heatmap:@.%s" (Heatmap.render_ascii a);
+      Fmt.pr "miss heatmap:@.%s" (Heatmap.render_ascii m)
+    | [] -> ());
+    match out with
+    | None -> ()
+    | Some dir ->
+      List.iteri
+        (fun i (a, m) ->
+          let base = Filename.concat dir (Printf.sprintf "%s_%02d" name i) in
+          Heatmap.write_pgm (base ^ "_access.pgm") a;
+          Heatmap.write_pgm (base ^ "_miss.pgm") m)
+        pairs;
+      Fmt.pr "wrote %d PGM pairs to %s@." (List.length pairs) dir
+  in
+  Cmd.v (Cmd.info "heatmap" ~doc:"Generate access/miss heatmaps for a benchmark")
+    Term.(const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ out_arg)
+
+(* --- train --- *)
+
+let checkpoint_arg =
+  Arg.(value & opt string "cachebox.ckpt" & info [ "checkpoint" ] ~docv:"FILE" ~doc:"Model checkpoint path.")
+
+let epochs_arg = Arg.(value & opt int 10 & info [ "epochs" ] ~docv:"N" ~doc:"Training epochs.")
+
+let train_cmd =
+  let count_arg =
+    Arg.(value & opt int 10 & info [ "benchmarks" ] ~docv:"N" ~doc:"Training benchmarks (from the train split).")
+  in
+  let run sets ways trace_len epochs ckpt count =
+    let spec = Heatmap.spec () in
+    let cfg = cache_config ~sets ~ways in
+    let split = Suite.split (Suite.all ()) in
+    let train_ws = List.filteri (fun i _ -> i < count) split.Suite.train in
+    Fmt.pr "building dataset: %d benchmarks, %s, %d-access traces@." (List.length train_ws)
+      (Cache.config_name cfg) trace_len;
+    let data = Cbox_dataset.build_l1 spec ~configs:[ cfg ] ~trace_len train_ws in
+    let model = Cbgan.create ~seed:42 (Cbgan.default_config ()) in
+    let options = { (Cbox_train.default_options ~epochs ~batch_size:4 ()) with Cbox_train.lr = 1e-3 } in
+    ignore (Cbox_train.train ~log:print_endline model spec options (Cbox_dataset.to_samples data));
+    Cbgan.save model ckpt;
+    Fmt.pr "checkpoint written to %s (%d parameters)@." ckpt (Cbgan.parameter_count model)
+  in
+  Cmd.v (Cmd.info "train" ~doc:"Train CB-GAN on the training split and save a checkpoint")
+    Term.(const run $ sets_arg $ ways_arg $ trace_len_arg $ epochs_arg $ checkpoint_arg $ count_arg)
+
+(* --- infer --- *)
+
+let infer_cmd =
+  let run name sets ways trace_len ckpt =
+    let spec = Heatmap.spec () in
+    let cfg = cache_config ~sets ~ways in
+    let w = find_workload name in
+    let model = Cbgan.create ~seed:42 (Cbgan.default_config ()) in
+    if Sys.file_exists ckpt then Cbgan.load model ckpt
+    else begin
+      Fmt.epr "checkpoint %s not found; run `cachebox train` first@." ckpt;
+      exit 2
+    end;
+    let data = Cbox_dataset.build_l1 spec ~configs:[ cfg ] ~trace_len [ w ] in
+    List.iter
+      (fun d ->
+        let p = Cbox_infer.predict model spec d in
+        Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%%@." p.Cbox_infer.benchmark
+          (Cache.config_name cfg) p.Cbox_infer.true_hit_rate p.Cbox_infer.predicted_hit_rate
+          (Cbox_infer.abs_pct_diff p))
+      data
+  in
+  Cmd.v (Cmd.info "infer" ~doc:"Predict a benchmark's hit rate with a trained checkpoint")
+    Term.(const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ checkpoint_arg)
+
+(* --- export / import traces --- *)
+
+let export_cmd =
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let format_arg =
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc:"text or binary.")
+  in
+  let run name out trace_len format =
+    let w = find_workload name in
+    let trace = w.Workload.generate trace_len in
+    (match format with
+    | "text" -> Trace_io.write_text out trace
+    | "binary" -> Trace_io.write_binary out trace
+    | other ->
+      Fmt.epr "unknown format %S (text|binary)@." other;
+      exit 2);
+    Fmt.pr "wrote %d accesses to %s (%s)@." trace_len out format
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export a benchmark's address trace to a file")
+    Term.(const run $ workload_arg 0 $ out_arg $ trace_len_arg $ format_arg)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file (text or binary; auto-detected).")
+  in
+  let run file sets ways =
+    if not (Sys.file_exists file) then begin
+      Fmt.epr "no such trace file: %s@." file;
+      exit 2
+    end;
+    let trace = Trace_io.read_auto file in
+    let cache = Cache.create (cache_config ~sets ~ways) in
+    Array.iter (fun a -> ignore (Cache.access cache a)) trace;
+    let s = Cache.stats cache in
+    Fmt.pr "%s: %d accesses, hit rate %.4f (%d misses)@." file s.Cache.accesses
+      (Cache.hit_rate s) s.Cache.misses
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Replay an imported address trace through the simulator")
+    Term.(const run $ file_arg $ sets_arg $ ways_arg)
+
+(* --- characterize --- *)
+
+let characterize_cmd =
+  let run name trace_len =
+    let w = find_workload name in
+    let trace = w.Workload.generate trace_len in
+    let s = Characterize.summarize trace in
+    Fmt.pr "%s:@.  %a@." name Characterize.pp_summary s;
+    Fmt.pr "  top strides (blocks):";
+    List.iter (fun (d, c) -> Fmt.pr " %+d x%d" d c) (Characterize.stride_histogram ~top:6 trace);
+    Fmt.pr "@.  miss-ratio curve (fully-assoc LRU):@.";
+    List.iter
+      (fun (cap, mr) -> Fmt.pr "    %6d blocks (%4d KiB): %.4f@." cap (cap * 64 / 1024) mr)
+      (Characterize.miss_ratio_curve ~capacities:[ 64; 256; 1024; 4096; 16384 ] trace)
+  in
+  Cmd.v (Cmd.info "characterize" ~doc:"Summarise a benchmark's locality profile")
+    Term.(const run $ workload_arg 0 $ trace_len_arg)
+
+(* --- baselines --- *)
+
+let baselines_cmd =
+  let run name sets ways trace_len =
+    let cfg = cache_config ~sets ~ways in
+    let w = find_workload name in
+    let trace = w.Workload.generate trace_len in
+    let cache = Cache.create cfg in
+    Array.iter (fun a -> ignore (Cache.access cache a)) trace;
+    let truth = Cache.hit_rate (Cache.stats cache) in
+    Fmt.pr "%-12s true hit rate: %.4f@." name truth;
+    let report label v =
+      Fmt.pr "%-12s predicted %.4f  |diff| %.2f%%@." label v
+        (Metrics.abs_pct_diff ~truth ~predicted:v)
+    in
+    report "HRD" (Hrd.predict_l1 cfg trace);
+    report "STM" (Stm.predict cfg trace);
+    report "Tab-Base" (Tabsynth.predict ~variant:Tabsynth.Base cfg trace);
+    report "Tab-RD" (Tabsynth.predict ~variant:Tabsynth.Rd cfg trace);
+    report "Tab-IC" (Tabsynth.predict ~variant:Tabsynth.Ic cfg trace)
+  in
+  Cmd.v (Cmd.info "baselines" ~doc:"Run the HRD/STM/TabSynth baseline predictors on a benchmark")
+    Term.(const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg)
+
+let () =
+  let doc = "CacheBox: learning architectural cache simulator behaviour" in
+  let info = Cmd.info "cachebox" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; baselines_cmd; export_cmd; replay_cmd; characterize_cmd ]))

@@ -1,0 +1,1 @@
+examples/design_space_exploration.ml: Cache Cbgan Cbox_dataset Cbox_infer Cbox_train Float Heatmap List Printf Suite Sys Workload

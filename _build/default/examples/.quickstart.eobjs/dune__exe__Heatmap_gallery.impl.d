@@ -1,0 +1,1 @@
+examples/heatmap_gallery.ml: Array Cache Filename Heatmap List Printf String Suite Sys Tensor Workload

@@ -1,0 +1,1 @@
+examples/heatmap_gallery.mli:

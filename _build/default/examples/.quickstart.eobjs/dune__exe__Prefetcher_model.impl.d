@@ -1,0 +1,1 @@
+examples/prefetcher_model.ml: Cache Cbgan Cbox_dataset Cbox_infer Cbox_train Heatmap List Metrics Prefetch Printf Suite Sys Tensor Workload

@@ -1,0 +1,1 @@
+examples/prefetcher_model.mli:

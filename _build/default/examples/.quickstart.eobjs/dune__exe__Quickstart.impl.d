@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cache Cbgan Cbox_dataset Cbox_infer Cbox_train Filename Heatmap List Printf Suite Sys

@@ -1,0 +1,1 @@
+lib/baselines/characterize.ml: Array Format Hashtbl List Option Reuse_distance

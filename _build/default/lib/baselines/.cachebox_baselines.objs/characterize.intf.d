@@ -1,0 +1,1 @@
+lib/baselines/characterize.mli: Format

@@ -1,0 +1,1 @@
+lib/baselines/hrd.ml: Array Cache Hashtbl List Prng Reuse_distance

@@ -1,0 +1,1 @@
+lib/baselines/hrd.mli: Cache

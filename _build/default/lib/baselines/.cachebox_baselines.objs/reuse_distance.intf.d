@@ -1,0 +1,1 @@
+lib/baselines/reuse_distance.mli:

@@ -1,0 +1,1 @@
+lib/baselines/stm.ml: Array Cache Float Hashtbl List Prng

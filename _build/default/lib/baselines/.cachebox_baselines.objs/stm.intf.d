@@ -1,0 +1,1 @@
+lib/baselines/stm.mli: Cache

@@ -1,0 +1,1 @@
+lib/baselines/tabsynth.ml: Array Cache Hashtbl Option Prng Reuse_distance

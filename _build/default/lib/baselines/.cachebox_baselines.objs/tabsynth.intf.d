@@ -1,0 +1,1 @@
+lib/baselines/tabsynth.mli: Cache

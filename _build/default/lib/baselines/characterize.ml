@@ -1,0 +1,101 @@
+type summary = {
+  accesses : int;
+  footprint_blocks : int;
+  footprint_bytes : int;
+  sequential_fraction : float;
+  same_block_fraction : float;
+  mean_reuse_distance : float;
+  median_reuse_distance : int;
+  cold_fraction : float;
+  top8_block_share : float;
+}
+
+let summarize ?(block_bytes = 64) trace =
+  let n = Array.length trace in
+  if n = 0 then invalid_arg "Characterize.summarize: empty trace";
+  let counts = Hashtbl.create 4096 in
+  let seq = ref 0 and same = ref 0 in
+  let prev = ref (trace.(0) / block_bytes) in
+  Array.iteri
+    (fun i addr ->
+      let b = addr / block_bytes in
+      Hashtbl.replace counts b (1 + Option.value ~default:0 (Hashtbl.find_opt counts b));
+      if i > 0 then begin
+        let d = b - !prev in
+        if abs d = 1 then incr seq else if d = 0 then incr same
+      end;
+      prev := b)
+    trace;
+  let dists = Reuse_distance.distances ~block_bytes trace in
+  let finite = Array.to_list dists |> List.filter (fun d -> d <> Reuse_distance.infinite) in
+  let cold = n - List.length finite in
+  let mean_rd =
+    match finite with
+    | [] -> 0.0
+    | ds -> float_of_int (List.fold_left ( + ) 0 ds) /. float_of_int (List.length ds)
+  in
+  let median_rd =
+    match List.sort compare finite with
+    | [] -> 0
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let by_count =
+    Hashtbl.fold (fun _ c acc -> c :: acc) counts [] |> List.sort (fun a b -> compare b a)
+  in
+  let top8 = List.filteri (fun i _ -> i < 8) by_count |> List.fold_left ( + ) 0 in
+  {
+    accesses = n;
+    footprint_blocks = Hashtbl.length counts;
+    footprint_bytes = Hashtbl.length counts * block_bytes;
+    sequential_fraction = float_of_int !seq /. float_of_int n;
+    same_block_fraction = float_of_int !same /. float_of_int n;
+    mean_reuse_distance = mean_rd;
+    median_reuse_distance = median_rd;
+    cold_fraction = float_of_int cold /. float_of_int n;
+    top8_block_share = float_of_int top8 /. float_of_int n;
+  }
+
+let working_set_curve ?(block_bytes = 64) ~window trace =
+  if window <= 0 then invalid_arg "Characterize.working_set_curve: window must be positive";
+  let n = Array.length trace in
+  let out = ref [] in
+  let start = ref 0 in
+  while !start < n do
+    let stop = min n (!start + window) in
+    let distinct = Hashtbl.create 256 in
+    for i = !start to stop - 1 do
+      Hashtbl.replace distinct (trace.(i) / block_bytes) ()
+    done;
+    out := (!start, Hashtbl.length distinct) :: !out;
+    start := stop
+  done;
+  List.rev !out
+
+let stride_histogram ?(block_bytes = 64) ?(top = 10) trace =
+  let table = Hashtbl.create 256 in
+  for i = 1 to Array.length trace - 1 do
+    let d = (trace.(i) / block_bytes) - (trace.(i - 1) / block_bytes) in
+    Hashtbl.replace table d (1 + Option.value ~default:0 (Hashtbl.find_opt table d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < top)
+
+let miss_ratio_curve ?(block_bytes = 64) ~capacities trace =
+  let dists = Reuse_distance.distances ~block_bytes trace in
+  List.map
+    (fun cap ->
+      let hr = Reuse_distance.hit_rate_fully_associative ~capacity_blocks:cap dists in
+      (cap, 1.0 -. hr))
+    capacities
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "accesses %d; footprint %d blocks (%d KiB); sequential %.1f%%; same-block %.1f%%;@ \
+     reuse distance mean %.1f median %d; cold %.1f%%; top-8 blocks hold %.1f%% of accesses"
+    s.accesses s.footprint_blocks (s.footprint_bytes / 1024)
+    (100.0 *. s.sequential_fraction)
+    (100.0 *. s.same_block_fraction)
+    s.mean_reuse_distance s.median_reuse_distance
+    (100.0 *. s.cold_fraction)
+    (100.0 *. s.top8_block_share)

@@ -1,0 +1,35 @@
+(** Trace characterization: the workload-analysis toolkit behind the
+    paper's motivation (§2) — compact summaries of a trace's spatial and
+    temporal locality that explain *why* a heatmap carries enough signal for
+    a model to learn the cache's filter.
+
+    All statistics are at cache-block (64 B) granularity unless noted. *)
+
+type summary = {
+  accesses : int;
+  footprint_blocks : int;  (** distinct blocks touched *)
+  footprint_bytes : int;
+  sequential_fraction : float;  (** |delta| = 1 block *)
+  same_block_fraction : float;  (** delta = 0 *)
+  mean_reuse_distance : float;  (** over finite distances *)
+  median_reuse_distance : int;  (** over finite distances; 0 if none *)
+  cold_fraction : float;  (** first-touch accesses *)
+  top8_block_share : float;  (** access share of the 8 hottest blocks *)
+}
+
+val summarize : ?block_bytes:int -> int array -> summary
+
+val working_set_curve : ?block_bytes:int -> window:int -> int array -> (int * int) list
+(** [(window-start, distinct-blocks)] per non-overlapping window — the
+    classic working-set profile. *)
+
+val stride_histogram : ?block_bytes:int -> ?top:int -> int array -> (int * int) list
+(** Most frequent block deltas, descending by count. *)
+
+val miss_ratio_curve :
+  ?block_bytes:int -> capacities:int list -> int array -> (int * float) list
+(** [(capacity-in-blocks, fully-associative LRU miss ratio)] — derived from
+    one reuse-distance pass, the cheap capacity-planning curve HRD-style
+    models are built on. *)
+
+val pp_summary : Format.formatter -> summary -> unit

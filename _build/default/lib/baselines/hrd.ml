@@ -1,0 +1,49 @@
+let predict ~configs trace =
+  if configs = [] then invalid_arg "Hrd.predict: no configs";
+  let rng = Prng.create (Array.length trace) in
+  let rec go current_trace = function
+    | [] -> []
+    | (cfg : Cache.config) :: deeper ->
+      (* HRD keeps compact log2-binned profiles, not exact histograms. *)
+      let dists =
+        Reuse_distance.log2_binned
+          (Reuse_distance.distances ~block_bytes:cfg.block_bytes current_trace)
+      in
+      let hr =
+        Reuse_distance.predict_set_associative ~sets:cfg.sets ~ways:cfg.ways dists
+      in
+      let rest =
+        if deeper = [] then []
+        else begin
+          (* Thin to the expected miss stream entering the next level. *)
+          let memo = Hashtbl.create 1024 in
+          let miss_prob d =
+            match Hashtbl.find_opt memo d with
+            | Some p -> p
+            | None ->
+              let p =
+                1.0
+                -. Reuse_distance.set_associative_hit_probability ~sets:cfg.sets
+                     ~ways:cfg.ways ~distance:d
+              in
+              Hashtbl.replace memo d p;
+              p
+          in
+          let kept = ref [] in
+          Array.iteri
+            (fun i addr ->
+              if Prng.float rng 1.0 < miss_prob dists.(i) then kept := addr :: !kept)
+            current_trace;
+          let next = Array.of_list (List.rev !kept) in
+          if Array.length next = 0 then List.map (fun _ -> 0.0) deeper
+          else go next deeper
+        end
+      in
+      hr :: rest
+  in
+  go trace configs
+
+let predict_l1 cfg trace =
+  match predict ~configs:[ cfg ] trace with
+  | [ hr ] -> hr
+  | _ -> assert false

@@ -1,0 +1,19 @@
+(** Hierarchical Reuse Distance (HRD) predictor, after Maeda et al.
+    (HPCA'17): a single fully-associative reuse-distance profile of the
+    trace drives probabilistic hit-rate predictions for every cache level.
+
+    Level 1 is predicted directly with the binomial set-associative model
+    (see {!Reuse_distance.predict_set_associative}). Deeper levels are
+    predicted hierarchically: the access stream entering level i+1 is
+    approximated by thinning the trace with each access's level-i miss
+    probability, then re-profiling — the source of HRD's characteristic
+    error against exact simulation. *)
+
+val predict : configs:Cache.config list -> int array -> float list
+(** [predict ~configs trace] returns one hit-rate prediction per config,
+    innermost level first in the order given (L1 first). The list must be
+    non-empty. Deterministic (the thinning PRNG seed derives from the trace
+    length). *)
+
+val predict_l1 : Cache.config -> int array -> float
+(** Single-level convenience wrapper. *)

@@ -1,0 +1,122 @@
+let infinite = max_int
+
+(* Fenwick (binary indexed) tree over 1-based positions. *)
+module Fenwick = struct
+  type t = { tree : int array; n : int }
+
+  let create n = { tree = Array.make (n + 1) 0; n }
+
+  let add t i delta =
+    let i = ref (i + 1) in
+    while !i <= t.n do
+      t.tree.(!i) <- t.tree.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* Sum of positions [0, i]. *)
+  let prefix t i =
+    let i = ref (i + 1) in
+    let acc = ref 0 in
+    while !i > 0 do
+      acc := !acc + t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+
+  let range t lo hi = if hi < lo then 0 else prefix t hi - if lo = 0 then 0 else prefix t (lo - 1)
+end
+
+let distances ?(block_bytes = 64) trace =
+  let n = Array.length trace in
+  let out = Array.make n infinite in
+  let fen = Fenwick.create n in
+  let last = Hashtbl.create 4096 in
+  for t = 0 to n - 1 do
+    let block = trace.(t) / block_bytes in
+    (match Hashtbl.find_opt last block with
+    | None -> ()
+    | Some t' ->
+      (* Distinct blocks touched strictly between t' and t are exactly the
+         marked positions in (t', t). *)
+      out.(t) <- Fenwick.range fen (t' + 1) (t - 1);
+      Fenwick.add fen t' (-1));
+    Fenwick.add fen t 1;
+    Hashtbl.replace last block t
+  done;
+  out
+
+let histogram dists =
+  let table = Hashtbl.create 256 in
+  Array.iter
+    (fun d ->
+      Hashtbl.replace table d (1 + Option.value ~default:0 (Hashtbl.find_opt table d)))
+    dists;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) table [] |> List.sort compare
+
+let log2_bin d =
+  if d <= 0 || d = infinite then d
+  else begin
+    (* Bucket [2^k, 2^(k+1)); representative = floor of the geometric mean
+       of the bucket bounds. *)
+    let k = ref 0 in
+    while 1 lsl (!k + 1) <= d do incr k done;
+    let lo = 1 lsl !k in
+    int_of_float (Float.of_int lo *. sqrt 2.0)
+  end
+
+let log2_binned dists = Array.map log2_bin dists
+
+let hit_rate_fully_associative ~capacity_blocks dists =
+  let n = Array.length dists in
+  if n = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iter (fun d -> if d <> infinite && d < capacity_blocks then incr hits) dists;
+    float_of_int !hits /. float_of_int n
+  end
+
+(* P(hit) = P(fewer than [ways] of the [distance] intervening distinct blocks
+   fall in the same set), intervening blocks scattering uniformly:
+   sum_{k<ways} C(d,k) p^k (1-p)^(d-k) with p = 1/sets. Evaluated by
+   recurrence to stay stable for large d. *)
+let set_associative_hit_probability ~sets ~ways ~distance =
+  if distance = infinite then 0.0
+  else if sets <= 1 then if distance < ways then 1.0 else 0.0
+  else begin
+    let p = 1.0 /. float_of_int sets in
+    let q = 1.0 -. p in
+    let d = float_of_int distance in
+    (* term_0 = q^d; term_{k+1} = term_k * (d-k)/(k+1) * p/q *)
+    let term = ref (q ** d) in
+    let acc = ref 0.0 in
+    (try
+       for k = 0 to ways - 1 do
+         if k > distance then raise Exit;
+         acc := !acc +. !term;
+         term := !term *. (d -. float_of_int k) /. float_of_int (k + 1) *. (p /. q)
+       done
+     with Exit -> ());
+    Float.min 1.0 !acc
+  end
+
+let predict_set_associative ~sets ~ways dists =
+  let n = Array.length dists in
+  if n = 0 then 0.0
+  else begin
+    (* Memoise over distinct distances: traces repeat distances heavily. *)
+    let memo = Hashtbl.create 1024 in
+    let total = ref 0.0 in
+    Array.iter
+      (fun d ->
+        let p =
+          match Hashtbl.find_opt memo d with
+          | Some p -> p
+          | None ->
+            let p = set_associative_hit_probability ~sets ~ways ~distance:d in
+            Hashtbl.replace memo d p;
+            p
+        in
+        total := !total +. p)
+      dists;
+    !total /. float_of_int n
+  end

@@ -1,0 +1,119 @@
+(* The profile quantises block-address deltas into named stride bins and
+   records the first-order transition frequencies between bins, plus the
+   empirical magnitude distribution within each bin. Cloning replays the
+   bin-level Markov chain; within a bin the concrete delta is sampled from
+   the recorded magnitudes. A separate "reuse jump" records how often the
+   clone should return to a previously-touched region, which is STM's
+   temporal component. *)
+
+type bin = int
+(* Bin encoding: deltas are clamped to [-max_delta, max_delta] and bucketed
+   by signed log2 magnitude; bin 0 is delta 0. *)
+
+let bin_count = 41
+
+let bin_of_delta d =
+  if d = 0 then 20
+  else begin
+    let mag = min 19 (int_of_float (Float.log2 (float_of_int (abs d)) +. 1.0)) in
+    if d > 0 then 20 + mag else 20 - mag
+  end
+
+type profile = {
+  block_bytes : int;
+  transitions : int array;  (** [bin_count * bin_count] counts *)
+  samples : int list array;  (** representative deltas per bin (capped) *)
+  start_block : int;
+  footprint : int;  (** distinct blocks *)
+  reuse_fraction : float;  (** fraction of accesses that are block re-visits *)
+}
+
+let max_samples_per_bin = 64
+
+let profile ?(block_bytes = 64) trace =
+  let n = Array.length trace in
+  if n < 2 then invalid_arg "Stm.profile: trace too short";
+  let transitions = Array.make (bin_count * bin_count) 0 in
+  let samples = Array.make bin_count [] in
+  let sample_counts = Array.make bin_count 0 in
+  let seen = Hashtbl.create 4096 in
+  let reuses = ref 0 in
+  let prev_bin = ref (bin_of_delta 0) in
+  let prev_block = ref (trace.(0) / block_bytes) in
+  Hashtbl.replace seen !prev_block ();
+  for i = 1 to n - 1 do
+    let block = trace.(i) / block_bytes in
+    let delta = block - !prev_block in
+    let b = bin_of_delta delta in
+    transitions.((!prev_bin * bin_count) + b) <- transitions.((!prev_bin * bin_count) + b) + 1;
+    if sample_counts.(b) < max_samples_per_bin then begin
+      samples.(b) <- delta :: samples.(b);
+      sample_counts.(b) <- sample_counts.(b) + 1
+    end;
+    if Hashtbl.mem seen block then incr reuses else Hashtbl.replace seen block ();
+    prev_bin := b;
+    prev_block := block
+  done;
+  {
+    block_bytes;
+    transitions;
+    samples;
+    start_block = trace.(0) / block_bytes;
+    footprint = Hashtbl.length seen;
+    reuse_fraction = float_of_int !reuses /. float_of_int n;
+  }
+
+let next_bin rng p (current : bin) =
+  let row = Array.sub p.transitions (current * bin_count) bin_count in
+  let total = Array.fold_left ( + ) 0 row in
+  if total = 0 then bin_of_delta 0
+  else begin
+    let r = Prng.int rng total in
+    let acc = ref 0 and result = ref 0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if r < !acc then begin
+             result := i;
+             raise Exit
+           end)
+         row
+     with Exit -> ());
+    !result
+  end
+
+let clone ?(seed = 7) p n =
+  let rng = Prng.create seed in
+  let out = Array.make n 0 in
+  let block = ref p.start_block in
+  let bin = ref (bin_of_delta 0) in
+  (* Bounded history of visited blocks backs the temporal reuse jumps. *)
+  let history = Array.make (max 16 (min p.footprint 8192)) p.start_block in
+  let hist_len = ref 1 and hist_pos = ref 1 in
+  for i = 0 to n - 1 do
+    out.(i) <- !block * p.block_bytes;
+    if Prng.float rng 1.0 < p.reuse_fraction *. 0.1 && !hist_len > 1 then
+      (* Temporal jump back to a previously visited block. *)
+      block := history.(Prng.int rng !hist_len)
+    else begin
+      bin := next_bin rng p !bin;
+      let delta =
+        match p.samples.(!bin) with
+        | [] -> 0
+        | ds -> List.nth ds (Prng.int rng (List.length ds))
+      in
+      block := max 0 (!block + delta)
+    end;
+    history.(!hist_pos) <- !block;
+    hist_pos := (!hist_pos + 1) mod Array.length history;
+    hist_len := min (Array.length history) (!hist_len + 1)
+  done;
+  out
+
+let predict ?seed cfg trace =
+  let p = profile ~block_bytes:cfg.Cache.block_bytes trace in
+  let synthetic = clone ?seed p (Array.length trace) in
+  let cache = Cache.create cfg in
+  Array.iter (fun addr -> ignore (Cache.access cache addr)) synthetic;
+  Cache.hit_rate (Cache.stats cache)

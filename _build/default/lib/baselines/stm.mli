@@ -1,0 +1,17 @@
+(** Spatio-Temporal Memory (STM) model, after Awad & Solihin (HPCA'14):
+    clone-and-resimulate. A compact statistical profile of the trace —
+    first-order stride (spatial) behaviour plus a coarse temporal-reuse
+    histogram — drives generation of a synthetic clone trace of equal
+    length, which is then run through the exact cache simulator. The
+    prediction error is exactly the behaviour the clone fails to preserve. *)
+
+type profile
+
+val profile : ?block_bytes:int -> int array -> profile
+(** Collects the stride transition table and reuse statistics. *)
+
+val clone : ?seed:int -> profile -> int -> int array
+(** Generates a synthetic trace of the requested length from a profile. *)
+
+val predict : ?seed:int -> Cache.config -> int array -> float
+(** Profile the trace, clone it, simulate the clone: predicted hit rate. *)

@@ -1,0 +1,1 @@
+lib/cachesim/hierarchy.ml: Array Buffer Cache Int64 List Option Prefetch String

@@ -1,0 +1,1 @@
+lib/cachesim/multicachesim.ml: Array

@@ -1,0 +1,1 @@
+lib/cachesim/trace_io.ml: Array Bytes Fun Int64 List Printf String

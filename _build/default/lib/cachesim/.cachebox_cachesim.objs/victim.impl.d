@@ -1,0 +1,1 @@
+lib/cachesim/victim.ml: Array Cache

@@ -1,0 +1,105 @@
+type level = L1 | L2 | L3
+
+let level_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3"
+
+type level_trace = {
+  level : level;
+  addresses : int array;
+  hits : bool array;
+}
+
+let trace_hit_rate t =
+  let n = Array.length t.hits in
+  if n = 0 then 0.0
+  else begin
+    let h = ref 0 in
+    Array.iter (fun b -> if b then incr h) t.hits;
+    float_of_int !h /. float_of_int n
+  end
+
+type recorder = { addrs : Buffer.t; flags : Buffer.t }
+(* Traces are recorded compactly: addresses as 8 little-endian bytes, flags
+   as single bytes; converted to arrays on demand. *)
+
+let recorder () = { addrs = Buffer.create 4096; flags = Buffer.create 512 }
+
+let record r addr hit =
+  Buffer.add_int64_le r.addrs (Int64.of_int addr);
+  Buffer.add_char r.flags (if hit then '\001' else '\000')
+
+let recorded_trace r level =
+  let raw = Buffer.contents r.addrs in
+  let n = String.length raw / 8 in
+  let addresses = Array.init n (fun i -> Int64.to_int (String.get_int64_le raw (i * 8))) in
+  let flags_raw = Buffer.contents r.flags in
+  let hits = Array.init n (fun i -> flags_raw.[i] = '\001') in
+  { level; addresses; hits }
+
+type node = { cache : Cache.t; rec_ : recorder }
+
+type t = {
+  levels : (level * node) list;  (** innermost first; non-empty *)
+  prefetcher : Prefetch.t;
+  pf_addrs : Buffer.t;
+}
+
+let create ?l2 ?l3 ?(l1_prefetcher = Prefetch.No_prefetch) ~l1 () =
+  if l3 <> None && l2 = None then
+    invalid_arg "Hierarchy.create: cannot have an L3 without an L2";
+  let mk lvl cfg = (lvl, { cache = Cache.create cfg; rec_ = recorder () }) in
+  let levels =
+    mk L1 l1
+    :: List.filter_map
+         (fun x -> x)
+         [ Option.map (mk L2) l2; Option.map (mk L3) l3 ]
+  in
+  { levels; prefetcher = Prefetch.create l1_prefetcher; pf_addrs = Buffer.create 512 }
+
+let access t addr =
+  match t.levels with
+  | [] -> assert false
+  | ((_, l1_node) :: deeper) ->
+    let pf =
+      Prefetch.on_access t.prefetcher ~addr
+        ~block_bytes:(Cache.get_config l1_node.cache).Cache.block_bytes
+    in
+    let l1_hit = Cache.access l1_node.cache addr in
+    record l1_node.rec_ addr l1_hit;
+    let rec go levels =
+      match levels with
+      | [] -> ()
+      | (_lvl, node) :: rest ->
+        let hit = Cache.access node.cache addr in
+        record node.rec_ addr hit;
+        if not hit then go rest
+    in
+    if not l1_hit then go deeper;
+    (* L1 prefetches are generated from the demand stream and fill L1 only. *)
+    List.iter
+      (fun pf_addr ->
+        Buffer.add_int64_le t.pf_addrs (Int64.of_int pf_addr);
+        Cache.insert l1_node.cache pf_addr)
+      pf;
+    l1_hit
+
+let run t trace = Array.iter (fun addr -> ignore (access t addr)) trace
+
+let level_traces t =
+  List.map (fun (lvl, node) -> recorded_trace node.rec_ lvl) t.levels
+
+let prefetched_addresses t =
+  let raw = Buffer.contents t.pf_addrs in
+  let n = String.length raw / 8 in
+  Array.init n (fun i -> Int64.to_int (String.get_int64_le raw (i * 8)))
+
+let stats t = List.map (fun (lvl, node) -> (lvl, Cache.stats node.cache)) t.levels
+
+let reset t =
+  List.iter
+    (fun (_, node) ->
+      Cache.reset node.cache;
+      Buffer.clear node.rec_.addrs;
+      Buffer.clear node.rec_.flags)
+    t.levels;
+  Prefetch.reset t.prefetcher;
+  Buffer.clear t.pf_addrs

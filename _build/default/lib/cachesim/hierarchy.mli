@@ -1,0 +1,49 @@
+(** Multi-level cache hierarchy simulation.
+
+    Demand accesses enter L1; misses propagate to L2 and then L3 (when
+    present). Each level records the address stream that *entered* it and a
+    hit/miss flag per entry — exactly the per-level access/miss traces the
+    CacheBox heatmap pipeline consumes (paper §2: the bus between level i-1
+    and level i carries level i's access trace; the bus below carries its
+    miss trace). *)
+
+type level = L1 | L2 | L3
+
+val level_name : level -> string
+
+type level_trace = {
+  level : level;
+  addresses : int array;  (** accesses that reached this level, in order *)
+  hits : bool array;  (** per-access hit flag, same length *)
+}
+
+val trace_hit_rate : level_trace -> float
+
+type t
+
+val create :
+  ?l2:Cache.config ->
+  ?l3:Cache.config ->
+  ?l1_prefetcher:Prefetch.kind ->
+  l1:Cache.config ->
+  unit ->
+  t
+(** L1 prefetches fill L1 only and do not count as demand accesses
+    (matching the paper's setup where prefetching is off for ground truth
+    and modelled separately for RQ7). *)
+
+val access : t -> int -> bool
+(** Runs one demand access through the hierarchy; returns the L1 hit flag. *)
+
+val run : t -> int array -> unit
+(** Feeds a whole trace (recording enabled). *)
+
+val level_traces : t -> level_trace list
+(** Recorded per-level traces, innermost (L1) first. Only meaningful after
+    {!run} or a sequence of {!access} calls. *)
+
+val prefetched_addresses : t -> int array
+(** Addresses the L1 prefetcher filled, in issue order (RQ7 ground truth). *)
+
+val stats : t -> (level * Cache.stats) list
+val reset : t -> unit

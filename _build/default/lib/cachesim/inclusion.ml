@@ -1,0 +1,92 @@
+type policy = Inclusive | Exclusive | Nine
+
+let policy_name = function
+  | Inclusive -> "inclusive"
+  | Exclusive -> "exclusive"
+  | Nine -> "NINE"
+
+type t = {
+  policy : policy;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+}
+
+let create policy ~l1 ~l2 =
+  { policy; l1 = Cache.create l1; l2 = Cache.create l2; accesses = 0; l1_hits = 0; l2_hits = 0 }
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  let l1_hit, l1_evicted = Cache.access_evict t.l1 addr in
+  if l1_hit then begin
+    t.l1_hits <- t.l1_hits + 1;
+    `L1_hit
+  end
+  else begin
+    let l2_hit =
+      match t.policy with
+      | Exclusive ->
+        (* The block moves up on an L2 hit and is never demand-allocated in
+           L2 (lines enter L2 only as L1 spills); extract the requested
+           line *before* spilling so the spill cannot displace it. *)
+        let hit = Cache.probe t.l2 addr in
+        if hit then ignore (Cache.invalidate t.l2 addr);
+        (match l1_evicted with Some victim -> Cache.insert t.l2 victim | None -> ());
+        hit
+      | Inclusive | Nine ->
+        let hit, l2_evicted = Cache.access_evict t.l2 addr in
+        (match (t.policy, l2_evicted) with
+        | Inclusive, Some victim ->
+          (* Back-invalidate: inclusion demands the L1 copy dies with
+             L2's. *)
+          ignore (Cache.invalidate t.l1 victim)
+        | (Exclusive | Nine | Inclusive), _ -> ());
+        hit
+    in
+    if l2_hit then begin
+      t.l2_hits <- t.l2_hits + 1;
+      `L2_hit
+    end
+    else `Miss
+  end
+
+type stats = { accesses : int; l1_hits : int; l2_hits : int; misses : int }
+
+let stats (t : t) =
+  {
+    accesses = t.accesses;
+    l1_hits = t.l1_hits;
+    l2_hits = t.l2_hits;
+    misses = t.accesses - t.l1_hits - t.l2_hits;
+  }
+
+let l1_hit_rate s =
+  if s.accesses = 0 then 0.0 else float_of_int s.l1_hits /. float_of_int s.accesses
+
+let holds_invariant t trace =
+  let check addr_pool =
+    match t.policy with
+    | Nine -> true
+    | Inclusive ->
+      Array.for_all
+        (fun a -> (not (Cache.probe t.l1 a)) || Cache.probe t.l2 a)
+        addr_pool
+    | Exclusive ->
+      Array.for_all
+        (fun a -> not (Cache.probe t.l1 a && Cache.probe t.l2 a))
+        addr_pool
+  in
+  Array.for_all
+    (fun addr ->
+      ignore (access t addr);
+      check trace)
+    trace
+
+let reset t =
+  Cache.reset t.l1;
+  Cache.reset t.l2;
+  t.accesses <- 0;
+  t.l1_hits <- 0;
+  t.l2_hits <- 0

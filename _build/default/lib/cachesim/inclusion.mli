@@ -1,0 +1,32 @@
+(** Two-level inclusion-policy models (paper §6.3 lists inclusion/exclusion
+    among the unexplored cache options; this is the substrate for studying
+    them).
+
+    - {b Inclusive}: every L1 block is also in L2; an L2 eviction
+      back-invalidates the L1 copy.
+    - {b Exclusive}: a block lives in exactly one level; an L1 hit leaves
+      L2 untouched, an L2 hit moves the block up (removing it from L2), and
+      an L1 eviction spills the victim into L2.
+    - {b Nine} (non-inclusive, non-exclusive): no constraint — the model
+      {!Hierarchy} implements; provided here for side-by-side comparison. *)
+
+type policy = Inclusive | Exclusive | Nine
+
+val policy_name : policy -> string
+
+type t
+
+val create : policy -> l1:Cache.config -> l2:Cache.config -> t
+
+val access : t -> int -> [ `L1_hit | `L2_hit | `Miss ]
+
+type stats = { accesses : int; l1_hits : int; l2_hits : int; misses : int }
+
+val stats : t -> stats
+val l1_hit_rate : stats -> float
+val holds_invariant : t -> int array -> bool
+(** Replays a trace and checks the policy's structural invariant after
+    every access (inclusive: L1 contents ⊆ L2; exclusive: L1 ∩ L2 = ∅),
+    probing the given addresses. Intended for tests. *)
+
+val reset : t -> unit

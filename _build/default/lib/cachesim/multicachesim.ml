@@ -1,0 +1,79 @@
+type t = {
+  sets : int;
+  ways : int;
+  block_shift : int;
+  set_shift : int;
+  tags : int array;
+  stamps : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~sets ~ways ~block_bytes =
+  if sets land (sets - 1) <> 0 then invalid_arg "Multicachesim.create: sets must be power of two";
+  {
+    sets;
+    ways;
+    block_shift = log2 block_bytes;
+    set_shift = log2 sets;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let run t trace =
+  let misses_before = t.misses in
+  let n = Array.length trace in
+  let ways = t.ways in
+  for i = 0 to n - 1 do
+    let block = Array.unsafe_get trace i lsr t.block_shift in
+    let set = block land (t.sets - 1) in
+    let tag = block lsr t.set_shift in
+    let base = set * ways in
+    t.clock <- t.clock + 1;
+    t.accesses <- t.accesses + 1;
+    let way = ref (-1) in
+    for w = 0 to ways - 1 do
+      if Array.unsafe_get t.tags (base + w) = tag then way := w
+    done;
+    if !way >= 0 then Array.unsafe_set t.stamps (base + !way) t.clock
+    else begin
+      t.misses <- t.misses + 1;
+      (* LRU victim *)
+      let victim = ref 0 in
+      let oldest = ref max_int in
+      for w = 0 to ways - 1 do
+        if Array.unsafe_get t.tags (base + w) = -1 then begin
+          if !oldest > -1 then begin
+            oldest := -1;
+            victim := w
+          end
+        end
+        else if !oldest > -1 && Array.unsafe_get t.stamps (base + w) < !oldest then begin
+          oldest := Array.unsafe_get t.stamps (base + w);
+          victim := w
+        end
+      done;
+      Array.unsafe_set t.tags (base + !victim) tag;
+      Array.unsafe_set t.stamps (base + !victim) t.clock
+    end
+  done;
+  t.misses - misses_before
+
+let hit_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int (t.accesses - t.misses) /. float_of_int t.accesses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0

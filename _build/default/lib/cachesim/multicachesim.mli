@@ -1,0 +1,15 @@
+(** A minimal, throughput-oriented cache-only simulator in the spirit of
+    MultiCacheSim (Lucia), used as the traditional-simulation speed
+    comparator for RQ5. It models one set-associative LRU cache, keeps no
+    per-access trace, and its hot loop avoids every source of allocation. *)
+
+type t
+
+val create : sets:int -> ways:int -> block_bytes:int -> t
+
+val run : t -> int array -> int
+(** Simulates a whole trace and returns the miss count. State persists
+    across calls (call {!reset} between benchmarks). *)
+
+val hit_rate : t -> float
+val reset : t -> unit

@@ -1,0 +1,78 @@
+type kind =
+  | No_prefetch
+  | Next_line
+  | Stride of { degree : int; table_size : int }
+
+type stride_entry = { mutable last_block : int; mutable stride : int; mutable confidence : int }
+
+type state =
+  | S_none
+  | S_next
+  | S_stride of { degree : int; table : stride_entry array }
+
+type t = { k : kind; state : state; mutable issued : int }
+
+let create k =
+  let state =
+    match k with
+    | No_prefetch -> S_none
+    | Next_line -> S_next
+    | Stride { degree; table_size } ->
+      if degree <= 0 || table_size <= 0 then invalid_arg "Prefetch.create: bad stride params";
+      S_stride
+        { degree;
+          table = Array.init table_size (fun _ -> { last_block = -1; stride = 0; confidence = 0 }) }
+  in
+  { k; state; issued = 0 }
+
+let kind t = t.k
+
+(* The trace has no PCs, so the stride table is keyed by the 4KiB region the
+   access falls in — a region-local stride detector, as in spatial-pattern
+   prefetchers. *)
+let region_key addr table_len = (addr lsr 12) mod table_len
+
+let on_access t ~addr ~block_bytes =
+  let block = addr / block_bytes in
+  let result =
+    match t.state with
+    | S_none -> []
+    | S_next -> [ (block + 1) * block_bytes ]
+    | S_stride { degree; table } ->
+      let e = table.(region_key addr (Array.length table)) in
+      let out =
+        if e.last_block < 0 then []
+        else begin
+          let s = block - e.last_block in
+          if s <> 0 && s = e.stride then begin
+            e.confidence <- min 3 (e.confidence + 1);
+            if e.confidence >= 2 then
+              List.init degree (fun i -> (block + (s * (i + 1))) * block_bytes)
+            else []
+          end
+          else begin
+            e.stride <- s;
+            e.confidence <- 0;
+            []
+          end
+        end
+      in
+      e.last_block <- block;
+      out
+  in
+  t.issued <- t.issued + List.length result;
+  result
+
+let issued t = t.issued
+
+let reset t =
+  t.issued <- 0;
+  match t.state with
+  | S_none | S_next -> ()
+  | S_stride { table; _ } ->
+    Array.iter
+      (fun e ->
+        e.last_block <- -1;
+        e.stride <- 0;
+        e.confidence <- 0)
+      table

@@ -1,0 +1,28 @@
+(** Hardware prefetcher models (RQ7 substrate).
+
+    A prefetcher observes the demand-access stream of one cache level and
+    proposes block addresses to fill. The next-line prefetcher is the one the
+    paper trains CB-GAN on; the stride prefetcher is provided for the
+    "other prefetching algorithms" extension the paper hypothesises. *)
+
+type kind =
+  | No_prefetch
+  | Next_line  (** always prefetch the next sequential block *)
+  | Stride of { degree : int; table_size : int }
+      (** reference-prediction-table stride detector keyed by a hash of the
+          block region; prefetches [degree] strided blocks once a stride is
+          confirmed twice *)
+
+type t
+
+val create : kind -> t
+val kind : t -> kind
+
+val on_access : t -> addr:int -> block_bytes:int -> int list
+(** Byte addresses the prefetcher wants filled in response to a demand
+    access to [addr]. *)
+
+val issued : t -> int
+(** Total prefetches proposed so far. *)
+
+val reset : t -> unit

@@ -1,0 +1,78 @@
+let binary_magic = "CBTRACE1"
+
+let write_text path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Array.iter (fun a -> Printf.fprintf oc "0x%x\n" a) trace)
+
+let parse_hex_line line lineno =
+  let s = String.trim line in
+  let s = if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then String.sub s 2 (String.length s - 2) else s in
+  match int_of_string_opt ("0x" ^ s) with
+  | Some v when v >= 0 -> v
+  | Some _ | None ->
+    failwith (Printf.sprintf "Trace_io.read_text: malformed address at line %d" lineno)
+
+let read_text path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let out = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let trimmed = String.trim line in
+           if trimmed <> "" && trimmed.[0] <> '#' then
+             out := parse_hex_line trimmed !lineno :: !out
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !out))
+
+let write_binary path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc binary_magic;
+      let buf = Bytes.create 8 in
+      Bytes.set_int64_le buf 0 (Int64.of_int (Array.length trace));
+      output_bytes oc buf;
+      Array.iter
+        (fun a ->
+          Bytes.set_int64_le buf 0 (Int64.of_int a);
+          output_bytes oc buf)
+        trace)
+
+let read_binary path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      if len < String.length binary_magic + 8 then
+        failwith "Trace_io.read_binary: file too short";
+      let magic = really_input_string ic (String.length binary_magic) in
+      if magic <> binary_magic then failwith "Trace_io.read_binary: bad magic";
+      let buf = Bytes.create 8 in
+      really_input ic buf 0 8;
+      let count = Int64.to_int (Bytes.get_int64_le buf 0) in
+      if count < 0 || len < String.length binary_magic + 8 + (8 * count) then
+        failwith "Trace_io.read_binary: truncated payload";
+      Array.init count (fun _ ->
+          really_input ic buf 0 8;
+          Int64.to_int (Bytes.get_int64_le buf 0)))
+
+let read_auto path =
+  let looks_binary =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        in_channel_length ic >= String.length binary_magic
+        && really_input_string ic (String.length binary_magic) = binary_magic)
+  in
+  if looks_binary then read_binary path else read_text path

@@ -1,0 +1,21 @@
+(** Trace import/export.
+
+    Real deployments feed CacheBox with Pin/ChampSim captures; this module
+    reads and writes address traces in two interchange formats so externally
+    collected traces can be pushed through the same pipeline:
+
+    - {b text}: one lowercase hex byte-address per line ("0x1a2b3c" or bare
+      "1a2b3c"); blank lines and lines starting with '#' are skipped.
+    - {b binary}: magic "CBTRACE1" followed by a little-endian int64 count
+      and that many little-endian int64 addresses. *)
+
+val write_text : string -> int array -> unit
+val read_text : string -> int array
+(** Raises [Failure] with the offending line number on malformed input. *)
+
+val write_binary : string -> int array -> unit
+val read_binary : string -> int array
+(** Raises [Failure] on bad magic or truncated payload. *)
+
+val read_auto : string -> int array
+(** Dispatches on the binary magic, falling back to text. *)

@@ -1,0 +1,28 @@
+(** Victim cache (paper §6.3 lists victim caches as unexplored future work;
+    this module provides the substrate to study them).
+
+    A small fully-associative LRU buffer sits next to a main set-associative
+    cache. On a main-cache miss the victim buffer is probed; a victim hit
+    swaps the block back into the main cache (counted as a hit). Blocks
+    evicted from the main cache drop into the victim buffer. *)
+
+type t
+
+val create : main:Cache.config -> victim_entries:int -> t
+
+val access : t -> int -> [ `Main_hit | `Victim_hit | `Miss ]
+(** One demand access by byte address. *)
+
+type stats = {
+  accesses : int;
+  main_hits : int;
+  victim_hits : int;
+  misses : int;
+}
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** Combined (main + victim) hit rate. *)
+
+val reset : t -> unit

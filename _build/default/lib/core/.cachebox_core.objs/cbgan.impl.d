@@ -1,0 +1,1 @@
+lib/core/cbgan.ml: Array Cache Checkpoint Layers List Option Param Printf Prng Tensor Value

@@ -1,0 +1,1 @@
+lib/core/cbgan.mli: Cache Param Prng Tensor Value

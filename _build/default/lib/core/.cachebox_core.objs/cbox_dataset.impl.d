@@ -1,0 +1,1 @@
+lib/core/cbox_dataset.ml: Array Cache Float Heatmap Hierarchy List Prefetch Prng Tensor Workload

@@ -1,0 +1,1 @@
+lib/core/cbox_dataset.mli: Cache Heatmap Hierarchy Prefetch Prng Tensor Workload

@@ -1,0 +1,1 @@
+lib/core/cbox_infer.ml: Array Cache Cbgan Cbox_dataset Dpool Float Heatmap Hierarchy List Metrics Prng Tensor Value Workload

@@ -1,0 +1,1 @@
+lib/core/cbox_infer.mli: Cache Cbgan Cbox_dataset Heatmap Hierarchy Tensor

@@ -1,0 +1,1 @@
+lib/core/cbox_train.mli: Cbgan Cbox_dataset Heatmap

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Cache Cbgan Heatmap Hierarchy Metrics Workload

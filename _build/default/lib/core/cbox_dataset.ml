@@ -1,0 +1,149 @@
+type sample = {
+  benchmark : string;
+  cache : Cache.config;
+  level : Hierarchy.level;
+  access : Tensor.t;
+  target : Tensor.t;
+}
+
+type benchmark_data = {
+  workload : Workload.t;
+  cache : Cache.config;
+  level : Hierarchy.level;
+  pairs : (Tensor.t * Tensor.t) list;
+  true_hit_rate : float;
+}
+
+(* Pixel counts are mapped log-scale into [-1, 1]: count 0 sits at -1 and a
+   single access already lands at ~-0.65, so the generator's tanh does not
+   have to saturate to render empty background. Denormalisation inverts the
+   log map and rounds, since true heatmap pixels are integral counts — this
+   keeps the hit-rate sums (paper §4.4) from being polluted by a slightly
+   non-zero background level. *)
+let normalize (spec : Heatmap.spec) img =
+  let scale = log (1.0 +. float_of_int spec.window) in
+  Tensor.map
+    (fun v -> Float.max (-1.0) (Float.min 1.0 ((2.0 *. log (1.0 +. v) /. scale) -. 1.0)))
+    img
+
+let denormalize (spec : Heatmap.spec) img =
+  let scale = log (1.0 +. float_of_int spec.window) in
+  Tensor.map
+    (fun v -> Float.max 0.0 (Float.round (exp ((v +. 1.0) /. 2.0 *. scale) -. 1.0)))
+    img
+
+let batch_images spec imgs =
+  match imgs with
+  | [] -> invalid_arg "Cbox_dataset.batch_images: empty batch"
+  | first :: _ ->
+    let h = Tensor.dim first 0 and w = Tensor.dim first 1 in
+    let normalized =
+      List.map (fun img -> Tensor.view (normalize spec img) [| 1; 1; h; w |]) imgs
+    in
+    Tensor.stack_batch normalized
+
+let hit_flags_for_config cfg trace =
+  let cache = Cache.create cfg in
+  Array.map (fun addr -> Cache.access cache addr) trace
+
+let data_for ~workload ~cache ~level spec ~addresses ~hits =
+  let pairs = Heatmap.pair_of_trace spec ~addresses ~hits in
+  let access = List.map fst pairs and miss = List.map snd pairs in
+  {
+    workload;
+    cache;
+    level;
+    pairs;
+    true_hit_rate = Heatmap.hit_rate spec ~access ~miss;
+  }
+
+let build_l1 spec ~configs ~trace_len workloads =
+  List.concat_map
+    (fun w ->
+      let trace = w.Workload.generate trace_len in
+      List.map
+        (fun cfg ->
+          let hits = hit_flags_for_config cfg trace in
+          data_for ~workload:w ~cache:cfg ~level:Hierarchy.L1 spec ~addresses:trace
+            ~hits)
+        configs)
+    workloads
+
+let build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads =
+  let config_of_level = function
+    | Hierarchy.L1 -> l1
+    | Hierarchy.L2 -> l2
+    | Hierarchy.L3 -> l3
+  in
+  List.concat_map
+    (fun w ->
+      let trace = w.Workload.generate trace_len in
+      let h = Hierarchy.create ~l2 ~l3 ~l1 () in
+      Hierarchy.run h trace;
+      Hierarchy.level_traces h
+      |> List.filter_map (fun (lt : Hierarchy.level_trace) ->
+             if Array.length lt.addresses < Heatmap.accesses_per_image spec then None
+             else
+               Some
+                 (data_for ~workload:w ~cache:(config_of_level lt.level)
+                    ~level:lt.level spec ~addresses:lt.addresses ~hits:lt.hits)))
+    workloads
+
+let build_prefetch spec ~config ~kind ~trace_len workloads =
+  List.map
+    (fun w ->
+      let trace = w.Workload.generate trace_len in
+      let cache = Cache.create config in
+      let pf = Prefetch.create kind in
+      let n = Array.length trace in
+      (* Align prefetches with the demand access that triggered them: one
+         slot per access, holding the first prefetched address (next-line
+         issues at most one). *)
+      let pf_addr = Array.make n 0 in
+      let pf_keep = Array.make n false in
+      let hits = Array.make n false in
+      for i = 0 to n - 1 do
+        let proposals =
+          Prefetch.on_access pf ~addr:trace.(i) ~block_bytes:config.Cache.block_bytes
+        in
+        hits.(i) <- Cache.access cache trace.(i);
+        match proposals with
+        | [] -> ()
+        | addr :: _ ->
+          pf_addr.(i) <- addr;
+          pf_keep.(i) <- true;
+          List.iter (Cache.insert cache) proposals
+      done;
+      let access = Heatmap.of_trace spec trace in
+      let prefetch = Heatmap.of_trace_filtered spec ~addresses:pf_addr ~keep:pf_keep in
+      let miss = Heatmap.of_trace_filtered spec ~addresses:trace
+          ~keep:(Array.map not hits)
+      in
+      {
+        workload = w;
+        cache = config;
+        level = Hierarchy.L1;
+        pairs = List.combine access prefetch;
+        true_hit_rate = Heatmap.hit_rate spec ~access ~miss;
+      })
+    workloads
+
+let to_samples data =
+  List.concat_map
+    (fun d ->
+      List.map
+        (fun (access, target) ->
+          {
+            benchmark = d.workload.Workload.name;
+            cache = d.cache;
+            level = d.level;
+            access;
+            target;
+          })
+        d.pairs)
+    data
+
+let shuffle rng samples =
+  let a = Array.of_list samples in
+  Prng.shuffle rng a;
+  Array.to_list a

@@ -1,0 +1,71 @@
+(** Dataset construction: from workloads to paired, normalised heatmaps.
+
+    This is the OCaml equivalent of the paper's HeatmapDataGenerator: run
+    each benchmark's trace through the ground-truth simulator, convert the
+    per-level access/miss streams into aligned heatmap pairs, and normalise
+    pixel counts into the [-1, 1] range the tanh generator works in. *)
+
+type sample = {
+  benchmark : string;
+  cache : Cache.config;  (** config whose filter behaviour the pair shows *)
+  level : Hierarchy.level;
+  access : Tensor.t;  (** [\[h; w\]] raw access counts *)
+  target : Tensor.t;  (** [\[h; w\]] raw miss (or prefetch) counts *)
+}
+
+type benchmark_data = {
+  workload : Workload.t;
+  cache : Cache.config;
+  level : Hierarchy.level;
+  pairs : (Tensor.t * Tensor.t) list;  (** aligned raw (access, target) *)
+  true_hit_rate : float;  (** de-overlapped ground truth *)
+}
+
+(** {1 Normalisation} *)
+
+val normalize : Heatmap.spec -> Tensor.t -> Tensor.t
+(** Counts [\[0, window\]] to [\[-1, 1\]] (clamped). *)
+
+val denormalize : Heatmap.spec -> Tensor.t -> Tensor.t
+(** Inverse of {!normalize}, clamped to non-negative counts. *)
+
+val batch_images : Heatmap.spec -> Tensor.t list -> Tensor.t
+(** Normalises and stacks [k] heatmaps into an [\[k; 1; h; w\]] tensor. *)
+
+(** {1 Construction} *)
+
+val build_l1 :
+  Heatmap.spec ->
+  configs:Cache.config list ->
+  trace_len:int ->
+  Workload.t list ->
+  benchmark_data list
+(** One entry per (workload, config): simulate the L1 filter and pair up
+    heatmaps. Workload traces are generated once and shared across
+    configs. *)
+
+val build_hierarchy :
+  Heatmap.spec ->
+  l1:Cache.config ->
+  l2:Cache.config ->
+  l3:Cache.config ->
+  trace_len:int ->
+  Workload.t list ->
+  benchmark_data list
+(** Entries for all three levels. A level's access stream is the miss
+    stream of the previous level; benchmarks whose deeper streams are
+    shorter than one heatmap are omitted at those levels (the paper's
+    "low data regime" exclusion shows up naturally here). *)
+
+val build_prefetch :
+  Heatmap.spec ->
+  config:Cache.config ->
+  kind:Prefetch.kind ->
+  trace_len:int ->
+  Workload.t list ->
+  benchmark_data list
+(** Pairs of (demand access heatmap, prefetched-address heatmap) for RQ7.
+    [true_hit_rate] holds the cache's demand hit rate for reference. *)
+
+val to_samples : benchmark_data list -> sample list
+val shuffle : Prng.t -> sample list -> sample list

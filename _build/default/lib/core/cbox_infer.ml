@@ -1,0 +1,59 @@
+type prediction = {
+  benchmark : string;
+  cache : Cache.config;
+  level : Hierarchy.level;
+  true_hit_rate : float;
+  predicted_hit_rate : float;
+  synthetic : Tensor.t list;
+}
+
+let synthesize model spec ?(batch_size = 8) ?domains ~cache access_heatmaps =
+  if batch_size <= 0 then invalid_arg "Cbox_infer.synthesize: batch_size must be positive";
+  let h = (Cbgan.model_config model).Cbgan.image_size in
+  let run_batch batch =
+    (* Inference needs no dropout randomness; the rng is unused but required
+       by the forward signature. *)
+    let rng = Prng.create 0 in
+    let x = Cbox_dataset.batch_images spec batch in
+    let n = List.length batch in
+    let cp =
+      if (Cbgan.model_config model).Cbgan.use_cache_params then
+        Some (Cbgan.cache_params_tensor (List.init n (fun _ -> cache)))
+      else None
+    in
+    let out = Value.value (Cbgan.generator_forward model ~rng ~training:false ?cache_params:cp x) in
+    List.init n (fun i ->
+        let img = Tensor.slice_batch out i 1 in
+        Cbox_dataset.denormalize spec (Tensor.view img [| h; h |]))
+  in
+  let rec batches acc = function
+    | [] -> List.rev acc
+    | imgs ->
+      let batch = List.filteri (fun i _ -> i < batch_size) imgs in
+      let rest = List.filteri (fun i _ -> i >= batch_size) imgs in
+      batches (batch :: acc) rest
+  in
+  let batch_list = Array.of_list (batches [] access_heatmaps) in
+  (* Sample results are independent at inference (running-stats batch norm),
+     so batches may be scored on separate domains when the host has spare
+     cores. *)
+  Dpool.parallel_map_array ?domains run_batch batch_list
+  |> Array.to_list |> List.concat
+
+let predict model spec ?batch_size (data : Cbox_dataset.benchmark_data) =
+  let access = List.map fst data.pairs in
+  let synthetic = synthesize model spec ?batch_size ~cache:data.cache access in
+  let predicted = Heatmap.hit_rate spec ~access ~miss:synthetic in
+  {
+    benchmark = data.workload.Workload.name;
+    cache = data.cache;
+    level = data.level;
+    true_hit_rate = data.true_hit_rate;
+    predicted_hit_rate = Float.max 0.0 (Float.min 1.0 predicted);
+    synthetic;
+  }
+
+let predict_all model spec ?batch_size data = List.map (predict model spec ?batch_size) data
+
+let abs_pct_diff p =
+  Metrics.abs_pct_diff ~truth:p.true_hit_rate ~predicted:p.predicted_hit_rate

@@ -1,0 +1,45 @@
+(** CB-GAN inference: synthetic miss heatmaps and predicted hit rates
+    (paper §3.2.4, §4.4).
+
+    Inference is batched: a benchmark's access heatmaps are grouped into
+    batches of a configurable size and pushed through the generator in eval
+    mode (no dropout; batch statistics, as pix2pix does). Larger batches
+    amortise per-call overheads — the mechanism behind RQ5. *)
+
+type prediction = {
+  benchmark : string;
+  cache : Cache.config;
+  level : Hierarchy.level;
+  true_hit_rate : float;
+  predicted_hit_rate : float;
+  synthetic : Tensor.t list;  (** denormalised synthetic miss heatmaps *)
+}
+
+val synthesize :
+  Cbgan.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  ?domains:int ->
+  cache:Cache.config ->
+  Tensor.t list ->
+  Tensor.t list
+(** Raw pipeline: access heatmaps in, denormalised synthetic miss heatmaps
+    out (order preserved). Default batch size 8. When [domains] (default
+    {!Dpool.recommended}) exceeds 1, batches are scored on separate domains
+    — sample results are independent because inference batch-norm uses
+    running statistics, so the parallel and serial paths agree exactly. *)
+
+val predict :
+  Cbgan.t -> Heatmap.spec -> ?batch_size:int -> Cbox_dataset.benchmark_data -> prediction
+(** Full per-benchmark prediction, including the de-overlapped hit-rate
+    computation against the real access heatmaps. *)
+
+val predict_all :
+  Cbgan.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  Cbox_dataset.benchmark_data list ->
+  prediction list
+
+val abs_pct_diff : prediction -> float
+(** |true - predicted| hit rate, in percentage points. *)

@@ -1,0 +1,126 @@
+type options = {
+  epochs : int;
+  batch_size : int;
+  lr : float;
+  beta1 : float;
+  lambda_l1 : float;
+  seed : int;
+}
+
+let default_options ?(epochs = 2) ?(batch_size = 4) ?(lambda_l1 = 150.0) () =
+  { epochs; batch_size; lr = 2e-4; beta1 = 0.5; lambda_l1; seed = 1234 }
+
+type epoch_stats = {
+  epoch : int;
+  g_adv : float;
+  g_l1 : float;
+  d_loss : float;
+  batches : int;
+}
+
+let chunks size xs =
+  let rec go acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if count = size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 xs
+
+let batch_tensors spec model (samples : Cbox_dataset.sample list) =
+  let access = Cbox_dataset.batch_images spec (List.map (fun (s : Cbox_dataset.sample) -> s.access) samples) in
+  let target = Cbox_dataset.batch_images spec (List.map (fun (s : Cbox_dataset.sample) -> s.target) samples) in
+  let cp =
+    if (Cbgan.model_config model).Cbgan.use_cache_params then
+      Some (Cbgan.cache_params_tensor (List.map (fun (s : Cbox_dataset.sample) -> s.cache) samples))
+    else None
+  in
+  (access, target, cp)
+
+let scalar v = Tensor.get (Value.value v) 0
+
+let train ?(log = fun _ -> ()) model spec options samples =
+  if samples = [] then invalid_arg "Cbox_train.train: empty dataset";
+  let rng = Prng.create options.seed in
+  let g_opt = Optimizer.adam ~lr:options.lr ~beta1:options.beta1 (Cbgan.generator_params model) in
+  let d_opt = Optimizer.adam ~lr:options.lr ~beta1:options.beta1 (Cbgan.discriminator_params model) in
+  let history = ref [] in
+  for epoch = 1 to options.epochs do
+    let shuffled = Cbox_dataset.shuffle rng samples in
+    let batches = chunks options.batch_size shuffled in
+    let sum_g_adv = ref 0.0 and sum_g_l1 = ref 0.0 and sum_d = ref 0.0 in
+    let n_batches = ref 0 in
+    List.iter
+      (fun batch ->
+        let access, target, cp = batch_tensors spec model batch in
+        let shape = Tensor.shape target in
+        (* One generator forward serves both phases: the discriminator step
+           sees a detached copy, the generator step reuses the live graph. *)
+        let fake = Cbgan.generator_forward model ~rng ~training:true ?cache_params:cp access in
+        let fake_detached = Tensor.copy (Value.value fake) in
+        (* --- Discriminator step --- *)
+        Optimizer.zero_grad d_opt;
+        let d_real = Cbgan.discriminator_forward model ~training:true ~access ~miss:(Value.const target) in
+        let d_fake = Cbgan.discriminator_forward model ~training:true ~access ~miss:(Value.const fake_detached) in
+        let ones = Tensor.ones (Tensor.shape (Value.value d_real)) in
+        let zeros = Tensor.zeros (Tensor.shape (Value.value d_fake)) in
+        let loss_d =
+          Value.scale
+            (Value.add (Value.bce_with_logits d_real ones) (Value.bce_with_logits d_fake zeros))
+            0.5
+        in
+        Value.backward loss_d;
+        Optimizer.step d_opt;
+        (* --- Generator step --- *)
+        Optimizer.zero_grad g_opt;
+        Optimizer.zero_grad d_opt;
+        let d_on_fake = Cbgan.discriminator_forward model ~training:true ~access ~miss:fake in
+        let adv_target = Tensor.ones (Tensor.shape (Value.value d_on_fake)) in
+        let adv = Value.bce_with_logits d_on_fake adv_target in
+        let l1 = Value.l1_loss fake (Tensor.view target shape) in
+        (* Miss heatmaps can be very sparse (a few hundred non-empty pixels
+           in a 64x64 image); a plain mean L1 is then dominated by the empty
+           background and the generator collapses to "no misses". Class-
+           balance by adding an L1 term restricted to the non-empty target
+           pixels, weighted by half the background/foreground pixel ratio —
+           the weight vanishes on dense targets and grows with sparsity. *)
+        let fg_mask = Tensor.map (fun v -> if v > -0.999 then 1.0 else 0.0) target in
+        let fg_count = Tensor.sum fg_mask in
+        let bg_count = float_of_int (Tensor.numel target) -. fg_count in
+        let fg_weight =
+          Float.min 8.0 (0.5 *. (bg_count /. Float.max 1.0 fg_count)) in
+        let recon =
+          if fg_weight < 0.05 then l1
+          else begin
+            let fg_target = Tensor.mul target fg_mask in
+            let l1_fg = Value.l1_loss (Value.mul fake (Value.const fg_mask)) fg_target in
+            Value.add l1 (Value.scale l1_fg fg_weight)
+          end
+        in
+        let loss_g = Value.add adv (Value.scale recon options.lambda_l1) in
+        Value.backward loss_g;
+        Optimizer.step g_opt;
+        (* The generator step leaked gradients into the discriminator's
+           parameters; clear them so the next D step starts clean. *)
+        Optimizer.zero_grad d_opt;
+        sum_g_adv := !sum_g_adv +. scalar adv;
+        sum_g_l1 := !sum_g_l1 +. scalar l1;
+        sum_d := !sum_d +. scalar loss_d;
+        incr n_batches)
+      batches;
+    let n = float_of_int (max 1 !n_batches) in
+    let stats =
+      {
+        epoch;
+        g_adv = !sum_g_adv /. n;
+        g_l1 = !sum_g_l1 /. n;
+        d_loss = !sum_d /. n;
+        batches = !n_batches;
+      }
+    in
+    log
+      (Printf.sprintf "epoch %d/%d: G_adv %.4f G_L1 %.4f D %.4f (%d batches)" epoch
+         options.epochs stats.g_adv stats.g_l1 stats.d_loss stats.batches);
+    history := stats :: !history
+  done;
+  List.rev !history

@@ -1,0 +1,37 @@
+(** CB-GAN training loop (paper §3.2.2, Fig 6).
+
+    Standard pix2pix alternation per batch: one discriminator step on a
+    (real, fake) pair with the fake detached, then one generator step
+    minimising the adversarial loss plus [lambda_l1] times the L1
+    reconstruction loss (Equation 1; the paper uses lambda = 150). Both
+    optimizers are Adam with beta1 = 0.5. *)
+
+type options = {
+  epochs : int;
+  batch_size : int;
+  lr : float;
+  beta1 : float;
+  lambda_l1 : float;
+  seed : int;
+}
+
+val default_options : ?epochs:int -> ?batch_size:int -> ?lambda_l1:float -> unit -> options
+(** Defaults: 2 epochs, batch 4, lr 2e-4, beta1 0.5, lambda 150, seed 1234. *)
+
+type epoch_stats = {
+  epoch : int;
+  g_adv : float;  (** mean generator adversarial loss *)
+  g_l1 : float;  (** mean (unweighted) L1 reconstruction loss *)
+  d_loss : float;  (** mean discriminator loss *)
+  batches : int;
+}
+
+val train :
+  ?log:(string -> unit) ->
+  Cbgan.t ->
+  Heatmap.spec ->
+  options ->
+  Cbox_dataset.sample list ->
+  epoch_stats list
+(** Trains in place (random batching each epoch, as the paper notes) and
+    returns per-epoch loss statistics. *)

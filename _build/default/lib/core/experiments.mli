@@ -1,0 +1,164 @@
+(** Experiment drivers reproducing every figure and table of the paper's
+    evaluation (RQ1-RQ7, Fig 14, Table 1) plus the ablations called out in
+    DESIGN.md. Each driver returns a structured result; pretty-printing
+    lives in the bench harness.
+
+    All drivers run at a configurable {!scale}. The defaults are the
+    repro-scale parameters from DESIGN.md (64x64 heatmaps, short traces,
+    small U-Net) so the entire suite completes on one CPU; the paper-scale
+    values are documented alongside each field. *)
+
+type scale = {
+  spec : Heatmap.spec;  (** heatmap geometry (paper: 512x512, window 100) *)
+  trace_len : int;  (** accesses per benchmark trace (paper: ~1e9 instrs) *)
+  hierarchy_trace_len : int;  (** longer traces for the RQ4 L2/L3 streams *)
+  epochs : int;
+  batch_size : int;
+  ngf : int;  (** paper: 128 *)
+  ndf : int;  (** paper: 64 *)
+  lambda_l1 : float;  (** paper: 150 *)
+  train_cap : int;  (** max training benchmarks per suite subset *)
+  test_cap : int;  (** max inference benchmarks *)
+  seed : int;
+}
+
+val default_scale : unit -> scale
+(** Honours [CACHEBOX_FAST=1] (quarter-size smoke scale) and
+    [CACHEBOX_EPOCHS=n] overrides from the environment. *)
+
+(** {1 Cache configurations (paper §5)} *)
+
+val l1_64s12w : Cache.config
+val train_configs : Cache.config list
+(** RQ2's four L1 configurations: 64s12w, 128s12w, 128s6w, 128s3w. *)
+
+val unseen_configs : Cache.config list
+(** RQ3's three held-out configurations: 256s6w, 256s12w, 32s12w. *)
+
+val l2_config : Cache.config
+val l3_config : Cache.config
+(** RQ4 deeper levels, capacity-scaled to the repro trace lengths (paper:
+    1024s8w and 2048s16w; see EXPERIMENTS.md). *)
+
+val hit_rate_threshold : Hierarchy.level -> float
+(** The paper's low-data-regime exclusion thresholds (§6.1): 0.65 / 0.40 /
+    0.35 for L1 / L2 / L3. *)
+
+val repro_hit_rate_threshold : Hierarchy.level -> float
+(** The same exclusion rule with L2/L3 thresholds scaled to the hit-rate
+    range observable at repro-scale trace lengths (0.65 / 0.04 / 0.03);
+    used by RQ4. See EXPERIMENTS.md. *)
+
+(** {1 Result shapes} *)
+
+type row = {
+  benchmark : string;
+  suite : Workload.suite;
+  config_name : string;
+  level : Hierarchy.level;
+  truth : float;
+  predicted : float;
+}
+
+val row_abs_pct : row -> float
+
+type accuracy_result = {
+  label : string;
+  rows : row list;
+  avg_abs_pct : float;
+}
+
+val summarize : string -> row list -> accuracy_result
+
+(** {1 Experiments} *)
+
+val rq1 : ?log:(string -> unit) -> scale -> accuracy_result
+(** Mixed-suite generalization to unseen benchmarks (Fig 7). *)
+
+type rq2_context = {
+  model : Cbgan.t;
+  scale : scale;
+  test_workloads : Workload.t list;
+}
+
+val train_rq2_model : ?log:(string -> unit) -> scale -> rq2_context
+(** One model over the four training configurations (shared by RQ2, RQ3,
+    RQ5 and RQ6). *)
+
+val rq2 : ?log:(string -> unit) -> rq2_context -> accuracy_result list
+(** Per-config accuracy on the four seen configurations (Fig 8). *)
+
+val rq3 : ?log:(string -> unit) -> rq2_context -> accuracy_result list
+(** Accuracy on the three unseen configurations (Fig 9). *)
+
+type rq4_result = {
+  combined : accuracy_result list;  (** L1, L2, L3 under the combined model *)
+  standalone : accuracy_result list;
+  excluded : (string * Hierarchy.level) list;
+      (** benchmarks dropped by the low-data-regime thresholds *)
+}
+
+val rq4 : ?log:(string -> unit) -> scale -> rq4_result
+(** Multi-level modelling (Fig 10): a combined L1+L2+L3 model trained
+    without cache parameters versus per-level standalone models. *)
+
+type rq5_point = {
+  batch_size : int;
+  seconds : float;  (** mean wall time to synthesize one benchmark's heatmaps *)
+  speedup_vs_b1 : float;
+}
+
+type rq5_result = {
+  points : rq5_point list;
+  multicachesim_seconds : float;
+      (** mean wall time for MultiCacheSim to simulate the same traces *)
+}
+
+val rq5 : ?log:(string -> unit) -> rq2_context -> rq5_result
+(** Batched-inference scaling (Fig 11). *)
+
+val rq6 : ?log:(string -> unit) -> rq2_context -> row list
+(** The true-vs-predicted scatter across all configs (Fig 12); each row is
+    one (benchmark, config) point. *)
+
+type rq7_row = { benchmark : string; mse : float; ssim : float }
+
+type rq7_result = {
+  rows : rq7_row list;
+  avg_mse : float;
+  avg_ssim : float;
+}
+
+val rq7 : ?log:(string -> unit) -> scale -> rq7_result
+(** Next-line-prefetcher modelling (Fig 13). *)
+
+val fig14 : scale -> Metrics.histogram
+(** Histogram of true L1 hit rates across the SPEC-like suite. *)
+
+type table1_row = {
+  app : string;  (** benchmark group, e.g. "600" *)
+  tab_base : float;
+  tab_rd : float;
+  tab_ic : float;
+  hrd : float;
+  stm : float;
+  cbox_best : float;
+  cbox_worst : float;
+  cbox_avg : float;
+}
+
+val table1 : ?log:(string -> unit) -> scale -> table1_row list
+(** Abs-%-diff comparison of L1 miss-rate prediction (Table 1): tabular
+    synthesizers, HRD, STM and CBox best/worst/average over each app's
+    phases. Baseline columns are averaged over the app's phases. *)
+
+(** {1 Ablations} *)
+
+val ablate_lambda : ?log:(string -> unit) -> scale -> (float * accuracy_result) list
+(** RQ1-style runs at lambda in {0, 50, 150}. *)
+
+val ablate_overlap : ?log:(string -> unit) -> scale -> (float * accuracy_result) list
+(** 0% vs 30% heatmap overlap (paper §3.1.1). *)
+
+val ablate_cache_params : ?log:(string -> unit) -> scale -> (bool * accuracy_result) list
+(** Multi-config training with and without the conditioning MLP. *)

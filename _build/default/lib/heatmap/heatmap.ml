@@ -1,0 +1,139 @@
+type spec = {
+  height : int;
+  width : int;
+  window : int;
+  overlap : float;
+  granularity : int;
+}
+
+let spec ?(height = 64) ?(width = 64) ?(window = 50) ?(overlap = 0.3) ?(granularity = 64) () =
+  if height <= 0 || width <= 0 || window <= 0 then
+    invalid_arg "Heatmap.spec: dimensions must be positive";
+  if overlap < 0.0 || overlap >= 1.0 then
+    invalid_arg "Heatmap.spec: overlap must be in [0, 1)";
+  if granularity <= 0 then invalid_arg "Heatmap.spec: granularity must be positive";
+  { height; width; window; overlap; granularity }
+
+let paper_spec = spec ~height:512 ~width:512 ~window:100 ~overlap:0.3 ~granularity:64 ()
+
+let accesses_per_image s = s.width * s.window
+
+let overlap_columns s = int_of_float (Float.round (s.overlap *. float_of_int s.width))
+
+let step_accesses s = (s.width - overlap_columns s) * s.window
+
+let image_count s trace_len =
+  let per_image = accesses_per_image s in
+  if trace_len < per_image then
+    invalid_arg
+      (Printf.sprintf "Heatmap.image_count: trace of %d accesses is shorter than one image (%d)"
+         trace_len per_image);
+  1 + ((trace_len - per_image) / step_accesses s)
+
+let row_of_address s addr = addr / s.granularity mod s.height
+
+let build_image s addresses keep start =
+  let img = Tensor.zeros [| s.height; s.width |] in
+  for col = 0 to s.width - 1 do
+    let col_start = start + (col * s.window) in
+    for k = 0 to s.window - 1 do
+      let i = col_start + k in
+      if keep i then begin
+        let row = row_of_address s addresses.(i) in
+        Tensor.set2 img row col (Tensor.get2 img row col +. 1.0)
+      end
+    done
+  done;
+  img
+
+let images s addresses keep =
+  let n = image_count s (Array.length addresses) in
+  List.init n (fun i -> build_image s addresses keep (i * step_accesses s))
+
+let of_trace s addresses = images s addresses (fun _ -> true)
+
+let of_trace_filtered s ~addresses ~keep =
+  if Array.length keep <> Array.length addresses then
+    invalid_arg "Heatmap.of_trace_filtered: length mismatch";
+  images s addresses (fun i -> keep.(i))
+
+let pair_of_trace s ~addresses ~hits =
+  if Array.length hits <> Array.length addresses then
+    invalid_arg "Heatmap.pair_of_trace: length mismatch";
+  let access = of_trace s addresses in
+  let miss = images s addresses (fun i -> not hits.(i)) in
+  List.combine access miss
+
+let deoverlapped_sum s imgs =
+  let ov = overlap_columns s in
+  let sum_from img first_col =
+    let acc = ref 0.0 in
+    for row = 0 to s.height - 1 do
+      for col = first_col to s.width - 1 do
+        acc := !acc +. Tensor.get2 img row col
+      done
+    done;
+    !acc
+  in
+  match imgs with
+  | [] -> 0.0
+  | first :: rest ->
+    List.fold_left (fun acc img -> acc +. sum_from img ov) (sum_from first 0) rest
+
+let hit_rate s ~access ~miss =
+  let total = deoverlapped_sum s access in
+  if total <= 0.0 then 0.0
+  else begin
+    let missed = deoverlapped_sum s miss in
+    1.0 -. (missed /. total)
+  end
+
+let render_ascii ?(max_rows = 32) ?(max_cols = 64) img =
+  let h = Tensor.dim img 0 and w = Tensor.dim img 1 in
+  let rows = min h max_rows and cols = min w max_cols in
+  let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+  let cell r c =
+    (* Max-pool the covered region so sparse dots stay visible. *)
+    let r0 = r * h / rows and r1 = ((r + 1) * h / rows) - 1 in
+    let c0 = c * w / cols and c1 = ((c + 1) * w / cols) - 1 in
+    let m = ref 0.0 in
+    for i = r0 to max r0 r1 do
+      for j = c0 to max c0 c1 do
+        m := Float.max !m (Tensor.get2 img i j)
+      done
+    done;
+    !m
+  in
+  let peak = Float.max 1e-9 (Tensor.max_value img) in
+  let buf = Buffer.create ((rows + 2) * (cols + 3)) in
+  Buffer.add_char buf '+';
+  for _ = 1 to cols do Buffer.add_char buf '-' done;
+  Buffer.add_string buf "+\n";
+  for r = 0 to rows - 1 do
+    Buffer.add_char buf '|';
+    for c = 0 to cols - 1 do
+      let v = cell r c /. peak in
+      let idx = min 9 (int_of_float (v *. 9.99)) in
+      Buffer.add_char buf shades.(idx)
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.add_char buf '+';
+  for _ = 1 to cols do Buffer.add_char buf '-' done;
+  Buffer.add_string buf "+\n";
+  Buffer.contents buf
+
+let write_pgm path img =
+  let h = Tensor.dim img 0 and w = Tensor.dim img 1 in
+  let peak = Float.max 1e-9 (Tensor.max_value img) in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "P5\n%d %d\n255\n" w h;
+      for r = 0 to h - 1 do
+        for c = 0 to w - 1 do
+          let v = int_of_float (Tensor.get2 img r c /. peak *. 255.0) in
+          output_char oc (Char.chr (max 0 (min 255 v)))
+        done
+      done)

@@ -1,0 +1,109 @@
+let abs_pct_diff ~truth ~predicted = Float.abs (truth -. predicted) *. 100.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let mse a b =
+  if Tensor.numel a <> Tensor.numel b then invalid_arg "Metrics.mse: size mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Tensor.numel a - 1 do
+    let d = Tensor.get a i -. Tensor.get b i in
+    acc := !acc +. (d *. d)
+  done;
+  !acc /. float_of_int (Tensor.numel a)
+
+let ssim ?(window = 8) a b =
+  let ha = Tensor.dim a 0 and wa = Tensor.dim a 1 in
+  if Tensor.shape a <> Tensor.shape b then invalid_arg "Metrics.ssim: shape mismatch";
+  if window <= 0 || window > ha || window > wa then invalid_arg "Metrics.ssim: bad window";
+  let range =
+    let hi = Float.max (Tensor.max_value a) (Tensor.max_value b) in
+    let lo = Float.min (Tensor.min_value a) (Tensor.min_value b) in
+    Float.max 1e-6 (hi -. lo)
+  in
+  let c1 = (0.01 *. range) ** 2.0 and c2 = (0.03 *. range) ** 2.0 in
+  let stats img r0 c0 =
+    let n = float_of_int (window * window) in
+    let s = ref 0.0 and s2 = ref 0.0 in
+    for r = r0 to r0 + window - 1 do
+      for c = c0 to c0 + window - 1 do
+        let v = Tensor.get2 img r c in
+        s := !s +. v;
+        s2 := !s2 +. (v *. v)
+      done
+    done;
+    let mu = !s /. n in
+    (mu, Float.max 0.0 ((!s2 /. n) -. (mu *. mu)))
+  in
+  let covar r0 c0 mu_a mu_b =
+    let n = float_of_int (window * window) in
+    let s = ref 0.0 in
+    for r = r0 to r0 + window - 1 do
+      for c = c0 to c0 + window - 1 do
+        s := !s +. ((Tensor.get2 a r c -. mu_a) *. (Tensor.get2 b r c -. mu_b))
+      done
+    done;
+    !s /. n
+  in
+  let total = ref 0.0 and count = ref 0 in
+  let step = window in
+  let r0 = ref 0 in
+  while !r0 + window <= ha do
+    let c0 = ref 0 in
+    while !c0 + window <= wa do
+      let mu_a, var_a = stats a !r0 !c0 in
+      let mu_b, var_b = stats b !r0 !c0 in
+      let cov = covar !r0 !c0 mu_a mu_b in
+      let s =
+        ((2.0 *. mu_a *. mu_b) +. c1)
+        *. ((2.0 *. cov) +. c2)
+        /. (((mu_a *. mu_a) +. (mu_b *. mu_b) +. c1) *. (var_a +. var_b +. c2))
+      in
+      total := !total +. s;
+      incr count;
+      c0 := !c0 + step
+    done;
+    r0 := !r0 + step
+  done;
+  if !count = 0 then 0.0 else !total /. float_of_int !count
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram ~bins ~lo ~hi values =
+  if bins <= 0 then invalid_arg "Metrics.histogram: bins must be positive";
+  if hi <= lo then invalid_arg "Metrics.histogram: hi must exceed lo";
+  let counts = Array.make bins 0 in
+  List.iter
+    (fun v ->
+      let idx =
+        int_of_float (float_of_int bins *. (v -. lo) /. (hi -. lo))
+        |> max 0
+        |> min (bins - 1)
+      in
+      counts.(idx) <- counts.(idx) + 1)
+    values;
+  { lo; hi; counts }
+
+let render_histogram { lo; hi; counts } =
+  let bins = Array.length counts in
+  let peak = Array.fold_left max 1 counts in
+  let buf = Buffer.create 512 in
+  Array.iteri
+    (fun i c ->
+      let b_lo = lo +. (float_of_int i *. (hi -. lo) /. float_of_int bins) in
+      let b_hi = lo +. (float_of_int (i + 1) *. (hi -. lo) /. float_of_int bins) in
+      let bar = String.make (c * 50 / peak) '#' in
+      Buffer.add_string buf (Printf.sprintf "[%6.2f, %6.2f) %4d %s\n" b_lo b_hi c bar))
+    counts;
+  Buffer.contents buf

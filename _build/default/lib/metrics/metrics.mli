@@ -1,0 +1,25 @@
+(** Evaluation metrics used throughout the paper's figures and tables. *)
+
+val abs_pct_diff : truth:float -> predicted:float -> float
+(** Absolute percentage-point difference between two rates expressed in
+    [\[0, 1\]], reported on a 0-100 scale — the paper's headline metric
+    ("average absolute percentage difference in hit rates"). *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val mse : Tensor.t -> Tensor.t -> float
+(** Mean squared per-pixel error (RQ7). *)
+
+val ssim : ?window:int -> Tensor.t -> Tensor.t -> float
+(** Structural similarity index over sliding windows (default 8x8) with the
+    standard constants (k1 = 0.01, k2 = 0.03) and a dynamic range taken from
+    the pair's joint value range. Result lies in [\[-1, 1\]] (RQ7). *)
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+val histogram : bins:int -> lo:float -> hi:float -> float list -> histogram
+(** Values outside [\[lo, hi\]] are clamped into the boundary bins. *)
+
+val render_histogram : histogram -> string
+(** Simple textual bar rendering (Fig 14). *)

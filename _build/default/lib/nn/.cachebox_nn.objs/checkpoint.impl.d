@@ -1,0 +1,1 @@
+lib/nn/checkpoint.ml: Array Buffer Fun Hashtbl Int32 List Param String Tensor

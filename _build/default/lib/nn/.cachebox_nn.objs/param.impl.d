@@ -1,0 +1,1 @@
+lib/nn/param.ml: Hashtbl List Tensor

@@ -1,0 +1,1 @@
+lib/nn/value.ml: Array Blas Conv Float Hashtbl List Option Param Prng Stack Tensor

@@ -1,0 +1,1 @@
+lib/nn/value.mli: Param Prng Tensor

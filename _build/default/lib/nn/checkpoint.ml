@@ -1,0 +1,93 @@
+let magic = "CBOXCKPT1"
+
+let write_int32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let write_entry buf name dims (get : int -> float) n =
+  write_int32 buf (String.length name);
+  Buffer.add_string buf name;
+  write_int32 buf (Array.length dims);
+  Array.iter (fun d -> write_int32 buf d) dims;
+  for i = 0 to n - 1 do
+    Buffer.add_int32_le buf (Int32.bits_of_float (get i))
+  done
+
+let save path ~params ~state =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  write_int32 buf (List.length params + List.length state);
+  List.iter
+    (fun (p : Param.t) ->
+      let v = p.value in
+      write_entry buf p.name (Tensor.shape v) (Tensor.get v) (Tensor.numel v))
+    params;
+  List.iter
+    (fun (name, a) ->
+      write_entry buf name [| Array.length a |] (Array.get a) (Array.length a))
+    state;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+type entry = { dims : int array; data : float array }
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let raw = really_input_string ic len in
+      if len < String.length magic || String.sub raw 0 (String.length magic) <> magic
+      then failwith ("Checkpoint.load: bad magic in " ^ path);
+      let pos = ref (String.length magic) in
+      let read_i32 () =
+        let v = Int32.to_int (String.get_int32_le raw !pos) in
+        pos := !pos + 4;
+        v
+      in
+      let read_f32 () =
+        let v = Int32.float_of_bits (String.get_int32_le raw !pos) in
+        pos := !pos + 4;
+        v
+      in
+      let count = read_i32 () in
+      let table = Hashtbl.create (2 * count) in
+      for _ = 1 to count do
+        let name_len = read_i32 () in
+        let name = String.sub raw !pos name_len in
+        pos := !pos + name_len;
+        let ndims = read_i32 () in
+        let dims = Array.init ndims (fun _ -> read_i32 ()) in
+        let n = Array.fold_left ( * ) 1 dims in
+        let data = Array.init n (fun _ -> read_f32 ()) in
+        Hashtbl.replace table name { dims; data }
+      done;
+      table)
+
+let load path ~params ~state =
+  let table = read_all path in
+  let find name =
+    match Hashtbl.find_opt table name with
+    | Some e -> e
+    | None -> failwith ("Checkpoint.load: missing entry " ^ name ^ " in " ^ path)
+  in
+  List.iter
+    (fun (p : Param.t) ->
+      let e = find p.name in
+      if e.dims <> Tensor.shape p.value then
+        failwith ("Checkpoint.load: shape mismatch for " ^ p.name);
+      Array.iteri (fun i v -> Tensor.set p.value i v) e.data)
+    params;
+  List.iter
+    (fun (name, a) ->
+      let e = find name in
+      if Array.length e.data <> Array.length a then
+        failwith ("Checkpoint.load: length mismatch for " ^ name);
+      Array.blit e.data 0 a 0 (Array.length a))
+    state
+
+let entries path =
+  let table = read_all path in
+  Hashtbl.fold (fun name e acc -> (name, e.dims) :: acc) table []
+  |> List.sort compare

@@ -1,0 +1,20 @@
+(** Binary model checkpoints.
+
+    A checkpoint stores named parameter tensors and named auxiliary float
+    arrays (batch-norm running statistics). The on-disk format is a small
+    little-endian binary container (magic, entry count, then
+    name/shape/float32-payload records); it is independent of OCaml's
+    [Marshal] so files are stable across compiler versions. *)
+
+val save :
+  string -> params:Param.t list -> state:(string * float array) list -> unit
+(** Writes a checkpoint; overwrites any existing file. *)
+
+val load :
+  string -> params:Param.t list -> state:(string * float array) list -> unit
+(** Loads values into the given parameters/state arrays by name. Raises
+    [Failure] if the file is malformed, an entry is missing, or a shape
+    disagrees. Entries present in the file but not requested are ignored. *)
+
+val entries : string -> (string * int array) list
+(** Names and shapes stored in a checkpoint (diagnostic). *)

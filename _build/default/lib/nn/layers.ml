@@ -1,0 +1,97 @@
+let init_normal rng shape std =
+  let t = Tensor.randn rng shape in
+  Tensor.scale_ t std;
+  t
+
+type conv2d = {
+  weight : Param.t;
+  bias : Param.t option;
+  stride : int;
+  pad : int;
+}
+
+let conv2d rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~bias =
+  let weight =
+    Param.create (name ^ ".weight")
+      (init_normal rng [| out_channels; in_channels; kernel; kernel |] 0.02)
+  in
+  let bias = if bias then Some (Param.create (name ^ ".bias") (Tensor.zeros [| out_channels |])) else None in
+  { weight; bias; stride; pad }
+
+let apply_conv2d l x =
+  Value.conv2d ~weight:(Value.of_param l.weight)
+    ~bias:(Option.map Value.of_param l.bias)
+    ~stride:l.stride ~pad:l.pad x
+
+let conv2d_params l = l.weight :: Option.to_list l.bias
+
+type conv_transpose2d = {
+  tweight : Param.t;
+  tbias : Param.t option;
+  tstride : int;
+  tpad : int;
+}
+
+let conv_transpose2d rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~bias =
+  let tweight =
+    Param.create (name ^ ".weight")
+      (init_normal rng [| in_channels; out_channels; kernel; kernel |] 0.02)
+  in
+  let tbias = if bias then Some (Param.create (name ^ ".bias") (Tensor.zeros [| out_channels |])) else None in
+  { tweight; tbias; tstride = stride; tpad = pad }
+
+let apply_conv_transpose2d l x =
+  Value.conv_transpose2d ~weight:(Value.of_param l.tweight)
+    ~bias:(Option.map Value.of_param l.tbias)
+    ~stride:l.tstride ~pad:l.tpad x
+
+let conv_transpose2d_params l = l.tweight :: Option.to_list l.tbias
+
+type linear = { lweight : Param.t; lbias : Param.t option }
+
+let linear rng ~name ~in_dim ~out_dim ~bias =
+  (* Scaled (He-style) initialisation keeps dense activations well-ranged. *)
+  let std = sqrt (2.0 /. float_of_int in_dim) in
+  let lweight = Param.create (name ^ ".weight") (init_normal rng [| out_dim; in_dim |] std) in
+  let lbias = if bias then Some (Param.create (name ^ ".bias") (Tensor.zeros [| out_dim |])) else None in
+  { lweight; lbias }
+
+let apply_linear l x =
+  Value.linear ~weight:(Value.of_param l.lweight)
+    ~bias:(Option.map Value.of_param l.lbias)
+    x
+
+let linear_params l = l.lweight :: Option.to_list l.lbias
+
+type batch_norm = {
+  gamma : Param.t;
+  beta : Param.t;
+  running_mean : float array;
+  running_var : float array;
+  momentum : float;
+  eps : float;
+}
+
+let batch_norm rng ~name ~channels =
+  let gamma_init = Tensor.map (fun v -> 1.0 +. (0.02 *. v)) (Tensor.randn rng [| channels |]) in
+  {
+    gamma = Param.create (name ^ ".gamma") gamma_init;
+    beta = Param.create (name ^ ".beta") (Tensor.zeros [| channels |]);
+    running_mean = Array.make channels 0.0;
+    running_var = Array.make channels 1.0;
+    momentum = 0.1;
+    eps = 1e-5;
+  }
+
+let apply_batch_norm l ~training x =
+  Value.batch_norm ~gamma:(Value.of_param l.gamma) ~beta:(Value.of_param l.beta)
+    ~running_mean:l.running_mean ~running_var:l.running_var ~momentum:l.momentum
+    ~eps:l.eps ~training x
+
+let batch_norm_params l = [ l.gamma; l.beta ]
+
+let batch_norm_state l =
+  [
+    (l.gamma.Param.name ^ ".running_mean", l.running_mean);
+    (l.gamma.Param.name ^ ".running_var", l.running_var);
+  ]

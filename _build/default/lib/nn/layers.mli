@@ -1,0 +1,67 @@
+(** Stateful layer building blocks: parameter containers plus application
+    functions over {!Value.t}. Initialisation follows pix2pix: weights are
+    drawn from N(0, 0.02), batch-norm gains from N(1, 0.02). *)
+
+type conv2d = {
+  weight : Param.t;
+  bias : Param.t option;
+  stride : int;
+  pad : int;
+}
+
+val conv2d :
+  Prng.t ->
+  name:string ->
+  in_channels:int ->
+  out_channels:int ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  bias:bool ->
+  conv2d
+
+val apply_conv2d : conv2d -> Value.t -> Value.t
+val conv2d_params : conv2d -> Param.t list
+
+type conv_transpose2d = {
+  tweight : Param.t;
+  tbias : Param.t option;
+  tstride : int;
+  tpad : int;
+}
+
+val conv_transpose2d :
+  Prng.t ->
+  name:string ->
+  in_channels:int ->
+  out_channels:int ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  bias:bool ->
+  conv_transpose2d
+
+val apply_conv_transpose2d : conv_transpose2d -> Value.t -> Value.t
+val conv_transpose2d_params : conv_transpose2d -> Param.t list
+
+type linear = { lweight : Param.t; lbias : Param.t option }
+
+val linear : Prng.t -> name:string -> in_dim:int -> out_dim:int -> bias:bool -> linear
+val apply_linear : linear -> Value.t -> Value.t
+val linear_params : linear -> Param.t list
+
+type batch_norm = {
+  gamma : Param.t;
+  beta : Param.t;
+  running_mean : float array;
+  running_var : float array;
+  momentum : float;
+  eps : float;
+}
+
+val batch_norm : Prng.t -> name:string -> channels:int -> batch_norm
+val apply_batch_norm : batch_norm -> training:bool -> Value.t -> Value.t
+val batch_norm_params : batch_norm -> Param.t list
+
+val batch_norm_state : batch_norm -> (string * float array) list
+(** Named running statistics, for checkpointing. *)

@@ -1,0 +1,26 @@
+(** Gradient-descent optimizers over {!Param.t} lists. *)
+
+type t
+
+val sgd : lr:float -> ?momentum:float -> Param.t list -> t
+(** Classical SGD with optional heavy-ball momentum. *)
+
+val adam :
+  lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> Param.t list -> t
+(** Adam (Kingma & Ba). Defaults match pix2pix: beta1 is usually set to 0.5
+    by callers training GANs; the default here is the standard 0.9. *)
+
+val zero_grad : t -> unit
+val step : t -> unit
+(** Applies one update using the gradients currently accumulated in the
+    parameters. *)
+
+val set_lr : t -> float -> unit
+val lr : t -> float
+val params : t -> Param.t list
+
+val grad_norm : t -> float
+(** L2 norm of the concatenated gradients (diagnostic). *)
+
+val clip_grad_norm : t -> max_norm:float -> unit
+(** Rescales all gradients if their joint L2 norm exceeds [max_norm]. *)

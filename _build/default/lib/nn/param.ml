@@ -1,0 +1,16 @@
+type t = { name : string; value : Tensor.t; grad : Tensor.t }
+
+let create name value = { name; value; grad = Tensor.zeros (Tensor.shape value) }
+let zero_grad p = Tensor.fill p.grad 0.0
+let numel p = Tensor.numel p.value
+
+let group groups =
+  let all = List.concat groups in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p.name then
+        invalid_arg ("Param.group: duplicate parameter name " ^ p.name);
+      Hashtbl.add seen p.name ())
+    all;
+  all

@@ -1,0 +1,21 @@
+(** Trainable parameters.
+
+    A parameter owns its value tensor and a persistent gradient tensor that
+    autodiff accumulates into; the optimizer reads the gradient and mutates
+    the value in place. *)
+
+type t = {
+  name : string;  (** unique within a model; used by checkpointing *)
+  value : Tensor.t;
+  grad : Tensor.t;
+}
+
+val create : string -> Tensor.t -> t
+(** Wraps an initial value; the gradient starts at zero. *)
+
+val zero_grad : t -> unit
+val numel : t -> int
+
+val group : t list list -> t list
+(** Flattens parameter groups and checks name uniqueness
+    ([Invalid_argument] on duplicates). *)

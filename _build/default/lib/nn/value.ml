@@ -1,0 +1,395 @@
+type t = {
+  id : int;
+  v : Tensor.t;
+  mutable g : Tensor.t option;
+  parents : t array;
+  push : (t -> unit) option;
+      (* Reads [t.g] (guaranteed present) and accumulates into parents. *)
+}
+
+let counter = ref 0
+
+let node ?(parents = [||]) ?push v =
+  incr counter;
+  { id = !counter; v; g = None; parents; push }
+
+let value t = t.v
+
+let grad t =
+  match t.g with
+  | Some g -> g
+  | None -> invalid_arg "Value.grad: no gradient was propagated to this node"
+
+let accum t delta =
+  match t.g with
+  | Some g -> Tensor.add_ g delta
+  | None -> t.g <- Some (Tensor.copy delta)
+
+let the_grad t =
+  match t.g with Some g -> g | None -> assert false
+
+let const x = node x
+let leaf x = node x
+
+let of_param (p : Param.t) =
+  let n = node p.value in
+  n.g <- Some p.grad;
+  n
+
+(* --- arithmetic --- *)
+
+let add a b =
+  let push self =
+    let g = the_grad self in
+    accum a g;
+    accum b g
+  in
+  node ~parents:[| a; b |] ~push (Tensor.add a.v b.v)
+
+let sub a b =
+  let push self =
+    let g = the_grad self in
+    accum a g;
+    accum b (Tensor.neg g)
+  in
+  node ~parents:[| a; b |] ~push (Tensor.sub a.v b.v)
+
+let mul a b =
+  let push self =
+    let g = the_grad self in
+    accum a (Tensor.mul g b.v);
+    accum b (Tensor.mul g a.v)
+  in
+  node ~parents:[| a; b |] ~push (Tensor.mul a.v b.v)
+
+let scale a alpha =
+  let push self = accum a (Tensor.scale (the_grad self) alpha) in
+  node ~parents:[| a |] ~push (Tensor.scale a.v alpha)
+
+let neg a = scale a (-1.0)
+
+(* --- activations --- *)
+
+let pointwise_fwd_bwd f df a =
+  let y = Tensor.map f a.v in
+  let push self =
+    let g = the_grad self in
+    let d = Tensor.create (Tensor.shape g) in
+    for i = 0 to Tensor.numel g - 1 do
+      Tensor.set d i (Tensor.get g i *. df (Tensor.get a.v i) (Tensor.get y i))
+    done;
+    accum a d
+  in
+  node ~parents:[| a |] ~push y
+
+let relu a = pointwise_fwd_bwd (fun x -> Float.max 0.0 x) (fun x _y -> if x > 0.0 then 1.0 else 0.0) a
+
+let leaky_relu slope a =
+  pointwise_fwd_bwd
+    (fun x -> if x > 0.0 then x else slope *. x)
+    (fun x _y -> if x > 0.0 then 1.0 else slope)
+    a
+
+let tanh_ a = pointwise_fwd_bwd Float.tanh (fun _x y -> 1.0 -. (y *. y)) a
+
+let sigmoid_f x = 1.0 /. (1.0 +. exp (-.x))
+let sigmoid a = pointwise_fwd_bwd sigmoid_f (fun _x y -> y *. (1.0 -. y)) a
+
+let dropout rng ~rate ~training a =
+  if (not training) || rate <= 0.0 then a
+  else begin
+    if rate >= 1.0 then invalid_arg "Value.dropout: rate must be < 1";
+    let keep = 1.0 -. rate in
+    let mask = Tensor.create (Tensor.shape a.v) in
+    for i = 0 to Tensor.numel mask - 1 do
+      Tensor.set mask i (if Prng.float rng 1.0 < rate then 0.0 else 1.0 /. keep)
+    done;
+    let push self = accum a (Tensor.mul (the_grad self) mask) in
+    node ~parents:[| a |] ~push (Tensor.mul a.v mask)
+  end
+
+(* --- shape --- *)
+
+let reshape a shape =
+  let push self = accum a (Tensor.view (the_grad self) (Tensor.shape a.v)) in
+  node ~parents:[| a |] ~push (Tensor.view a.v shape)
+
+let concat_channels a b =
+  let ca = Tensor.dim a.v 1 in
+  let push self =
+    let ga, gb = Tensor.split_channels (the_grad self) ca in
+    accum a ga;
+    accum b gb
+  in
+  node ~parents:[| a; b |] ~push (Tensor.concat_channels a.v b.v)
+
+(* --- layers --- *)
+
+let conv2d ~weight ~bias ~stride ~pad x =
+  let bias_v = Option.map (fun b -> b.v) bias in
+  let y = Conv.conv2d ~x:x.v ~weight:weight.v ~bias:bias_v ~stride ~pad in
+  let parents =
+    match bias with Some b -> [| x; weight; b |] | None -> [| x; weight |]
+  in
+  let push self =
+    let gout = the_grad self in
+    let gw = Tensor.zeros (Tensor.shape weight.v) in
+    let gb = Option.map (fun b -> Tensor.zeros (Tensor.shape b.v)) bias in
+    let gx =
+      Conv.conv2d_backward ~x:x.v ~weight:weight.v ~gout ~stride ~pad
+        ~grad_weight:gw ~grad_bias:gb
+    in
+    accum x gx;
+    accum weight gw;
+    match (bias, gb) with
+    | Some b, Some g -> accum b g
+    | None, None -> ()
+    | _ -> assert false
+  in
+  node ~parents ~push y
+
+let conv_transpose2d ~weight ~bias ~stride ~pad x =
+  let bias_v = Option.map (fun b -> b.v) bias in
+  let y = Conv.conv_transpose2d ~x:x.v ~weight:weight.v ~bias:bias_v ~stride ~pad in
+  let parents =
+    match bias with Some b -> [| x; weight; b |] | None -> [| x; weight |]
+  in
+  let push self =
+    let gout = the_grad self in
+    let gw = Tensor.zeros (Tensor.shape weight.v) in
+    let gb = Option.map (fun b -> Tensor.zeros (Tensor.shape b.v)) bias in
+    let gx =
+      Conv.conv_transpose2d_backward ~x:x.v ~weight:weight.v ~gout ~stride ~pad
+        ~grad_weight:gw ~grad_bias:gb
+    in
+    accum x gx;
+    accum weight gw;
+    match (bias, gb) with
+    | Some b, Some g -> accum b g
+    | None, None -> ()
+    | _ -> assert false
+  in
+  node ~parents ~push y
+
+let linear ~weight ~bias x =
+  let n = Tensor.dim x.v 0 and out_dim = Tensor.dim weight.v 0 in
+  let y = Tensor.zeros [| n; out_dim |] in
+  Blas.gemm ~trans_b:true ~alpha:1.0 ~a:x.v ~b:weight.v ~beta:0.0 y;
+  (match bias with
+  | None -> ()
+  | Some b ->
+    for i = 0 to n - 1 do
+      for j = 0 to out_dim - 1 do
+        Tensor.set2 y i j (Tensor.get2 y i j +. Tensor.get b.v j)
+      done
+    done);
+  let parents =
+    match bias with Some b -> [| x; weight; b |] | None -> [| x; weight |]
+  in
+  let push self =
+    let gout = the_grad self in
+    let gx = Tensor.zeros (Tensor.shape x.v) in
+    Blas.gemm ~alpha:1.0 ~a:gout ~b:weight.v ~beta:0.0 gx;
+    accum x gx;
+    let gw = Tensor.zeros (Tensor.shape weight.v) in
+    Blas.gemm ~trans_a:true ~alpha:1.0 ~a:gout ~b:x.v ~beta:0.0 gw;
+    accum weight gw;
+    match bias with
+    | None -> ()
+    | Some b ->
+      let gb = Tensor.zeros (Tensor.shape b.v) in
+      for i = 0 to n - 1 do
+        for j = 0 to out_dim - 1 do
+          Tensor.set gb j (Tensor.get gb j +. Tensor.get2 gout i j)
+        done
+      done;
+      accum b gb
+  in
+  node ~parents ~push y
+
+let batch_norm ~gamma ~beta ~running_mean ~running_var ~momentum ~eps ~training x =
+  let shp = Tensor.shape x.v in
+  if Array.length shp <> 4 then invalid_arg "Value.batch_norm: need NCHW";
+  let n = shp.(0) and c = shp.(1) and h = shp.(2) and w = shp.(3) in
+  if Array.length running_mean <> c || Array.length running_var <> c then
+    invalid_arg "Value.batch_norm: running stats size mismatch";
+  let mu, var =
+    if training then begin
+      let m, v = Tensor.channel_mean_var x.v in
+      for ci = 0 to c - 1 do
+        running_mean.(ci) <- ((1.0 -. momentum) *. running_mean.(ci)) +. (momentum *. m.(ci));
+        running_var.(ci) <- ((1.0 -. momentum) *. running_var.(ci)) +. (momentum *. v.(ci))
+      done;
+      (m, v)
+    end
+    else (Array.copy running_mean, Array.copy running_var)
+  in
+  let inv_std = Array.map (fun v -> 1.0 /. sqrt (v +. eps)) var in
+  let hw = h * w in
+  let xhat = Tensor.create shp in
+  let y = Tensor.create shp in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let base = ((ni * c) + ci) * hw in
+      let g = Tensor.get gamma.v ci and b = Tensor.get beta.v ci in
+      for i = 0 to hw - 1 do
+        let xh = (Tensor.get x.v (base + i) -. mu.(ci)) *. inv_std.(ci) in
+        Tensor.set xhat (base + i) xh;
+        Tensor.set y (base + i) ((g *. xh) +. b)
+      done
+    done
+  done;
+  let push self =
+    let gout = the_grad self in
+    let count = float_of_int (n * hw) in
+    let dgamma = Tensor.zeros [| c |] and dbeta = Tensor.zeros [| c |] in
+    let sum_g = Array.make c 0.0 and sum_gx = Array.make c 0.0 in
+    for ni = 0 to n - 1 do
+      for ci = 0 to c - 1 do
+        let base = ((ni * c) + ci) * hw in
+        for i = 0 to hw - 1 do
+          let go = Tensor.get gout (base + i) and xh = Tensor.get xhat (base + i) in
+          sum_g.(ci) <- sum_g.(ci) +. go;
+          sum_gx.(ci) <- sum_gx.(ci) +. (go *. xh)
+        done
+      done
+    done;
+    for ci = 0 to c - 1 do
+      Tensor.set dbeta ci sum_g.(ci);
+      Tensor.set dgamma ci sum_gx.(ci)
+    done;
+    let gx = Tensor.create shp in
+    for ni = 0 to n - 1 do
+      for ci = 0 to c - 1 do
+        let base = ((ni * c) + ci) * hw in
+        let g = Tensor.get gamma.v ci in
+        let scale = g *. inv_std.(ci) in
+        for i = 0 to hw - 1 do
+          let go = Tensor.get gout (base + i) and xh = Tensor.get xhat (base + i) in
+          let v =
+            if training then
+              scale *. (go -. (sum_g.(ci) /. count) -. (xh *. sum_gx.(ci) /. count))
+            else scale *. go
+          in
+          Tensor.set gx (base + i) v
+        done
+      done
+    done;
+    accum x gx;
+    accum gamma dgamma;
+    accum beta dbeta
+  in
+  node ~parents:[| x; gamma; beta |] ~push y
+
+(* --- reductions and losses --- *)
+
+let mean_all a =
+  let n = float_of_int (Tensor.numel a.v) in
+  let push self =
+    let g = Tensor.get (the_grad self) 0 /. n in
+    accum a (Tensor.full (Tensor.shape a.v) g)
+  in
+  node ~parents:[| a |] ~push (Tensor.scalar (Tensor.mean a.v))
+
+let sum_all a =
+  let push self =
+    let g = Tensor.get (the_grad self) 0 in
+    accum a (Tensor.full (Tensor.shape a.v) g)
+  in
+  node ~parents:[| a |] ~push (Tensor.scalar (Tensor.sum a.v))
+
+let l1_loss a target =
+  if Tensor.numel a.v <> Tensor.numel target then invalid_arg "Value.l1_loss: size mismatch";
+  let n = float_of_int (Tensor.numel a.v) in
+  let total = ref 0.0 in
+  for i = 0 to Tensor.numel a.v - 1 do
+    total := !total +. Float.abs (Tensor.get a.v i -. Tensor.get target i)
+  done;
+  let push self =
+    let g = Tensor.get (the_grad self) 0 /. n in
+    let d = Tensor.create (Tensor.shape a.v) in
+    for i = 0 to Tensor.numel a.v - 1 do
+      let diff = Tensor.get a.v i -. Tensor.get target i in
+      Tensor.set d i (if diff > 0.0 then g else if diff < 0.0 then -.g else 0.0)
+    done;
+    accum a d
+  in
+  node ~parents:[| a |] ~push (Tensor.scalar (!total /. n))
+
+let mse_loss a target =
+  if Tensor.numel a.v <> Tensor.numel target then invalid_arg "Value.mse_loss: size mismatch";
+  let n = float_of_int (Tensor.numel a.v) in
+  let total = ref 0.0 in
+  for i = 0 to Tensor.numel a.v - 1 do
+    let d = Tensor.get a.v i -. Tensor.get target i in
+    total := !total +. (d *. d)
+  done;
+  let push self =
+    let g = Tensor.get (the_grad self) 0 /. n in
+    let d = Tensor.create (Tensor.shape a.v) in
+    for i = 0 to Tensor.numel a.v - 1 do
+      Tensor.set d i (2.0 *. g *. (Tensor.get a.v i -. Tensor.get target i))
+    done;
+    accum a d
+  in
+  node ~parents:[| a |] ~push (Tensor.scalar (!total /. n))
+
+let bce_with_logits a target =
+  if Tensor.numel a.v <> Tensor.numel target then
+    invalid_arg "Value.bce_with_logits: size mismatch";
+  let n = float_of_int (Tensor.numel a.v) in
+  let total = ref 0.0 in
+  for i = 0 to Tensor.numel a.v - 1 do
+    let x = Tensor.get a.v i and t = Tensor.get target i in
+    (* max(x,0) - x*t + log(1 + exp(-|x|)) *)
+    total :=
+      !total +. Float.max x 0.0 -. (x *. t) +. log (1.0 +. exp (-.Float.abs x))
+  done;
+  let push self =
+    let g = Tensor.get (the_grad self) 0 /. n in
+    let d = Tensor.create (Tensor.shape a.v) in
+    for i = 0 to Tensor.numel a.v - 1 do
+      let x = Tensor.get a.v i and t = Tensor.get target i in
+      Tensor.set d i (g *. (sigmoid_f x -. t))
+    done;
+    accum a d
+  in
+  node ~parents:[| a |] ~push (Tensor.scalar (!total /. n))
+
+(* --- engine --- *)
+
+let topological_order root =
+  let visited = Hashtbl.create 256 in
+  let order = ref [] in
+  (* Iterative post-order DFS. *)
+  let stack = Stack.create () in
+  Stack.push (root, ref 0) stack;
+  Hashtbl.replace visited root.id ();
+  while not (Stack.is_empty stack) do
+    let n, next = Stack.top stack in
+    if !next < Array.length n.parents then begin
+      let p = n.parents.(!next) in
+      incr next;
+      if not (Hashtbl.mem visited p.id) then begin
+        Hashtbl.replace visited p.id ();
+        Stack.push (p, ref 0) stack
+      end
+    end
+    else begin
+      ignore (Stack.pop stack);
+      order := n :: !order
+    end
+  done;
+  !order (* root first: reverse topological order *)
+
+let backward root =
+  (match root.g with
+  | None -> root.g <- Some (Tensor.ones (Tensor.shape root.v))
+  | Some g -> Tensor.fill g 1.0);
+  let order = topological_order root in
+  List.iter
+    (fun n ->
+      match (n.push, n.g) with
+      | Some f, Some _ -> f n
+      | _ -> ())
+    order

@@ -1,0 +1,1 @@
+lib/tensor/blas.ml: Array Bigarray Tensor

@@ -1,0 +1,1 @@
+lib/tensor/dpool.ml: Array Domain List Option

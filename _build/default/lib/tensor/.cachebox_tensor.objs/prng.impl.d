@@ -1,0 +1,1 @@
+lib/tensor/prng.ml: Array Char Float Int64 String

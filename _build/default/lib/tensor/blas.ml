@@ -1,0 +1,89 @@
+let check_2d name t =
+  if Array.length (Tensor.shape t) <> 2 then invalid_arg (name ^ ": expected 2-D tensor")
+
+let transpose t =
+  check_2d "Blas.transpose" t;
+  let m = Tensor.dim t 0 and n = Tensor.dim t 1 in
+  let r = Tensor.create [| n; m |] in
+  let td = t.Tensor.data and rd = r.Tensor.data in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    for j = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set rd ((j * m) + i) (Bigarray.Array1.unsafe_get td (row + j))
+    done
+  done;
+  r
+
+(* Core kernel: c <- alpha * a(MxK) * b(KxN) + c, with an i-k-j loop order so
+   the inner loop streams contiguously over b and c. *)
+let gemm_nn ~alpha ~a ~b ~c ~m ~k ~n =
+  let ad = a.Tensor.data and bd = b.Tensor.data and cd = c.Tensor.data in
+  (* Two rows of A per pass halve the traffic on B; the inner loop streams
+     contiguously over B and C. *)
+  let i = ref 0 in
+  while !i < m do
+    let two_rows = !i + 1 < m in
+    let a_row0 = !i * k and a_row1 = (!i + 1) * k in
+    let c_row0 = !i * n and c_row1 = (!i + 1) * n in
+    for p = 0 to k - 1 do
+      let a0 = alpha *. Bigarray.Array1.unsafe_get ad (a_row0 + p) in
+      let a1 =
+        if two_rows then alpha *. Bigarray.Array1.unsafe_get ad (a_row1 + p) else 0.0
+      in
+      if a0 <> 0.0 || a1 <> 0.0 then begin
+        let b_row = p * n in
+        if two_rows then
+          for j = 0 to n - 1 do
+            let bv = Bigarray.Array1.unsafe_get bd (b_row + j) in
+            Bigarray.Array1.unsafe_set cd (c_row0 + j)
+              (Bigarray.Array1.unsafe_get cd (c_row0 + j) +. (a0 *. bv));
+            Bigarray.Array1.unsafe_set cd (c_row1 + j)
+              (Bigarray.Array1.unsafe_get cd (c_row1 + j) +. (a1 *. bv))
+          done
+        else
+          for j = 0 to n - 1 do
+            Bigarray.Array1.unsafe_set cd (c_row0 + j)
+              (Bigarray.Array1.unsafe_get cd (c_row0 + j)
+              +. (a0 *. Bigarray.Array1.unsafe_get bd (b_row + j)))
+          done
+      end
+    done;
+    i := !i + if two_rows then 2 else 1
+  done
+
+let gemm ?(trans_a = false) ?(trans_b = false) ~alpha ~a ~b ~beta c =
+  check_2d "Blas.gemm a" a;
+  check_2d "Blas.gemm b" b;
+  check_2d "Blas.gemm c" c;
+  let a = if trans_a then transpose a else a in
+  let b = if trans_b then transpose b else b in
+  let m = Tensor.dim a 0 and k = Tensor.dim a 1 in
+  let k2 = Tensor.dim b 0 and n = Tensor.dim b 1 in
+  if k <> k2 then invalid_arg "Blas.gemm: inner dimension mismatch";
+  if Tensor.dim c 0 <> m || Tensor.dim c 1 <> n then
+    invalid_arg "Blas.gemm: output dimension mismatch";
+  if beta = 0.0 then Tensor.fill c 0.0 else if beta <> 1.0 then Tensor.scale_ c beta;
+  gemm_nn ~alpha ~a ~b ~c ~m ~k ~n
+
+let matmul a b =
+  let m = Tensor.dim a 0 and n = Tensor.dim b 1 in
+  let c = Tensor.zeros [| m; n |] in
+  gemm ~alpha:1.0 ~a ~b ~beta:0.0 c;
+  c
+
+let gemv ~a ~x =
+  check_2d "Blas.gemv" a;
+  if Array.length (Tensor.shape x) <> 1 then invalid_arg "Blas.gemv: x must be 1-D";
+  let m = Tensor.dim a 0 and n = Tensor.dim a 1 in
+  if Tensor.dim x 0 <> n then invalid_arg "Blas.gemv: dimension mismatch";
+  let r = Tensor.zeros [| m |] in
+  let ad = a.Tensor.data and xd = x.Tensor.data and rd = r.Tensor.data in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (Bigarray.Array1.unsafe_get ad (row + j) *. Bigarray.Array1.unsafe_get xd j)
+    done;
+    Bigarray.Array1.unsafe_set rd i !acc
+  done;
+  r

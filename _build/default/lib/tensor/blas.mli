@@ -1,0 +1,26 @@
+(** Dense linear algebra kernels over 2-D {!Tensor.t} values.
+
+    These are the hot loops of the neural-network stack: everything
+    convolutional is lowered onto {!gemm} through im2col (see {!Conv}). *)
+
+val gemm :
+  ?trans_a:bool ->
+  ?trans_b:bool ->
+  alpha:float ->
+  a:Tensor.t ->
+  b:Tensor.t ->
+  beta:float ->
+  Tensor.t ->
+  unit
+(** [gemm ~alpha ~a ~b ~beta c] computes [c <- alpha * op(a) * op(b) + beta * c]
+    where [op] optionally transposes. All of [a], [b], [c] are 2-D; inner
+    dimensions must agree. *)
+
+val matmul : Tensor.t -> Tensor.t -> Tensor.t
+(** [matmul a b] allocates [a * b] for 2-D [a], [b]. *)
+
+val transpose : Tensor.t -> Tensor.t
+(** Fresh transposed copy of a 2-D tensor. *)
+
+val gemv : a:Tensor.t -> x:Tensor.t -> Tensor.t
+(** [gemv ~a ~x] is the matrix-vector product for 2-D [a] and 1-D [x]. *)

@@ -1,0 +1,191 @@
+let out_size ~size ~kernel ~stride ~pad =
+  let o = ((size + (2 * pad) - kernel) / stride) + 1 in
+  if o <= 0 then invalid_arg "Conv.out_size: non-positive output size";
+  o
+
+let tconv_out_size ~size ~kernel ~stride ~pad =
+  let o = ((size - 1) * stride) - (2 * pad) + kernel in
+  if o <= 0 then invalid_arg "Conv.tconv_out_size: non-positive output size";
+  o
+
+let im2col x ~n ~kernel ~stride ~pad =
+  let c = Tensor.dim x 1 and h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let oh = out_size ~size:h ~kernel ~stride ~pad in
+  let ow = out_size ~size:w ~kernel ~stride ~pad in
+  let cols = Tensor.zeros [| c * kernel * kernel; oh * ow |] in
+  let xd = x.Tensor.data and cd = cols.Tensor.data in
+  let sample_base = n * c * h * w in
+  let ncols = oh * ow in
+  for ci = 0 to c - 1 do
+    let chan_base = sample_base + (ci * h * w) in
+    for kh = 0 to kernel - 1 do
+      for kw = 0 to kernel - 1 do
+        let row = (((ci * kernel) + kh) * kernel) + kw in
+        let row_base = row * ncols in
+        for ohi = 0 to oh - 1 do
+          let ih = (ohi * stride) - pad + kh in
+          if ih >= 0 && ih < h then begin
+            let in_row = chan_base + (ih * w) in
+            let out_row = row_base + (ohi * ow) in
+            for owi = 0 to ow - 1 do
+              let iw = (owi * stride) - pad + kw in
+              if iw >= 0 && iw < w then
+                Bigarray.Array1.unsafe_set cd (out_row + owi)
+                  (Bigarray.Array1.unsafe_get xd (in_row + iw))
+            done
+          end
+        done
+      done
+    done
+  done;
+  cols
+
+let col2im cols ~dst ~n ~channels ~height ~width ~kernel ~stride ~pad =
+  let oh = out_size ~size:height ~kernel ~stride ~pad in
+  let ow = out_size ~size:width ~kernel ~stride ~pad in
+  if Tensor.dim cols 0 <> channels * kernel * kernel || Tensor.dim cols 1 <> oh * ow then
+    invalid_arg "Conv.col2im: column matrix shape mismatch";
+  let cd = cols.Tensor.data and dd = dst.Tensor.data in
+  let sample_base = n * channels * height * width in
+  let ncols = oh * ow in
+  for ci = 0 to channels - 1 do
+    let chan_base = sample_base + (ci * height * width) in
+    for kh = 0 to kernel - 1 do
+      for kw = 0 to kernel - 1 do
+        let row = (((ci * kernel) + kh) * kernel) + kw in
+        let row_base = row * ncols in
+        for ohi = 0 to oh - 1 do
+          let ih = (ohi * stride) - pad + kh in
+          if ih >= 0 && ih < height then begin
+            let out_row = chan_base + (ih * width) in
+            let col_row = row_base + (ohi * ow) in
+            for owi = 0 to ow - 1 do
+              let iw = (owi * stride) - pad + kw in
+              if iw >= 0 && iw < width then
+                Bigarray.Array1.unsafe_set dd (out_row + iw)
+                  (Bigarray.Array1.unsafe_get dd (out_row + iw)
+                  +. Bigarray.Array1.unsafe_get cd (col_row + owi))
+            done
+          end
+        done
+      done
+    done
+  done
+
+let add_bias_nchw y bias =
+  match bias with
+  | None -> ()
+  | Some b ->
+    let n = Tensor.dim y 0 and c = Tensor.dim y 1 in
+    let hw = Tensor.dim y 2 * Tensor.dim y 3 in
+    let yd = y.Tensor.data and bd = b.Tensor.data in
+    for ni = 0 to n - 1 do
+      for ci = 0 to c - 1 do
+        let v = Bigarray.Array1.unsafe_get bd ci in
+        let base = ((ni * c) + ci) * hw in
+        for i = 0 to hw - 1 do
+          Bigarray.Array1.unsafe_set yd (base + i)
+            (Bigarray.Array1.unsafe_get yd (base + i) +. v)
+        done
+      done
+    done
+
+let bias_grad_nchw gout grad_bias =
+  match grad_bias with
+  | None -> ()
+  | Some gb ->
+    let n = Tensor.dim gout 0 and c = Tensor.dim gout 1 in
+    let hw = Tensor.dim gout 2 * Tensor.dim gout 3 in
+    let gd = gout.Tensor.data and gbd = gb.Tensor.data in
+    for ni = 0 to n - 1 do
+      for ci = 0 to c - 1 do
+        let base = ((ni * c) + ci) * hw in
+        let acc = ref 0.0 in
+        for i = 0 to hw - 1 do
+          acc := !acc +. Bigarray.Array1.unsafe_get gd (base + i)
+        done;
+        Bigarray.Array1.unsafe_set gbd ci (Bigarray.Array1.unsafe_get gbd ci +. !acc)
+      done
+    done
+
+let conv2d ~x ~weight ~bias ~stride ~pad =
+  let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let oc = Tensor.dim weight 0 and kernel = Tensor.dim weight 2 in
+  if Tensor.dim weight 1 <> ic then invalid_arg "Conv.conv2d: channel mismatch";
+  let oh = out_size ~size:h ~kernel ~stride ~pad in
+  let ow = out_size ~size:w ~kernel ~stride ~pad in
+  let y = Tensor.zeros [| n; oc; oh; ow |] in
+  let wm = Tensor.view weight [| oc; ic * kernel * kernel |] in
+  for ni = 0 to n - 1 do
+    let cols = im2col x ~n:ni ~kernel ~stride ~pad in
+    (* A view into sample ni of the output, as an [oc x oh*ow] matrix sharing
+       storage with [y]. *)
+    let sample =
+      Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
+    in
+    Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 sample
+  done;
+  add_bias_nchw y bias;
+  y
+
+let conv2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias =
+  let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let oc = Tensor.dim weight 0 and kernel = Tensor.dim weight 2 in
+  let oh = Tensor.dim gout 2 and ow = Tensor.dim gout 3 in
+  let wm = Tensor.view weight [| oc; ic * kernel * kernel |] in
+  let gwm = Tensor.view grad_weight [| oc; ic * kernel * kernel |] in
+  let gx = Tensor.zeros [| n; ic; h; w |] in
+  for ni = 0 to n - 1 do
+    let cols = im2col x ~n:ni ~kernel ~stride ~pad in
+    let gout_m =
+      Tensor.sub_view gout ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
+    in
+    (* dW += gout * cols^T *)
+    Blas.gemm ~trans_b:true ~alpha:1.0 ~a:gout_m ~b:cols ~beta:1.0 gwm;
+    (* dcols = W^T * gout, then fold back into the input plane. *)
+    let dcols = Tensor.zeros [| ic * kernel * kernel; oh * ow |] in
+    Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:gout_m ~beta:0.0 dcols;
+    col2im dcols ~dst:gx ~n:ni ~channels:ic ~height:h ~width:w ~kernel ~stride ~pad
+  done;
+  bias_grad_nchw gout grad_bias;
+  gx
+
+let conv_transpose2d ~x ~weight ~bias ~stride ~pad =
+  let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  if Tensor.dim weight 0 <> ic then invalid_arg "Conv.conv_transpose2d: channel mismatch";
+  let oc = Tensor.dim weight 1 and kernel = Tensor.dim weight 2 in
+  let oh = tconv_out_size ~size:h ~kernel ~stride ~pad in
+  let ow = tconv_out_size ~size:w ~kernel ~stride ~pad in
+  let y = Tensor.zeros [| n; oc; oh; ow |] in
+  let wm = Tensor.view weight [| ic; oc * kernel * kernel |] in
+  for ni = 0 to n - 1 do
+    let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+    let cols = Tensor.zeros [| oc * kernel * kernel; h * w |] in
+    Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xm ~beta:0.0 cols;
+    col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride ~pad
+  done;
+  add_bias_nchw y bias;
+  y
+
+let conv_transpose2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias =
+  let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let oc = Tensor.dim weight 1 and kernel = Tensor.dim weight 2 in
+  let wm = Tensor.view weight [| ic; oc * kernel * kernel |] in
+  let gwm = Tensor.view grad_weight [| ic; oc * kernel * kernel |] in
+  let gx = Tensor.zeros [| n; ic; h; w |] in
+  for ni = 0 to n - 1 do
+    (* The forward pass is col2im(W^T x); its adjoint unfolds gout. *)
+    let cols = im2col gout ~n:ni ~kernel ~stride ~pad in
+    let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+    (* dW += x * cols^T *)
+    Blas.gemm ~trans_b:true ~alpha:1.0 ~a:xm ~b:cols ~beta:1.0 gwm;
+    (* dx = W * cols *)
+    let gxm = Tensor.sub_view gx ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+    Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 gxm
+  done;
+  bias_grad_nchw gout grad_bias;
+  gx

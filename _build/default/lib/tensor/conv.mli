@@ -1,0 +1,75 @@
+(** 2-D convolution kernels (NCHW), lowered to GEMM through im2col.
+
+    Weight layouts follow the PyTorch convention:
+    - convolution: [\[out_channels; in_channels; kh; kw\]]
+    - transposed convolution: [\[in_channels; out_channels; kh; kw\]]
+
+    These functions are pure computation: gradients are composed into the
+    autodiff tape by the [nn] library. *)
+
+val out_size : size:int -> kernel:int -> stride:int -> pad:int -> int
+(** Spatial output size of a convolution. *)
+
+val tconv_out_size : size:int -> kernel:int -> stride:int -> pad:int -> int
+(** Spatial output size of a transposed convolution. *)
+
+val im2col :
+  Tensor.t -> n:int -> kernel:int -> stride:int -> pad:int -> Tensor.t
+(** [im2col x ~n ~kernel ~stride ~pad] unfolds sample [n] of the NCHW tensor
+    [x] into a [\[c*kernel*kernel; oh*ow\]] matrix (zero padding). *)
+
+val col2im :
+  Tensor.t ->
+  dst:Tensor.t ->
+  n:int ->
+  channels:int ->
+  height:int ->
+  width:int ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  unit
+(** [col2im cols ~dst ~n ...] scatters-and-accumulates the column matrix back
+    into sample [n] of [dst] (shape [\[_; channels; height; width\]]) —
+    the adjoint of {!im2col}. [dst] is accumulated into, not cleared. *)
+
+val conv2d :
+  x:Tensor.t ->
+  weight:Tensor.t ->
+  bias:Tensor.t option ->
+  stride:int ->
+  pad:int ->
+  Tensor.t
+(** Forward convolution. *)
+
+val conv2d_backward :
+  x:Tensor.t ->
+  weight:Tensor.t ->
+  gout:Tensor.t ->
+  stride:int ->
+  pad:int ->
+  grad_weight:Tensor.t ->
+  grad_bias:Tensor.t option ->
+  Tensor.t
+(** Accumulates weight/bias gradients (into [grad_weight]/[grad_bias]) and
+    returns the gradient with respect to [x]. *)
+
+val conv_transpose2d :
+  x:Tensor.t ->
+  weight:Tensor.t ->
+  bias:Tensor.t option ->
+  stride:int ->
+  pad:int ->
+  Tensor.t
+(** Forward transposed (fractionally-strided) convolution. *)
+
+val conv_transpose2d_backward :
+  x:Tensor.t ->
+  weight:Tensor.t ->
+  gout:Tensor.t ->
+  stride:int ->
+  pad:int ->
+  grad_weight:Tensor.t ->
+  grad_bias:Tensor.t option ->
+  Tensor.t
+(** Adjoint of {!conv_transpose2d}; same contract as {!conv2d_backward}. *)

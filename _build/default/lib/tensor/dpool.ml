@@ -1,0 +1,26 @@
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+let parallel_map_array ?domains f a =
+  let n = Array.length a in
+  let workers = min (Option.value domains ~default:(recommended ())) n in
+  if workers <= 1 || n < 2 then Array.map f a
+  else begin
+    let results = Array.make n None in
+    (* Contiguous slices, one per domain. *)
+    let slice w =
+      let lo = w * n / workers and hi = ((w + 1) * n / workers) - 1 in
+      (lo, hi)
+    in
+    let run_slice w =
+      let lo, hi = slice w in
+      for i = lo to hi do
+        results.(i) <- Some (f a.(i))
+      done
+    in
+    let handles =
+      List.init (workers - 1) (fun w -> Domain.spawn (fun () -> run_slice (w + 1)))
+    in
+    run_slice 0;
+    List.iter Domain.join handles;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,0 +1,15 @@
+(** Minimal multicore helper (OCaml 5 domains).
+
+    Used for sample-parallel CB-GAN inference (the paper's RQ5 batching):
+    on a multi-core host, batch elements are scored on separate domains; on
+    a single-core host everything degrades gracefully to the serial path. *)
+
+val recommended : unit -> int
+(** Domains worth spawning on this machine (at least 1). *)
+
+val parallel_map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array f a] applies [f] to every element, splitting the
+    work across up to [domains] (default {!recommended}) domains. Order is
+    preserved. [f] must not rely on shared mutable state: each domain
+    executes a disjoint slice. Falls back to plain [Array.map] when one
+    domain suffices or the array is small. *)

@@ -1,0 +1,86 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+(* FNV-1a over the label bytes, folded into a 64-bit seed. *)
+let of_label label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  { state = mix64 !h }
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g = { state = next_int64 g }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the value stays non-negative in OCaml's 63-bit int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod bound
+
+let float g bound =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bits /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let gauss g =
+  let rec draw () =
+    let u = float g 1.0 in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = float g 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let uniform g ~lo ~hi = lo +. float g (hi -. lo)
+
+(* Rejection-inversion sampling for the Zipf distribution (Hormann &
+   Derflinger). Values are returned 0-based. *)
+let zipf g ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if n = 1 then 0
+  else begin
+    let h x = if Float.abs (s -. 1.0) < 1e-9 then log x else (x ** (1.0 -. s)) /. (1.0 -. s) in
+    let h_inv x =
+      if Float.abs (s -. 1.0) < 1e-9 then exp x else ((1.0 -. s) *. x) ** (1.0 /. (1.0 -. s))
+    in
+    let nf = Float.of_int n in
+    let h_x1 = h 1.5 -. 1.0 in
+    let h_n = h (nf +. 0.5) in
+    let rec loop () =
+      let u = h_x1 +. (float g 1.0 *. (h_n -. h_x1)) in
+      let x = h_inv u in
+      let k = Float.round x in
+      let k = Float.max 1.0 (Float.min nf k) in
+      if k -. x <= 1.0 -. (h (k +. 0.5) -. u) ** 1.0 || u >= h (k +. 0.5) -. (k ** -.s) then
+        int_of_float k - 1
+      else loop ()
+    in
+    loop ()
+  end
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,1 @@
+lib/workloads/graphs.ml: Array Hashtbl Lazy List Printf Prng Queue Workload

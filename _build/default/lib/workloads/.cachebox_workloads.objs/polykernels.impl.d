@@ -1,0 +1,1 @@
+lib/workloads/polykernels.ml: List Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/polykernels.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Array Float Graphs Hashtbl List Polykernels Prng Synth Workload

@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array Hashtbl List Printf Prng Workload

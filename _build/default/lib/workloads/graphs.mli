@@ -1,0 +1,27 @@
+(** Ligra benchmark suite stand-in: shared-memory graph algorithms run over
+    CSR graphs, recording every access to the offsets / edges / per-vertex
+    data arrays. The irregular access patterns are produced by genuine
+    traversals, not sampled distributions. *)
+
+type graph = {
+  vertex_count : int;
+  offsets : int array;  (** CSR row offsets, length [vertex_count + 1] *)
+  edges : int array;  (** concatenated adjacency lists *)
+}
+
+val uniform_graph : seed:int -> vertices:int -> avg_degree:int -> graph
+(** Erdős–Rényi-style random graph. *)
+
+val rmat_graph : seed:int -> vertices:int -> avg_degree:int -> graph
+(** RMAT-style power-law graph (a=0.57, b=c=0.19), the skewed-degree kind
+    Ligra's inputs exhibit. Vertex count is rounded up to a power of two. *)
+
+val algorithm_names : string list
+(** bfs, pagerank, components, sssp, degree-hist. *)
+
+val trace : algo:string -> graph:graph -> int -> int array
+(** [trace ~algo ~graph n] runs the algorithm over the graph and returns its
+    first [n] memory accesses (wrapping if it converges early). *)
+
+val workloads : unit -> Workload.t list
+(** 5 algorithms x 5 graphs = 25 workloads. *)

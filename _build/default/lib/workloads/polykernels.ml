@@ -1,0 +1,454 @@
+module B = Workload.Builder
+
+(* Every kernel lays its arrays out with a bump allocator starting at a fixed
+   virtual base, so traces are deterministic and arrays land in distinct
+   regions as they would in a real address space. Elements are 8-byte
+   doubles. *)
+
+let elem = 8
+
+type arena = { mutable cursor : int }
+
+let arena () = { cursor = 0x1000_0000 }
+
+let alloc a count =
+  let base = a.cursor in
+  (* Round regions up to 4 KiB pages, as malloc'd arrays effectively are. *)
+  let bytes = count * elem in
+  a.cursor <- a.cursor + ((bytes + 4095) / 4096 * 4096) + 4096;
+  base
+
+(* Access helpers: [ld] models a load of element [i] of a 1-D array, [ld2] of
+   a row-major 2-D array. Stores touch the same addresses, so they reuse
+   [ld]; a read-modify-write emits the address twice. *)
+let ld b base i = B.emit b (base + (i * elem))
+let ld2 b base n i j = B.emit b (base + (((i * n) + j) * elem))
+
+let gemm b n =
+  let a = arena () in
+  let pa = alloc a (n * n) and pb = alloc a (n * n) and pc = alloc a (n * n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld2 b pc n i j;
+      for k = 0 to n - 1 do
+        ld2 b pa n i k;
+        ld2 b pb n k j;
+        ld2 b pc n i j
+      done
+    done
+  done
+
+let two_mm b n =
+  let a = arena () in
+  let pa = alloc a (n * n) and pb = alloc a (n * n) in
+  let ptmp = alloc a (n * n) and pc = alloc a (n * n) and pd = alloc a (n * n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld2 b ptmp n i j;
+      for k = 0 to n - 1 do
+        ld2 b pa n i k;
+        ld2 b pb n k j;
+        ld2 b ptmp n i j
+      done
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld2 b pd n i j;
+      for k = 0 to n - 1 do
+        ld2 b ptmp n i k;
+        ld2 b pc n k j;
+        ld2 b pd n i j
+      done
+    done
+  done
+
+let atax b n =
+  let a = arena () in
+  let pa = alloc a (n * n) and px = alloc a n and py = alloc a n and ptmp = alloc a n in
+  for i = 0 to n - 1 do
+    ld b ptmp i;
+    for j = 0 to n - 1 do
+      ld2 b pa n i j;
+      ld b px j;
+      ld b ptmp i
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld2 b pa n i j;
+      ld b ptmp i;
+      ld b py j
+    done
+  done
+
+let bicg b n =
+  let a = arena () in
+  let pa = alloc a (n * n) in
+  let ps = alloc a n and pq = alloc a n and pp = alloc a n and pr = alloc a n in
+  for i = 0 to n - 1 do
+    ld b pq i;
+    for j = 0 to n - 1 do
+      ld b ps j;
+      ld b pr i;
+      ld2 b pa n i j;
+      ld b ps j;
+      ld b pq i;
+      ld2 b pa n i j;
+      ld b pp j
+    done
+  done
+
+let mvt b n =
+  let a = arena () in
+  let pa = alloc a (n * n) in
+  let px1 = alloc a n and px2 = alloc a n and py1 = alloc a n and py2 = alloc a n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld b px1 i;
+      ld2 b pa n i j;
+      ld b py1 j;
+      ld b px1 i
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld b px2 i;
+      ld2 b pa n j i;
+      ld b py2 j;
+      ld b px2 i
+    done
+  done
+
+let gesummv b n =
+  let a = arena () in
+  let pa = alloc a (n * n) and pb = alloc a (n * n) in
+  let px = alloc a n and py = alloc a n and ptmp = alloc a n in
+  for i = 0 to n - 1 do
+    ld b ptmp i;
+    ld b py i;
+    for j = 0 to n - 1 do
+      ld2 b pa n i j;
+      ld b px j;
+      ld b ptmp i;
+      ld2 b pb n i j;
+      ld b px j;
+      ld b py i
+    done;
+    ld b ptmp i;
+    ld b py i
+  done
+
+let gemver b n =
+  let a = arena () in
+  let pa = alloc a (n * n) in
+  let pu1 = alloc a n and pv1 = alloc a n and pu2 = alloc a n and pv2 = alloc a n in
+  let px = alloc a n and py = alloc a n and pw = alloc a n and pz = alloc a n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld2 b pa n i j;
+      ld b pu1 i;
+      ld b pv1 j;
+      ld b pu2 i;
+      ld b pv2 j;
+      ld2 b pa n i j
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld b px i;
+      ld2 b pa n j i;
+      ld b py j;
+      ld b px i
+    done
+  done;
+  for i = 0 to n - 1 do
+    ld b px i;
+    ld b pz i;
+    ld b px i
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld b pw i;
+      ld2 b pa n i j;
+      ld b px j;
+      ld b pw i
+    done
+  done
+
+let syrk b n =
+  let a = arena () in
+  let pa = alloc a (n * n) and pc = alloc a (n * n) in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      ld2 b pc n i j;
+      for k = 0 to n - 1 do
+        ld2 b pa n i k;
+        ld2 b pa n j k;
+        ld2 b pc n i j
+      done
+    done
+  done
+
+let trmm b n =
+  let a = arena () in
+  let pa = alloc a (n * n) and pb = alloc a (n * n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for k = i + 1 to n - 1 do
+        ld2 b pa n k i;
+        ld2 b pb n k j;
+        ld2 b pb n i j
+      done;
+      ld2 b pb n i j
+    done
+  done
+
+let jacobi_2d b n =
+  let a = arena () in
+  let pa = alloc a (n * n) and pb = alloc a (n * n) in
+  for _t = 0 to 9 do
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        ld2 b pa n i j;
+        ld2 b pa n i (j - 1);
+        ld2 b pa n i (j + 1);
+        ld2 b pa n (i - 1) j;
+        ld2 b pa n (i + 1) j;
+        ld2 b pb n i j
+      done
+    done;
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        ld2 b pb n i j;
+        ld2 b pa n i j
+      done
+    done
+  done
+
+let seidel_2d b n =
+  let a = arena () in
+  let pa = alloc a (n * n) in
+  for _t = 0 to 9 do
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        ld2 b pa n (i - 1) (j - 1);
+        ld2 b pa n (i - 1) j;
+        ld2 b pa n (i - 1) (j + 1);
+        ld2 b pa n i (j - 1);
+        ld2 b pa n i j;
+        ld2 b pa n i (j + 1);
+        ld2 b pa n (i + 1) (j - 1);
+        ld2 b pa n (i + 1) j;
+        ld2 b pa n (i + 1) (j + 1);
+        ld2 b pa n i j
+      done
+    done
+  done
+
+let fdtd_2d b n =
+  let a = arena () in
+  let pex = alloc a (n * n) and pey = alloc a (n * n) and phz = alloc a (n * n) in
+  for _t = 0 to 9 do
+    for i = 1 to n - 1 do
+      for j = 0 to n - 1 do
+        ld2 b pey n i j;
+        ld2 b phz n i j;
+        ld2 b phz n (i - 1) j;
+        ld2 b pey n i j
+      done
+    done;
+    for i = 0 to n - 1 do
+      for j = 1 to n - 1 do
+        ld2 b pex n i j;
+        ld2 b phz n i j;
+        ld2 b phz n i (j - 1);
+        ld2 b pex n i j
+      done
+    done;
+    for i = 0 to n - 2 do
+      for j = 0 to n - 2 do
+        ld2 b phz n i j;
+        ld2 b pex n i (j + 1);
+        ld2 b pex n i j;
+        ld2 b pey n (i + 1) j;
+        ld2 b pey n i j;
+        ld2 b phz n i j
+      done
+    done
+  done
+
+let lu b n =
+  let a = arena () in
+  let pa = alloc a (n * n) in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      for k = 0 to j - 1 do
+        ld2 b pa n i k;
+        ld2 b pa n k j;
+        ld2 b pa n i j
+      done;
+      ld2 b pa n j j;
+      ld2 b pa n i j
+    done;
+    for j = i to n - 1 do
+      for k = 0 to i - 1 do
+        ld2 b pa n i k;
+        ld2 b pa n k j;
+        ld2 b pa n i j
+      done
+    done
+  done
+
+let cholesky b n =
+  let a = arena () in
+  let pa = alloc a (n * n) in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      for k = 0 to j - 1 do
+        ld2 b pa n i k;
+        ld2 b pa n j k;
+        ld2 b pa n i j
+      done;
+      ld2 b pa n j j;
+      ld2 b pa n i j
+    done;
+    for k = 0 to i - 1 do
+      ld2 b pa n i k;
+      ld2 b pa n i i
+    done;
+    ld2 b pa n i i
+  done
+
+let floyd_warshall b n =
+  let a = arena () in
+  let pp = alloc a (n * n) in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        ld2 b pp n i j;
+        ld2 b pp n i k;
+        ld2 b pp n k j;
+        ld2 b pp n i j
+      done
+    done
+  done
+
+let doitgen b n =
+  let a = arena () in
+  (* A[r][q][p], C4[p][s], sum[p] with r = q = s = p = n *)
+  let pa = alloc a (n * n * n) and pc4 = alloc a (n * n) and psum = alloc a n in
+  for r = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      for p = 0 to n - 1 do
+        ld b psum p;
+        for s = 0 to n - 1 do
+          B.emit b (pa + ((((r * n) + q) * n + s) * elem));
+          ld2 b pc4 n s p;
+          ld b psum p
+        done
+      done;
+      for p = 0 to n - 1 do
+        ld b psum p;
+        B.emit b (pa + ((((r * n) + q) * n + p) * elem))
+      done
+    done
+  done
+
+let covariance b n =
+  let a = arena () in
+  let pdata = alloc a (n * n) and pcov = alloc a (n * n) and pmean = alloc a n in
+  for j = 0 to n - 1 do
+    ld b pmean j;
+    for i = 0 to n - 1 do
+      ld2 b pdata n i j;
+      ld b pmean j
+    done;
+    ld b pmean j
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      ld2 b pdata n i j;
+      ld b pmean j;
+      ld2 b pdata n i j
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      ld2 b pcov n i j;
+      for k = 0 to n - 1 do
+        ld2 b pdata n k i;
+        ld2 b pdata n k j;
+        ld2 b pcov n i j
+      done;
+      ld2 b pcov n j i
+    done
+  done
+
+let trisolv b n =
+  let a = arena () in
+  let pl = alloc a (n * n) and px = alloc a n and pb = alloc a n in
+  for i = 0 to n - 1 do
+    ld b pb i;
+    ld b px i;
+    for j = 0 to i - 1 do
+      ld2 b pl n i j;
+      ld b px j;
+      ld b px i
+    done;
+    ld2 b pl n i i;
+    ld b px i
+  done
+
+let kernels =
+  [
+    ("gemm", gemm);
+    ("2mm", two_mm);
+    ("atax", atax);
+    ("bicg", bicg);
+    ("mvt", mvt);
+    ("gesummv", gesummv);
+    ("gemver", gemver);
+    ("syrk", syrk);
+    ("trmm", trmm);
+    ("jacobi-2d", jacobi_2d);
+    ("seidel-2d", seidel_2d);
+    ("fdtd-2d", fdtd_2d);
+    ("lu", lu);
+    ("cholesky", cholesky);
+    ("floyd-warshall", floyd_warshall);
+    ("doitgen", doitgen);
+    ("covariance", covariance);
+    ("trisolv", trisolv);
+  ]
+
+let kernel_names = List.map fst kernels
+
+let trace ~name ~size n =
+  let k = List.assoc name kernels in
+  B.run n (fun b -> k b size)
+
+(* doitgen is O(n^4); keep its dimension smaller so problem sizes stay
+   comparable across kernels. *)
+let size_for name variant =
+  match (name, variant) with
+  | "doitgen", `Small -> 12
+  | "doitgen", `Large -> 20
+  | ("trisolv" | "atax" | "bicg" | "mvt" | "gesummv" | "gemver"), `Small -> 96
+  | ("trisolv" | "atax" | "bicg" | "mvt" | "gesummv" | "gemver"), `Large -> 220
+  | _, `Small -> 40
+  | _, `Large -> 88
+
+let workloads () =
+  List.concat_map
+    (fun (name, _) ->
+      List.map
+        (fun variant ->
+          let tag = match variant with `Small -> "small" | `Large -> "large" in
+          let size = size_for name variant in
+          Workload.make
+            ~name:(Printf.sprintf "%s.%s" name tag)
+            ~suite:Workload.Polybench ~group:name
+            (fun n -> trace ~name ~size n))
+        [ `Small; `Large ])
+    kernels

@@ -1,0 +1,16 @@
+(** Polyhedral benchmark suite stand-in: real Polybench loop nests,
+    reimplemented to emit the byte address of every array element they touch.
+    The traces are therefore exact replicas of the kernels' access patterns,
+    not statistical models (see DESIGN.md substitution table). *)
+
+val kernel_names : string list
+(** The 16 implemented kernels. *)
+
+val trace : name:string -> size:int -> int -> int array
+(** [trace ~name ~size n] runs kernel [name] with problem dimension [size]
+    and returns its first [n] memory accesses (wrapping around if the kernel
+    finishes early). Raises [Not_found] for unknown names. *)
+
+val workloads : unit -> Workload.t list
+(** The full suite: every kernel at two dataset sizes (32 workloads),
+    mirroring the paper's 32 Polybench benchmarks. *)

@@ -1,0 +1,47 @@
+let all () = Synth.workloads () @ Graphs.workloads () @ Polykernels.workloads ()
+
+let of_suite suite = List.filter (fun w -> w.Workload.suite = suite) (all ())
+
+let find name =
+  match List.find_opt (fun w -> w.Workload.name = name) (all ()) with
+  | Some w -> w
+  | None -> raise Not_found
+
+type split = { train : Workload.t list; test : Workload.t list }
+
+let split ?(seed = 42) ?(train_fraction = 0.8) workloads =
+  if train_fraction <= 0.0 || train_fraction >= 1.0 then
+    invalid_arg "Suite.split: train_fraction must be in (0, 1)";
+  (* Split each suite independently (the paper splits each suite 80/20),
+     keeping whole groups together. *)
+  let rng = Prng.create seed in
+  let suites =
+    List.sort_uniq compare (List.map (fun w -> w.Workload.suite) workloads)
+  in
+  let train = ref [] and test = ref [] in
+  List.iter
+    (fun suite ->
+      let ws = List.filter (fun w -> w.Workload.suite = suite) workloads in
+      let groups =
+        List.sort_uniq compare (List.map (fun w -> w.Workload.group) ws)
+        |> Array.of_list
+      in
+      Prng.shuffle rng groups;
+      let n_train =
+        (* At least one group on each side. *)
+        let raw = int_of_float (Float.round (train_fraction *. float_of_int (Array.length groups))) in
+        max 1 (min (Array.length groups - 1) raw)
+      in
+      let train_groups = Hashtbl.create 32 in
+      Array.iteri (fun i g -> if i < n_train then Hashtbl.replace train_groups g ()) groups;
+      List.iter
+        (fun w ->
+          if Hashtbl.mem train_groups w.Workload.group then train := w :: !train
+          else test := w :: !test)
+        ws)
+    suites;
+  { train = List.rev !train; test = List.rev !test }
+
+let split_disjoint { train; test } =
+  let train_groups = List.map (fun w -> w.Workload.group) train in
+  List.for_all (fun w -> not (List.mem w.Workload.group train_groups)) test

@@ -1,0 +1,23 @@
+(** Benchmark registry and train/test splitting.
+
+    Mirrors the paper's dataset methodology (§4.1): every suite is split
+    80/20 into train and test sets at *benchmark-group* granularity — all
+    phases of one benchmark land on the same side, so inference only ever
+    sees programs that are entirely absent from training. *)
+
+val all : unit -> Workload.t list
+(** Full roster: SPEC-like (48) + Ligra-like (25) + Polybench-like (36). *)
+
+val of_suite : Workload.suite -> Workload.t list
+
+val find : string -> Workload.t
+(** Lookup by exact name; raises [Not_found]. *)
+
+type split = { train : Workload.t list; test : Workload.t list }
+
+val split : ?seed:int -> ?train_fraction:float -> Workload.t list -> split
+(** Group-aware shuffled split; deterministic in [seed] (default 42). The
+    train fraction (default 0.8) applies to groups, not traces. *)
+
+val split_disjoint : split -> bool
+(** True when no group appears on both sides (sanity invariant). *)

@@ -1,0 +1,192 @@
+module B = Workload.Builder
+
+type pattern =
+  | Stream of { region_bytes : int; stride : int }
+  | Zipf of { region_bytes : int; exponent : float }
+  | Pointer_chase of { nodes : int }
+  | Stack_walk of { max_depth : int }
+  | Tiled of { matrix : int; tile : int }
+
+let pattern_stepper rng pattern ~base =
+  match pattern with
+  | Stream { region_bytes; stride } ->
+    let pos = ref 0 in
+    fun () ->
+      let addr = base + !pos in
+      pos := (!pos + stride) mod region_bytes;
+      addr
+  | Zipf { region_bytes; exponent } ->
+    let elems = max 1 (region_bytes / 8) in
+    fun () ->
+      let rank = Prng.zipf rng ~n:elems ~s:exponent in
+      (* Spread ranks with a multiplicative hash so popularity is temporal,
+         not spatial. *)
+      let idx = rank * 2654435761 mod elems in
+      base + (idx * 8)
+  | Pointer_chase { nodes } ->
+    (* A random cyclic permutation: the worst case for spatial locality,
+       the defining pattern of mcf-like benchmarks. *)
+    let next = Array.init nodes (fun i -> i) in
+    Prng.shuffle rng next;
+    let cur = ref 0 in
+    fun () ->
+      let addr = base + (next.(!cur) * 64) in
+      cur := next.(!cur);
+      addr
+  | Stack_walk { max_depth } ->
+    let depth = ref (max_depth / 2) in
+    fun () ->
+      let step = Prng.int rng 7 - 3 in
+      depth := max 0 (min (max_depth - 1) (!depth + step));
+      base + (!depth * 8)
+  | Tiled { matrix; tile } ->
+    let ti = ref 0 and tj = ref 0 and i = ref 0 and j = ref 0 in
+    fun () ->
+      let row = (!ti * tile) + !i and col = (!tj * tile) + !j in
+      let addr = base + ((((row * matrix) + col) * 8) mod (matrix * matrix * 8)) in
+      incr j;
+      if !j >= tile then begin
+        j := 0;
+        incr i;
+        if !i >= tile then begin
+          i := 0;
+          incr tj;
+          if !tj * tile >= matrix then begin
+            tj := 0;
+            incr ti;
+            if !ti * tile >= matrix then ti := 0
+          end
+        end
+      end;
+      addr
+
+let trace_of_patterns ~seed weighted n =
+  if weighted = [] then invalid_arg "Synth.trace_of_patterns: no patterns";
+  let rng = Prng.create seed in
+  let steppers =
+    List.mapi
+      (fun i (p, w) ->
+        (* Each pattern gets its own region and its own random stream. *)
+        let base = 0x4000_0000 + (i * 0x0800_0000) in
+        (pattern_stepper (Prng.split rng) p ~base, w))
+      weighted
+  in
+  let total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 steppers in
+  let pick () =
+    let r = Prng.float rng total_weight in
+    let rec go acc = function
+      | [ (s, _) ] -> s
+      | (s, w) :: rest -> if r < acc +. w then s else go (acc +. w) rest
+      | [] -> assert false
+    in
+    go 0.0 steppers
+  in
+  let out = Array.make n 0 in
+  let i = ref 0 in
+  (* Patterns interleave in bursts, like program regions do. *)
+  while !i < n do
+    let stepper = pick () in
+    let burst = 16 + Prng.int rng 112 in
+    let stop = min n (!i + burst) in
+    while !i < stop do
+      out.(!i) <- stepper ();
+      incr i
+    done
+  done;
+  out
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+(* Benchmark roster. Archetype mixes are chosen so the suite's L1 hit-rate
+   histogram matches the paper's Fig 14: predominantly > 65%, with a
+   mid-range band and a few pathological low-hit-rate traces. *)
+let roster =
+  [
+    (* name, [pattern, weight] *)
+    ("600.perlbench_s", [ (Zipf { region_bytes = kib 24; exponent = 1.1 }, 3.0);
+                          (Stream { region_bytes = kib 64; stride = 4096 }, 0.35);
+                          (Stack_walk { max_depth = 2048 }, 2.0);
+                          (Stream { region_bytes = kib 64; stride = 8 }, 1.0) ]);
+    ("602.gcc_s", [ (Zipf { region_bytes = kib 96; exponent = 0.9 }, 2.0);
+                    (Stream { region_bytes = kib 128; stride = 8192 }, 0.4);
+                    (Pointer_chase { nodes = 16384 }, 0.5);
+                    (Stack_walk { max_depth = 4096 }, 2.0) ]);
+    ("603.bwaves_s", [ (Stream { region_bytes = mib 4; stride = 8 }, 4.0);
+                       (Tiled { matrix = 256; tile = 16 }, 1.0) ]);
+    ("605.mcf_s", [ (Pointer_chase { nodes = 131072 }, 3.0);
+                    (Zipf { region_bytes = kib 64; exponent = 1.2 }, 0.6) ]);
+    ("607.cactuBSSN_s", [ (Tiled { matrix = 384; tile = 8 }, 2.0);
+                          (Stream { region_bytes = kib 64; stride = 4096 }, 0.5);
+                          (Stream { region_bytes = mib 2; stride = 24 }, 2.0);
+                          (Stack_walk { max_depth = 512 }, 1.0) ]);
+    ("619.lbm_s", [ (Stream { region_bytes = mib 8; stride = 8 }, 3.0);
+                    (Stream { region_bytes = mib 8; stride = 152 }, 0.4) ]);
+    ("620.omnetpp_s", [ (Pointer_chase { nodes = 65536 }, 1.0);
+                        (Zipf { region_bytes = kib 48; exponent = 1.2 }, 2.0);
+                        (Stack_walk { max_depth = 1024 }, 1.0) ]);
+    ("621.wrf_s", [ (Stream { region_bytes = mib 1; stride = 8 }, 3.0);
+                    (Tiled { matrix = 192; tile = 12 }, 1.0) ]);
+    ("623.xalancbmk_s", [ (Zipf { region_bytes = kib 160; exponent = 1.0 }, 2.0);
+                          (Pointer_chase { nodes = 8192 }, 0.5) ]);
+    ("625.x264_s", [ (Tiled { matrix = 320; tile = 16 }, 3.0);
+                     (Zipf { region_bytes = kib 16; exponent = 1.3 }, 1.0) ]);
+    ("627.cam4_s", [ (Stream { region_bytes = mib 2; stride = 16 }, 2.0);
+                     (Stack_walk { max_depth = 768 }, 1.0) ]);
+    ("628.pop2_s", [ (Stream { region_bytes = kib 512; stride = 8 }, 2.0);
+                     (Stream { region_bytes = kib 512; stride = 64 }, 0.4) ]);
+    ("631.deepsjeng_s", [ (Zipf { region_bytes = kib 32; exponent = 1.2 }, 3.0);
+                          (Stream { region_bytes = kib 64; stride = 4096 }, 0.3);
+                          (Stack_walk { max_depth = 256 }, 2.0) ]);
+    ("638.imagick_s", [ (Stream { region_bytes = kib 256; stride = 8 }, 3.0);
+                        (Stream { region_bytes = kib 64; stride = 4096 }, 0.4);
+                        (Tiled { matrix = 128; tile = 8 }, 2.0);
+                        (Zipf { region_bytes = kib 8; exponent = 1.0 }, 1.0) ]);
+    ("641.leela_s", [ (Zipf { region_bytes = kib 40; exponent = 1.1 }, 2.0);
+                      (Stack_walk { max_depth = 1536 }, 1.0) ]);
+    ("644.nab_s", [ (Stream { region_bytes = kib 128; stride = 8 }, 2.0);
+                    (Zipf { region_bytes = kib 12; exponent = 1.0 }, 1.0) ]);
+    ("648.exchange2_s", [ (Stack_walk { max_depth = 128 }, 3.0);
+                          (Zipf { region_bytes = kib 4; exponent = 1.4 }, 1.0) ]);
+    ("649.fotonik3d_s", [ (Stream { region_bytes = mib 6; stride = 8 }, 3.0);
+                          (Stream { region_bytes = mib 6; stride = 4096 }, 0.3) ]);
+    ("654.roms_s", [ (Stream { region_bytes = mib 3; stride = 8 }, 2.0);
+                     (Tiled { matrix = 224; tile = 14 }, 1.0) ]);
+    ("657.xz_s", [ (Zipf { region_bytes = mib 1; exponent = 0.7 }, 2.0);
+                   (Stream { region_bytes = kib 192; stride = 8 }, 1.0) ]);
+    ("400.perlbench", [ (Zipf { region_bytes = kib 20; exponent = 1.1 }, 2.0);
+                        (Stack_walk { max_depth = 512 }, 1.0) ]);
+    ("401.bzip2", [ (Stream { region_bytes = kib 900; stride = 8 }, 2.0);
+                    (Zipf { region_bytes = kib 640; exponent = 0.9 }, 1.0) ]);
+    ("429.mcf", [ (Pointer_chase { nodes = 262144 }, 4.0);
+                  (Stack_walk { max_depth = 64 }, 1.0) ]);
+    ("470.lbm", [ (Stream { region_bytes = mib 12; stride = 8 }, 3.0);
+                  (Stream { region_bytes = mib 12; stride = 320 }, 0.4) ]);
+  ]
+
+let phase_suffixes = [ "734B"; "2375B" ]
+
+(* Phase 2 of each benchmark perturbs the weights so phases differ without
+   changing the benchmark's character. *)
+let phase_weights phase weighted =
+  List.mapi
+    (fun i (p, w) ->
+      let tweak = if (i + phase) mod 2 = 0 then 1.5 else 0.75 in
+      (p, w *. tweak))
+    weighted
+
+let workloads () =
+  List.concat_map
+    (fun (group, weighted) ->
+      List.mapi
+        (fun phase suffix ->
+          let name = Printf.sprintf "%s-%s" group suffix in
+          let seed = Hashtbl.hash name in
+          let weighted = phase_weights phase weighted in
+          Workload.make ~name ~suite:Workload.Spec ~group (fun n ->
+              trace_of_patterns ~seed weighted n))
+        phase_suffixes)
+    roster
+
+let table1_apps =
+  [ "600.perlbench_s"; "602.gcc_s"; "607.cactuBSSN_s"; "631.deepsjeng_s"; "638.imagick_s" ]

@@ -1,0 +1,47 @@
+type suite = Spec | Ligra | Polybench
+
+let suite_name = function Spec -> "SPEC" | Ligra -> "Ligra" | Polybench -> "Polybench"
+
+type t = {
+  name : string;
+  suite : suite;
+  group : string;
+  generate : int -> int array;
+}
+
+let make ~name ~suite ~group generate = { name; suite; group; generate }
+
+module Builder = struct
+  type b = { mutable data : int array; mutable len : int; cap : int }
+
+  exception Full
+
+  let create cap = { data = Array.make (min cap 4096) 0; len = 0; cap }
+
+  let emit b addr =
+    if b.len >= b.cap then raise Full;
+    if b.len >= Array.length b.data then begin
+      let bigger = Array.make (min b.cap (2 * Array.length b.data)) 0 in
+      Array.blit b.data 0 bigger 0 b.len;
+      b.data <- bigger
+    end;
+    b.data.(b.len) <- addr;
+    b.len <- b.len + 1
+
+  let read b ~base ~index ~elem_bytes = emit b (base + (index * elem_bytes))
+
+  let length b = b.len
+  let contents b = Array.sub b.data 0 b.len
+
+  let run n f =
+    let b = create n in
+    (try
+       while b.len < n do
+         let before = b.len in
+         f b;
+         if b.len = before then failwith "Workload.Builder.run: generator emitted nothing"
+       done
+     with Full -> ());
+    assert (b.len = n);
+    contents b
+end

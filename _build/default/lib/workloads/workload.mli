@@ -1,0 +1,50 @@
+(** Workload (benchmark) abstraction.
+
+    A workload deterministically generates a memory-address trace of a
+    requested length — the role Pin-captured SPEC/Ligra/Polybench traces play
+    in the paper. Workloads are grouped into the paper's three suites; the
+    [group] field ties together multiple traces ("phases") of the same
+    benchmark so the train/test split never separates them (paper §4.1). *)
+
+type suite = Spec | Ligra | Polybench
+
+val suite_name : suite -> string
+
+type t = {
+  name : string;  (** unique, e.g. "602.stream_s-1211B" *)
+  suite : suite;
+  group : string;  (** benchmark family; phases share a group *)
+  generate : int -> int array;
+      (** [generate n] returns a byte-address trace of exactly [n] accesses;
+          deterministic in [name]. *)
+}
+
+val make : name:string -> suite:suite -> group:string -> (int -> int array) -> t
+
+(** {1 Trace construction helper} *)
+
+module Builder : sig
+  (** Append-only address-trace sink with a hard capacity: generators emit
+      until full, which lets loop-nest kernels stop mid-iteration once the
+      requested trace length is reached. *)
+
+  type b
+
+  exception Full
+
+  val create : int -> b
+  val emit : b -> int -> unit
+  (** Record one byte address; raises {!Full} when capacity is reached. *)
+
+  val read : b -> base:int -> index:int -> elem_bytes:int -> unit
+  (** Convenience: emit the address of element [index] of an array at
+      [base]. *)
+
+  val length : b -> int
+  val contents : b -> int array
+
+  val run : int -> (b -> unit) -> int array
+  (** [run n f] collects exactly [n] addresses, restarting [f] from scratch
+      if it terminates early (so short kernels wrap around), and swallowing
+      {!Full}. [f] must emit at least one address per invocation. *)
+end

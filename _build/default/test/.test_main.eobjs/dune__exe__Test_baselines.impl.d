@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cache Float Gen Hrd List Prng QCheck QCheck_alcotest Reuse_distance Stm Tabsynth

@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Blas Float Prng QCheck QCheck_alcotest Tensor

@@ -1,0 +1,1 @@
+test/test_characterize.ml: Alcotest Array Cache Characterize List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_conv.ml: Alcotest Array Conv Float Prng QCheck QCheck_alcotest Tensor

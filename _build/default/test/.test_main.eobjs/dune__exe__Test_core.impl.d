@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cache Cbgan Cbox_dataset Cbox_infer Cbox_train Filename Float Heatmap Hierarchy List Prefetch Prng QCheck QCheck_alcotest Sys Tensor Value Workload

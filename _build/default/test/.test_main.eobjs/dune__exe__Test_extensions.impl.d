@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Cache Filename Gen Hashtbl Inclusion List Prng QCheck QCheck_alcotest String Sys Trace_io Victim

@@ -1,0 +1,1 @@
+test/test_heatmap.ml: Alcotest Array Cache Filename Float Heatmap List Prng QCheck QCheck_alcotest String Sys Tensor

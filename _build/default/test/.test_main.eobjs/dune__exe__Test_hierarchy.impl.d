@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Array Cache Gen Hierarchy List Prefetch Prng QCheck QCheck_alcotest Seq

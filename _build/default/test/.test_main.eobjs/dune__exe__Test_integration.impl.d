@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cache Cbgan Cbox_dataset Cbox_infer Experiments Filename Heatmap Hierarchy List Metrics Suite Sys Tensor Trace_io Unix Workload

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Float Metrics Prng QCheck QCheck_alcotest String Tensor

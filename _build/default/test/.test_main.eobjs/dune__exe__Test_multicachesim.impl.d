@@ -1,0 +1,1 @@
+test/test_multicachesim.ml: Alcotest Array Cache Gen List Multicachesim QCheck QCheck_alcotest

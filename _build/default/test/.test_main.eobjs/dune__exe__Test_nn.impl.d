@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Checkpoint Filename Layers List Optimizer Param Prng Sys Tensor Value

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dpool Gen Prng QCheck QCheck_alcotest Tensor

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array Float Param Prng Tensor Value

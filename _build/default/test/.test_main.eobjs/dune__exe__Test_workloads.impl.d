@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Graphs Hashtbl List Option Polykernels QCheck QCheck_alcotest Suite Synth Workload

@@ -1,0 +1,151 @@
+(* The ground-truth cache model: exact LRU behaviour, policy differences,
+   and structural invariants. *)
+
+let cfg ?(policy = Cache.Lru) ~sets ~ways () = Cache.config ~policy ~sets ~ways ()
+
+let addr_of_block b = b * 64
+
+let run_trace cache blocks =
+  List.map (fun b -> Cache.access cache (addr_of_block b)) blocks
+
+let test_cold_misses () =
+  let c = Cache.create (cfg ~sets:2 ~ways:2 ()) in
+  Alcotest.(check (list bool)) "all cold" [ false; false; false ]
+    (run_trace c [ 0; 1; 2 ])
+
+let test_hit_on_reuse () =
+  let c = Cache.create (cfg ~sets:2 ~ways:2 ()) in
+  Alcotest.(check (list bool)) "second touch hits" [ false; true ] (run_trace c [ 5; 5 ])
+
+let test_same_block_offsets_hit () =
+  let c = Cache.create (cfg ~sets:2 ~ways:2 ()) in
+  ignore (Cache.access c 128);
+  Alcotest.(check bool) "same 64B block" true (Cache.access c 129);
+  Alcotest.(check bool) "same block top" true (Cache.access c 191);
+  Alcotest.(check bool) "next block misses" false (Cache.access c 192)
+
+let test_lru_eviction_order () =
+  (* 1 set, 2 ways: blocks 0,2,4 map to set 0 (sets=2 -> even blocks). *)
+  let c = Cache.create (cfg ~sets:2 ~ways:2 ()) in
+  ignore (run_trace c [ 0; 2 ]);
+  (* touch 0 so 2 becomes LRU *)
+  ignore (Cache.access c (addr_of_block 0));
+  ignore (Cache.access c (addr_of_block 4));
+  (* evicts 2 *)
+  Alcotest.(check bool) "0 survived" true (Cache.access c (addr_of_block 0));
+  Alcotest.(check bool) "2 evicted" false (Cache.access c (addr_of_block 2))
+
+let test_fifo_vs_lru () =
+  (* FIFO ignores the re-touch; the same sequence evicts 0 under FIFO but 2
+     under LRU. *)
+  let seq = [ 0; 2; 0; 4; 0 ] in
+  let lru = Cache.create (cfg ~sets:2 ~ways:2 ()) in
+  let fifo = Cache.create (cfg ~policy:Cache.Fifo ~sets:2 ~ways:2 ()) in
+  let lru_res = run_trace lru seq and fifo_res = run_trace fifo seq in
+  Alcotest.(check (list bool)) "lru keeps 0" [ false; false; true; false; true ] lru_res;
+  Alcotest.(check (list bool)) "fifo evicts 0" [ false; false; true; false; false ] fifo_res
+
+let test_lru_inclusion_property =
+  (* For the same set count, an LRU cache with more ways hits on a superset
+     of accesses (stack inclusion). *)
+  QCheck.Test.make ~name:"LRU way-inclusion" ~count:60
+    QCheck.(pair small_int (list_of_size Gen.(10 -- 200) (int_range 0 64)))
+    (fun (_, blocks) ->
+      let small = Cache.create (cfg ~sets:4 ~ways:2 ()) in
+      let big = Cache.create (cfg ~sets:4 ~ways:4 ()) in
+      List.for_all
+        (fun b ->
+          let hs = Cache.access small (addr_of_block b) in
+          let hb = Cache.access big (addr_of_block b) in
+          (not hs) || hb)
+        blocks)
+
+let test_stats_consistency =
+  QCheck.Test.make ~name:"stats add up" ~count:60
+    QCheck.(list_of_size Gen.(1 -- 100) (int_range 0 1000))
+    (fun blocks ->
+      let c = Cache.create (cfg ~sets:8 ~ways:2 ()) in
+      let hits = List.filter (fun b -> Cache.access c (addr_of_block b)) blocks in
+      let s = Cache.stats c in
+      s.Cache.accesses = List.length blocks
+      && s.Cache.hits = List.length hits
+      && s.Cache.misses = s.Cache.accesses - s.Cache.hits)
+
+let test_probe_no_side_effect () =
+  let c = Cache.create (cfg ~sets:2 ~ways:1 ()) in
+  ignore (Cache.access c (addr_of_block 0));
+  Alcotest.(check bool) "probe present" true (Cache.probe c (addr_of_block 0));
+  Alcotest.(check bool) "probe absent" false (Cache.probe c (addr_of_block 2));
+  let s = Cache.stats c in
+  Alcotest.(check int) "probe did not count" 1 s.Cache.accesses
+
+let test_insert_prefetch () =
+  let c = Cache.create (cfg ~sets:2 ~ways:1 ()) in
+  Cache.insert c (addr_of_block 6);
+  Alcotest.(check bool) "inserted block present" true (Cache.probe c (addr_of_block 6));
+  let s = Cache.stats c in
+  Alcotest.(check int) "insert not a demand access" 0 s.Cache.accesses;
+  Alcotest.(check bool) "subsequent demand hits" true (Cache.access c (addr_of_block 6))
+
+let test_reset () =
+  let c = Cache.create (cfg ~sets:2 ~ways:1 ()) in
+  ignore (Cache.access c 0);
+  Cache.reset c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "stats cleared" 0 s.Cache.accesses;
+  Alcotest.(check bool) "contents cleared" false (Cache.probe c 0)
+
+let test_config_validation () =
+  Alcotest.check_raises "sets power of two"
+    (Invalid_argument "Cache.config: sets must be a power of two") (fun () ->
+      ignore (Cache.config ~sets:3 ~ways:2 ()));
+  Alcotest.check_raises "positive ways"
+    (Invalid_argument "Cache.config: ways must be positive") (fun () ->
+      ignore (Cache.config ~sets:4 ~ways:0 ()))
+
+let test_naming_and_size () =
+  let c = cfg ~sets:64 ~ways:12 () in
+  Alcotest.(check string) "paper naming" "64set-12way" (Cache.config_name c);
+  Alcotest.(check int) "48 KiB" (48 * 1024) (Cache.size_bytes c)
+
+let test_policies_smoke () =
+  (* Every policy must service an arbitrary trace without error and respect
+     capacity: a working set that fits never misses after warm-up. *)
+  List.iter
+    (fun policy ->
+      let c = Cache.create (cfg ~policy ~sets:4 ~ways:2 ()) in
+      for round = 1 to 3 do
+        for b = 0 to 7 do
+          let hit = Cache.access c (addr_of_block b) in
+          if round > 1 then
+            Alcotest.(check bool) "warm working set hits" true hit
+        done
+      done)
+    [ Cache.Lru; Cache.Fifo; Cache.Plru; Cache.Srrip; Cache.Random_policy 3 ]
+
+let test_hit_rate () =
+  Alcotest.(check (float 1e-9)) "empty" 0.0
+    (Cache.hit_rate { Cache.accesses = 0; hits = 0; misses = 0 });
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Cache.hit_rate { Cache.accesses = 4; hits = 2; misses = 2 })
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "cold misses" `Quick test_cold_misses;
+      Alcotest.test_case "hit on reuse" `Quick test_hit_on_reuse;
+      Alcotest.test_case "block granularity" `Quick test_same_block_offsets_hit;
+      Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+      Alcotest.test_case "fifo vs lru" `Quick test_fifo_vs_lru;
+      Alcotest.test_case "probe has no side effect" `Quick test_probe_no_side_effect;
+      Alcotest.test_case "insert (prefetch fill)" `Quick test_insert_prefetch;
+      Alcotest.test_case "reset" `Quick test_reset;
+      Alcotest.test_case "config validation" `Quick test_config_validation;
+      Alcotest.test_case "naming and size" `Quick test_naming_and_size;
+      Alcotest.test_case "all policies smoke" `Quick test_policies_smoke;
+      Alcotest.test_case "hit rate" `Quick test_hit_rate;
+      qc test_lru_inclusion_property;
+      qc test_stats_consistency;
+    ] )

@@ -1,0 +1,78 @@
+(* Trace characterization toolkit. *)
+
+let seq_trace n = Array.init n (fun i -> i * 64)
+
+let test_summary_sequential () =
+  let s = Characterize.summarize (seq_trace 1000) in
+  Alcotest.(check int) "accesses" 1000 s.Characterize.accesses;
+  Alcotest.(check int) "footprint" 1000 s.Characterize.footprint_blocks;
+  Alcotest.(check bool) "fully sequential" true (s.Characterize.sequential_fraction > 0.99);
+  Alcotest.(check (float 1e-6)) "all cold" 1.0 s.Characterize.cold_fraction
+
+let test_summary_hot_block () =
+  let s = Characterize.summarize (Array.make 1000 4096) in
+  Alcotest.(check int) "one block" 1 s.Characterize.footprint_blocks;
+  Alcotest.(check bool) "same-block dominated" true (s.Characterize.same_block_fraction > 0.99);
+  Alcotest.(check (float 1e-6)) "top8 covers all" 1.0 s.Characterize.top8_block_share;
+  Alcotest.(check (float 1e-6)) "mean reuse distance 0" 0.0 s.Characterize.mean_reuse_distance
+
+let test_working_set_curve () =
+  let curve = Characterize.working_set_curve ~window:100 (seq_trace 250) in
+  Alcotest.(check int) "three windows" 3 (List.length curve);
+  List.iter
+    (fun (start, distinct) ->
+      let expected = min 100 (250 - start) in
+      Alcotest.(check int) "distinct = window size for a stream" expected distinct)
+    curve
+
+let test_stride_histogram () =
+  let h = Characterize.stride_histogram ~top:3 (seq_trace 500) in
+  match h with
+  | (d, c) :: _ ->
+    Alcotest.(check int) "dominant stride +1" 1 d;
+    Alcotest.(check int) "count" 499 c
+  | [] -> Alcotest.fail "empty histogram"
+
+let test_miss_ratio_curve_monotone =
+  QCheck.Test.make ~name:"miss ratio non-increasing in capacity" ~count:30
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let trace = Array.init 2000 (fun _ -> Prng.zipf rng ~n:600 ~s:1.1 * 64) in
+      let curve =
+        Characterize.miss_ratio_curve ~capacities:[ 8; 32; 128; 512; 2048 ] trace
+      in
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a +. 1e-9 >= b && monotone rest
+        | _ -> true
+      in
+      monotone curve)
+
+let test_miss_ratio_matches_simulation () =
+  (* Fully-associative LRU simulation agrees with the curve. *)
+  let rng = Prng.create 5 in
+  let trace = Array.init 3000 (fun _ -> Prng.int rng 256 * 64) in
+  let cap = 64 in
+  let cache = Cache.create (Cache.config ~sets:1 ~ways:cap ()) in
+  Array.iter (fun a -> ignore (Cache.access cache a)) trace;
+  let sim_mr = 1.0 -. Cache.hit_rate (Cache.stats cache) in
+  match Characterize.miss_ratio_curve ~capacities:[ cap ] trace with
+  | [ (_, mr) ] -> Alcotest.(check (float 1e-9)) "exact agreement" sim_mr mr
+  | _ -> Alcotest.fail "unexpected"
+
+let test_empty_trace_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Characterize.summarize: empty trace")
+    (fun () -> ignore (Characterize.summarize [||]))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "characterize",
+    [
+      Alcotest.test_case "sequential summary" `Quick test_summary_sequential;
+      Alcotest.test_case "hot-block summary" `Quick test_summary_hot_block;
+      Alcotest.test_case "working-set curve" `Quick test_working_set_curve;
+      Alcotest.test_case "stride histogram" `Quick test_stride_histogram;
+      Alcotest.test_case "miss-ratio = simulation" `Quick test_miss_ratio_matches_simulation;
+      Alcotest.test_case "empty trace" `Quick test_empty_trace_rejected;
+      qc test_miss_ratio_curve_monotone;
+    ] )

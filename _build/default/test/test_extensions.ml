@@ -1,0 +1,265 @@
+(* Trace import/export and the victim-cache extension. *)
+
+let tmp suffix = Filename.temp_file "cbox" suffix
+
+let test_text_roundtrip =
+  QCheck.Test.make ~name:"text trace roundtrip" ~count:30
+    QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 1_000_000))
+    (fun addrs ->
+      let trace = Array.of_list addrs in
+      let path = tmp ".trace" in
+      Trace_io.write_text path trace;
+      let back = Trace_io.read_text path in
+      Sys.remove path;
+      back = trace)
+
+let test_binary_roundtrip =
+  QCheck.Test.make ~name:"binary trace roundtrip" ~count:30
+    QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 max_int))
+    (fun addrs ->
+      let trace = Array.of_list addrs in
+      let path = tmp ".btrace" in
+      Trace_io.write_binary path trace;
+      let back = Trace_io.read_binary path in
+      Sys.remove path;
+      back = trace)
+
+let test_text_tolerates_comments () =
+  let path = tmp ".trace" in
+  let oc = open_out path in
+  output_string oc "# captured with pin\n0x40\n\n80\n0XFF\n";
+  close_out oc;
+  let trace = Trace_io.read_text path in
+  Sys.remove path;
+  Alcotest.(check (array int)) "parsed" [| 0x40; 0x80; 0xFF |] trace
+
+let test_text_rejects_garbage () =
+  let path = tmp ".trace" in
+  let oc = open_out path in
+  output_string oc "0x40\nnot-an-address\n";
+  close_out oc;
+  (try
+     ignore (Trace_io.read_text path);
+     Sys.remove path;
+     Alcotest.fail "expected failure"
+   with Failure msg ->
+     Sys.remove path;
+     Alcotest.(check bool) "mentions line" true
+       (String.length msg > 0 && String.contains msg '2'))
+
+let test_binary_rejects_bad_magic () =
+  let path = tmp ".btrace" in
+  let oc = open_out_bin path in
+  output_string oc "NOTTRACE\x00\x00\x00\x00\x00\x00\x00\x00";
+  close_out oc;
+  (try
+     ignore (Trace_io.read_binary path);
+     Sys.remove path;
+     Alcotest.fail "expected failure"
+   with Failure _ -> Sys.remove path)
+
+let test_read_auto () =
+  let trace = [| 1; 2; 3 |] in
+  let p1 = tmp ".trace" and p2 = tmp ".btrace" in
+  Trace_io.write_text p1 trace;
+  Trace_io.write_binary p2 trace;
+  Alcotest.(check (array int)) "auto text" trace (Trace_io.read_auto p1);
+  Alcotest.(check (array int)) "auto binary" trace (Trace_io.read_auto p2);
+  Sys.remove p1;
+  Sys.remove p2
+
+(* --- access_evict --- *)
+
+let test_access_evict_reports_victim () =
+  (* 1-way, 2-set cache: block 0 then block 2 (same set) evicts block 0. *)
+  let c = Cache.create (Cache.config ~sets:2 ~ways:1 ()) in
+  let hit, ev = Cache.access_evict c 0 in
+  Alcotest.(check bool) "cold miss" false hit;
+  Alcotest.(check (option int)) "no eviction on cold fill" None ev;
+  let hit, ev = Cache.access_evict c (2 * 64) in
+  Alcotest.(check bool) "conflict miss" false hit;
+  Alcotest.(check (option int)) "evicted block 0" (Some 0) ev;
+  let hit, ev = Cache.access_evict c (2 * 64) in
+  Alcotest.(check bool) "now hits" true hit;
+  Alcotest.(check (option int)) "no eviction on hit" None ev
+
+let test_access_evict_address_reconstruction =
+  QCheck.Test.make ~name:"evicted addresses are real past accesses" ~count:40
+    QCheck.(list_of_size Gen.(10 -- 150) (int_range 0 64))
+    (fun bs ->
+      let c = Cache.create (Cache.config ~sets:4 ~ways:2 ()) in
+      let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun b ->
+          let addr = b * 64 in
+          Hashtbl.replace seen addr ();
+          let _, ev = Cache.access_evict c addr in
+          match ev with None -> true | Some e -> Hashtbl.mem seen e)
+        bs)
+
+(* --- victim cache --- *)
+
+let main_cfg = Cache.config ~sets:2 ~ways:1 ()
+
+let test_victim_recovers_conflict () =
+  (* Blocks 0 and 2 conflict in a 2-set 1-way cache; ping-ponging between
+     them always misses without a victim buffer but hits with one. *)
+  let v = Victim.create ~main:main_cfg ~victim_entries:4 in
+  ignore (Victim.access v 0);
+  ignore (Victim.access v (2 * 64));
+  (match Victim.access v 0 with
+  | `Victim_hit -> ()
+  | `Main_hit -> Alcotest.fail "expected victim hit, got main hit"
+  | `Miss -> Alcotest.fail "expected victim hit, got miss");
+  let s = Victim.stats v in
+  Alcotest.(check int) "one victim hit" 1 s.Victim.victim_hits
+
+let test_victim_improves_hit_rate () =
+  let ping_pong = Array.init 400 (fun i -> if i mod 2 = 0 then 0 else 2 * 64) in
+  let plain = Cache.create main_cfg in
+  Array.iter (fun a -> ignore (Cache.access plain a)) ping_pong;
+  let plain_rate = Cache.hit_rate (Cache.stats plain) in
+  let v = Victim.create ~main:main_cfg ~victim_entries:4 in
+  Array.iter (fun a -> ignore (Victim.access v a)) ping_pong;
+  let v_rate = Victim.hit_rate (Victim.stats v) in
+  Alcotest.(check bool) "victim buffer rescues conflicts" true (v_rate > plain_rate +. 0.5)
+
+let test_victim_never_hurts =
+  QCheck.Test.make ~name:"victim hit rate >= plain hit rate" ~count:40
+    QCheck.(list_of_size Gen.(20 -- 300) (int_range 0 32))
+    (fun bs ->
+      let trace = Array.of_list (List.map (fun b -> b * 64) bs) in
+      let plain = Cache.create main_cfg in
+      Array.iter (fun a -> ignore (Cache.access plain a)) trace;
+      let v = Victim.create ~main:main_cfg ~victim_entries:4 in
+      Array.iter (fun a -> ignore (Victim.access v a)) trace;
+      Victim.hit_rate (Victim.stats v) >= Cache.hit_rate (Cache.stats plain) -. 1e-9)
+
+let test_victim_stats_sum () =
+  let v = Victim.create ~main:main_cfg ~victim_entries:2 in
+  let rng = Prng.create 3 in
+  for _ = 1 to 200 do
+    ignore (Victim.access v (Prng.int rng 16 * 64))
+  done;
+  let s = Victim.stats v in
+  Alcotest.(check int) "partition" s.Victim.accesses
+    (s.Victim.main_hits + s.Victim.victim_hits + s.Victim.misses)
+
+let test_victim_reset () =
+  let v = Victim.create ~main:main_cfg ~victim_entries:2 in
+  ignore (Victim.access v 0);
+  Victim.reset v;
+  let s = Victim.stats v in
+  Alcotest.(check int) "cleared" 0 s.Victim.accesses
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "extensions (trace io & victim cache)",
+    [
+      Alcotest.test_case "text comments/formats" `Quick test_text_tolerates_comments;
+      Alcotest.test_case "text rejects garbage" `Quick test_text_rejects_garbage;
+      Alcotest.test_case "binary rejects bad magic" `Quick test_binary_rejects_bad_magic;
+      Alcotest.test_case "read_auto" `Quick test_read_auto;
+      Alcotest.test_case "access_evict basics" `Quick test_access_evict_reports_victim;
+      Alcotest.test_case "victim recovers conflicts" `Quick test_victim_recovers_conflict;
+      Alcotest.test_case "victim improves ping-pong" `Quick test_victim_improves_hit_rate;
+      Alcotest.test_case "victim stats partition" `Quick test_victim_stats_sum;
+      Alcotest.test_case "victim reset" `Quick test_victim_reset;
+      qc test_text_roundtrip;
+      qc test_binary_roundtrip;
+      qc test_access_evict_address_reconstruction;
+      qc test_victim_never_hurts;
+    ] )
+
+(* --- inclusion policies --- *)
+
+let incl_l1 = Cache.config ~sets:2 ~ways:1 ()
+let incl_l2 = Cache.config ~sets:4 ~ways:2 ()
+
+let random_blocks seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Prng.int rng 24 * 64)
+
+let test_inclusive_invariant =
+  QCheck.Test.make ~name:"inclusive: L1 contents are always in L2" ~count:30
+    QCheck.small_int (fun seed ->
+      let t = Inclusion.create Inclusion.Inclusive ~l1:incl_l1 ~l2:incl_l2 in
+      Inclusion.holds_invariant t (random_blocks seed 200))
+
+let test_exclusive_invariant =
+  QCheck.Test.make ~name:"exclusive: L1 and L2 are disjoint" ~count:30
+    QCheck.small_int (fun seed ->
+      let t = Inclusion.create Inclusion.Exclusive ~l1:incl_l1 ~l2:incl_l2 in
+      Inclusion.holds_invariant t (random_blocks (seed + 1000) 200))
+
+let test_inclusion_stats_partition =
+  QCheck.Test.make ~name:"inclusion stats partition accesses" ~count:20
+    QCheck.small_int (fun seed ->
+      List.for_all
+        (fun policy ->
+          let t = Inclusion.create policy ~l1:incl_l1 ~l2:incl_l2 in
+          Array.iter (fun a -> ignore (Inclusion.access t a)) (random_blocks seed 150);
+          let s = Inclusion.stats t in
+          s.Inclusion.accesses = s.Inclusion.l1_hits + s.Inclusion.l2_hits + s.Inclusion.misses)
+        [ Inclusion.Inclusive; Inclusion.Exclusive; Inclusion.Nine ])
+
+let test_exclusive_effective_capacity () =
+  (* Exclusion gives L1+L2 worth of distinct blocks; an inclusive pair only
+     holds L2's capacity. With a fully-associative L2 of 8 entries and a
+     2-entry L1, a cyclic sweep over 10 blocks fits exactly under exclusion
+     (only cold misses) but thrashes LRU under inclusion. *)
+  let l2_fa = Cache.config ~sets:1 ~ways:8 () in
+  let blocks = Array.init 10 (fun i -> i * 64) in
+  let run policy =
+    let t = Inclusion.create policy ~l1:incl_l1 ~l2:l2_fa in
+    for _ = 1 to 40 do
+      Array.iter (fun a -> ignore (Inclusion.access t a)) blocks
+    done;
+    let s = Inclusion.stats t in
+    float_of_int s.Inclusion.misses /. float_of_int s.Inclusion.accesses
+  in
+  let excl = run Inclusion.Exclusive and incl = run Inclusion.Inclusive in
+  Alcotest.(check bool) "exclusion: cold misses only" true (excl < 0.05);
+  Alcotest.(check bool) "inclusion thrashes" true (incl > 0.5)
+
+let test_l2_hit_moves_block_up () =
+  let t = Inclusion.create Inclusion.Exclusive ~l1:incl_l1 ~l2:incl_l2 in
+  ignore (Inclusion.access t 0);        (* miss: installed in L1 only *)
+  ignore (Inclusion.access t (2 * 64)); (* conflicts in L1; 0 spills to L2 *)
+  (match Inclusion.access t 0 with
+  | `L2_hit -> ()
+  | `L1_hit -> Alcotest.fail "expected L2 hit, got L1"
+  | `Miss -> Alcotest.fail "expected L2 hit, got miss");
+  (* The block moved up: it is in L1 now and not in L2. *)
+  match Inclusion.access t 0 with
+  | `L1_hit -> ()
+  | _ -> Alcotest.fail "block did not move up"
+
+let test_inclusion_reset () =
+  let t = Inclusion.create Inclusion.Nine ~l1:incl_l1 ~l2:incl_l2 in
+  ignore (Inclusion.access t 0);
+  Inclusion.reset t;
+  Alcotest.(check int) "cleared" 0 (Inclusion.stats t).Inclusion.accesses
+
+let test_cache_invalidate () =
+  let c = Cache.create incl_l1 in
+  ignore (Cache.access c 0);
+  Alcotest.(check bool) "present before" true (Cache.probe c 0);
+  Alcotest.(check bool) "invalidate reports presence" true (Cache.invalidate c 0);
+  Alcotest.(check bool) "gone after" false (Cache.probe c 0);
+  Alcotest.(check bool) "second invalidate is a no-op" false (Cache.invalidate c 0)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "cache invalidate" `Quick test_cache_invalidate;
+        Alcotest.test_case "exclusive capacity advantage" `Quick test_exclusive_effective_capacity;
+        Alcotest.test_case "L2 hit moves block up" `Quick test_l2_hit_moves_block_up;
+        Alcotest.test_case "inclusion reset" `Quick test_inclusion_reset;
+        qc test_inclusive_invariant;
+        qc test_exclusive_invariant;
+        qc test_inclusion_stats_partition;
+      ] )

@@ -1,0 +1,175 @@
+(* Heatmap pipeline: mass conservation, geometry, overlap semantics, and
+   the de-overlapped hit-rate computation of paper §4.4. *)
+
+let small_spec = Heatmap.spec ~height:8 ~width:4 ~window:5 ~overlap:0.0 ~granularity:64 ()
+let overlap_spec = Heatmap.spec ~height:8 ~width:10 ~window:5 ~overlap:0.3 ~granularity:64 ()
+
+let random_trace seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Prng.int rng 100_000)
+
+let test_geometry () =
+  Alcotest.(check int) "accesses per image" 20 (Heatmap.accesses_per_image small_spec);
+  Alcotest.(check int) "no-overlap step" 20 (Heatmap.step_accesses small_spec);
+  Alcotest.(check int) "overlap columns" 3 (Heatmap.overlap_columns overlap_spec);
+  Alcotest.(check int) "overlap step" 35 (Heatmap.step_accesses overlap_spec)
+
+let test_image_count () =
+  Alcotest.(check int) "one image" 1 (Heatmap.image_count small_spec 20);
+  Alcotest.(check int) "two images" 2 (Heatmap.image_count small_spec 40);
+  Alcotest.(check int) "partial tail dropped" 2 (Heatmap.image_count small_spec 59);
+  Alcotest.check_raises "short trace"
+    (Invalid_argument
+       "Heatmap.image_count: trace of 10 accesses is shorter than one image (20)")
+    (fun () -> ignore (Heatmap.image_count small_spec 10))
+
+let test_mass_conservation =
+  QCheck.Test.make ~name:"pixel mass = covered accesses" ~count:50 QCheck.small_int
+    (fun seed ->
+      let trace = random_trace seed 20 in
+      match Heatmap.of_trace small_spec trace with
+      | [ img ] -> Float.abs (Tensor.sum img -. 20.0) < 1e-4
+      | _ -> false)
+
+let test_modulo_mapping () =
+  (* All accesses to one block land on one row. *)
+  let trace = Array.make 20 (64 * 9) in
+  (match Heatmap.of_trace small_spec trace with
+  | [ img ] ->
+    (* block 9 mod 8 = row 1; each column holds one window of 5. *)
+    for col = 0 to 3 do
+      Alcotest.(check (float 1e-5)) "concentrated" 5.0 (Tensor.get2 img 1 col)
+    done;
+    Alcotest.(check (float 1e-5)) "elsewhere zero" 0.0 (Tensor.get2 img 0 0)
+  | _ -> Alcotest.fail "expected one image")
+
+let test_granularity_folds_blocks () =
+  let spec = Heatmap.spec ~height:8 ~width:1 ~window:4 ~overlap:0.0 ~granularity:64 () in
+  (* Two addresses in the same 64B block map to the same row. *)
+  let trace = [| 0; 32; 63; 64 |] in
+  match Heatmap.of_trace spec trace with
+  | [ img ] ->
+    Alcotest.(check (float 1e-5)) "block 0 row" 3.0 (Tensor.get2 img 0 0);
+    Alcotest.(check (float 1e-5)) "block 1 row" 1.0 (Tensor.get2 img 1 0)
+  | _ -> Alcotest.fail "expected one image"
+
+let test_overlap_duplicates_columns () =
+  let trace = random_trace 7 (Heatmap.accesses_per_image overlap_spec + Heatmap.step_accesses overlap_spec) in
+  match Heatmap.of_trace overlap_spec trace with
+  | [ a; b ] ->
+    let ov = Heatmap.overlap_columns overlap_spec in
+    (* First [ov] columns of image 2 equal the last [ov] columns of image 1. *)
+    for col = 0 to ov - 1 do
+      for row = 0 to 7 do
+        Alcotest.(check (float 1e-5)) "shared columns"
+          (Tensor.get2 a row (overlap_spec.Heatmap.width - ov + col))
+          (Tensor.get2 b row col)
+      done
+    done
+  | _ -> Alcotest.fail "expected two images"
+
+let test_filtered_counts_only_kept () =
+  let trace = Array.init 20 (fun i -> i * 64) in
+  let keep = Array.init 20 (fun i -> i mod 2 = 0) in
+  match Heatmap.of_trace_filtered small_spec ~addresses:trace ~keep with
+  | [ img ] -> Alcotest.(check (float 1e-5)) "half the mass" 10.0 (Tensor.sum img)
+  | _ -> Alcotest.fail "expected one image"
+
+let test_pair_alignment =
+  QCheck.Test.make ~name:"miss <= access pixelwise" ~count:30 QCheck.small_int
+    (fun seed ->
+      let trace = random_trace seed 40 in
+      let rng = Prng.create (seed + 1) in
+      let hits = Array.init 40 (fun _ -> Prng.bool rng) in
+      let pairs = Heatmap.pair_of_trace small_spec ~addresses:trace ~hits in
+      List.for_all
+        (fun (access, miss) ->
+          let ok = ref true in
+          for i = 0 to Tensor.numel access - 1 do
+            if Tensor.get miss i > Tensor.get access i +. 1e-6 then ok := false
+          done;
+          !ok)
+        pairs)
+
+let test_deoverlap_counts_once () =
+  (* With 30% overlap, total de-overlapped mass equals the number of
+     accesses covered by image starts (no double counting). *)
+  let n = Heatmap.accesses_per_image overlap_spec + (2 * Heatmap.step_accesses overlap_spec) in
+  let trace = random_trace 11 n in
+  let imgs = Heatmap.of_trace overlap_spec trace in
+  Alcotest.(check int) "three images" 3 (List.length imgs);
+  Alcotest.(check (float 1e-3)) "each access counted once" (float_of_int n)
+    (Heatmap.deoverlapped_sum overlap_spec imgs)
+
+let test_hit_rate_extremes () =
+  let trace = random_trace 13 40 in
+  let all_hits = Array.make 40 true in
+  let pairs = Heatmap.pair_of_trace small_spec ~addresses:trace ~hits:all_hits in
+  let access = List.map fst pairs and miss = List.map snd pairs in
+  Alcotest.(check (float 1e-6)) "no misses -> hit rate 1" 1.0
+    (Heatmap.hit_rate small_spec ~access ~miss);
+  let no_hits = Array.make 40 false in
+  let pairs = Heatmap.pair_of_trace small_spec ~addresses:trace ~hits:no_hits in
+  let access = List.map fst pairs and miss = List.map snd pairs in
+  Alcotest.(check (float 1e-6)) "all misses -> hit rate 0" 0.0
+    (Heatmap.hit_rate small_spec ~access ~miss)
+
+let test_hit_rate_matches_simulator =
+  (* End-to-end: heatmap-derived hit rate equals the simulator's, when the
+     trace length is an exact multiple of the image size. *)
+  QCheck.Test.make ~name:"heatmap hit rate = simulator hit rate" ~count:20
+    QCheck.small_int (fun seed ->
+      let spec = small_spec in
+      let trace =
+        let rng = Prng.create seed in
+        Array.init 60 (fun _ -> Prng.int rng 64 * 64)
+      in
+      let cache = Cache.create (Cache.config ~sets:2 ~ways:2 ()) in
+      let hits = Array.map (fun a -> Cache.access cache a) trace in
+      let pairs = Heatmap.pair_of_trace spec ~addresses:trace ~hits in
+      let access = List.map fst pairs and miss = List.map snd pairs in
+      let hm_rate = Heatmap.hit_rate spec ~access ~miss in
+      let true_rate = Cache.hit_rate (Cache.stats cache) in
+      Float.abs (hm_rate -. true_rate) < 1e-6)
+
+let test_render_ascii () =
+  let img = Tensor.of_array [| 2; 2 |] [| 0.; 1.; 2.; 4. |] in
+  let s = Heatmap.render_ascii ~max_rows:2 ~max_cols:2 img in
+  Alcotest.(check bool) "has border" true (String.length s > 0 && s.[0] = '+');
+  Alcotest.(check bool) "peak is darkest" true (String.contains s '@')
+
+let test_write_pgm () =
+  let img = Tensor.of_array [| 2; 3 |] [| 0.; 1.; 2.; 3.; 4.; 5. |] in
+  let path = Filename.temp_file "cbox" ".pgm" in
+  Heatmap.write_pgm path img;
+  let ic = open_in_bin path in
+  let magic = really_input_string ic 2 in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "P5 header" "P5" magic
+
+let test_spec_validation () =
+  Alcotest.check_raises "bad overlap"
+    (Invalid_argument "Heatmap.spec: overlap must be in [0, 1)") (fun () ->
+      ignore (Heatmap.spec ~overlap:1.0 ()))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "heatmap",
+    [
+      Alcotest.test_case "geometry" `Quick test_geometry;
+      Alcotest.test_case "image count" `Quick test_image_count;
+      Alcotest.test_case "modulo mapping" `Quick test_modulo_mapping;
+      Alcotest.test_case "granularity folds blocks" `Quick test_granularity_folds_blocks;
+      Alcotest.test_case "overlap duplicates columns" `Quick test_overlap_duplicates_columns;
+      Alcotest.test_case "filter counts kept only" `Quick test_filtered_counts_only_kept;
+      Alcotest.test_case "deoverlap counts once" `Quick test_deoverlap_counts_once;
+      Alcotest.test_case "hit rate extremes" `Quick test_hit_rate_extremes;
+      Alcotest.test_case "ascii render" `Quick test_render_ascii;
+      Alcotest.test_case "pgm writer" `Quick test_write_pgm;
+      Alcotest.test_case "spec validation" `Quick test_spec_validation;
+      qc test_mass_conservation;
+      qc test_pair_alignment;
+      qc test_hit_rate_matches_simulator;
+    ] )

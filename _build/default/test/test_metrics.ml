@@ -1,0 +1,75 @@
+(* Evaluation metrics. *)
+
+let feq tol = Alcotest.(check (float tol))
+
+let test_abs_pct_diff () =
+  feq 1e-9 "five points" 5.0 (Metrics.abs_pct_diff ~truth:0.90 ~predicted:0.85);
+  feq 1e-9 "symmetric" 5.0 (Metrics.abs_pct_diff ~truth:0.85 ~predicted:0.90);
+  feq 1e-9 "zero" 0.0 (Metrics.abs_pct_diff ~truth:0.5 ~predicted:0.5)
+
+let test_mean_stddev () =
+  feq 1e-9 "mean" 2.0 (Metrics.mean [ 1.0; 2.0; 3.0 ]);
+  feq 1e-9 "mean empty" 0.0 (Metrics.mean []);
+  feq 1e-9 "stddev" 1.0 (Metrics.stddev [ 1.0; 2.0; 3.0 ]);
+  feq 1e-9 "stddev singleton" 0.0 (Metrics.stddev [ 5.0 ])
+
+let test_mse () =
+  let a = Tensor.of_array [| 4 |] [| 1.; 2.; 3.; 4. |] in
+  let b = Tensor.of_array [| 4 |] [| 1.; 2.; 3.; 4. |] in
+  feq 1e-9 "identical" 0.0 (Metrics.mse a b);
+  let c = Tensor.of_array [| 4 |] [| 0.; 2.; 3.; 6. |] in
+  feq 1e-6 "mse value" 1.25 (Metrics.mse a c)
+
+let test_ssim_identical =
+  QCheck.Test.make ~name:"ssim(x, x) = 1" ~count:30 QCheck.small_int (fun seed ->
+      let img = Tensor.randn (Prng.create seed) [| 16; 16 |] in
+      Float.abs (Metrics.ssim img img -. 1.0) < 1e-3)
+
+let test_ssim_range =
+  QCheck.Test.make ~name:"ssim in [-1, 1]" ~count:30 QCheck.small_int (fun seed ->
+      let rng = Prng.create seed in
+      let a = Tensor.randn rng [| 16; 16 |] and b = Tensor.randn rng [| 16; 16 |] in
+      let s = Metrics.ssim a b in
+      s >= -1.0 && s <= 1.0 +. 1e-6)
+
+let test_ssim_discriminates () =
+  let rng = Prng.create 5 in
+  let a = Tensor.randn rng [| 16; 16 |] in
+  let near = Tensor.map (fun v -> v +. 0.01) a in
+  let far = Tensor.randn rng [| 16; 16 |] in
+  Alcotest.(check bool) "closer image scores higher" true
+    (Metrics.ssim a near > Metrics.ssim a far)
+
+let test_ssim_symmetric () =
+  let rng = Prng.create 6 in
+  let a = Tensor.randn rng [| 16; 16 |] and b = Tensor.randn rng [| 16; 16 |] in
+  feq 1e-5 "symmetry" (Metrics.ssim a b) (Metrics.ssim b a)
+
+let test_histogram () =
+  let h = Metrics.histogram ~bins:4 ~lo:0.0 ~hi:1.0 [ 0.1; 0.1; 0.6; 0.95; 1.5; -0.2 ] in
+  Alcotest.(check int) "total count" 6 (Array.fold_left ( + ) 0 h.Metrics.counts);
+  Alcotest.(check int) "first bin (incl clamp below)" 3 h.Metrics.counts.(0);
+  Alcotest.(check int) "last bin (incl clamp above)" 2 h.Metrics.counts.(3);
+  let s = Metrics.render_histogram h in
+  Alcotest.(check bool) "renders bars" true (String.length s > 0)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "bins positive"
+    (Invalid_argument "Metrics.histogram: bins must be positive") (fun () ->
+      ignore (Metrics.histogram ~bins:0 ~lo:0.0 ~hi:1.0 []))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "abs pct diff" `Quick test_abs_pct_diff;
+      Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+      Alcotest.test_case "mse" `Quick test_mse;
+      Alcotest.test_case "ssim discriminates" `Quick test_ssim_discriminates;
+      Alcotest.test_case "ssim symmetric" `Quick test_ssim_symmetric;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+      qc test_ssim_identical;
+      qc test_ssim_range;
+    ] )

@@ -1,0 +1,49 @@
+(* The fast baseline simulator must agree exactly with the reference LRU
+   cache model — it is the same semantics, only optimised. *)
+
+let test_agrees_with_reference =
+  QCheck.Test.make ~name:"multicachesim = Cache (LRU)" ~count:80
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 500) (int_range 0 2000))
+        (int_range 0 3) (int_range 1 8))
+    (fun (bs, sets_log, ways) ->
+      let sets = 1 lsl sets_log in
+      let trace = Array.of_list (List.map (fun b -> b * 64) bs) in
+      let reference = Cache.create (Cache.config ~sets ~ways ()) in
+      let ref_misses =
+        Array.fold_left
+          (fun acc a -> if Cache.access reference a then acc else acc + 1)
+          0 trace
+      in
+      let m = Multicachesim.create ~sets ~ways ~block_bytes:64 in
+      Multicachesim.run m trace = ref_misses)
+
+let test_hit_rate () =
+  let m = Multicachesim.create ~sets:2 ~ways:1 ~block_bytes:64 in
+  let misses = Multicachesim.run m [| 0; 0; 0; 64 |] in
+  Alcotest.(check int) "two misses" 2 misses;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Multicachesim.hit_rate m)
+
+let test_state_persists_and_resets () =
+  let m = Multicachesim.create ~sets:2 ~ways:1 ~block_bytes:64 in
+  ignore (Multicachesim.run m [| 0 |]);
+  Alcotest.(check int) "warm hit" 0 (Multicachesim.run m [| 0 |]);
+  Multicachesim.reset m;
+  Alcotest.(check int) "cold after reset" 1 (Multicachesim.run m [| 0 |])
+
+let test_validation () =
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "Multicachesim.create: sets must be power of two") (fun () ->
+      ignore (Multicachesim.create ~sets:3 ~ways:1 ~block_bytes:64))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "multicachesim",
+    [
+      Alcotest.test_case "hit rate" `Quick test_hit_rate;
+      Alcotest.test_case "state persists / resets" `Quick test_state_persists_and_resets;
+      Alcotest.test_case "validation" `Quick test_validation;
+      qc test_agrees_with_reference;
+    ] )

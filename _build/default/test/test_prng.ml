@@ -1,0 +1,131 @@
+(* Tests for the deterministic PRNG: reproducibility, ranges, and the
+   statistical sanity of the derived distributions. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_of_label () =
+  let a = Prng.of_label "gemm.small" and b = Prng.of_label "gemm.small" in
+  Alcotest.(check int64) "label determinism" (Prng.next_int64 a) (Prng.next_int64 b);
+  let c = Prng.of_label "gemm.large" in
+  Alcotest.(check bool) "labels differ" true (Prng.next_int64 c <> Prng.next_int64 (Prng.of_label "gemm.small"))
+
+let test_split_independence () =
+  let g = Prng.create 7 in
+  let child = Prng.split g in
+  let xs = Array.init 32 (fun _ -> Prng.next_int64 g) in
+  let ys = Array.init 32 (fun _ -> Prng.next_int64 child) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_range =
+  QCheck.Test.make ~name:"int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let test_float_range =
+  QCheck.Test.make ~name:"float stays in range" ~count:500 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let v = Prng.float g 3.5 in
+      v >= 0.0 && v < 3.5)
+
+let test_gauss_moments () =
+  let g = Prng.create 99 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.gauss g in
+    sum := !sum +. v;
+    sum2 := !sum2 +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_zipf_bounds =
+  QCheck.Test.make ~name:"zipf stays in range" ~count:300
+    QCheck.(pair small_int (int_range 1 5000))
+    (fun (seed, n) ->
+      let g = Prng.create seed in
+      let v = Prng.zipf g ~n ~s:1.1 in
+      v >= 0 && v < n)
+
+let test_zipf_skew () =
+  let g = Prng.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let v = Prng.zipf g ~n:100 ~s:1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 is hottest" true
+    (counts.(0) > counts.(10) && counts.(0) > counts.(50))
+
+let test_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:200
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 50) int))
+    (fun (seed, xs) ->
+      let a = Array.of_list xs in
+      let orig = Array.copy a in
+      Prng.shuffle (Prng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare (Array.to_list orig))
+
+let test_uniform_bounds () =
+  let g = Prng.create 3 in
+  for _ = 1 to 200 do
+    let v = Prng.uniform g ~lo:(-2.0) ~hi:5.0 in
+    Alcotest.(check bool) "in bounds" true (v >= -2.0 && v < 5.0)
+  done
+
+let test_pick () =
+  let g = Prng.create 4 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick member" true (Array.mem (Prng.pick g a) a)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick g [||]))
+
+let test_int_invalid () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "of_label" `Quick test_of_label;
+      Alcotest.test_case "split independence" `Quick test_split_independence;
+      Alcotest.test_case "gauss moments" `Quick test_gauss_moments;
+      Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+      Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+      Alcotest.test_case "pick" `Quick test_pick;
+      Alcotest.test_case "int invalid" `Quick test_int_invalid;
+      qc test_int_range;
+      qc test_float_range;
+      qc test_zipf_bounds;
+      qc test_shuffle_is_permutation;
+    ] )
+
+let () = ignore check_float

@@ -1,0 +1,180 @@
+(* Workload generators: determinism, exact trace lengths, suite registry
+   invariants, and the benchmark-group-aware train/test split. *)
+
+let test_builder_exact_length () =
+  let trace = Workload.Builder.run 100 (fun b -> Workload.Builder.emit b 0) in
+  Alcotest.(check int) "exact length" 100 (Array.length trace)
+
+let test_builder_wraps_short_generators () =
+  (* A generator that emits 7 addresses restarts until the sink is full. *)
+  let trace =
+    Workload.Builder.run 20 (fun b ->
+        for i = 0 to 6 do
+          Workload.Builder.emit b (i * 8)
+        done)
+  in
+  Alcotest.(check int) "length" 20 (Array.length trace);
+  Alcotest.(check int) "wrapped content" 0 trace.(7)
+
+let test_builder_read_helper () =
+  let trace =
+    Workload.Builder.run 1 (fun b -> Workload.Builder.read b ~base:1000 ~index:3 ~elem_bytes:8)
+  in
+  Alcotest.(check int) "address arithmetic" 1024 trace.(0)
+
+let test_all_workloads_deterministic () =
+  (* Every registered workload generates identical traces on repeated calls.
+     Sampled on a prefix of the roster to keep the test quick. *)
+  let ws = Suite.all () in
+  List.iteri
+    (fun i w ->
+      if i mod 11 = 0 then begin
+        let a = w.Workload.generate 2000 and b = w.Workload.generate 2000 in
+        Alcotest.(check bool) (w.Workload.name ^ " deterministic") true (a = b);
+        Alcotest.(check int) (w.Workload.name ^ " length") 2000 (Array.length a)
+      end)
+    ws
+
+let test_roster_counts () =
+  Alcotest.(check int) "spec-like count" 48 (List.length (Suite.of_suite Workload.Spec));
+  Alcotest.(check int) "ligra-like count" 25 (List.length (Suite.of_suite Workload.Ligra));
+  Alcotest.(check int) "polybench-like count" 36 (List.length (Suite.of_suite Workload.Polybench))
+
+let test_names_unique () =
+  let names = List.map (fun w -> w.Workload.name) (Suite.all ()) in
+  Alcotest.(check int) "no duplicate names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  let w = Suite.find "gemm.small" in
+  Alcotest.(check string) "found" "gemm.small" w.Workload.name;
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Suite.find "nope"))
+
+let test_split_group_disjoint =
+  QCheck.Test.make ~name:"split keeps groups together" ~count:20 QCheck.small_int
+    (fun seed ->
+      let split = Suite.split ~seed (Suite.all ()) in
+      Suite.split_disjoint split)
+
+let test_split_covers_everything () =
+  let all = Suite.all () in
+  let split = Suite.split ~seed:1 all in
+  Alcotest.(check int) "partition" (List.length all)
+    (List.length split.Suite.train + List.length split.Suite.test);
+  Alcotest.(check bool) "train nonempty" true (split.Suite.train <> []);
+  Alcotest.(check bool) "test nonempty" true (split.Suite.test <> [])
+
+let test_split_fraction () =
+  let all = Suite.all () in
+  let split = Suite.split ~seed:3 ~train_fraction:0.8 all in
+  let frac = float_of_int (List.length split.Suite.train) /. float_of_int (List.length all) in
+  Alcotest.(check bool) "roughly 80/20" true (frac > 0.6 && frac < 0.95)
+
+let test_spec_phases_share_group () =
+  let spec = Suite.of_suite Workload.Spec in
+  let gcc = List.filter (fun w -> w.Workload.group = "602.gcc_s") spec in
+  Alcotest.(check int) "two phases" 2 (List.length gcc);
+  match gcc with
+  | [ a; b ] ->
+    Alcotest.(check bool) "phases differ" true
+      (a.Workload.generate 1000 <> b.Workload.generate 1000)
+  | _ -> Alcotest.fail "unexpected"
+
+let test_polykernel_traces_nontrivial () =
+  List.iter
+    (fun name ->
+      let t = Polykernels.trace ~name ~size:16 1000 in
+      Alcotest.(check int) (name ^ " length") 1000 (Array.length t);
+      let distinct = List.sort_uniq compare (Array.to_list t) in
+      Alcotest.(check bool) (name ^ " touches several addresses") true
+        (List.length distinct > 4))
+    Polykernels.kernel_names
+
+let test_zipf_pattern_hot_set () =
+  (* The Zipf pattern concentrates accesses on few blocks. *)
+  let trace =
+    Synth.trace_of_patterns ~seed:5
+      [ (Synth.Zipf { region_bytes = 64 * 1024; exponent = 1.2 }, 1.0) ]
+      20_000
+  in
+  let table = Hashtbl.create 256 in
+  Array.iter
+    (fun a ->
+      let b = a / 64 in
+      Hashtbl.replace table b (1 + Option.value ~default:0 (Hashtbl.find_opt table b)))
+    trace;
+  let counts = List.sort (fun a b -> compare b a) (Hashtbl.fold (fun _ c acc -> c :: acc) table []) in
+  match counts with
+  | top :: _ ->
+    Alcotest.(check bool) "hot block dominates" true (top > 20000 / 100)
+  | [] -> Alcotest.fail "empty"
+
+let test_stream_pattern_is_sequential () =
+  let trace =
+    Synth.trace_of_patterns ~seed:6
+      [ (Synth.Stream { region_bytes = 4096; stride = 8 }, 1.0) ]
+      512
+  in
+  Alcotest.(check int) "wraps modulo region" 0 (trace.(512 / 1 - 1) mod 4096 mod 8);
+  let deltas_ok = ref true in
+  for i = 1 to 100 do
+    let d = trace.(i) - trace.(i - 1) in
+    if d <> 8 && d <> 8 - 4096 then deltas_ok := false
+  done;
+  Alcotest.(check bool) "stride-8 deltas" true !deltas_ok
+
+let test_graph_csr_well_formed () =
+  let g = Graphs.uniform_graph ~seed:1 ~vertices:100 ~avg_degree:4 in
+  Alcotest.(check int) "offsets length" 101 (Array.length g.Graphs.offsets);
+  Alcotest.(check int) "edge count" 400 (Array.length g.Graphs.edges);
+  Alcotest.(check int) "offsets end" 400 g.Graphs.offsets.(100);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "edge target in range" true (v >= 0 && v < 100))
+    g.Graphs.edges;
+  for v = 0 to 99 do
+    Alcotest.(check bool) "offsets monotone" true (g.Graphs.offsets.(v) <= g.Graphs.offsets.(v + 1))
+  done
+
+let test_rmat_graph_pow2 () =
+  let g = Graphs.rmat_graph ~seed:2 ~vertices:100 ~avg_degree:4 in
+  Alcotest.(check int) "rounded to power of two" 128 g.Graphs.vertex_count
+
+let test_graph_algorithms_run () =
+  let g = Graphs.uniform_graph ~seed:3 ~vertices:200 ~avg_degree:4 in
+  List.iter
+    (fun algo ->
+      let t = Graphs.trace ~algo ~graph:g 500 in
+      Alcotest.(check int) (algo ^ " length") 500 (Array.length t))
+    Graphs.algorithm_names
+
+let test_table1_apps_have_phases () =
+  List.iter
+    (fun app ->
+      let phases = List.filter (fun w -> w.Workload.group = app) (Suite.of_suite Workload.Spec) in
+      Alcotest.(check bool) (app ^ " has >= 2 phases") true (List.length phases >= 2))
+    Synth.table1_apps
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "builder exact length" `Quick test_builder_exact_length;
+      Alcotest.test_case "builder wraps" `Quick test_builder_wraps_short_generators;
+      Alcotest.test_case "builder read helper" `Quick test_builder_read_helper;
+      Alcotest.test_case "determinism (sampled)" `Slow test_all_workloads_deterministic;
+      Alcotest.test_case "roster counts" `Quick test_roster_counts;
+      Alcotest.test_case "unique names" `Quick test_names_unique;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "split covers all" `Quick test_split_covers_everything;
+      Alcotest.test_case "split fraction" `Quick test_split_fraction;
+      Alcotest.test_case "phases share group" `Quick test_spec_phases_share_group;
+      Alcotest.test_case "polykernels nontrivial" `Slow test_polykernel_traces_nontrivial;
+      Alcotest.test_case "zipf hot set" `Quick test_zipf_pattern_hot_set;
+      Alcotest.test_case "stream sequential" `Quick test_stream_pattern_is_sequential;
+      Alcotest.test_case "csr well formed" `Quick test_graph_csr_well_formed;
+      Alcotest.test_case "rmat power of two" `Quick test_rmat_graph_pow2;
+      Alcotest.test_case "graph algorithms run" `Quick test_graph_algorithms_run;
+      Alcotest.test_case "table1 apps" `Quick test_table1_apps_have_phases;
+      qc test_split_group_disjoint;
+    ] )
