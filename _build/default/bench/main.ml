@@ -266,6 +266,89 @@ let run_policies () =
       log " %10.4f\n" (Victim.hit_rate (Victim.stats v)))
     benchmarks
 
+(* --- Parallel backend: serial vs N-domain throughput on the Dpool pool --- *)
+
+let run_parallel () =
+  section "Parallel: persistent domain pool, serial vs N-domain throughput";
+  let fast = Sys.getenv_opt "CACHEBOX_FAST" <> None in
+  let counts = [ 1; 2; 4 ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let report name times =
+    (* [times]: (domains, seconds) with domains=1 first. *)
+    let serial = List.assoc 1 times in
+    log "  %-28s" name;
+    List.iter
+      (fun (d, t) -> log "  %dd %8.3fs (%4.2fx)" d t (serial /. Float.max 1e-9 t))
+      times;
+    log "\n%!"
+  in
+  let measure name f =
+    ignore (Dpool.with_domains 1 (fun () -> time f));
+    (* warm-up: pool spawn + allocation *)
+    report name (List.map (fun d -> (d, Dpool.with_domains d (fun () -> time f))) counts)
+  in
+  (* 1. Raw GEMM. *)
+  let dim = if fast then 96 else 256 in
+  let reps = if fast then 2 else 4 in
+  let rng = Prng.create 11 in
+  let a = Tensor.randn rng [| dim; dim |] and b = Tensor.randn rng [| dim; dim |] in
+  let c = Tensor.zeros [| dim; dim |] in
+  measure
+    (Printf.sprintf "gemm %dx%dx%d x%d" dim dim dim reps)
+    (fun () ->
+      for _ = 1 to reps do
+        Blas.gemm ~alpha:1.0 ~a ~b ~beta:0.0 c
+      done);
+  (* Bit-identity spot check across the extreme domain counts. *)
+  let at d =
+    Dpool.with_domains d (fun () ->
+        let out = Tensor.zeros [| dim; dim |] in
+        Blas.gemm ~alpha:1.0 ~a ~b ~beta:0.0 out;
+        Tensor.to_array out)
+  in
+  log "  gemm serial/4-domain outputs bit-identical: %b\n%!"
+    (Array.for_all2 Float.equal (at 1) (at 4));
+  (* 2. U-Net generator forward + backward (the conv/deconv hot path). *)
+  let batch = if fast then 2 else 4 in
+  let model = Cbgan.create ~seed:3 (Cbgan.default_config ~ngf:8 ~ndf:8 ()) in
+  let size = (Cbgan.model_config model).Cbgan.image_size in
+  let x = Tensor.rand rng [| batch; 1; size; size |] ~lo:(-1.0) ~hi:1.0 in
+  let target = Tensor.rand rng [| batch; 1; size; size |] ~lo:(-1.0) ~hi:1.0 in
+  let cp = Cbgan.cache_params_tensor (List.init batch (fun _ -> Experiments.l1_64s12w)) in
+  measure
+    (Printf.sprintf "u-net fwd+bwd b%d" batch)
+    (fun () ->
+      let frng = Prng.create 5 in
+      let out = Cbgan.generator_forward model ~rng:frng ~training:true ~cache_params:cp x in
+      Value.backward (Value.l1_loss out target));
+  (* 3. A full CB-GAN training step (G+D forward/backward + Adam), driven
+     through Cbox_train's [domains] option. *)
+  let spec = scale.Experiments.spec in
+  let ws =
+    List.filteri (fun i _ -> i < if fast then 1 else 2) (Suite.split (Suite.all ())).Suite.train
+  in
+  let data =
+    Cbox_dataset.build_l1 spec ~configs:[ Experiments.l1_64s12w ]
+      ~trace_len:(if fast then 4000 else 8000)
+      ws
+  in
+  let samples = Cbox_dataset.to_samples data in
+  let step_model = Cbgan.create ~seed:7 (Cbgan.default_config ~ngf:8 ~ndf:8 ()) in
+  let train_step d () =
+    let options =
+      { (Cbox_train.default_options ~epochs:1 ~batch_size:batch ()) with
+        Cbox_train.domains = Some d;
+      }
+    in
+    ignore (Cbox_train.train step_model spec options samples)
+  in
+  report "cb-gan train step"
+    (List.map (fun d -> (d, time (train_step d))) counts)
+
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure family --- *)
 
 let run_bechamel () =
@@ -351,6 +434,7 @@ let all_experiments =
     ("table1", run_table1);
     ("ablations", run_ablations);
     ("policies", run_policies);
+    ("parallel", run_parallel);
     ("bechamel", run_bechamel);
   ]
 

@@ -20,6 +20,24 @@ let ways_arg = Arg.(value & opt int 12 & info [ "ways" ] ~docv:"N" ~doc:"Cache a
 let trace_len_arg =
   Arg.(value & opt int 16_000 & info [ "trace-len" ] ~docv:"N" ~doc:"Accesses per benchmark trace.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+      ~docv:"N"
+      ~doc:
+        "Worker domains for the parallel compute backend (default: \
+         $(b,CACHEBOX_DOMAINS) or all cores). Results are bit-identical for \
+         every value.")
+
+let apply_domains = function
+  | None -> ()
+  | Some n when n >= 1 -> Dpool.set_domains n
+  | Some n ->
+    Fmt.epr "--domains must be at least 1 (got %d)@." n;
+    exit 2
+
 let workload_arg idx =
   Arg.(required & pos idx (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see $(b,cachebox list)).")
 
@@ -130,7 +148,8 @@ let train_cmd =
   let count_arg =
     Arg.(value & opt int 10 & info [ "benchmarks" ] ~docv:"N" ~doc:"Training benchmarks (from the train split).")
   in
-  let run sets ways trace_len epochs ckpt count =
+  let run sets ways trace_len epochs ckpt count domains =
+    apply_domains domains;
     let spec = Heatmap.spec () in
     let cfg = cache_config ~sets ~ways in
     let split = Suite.split (Suite.all ()) in
@@ -145,12 +164,15 @@ let train_cmd =
     Fmt.pr "checkpoint written to %s (%d parameters)@." ckpt (Cbgan.parameter_count model)
   in
   Cmd.v (Cmd.info "train" ~doc:"Train CB-GAN on the training split and save a checkpoint")
-    Term.(const run $ sets_arg $ ways_arg $ trace_len_arg $ epochs_arg $ checkpoint_arg $ count_arg)
+    Term.(
+      const run $ sets_arg $ ways_arg $ trace_len_arg $ epochs_arg $ checkpoint_arg $ count_arg
+      $ domains_arg)
 
 (* --- infer --- *)
 
 let infer_cmd =
-  let run name sets ways trace_len ckpt =
+  let run name sets ways trace_len ckpt domains =
+    apply_domains domains;
     let spec = Heatmap.spec () in
     let cfg = cache_config ~sets ~ways in
     let w = find_workload name in
@@ -170,7 +192,9 @@ let infer_cmd =
       data
   in
   Cmd.v (Cmd.info "infer" ~doc:"Predict a benchmark's hit rate with a trained checkpoint")
-    Term.(const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ checkpoint_arg)
+    Term.(
+      const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ checkpoint_arg
+      $ domains_arg)
 
 (* --- export / import traces --- *)
 

@@ -1,1 +1,1 @@
-lib/core/cbox_train.ml: Cbgan Cbox_dataset Float List Optimizer Printf Prng Tensor Value
+lib/core/cbox_train.ml: Cbgan Cbox_dataset Dpool Float List Optimizer Printf Prng Tensor Value

@@ -5,10 +5,11 @@ type options = {
   beta1 : float;
   lambda_l1 : float;
   seed : int;
+  domains : int option;
 }
 
-let default_options ?(epochs = 2) ?(batch_size = 4) ?(lambda_l1 = 150.0) () =
-  { epochs; batch_size; lr = 2e-4; beta1 = 0.5; lambda_l1; seed = 1234 }
+let default_options ?(epochs = 2) ?(batch_size = 4) ?(lambda_l1 = 150.0) ?domains () =
+  { epochs; batch_size; lr = 2e-4; beta1 = 0.5; lambda_l1; seed = 1234; domains }
 
 type epoch_stats = {
   epoch : int;
@@ -39,8 +40,7 @@ let batch_tensors spec model (samples : Cbox_dataset.sample list) =
 
 let scalar v = Tensor.get (Value.value v) 0
 
-let train ?(log = fun _ -> ()) model spec options samples =
-  if samples = [] then invalid_arg "Cbox_train.train: empty dataset";
+let train_loop ~log model spec options samples =
   let rng = Prng.create options.seed in
   let g_opt = Optimizer.adam ~lr:options.lr ~beta1:options.beta1 (Cbgan.generator_params model) in
   let d_opt = Optimizer.adam ~lr:options.lr ~beta1:options.beta1 (Cbgan.discriminator_params model) in
@@ -124,3 +124,12 @@ let train ?(log = fun _ -> ()) model spec options samples =
     history := stats :: !history
   done;
   List.rev !history
+
+let train ?(log = fun _ -> ()) model spec options samples =
+  if samples = [] then invalid_arg "Cbox_train.train: empty dataset";
+  (* [domains] pins the Dpool lane count for the whole run, so every kernel
+     under the step (gemm, conv, elementwise) runs data-parallel; [None]
+     keeps the ambient CACHEBOX_DOMAINS / machine default. *)
+  match options.domains with
+  | Some d -> Dpool.with_domains d (fun () -> train_loop ~log model spec options samples)
+  | None -> train_loop ~log model spec options samples

@@ -13,10 +13,16 @@ type options = {
   beta1 : float;
   lambda_l1 : float;
   seed : int;
+  domains : int option;
+      (** Dpool lane count used for the whole run ([None] = ambient
+          [CACHEBOX_DOMAINS] / machine default). Results are bit-identical
+          for every setting. *)
 }
 
-val default_options : ?epochs:int -> ?batch_size:int -> ?lambda_l1:float -> unit -> options
-(** Defaults: 2 epochs, batch 4, lr 2e-4, beta1 0.5, lambda 150, seed 1234. *)
+val default_options :
+  ?epochs:int -> ?batch_size:int -> ?lambda_l1:float -> ?domains:int -> unit -> options
+(** Defaults: 2 epochs, batch 4, lr 2e-4, beta1 0.5, lambda 150, seed 1234,
+    ambient domain count. *)
 
 type epoch_stats = {
   epoch : int;

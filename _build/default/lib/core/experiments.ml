@@ -155,6 +155,7 @@ let train_model ?(log = fun _ -> ()) scale ~use_cache_params ?(disc_layers = 2) 
       beta1 = 0.5;
       lambda_l1 = scale.lambda_l1;
       seed = scale.seed + 7;
+      domains = None;
     }
   in
   let _history = Cbox_train.train ~log model scale.spec options samples in

@@ -71,14 +71,12 @@ let neg a = scale a (-1.0)
 (* --- activations --- *)
 
 let pointwise_fwd_bwd f df a =
+  (* Both the forward map and the backward chain-rule map run on the Dpool
+     parallel backend for large activations; [f]/[df] must be pure. *)
   let y = Tensor.map f a.v in
   let push self =
     let g = the_grad self in
-    let d = Tensor.create (Tensor.shape g) in
-    for i = 0 to Tensor.numel g - 1 do
-      Tensor.set d i (Tensor.get g i *. df (Tensor.get a.v i) (Tensor.get y i))
-    done;
-    accum a d
+    accum a (Tensor.map3 (fun gi xi yi -> gi *. df xi yi) g a.v y)
   in
   node ~parents:[| a |] ~push y
 

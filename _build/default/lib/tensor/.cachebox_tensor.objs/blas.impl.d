@@ -1,1 +1,1 @@
-lib/tensor/blas.ml: Array Bigarray Tensor
+lib/tensor/blas.ml: Array Bigarray Dpool Tensor

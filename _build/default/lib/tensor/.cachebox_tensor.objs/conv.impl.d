@@ -1,1 +1,1 @@
-lib/tensor/conv.ml: Bigarray Blas Tensor
+lib/tensor/conv.ml: Bigarray Blas Dpool Tensor

@@ -1,1 +1,1 @@
-lib/tensor/dpool.ml: Array Domain List Option
+lib/tensor/dpool.ml: Array Condition Domain Fun Mutex Printexc String Sys

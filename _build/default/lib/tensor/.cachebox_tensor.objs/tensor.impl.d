@@ -1,1 +1,1 @@
-lib/tensor/tensor.ml: Array Bigarray Float Format List Prng
+lib/tensor/tensor.ml: Array Bigarray Dpool Float Format List Prng

@@ -14,15 +14,21 @@ let transpose t =
   done;
   r
 
-(* Core kernel: c <- alpha * a(MxK) * b(KxN) + c, with an i-k-j loop order so
-   the inner loop streams contiguously over b and c. *)
-let gemm_nn ~alpha ~a ~b ~c ~m ~k ~n =
-  let ad = a.Tensor.data and bd = b.Tensor.data and cd = c.Tensor.data in
-  (* Two rows of A per pass halve the traffic on B; the inner loop streams
-     contiguously over B and C. *)
-  let i = ref 0 in
-  while !i < m do
-    let two_rows = !i + 1 < m in
+(* Minimum multiply-add count before a kernel is worth fanning out over the
+   domain pool; below it the dispatch overhead dominates. Thresholding never
+   affects results: the parallel slices compute bit-identical values. *)
+let par_flops = 16_384
+
+(* Core kernel over rows [row_lo .. row_hi] (inclusive) of the output:
+   c[i,:] += alpha * a[i,:] * b, with an i-k-j loop order so the inner loop
+   streams contiguously over b and c. Two rows of A per pass halve the
+   traffic on B. Row slices handed to the pool are aligned to even row pairs
+   so the pairing — and with it the exact float behaviour — matches the
+   serial pass over [0 .. m-1]. *)
+let gemm_rows ~alpha ~ad ~bd ~cd ~k ~n ~row_lo ~row_hi =
+  let i = ref row_lo in
+  while !i <= row_hi do
+    let two_rows = !i + 1 <= row_hi in
     let a_row0 = !i * k and a_row1 = (!i + 1) * k in
     let c_row0 = !i * n and c_row1 = (!i + 1) * n in
     for p = 0 to k - 1 do
@@ -51,6 +57,19 @@ let gemm_nn ~alpha ~a ~b ~c ~m ~k ~n =
     i := !i + if two_rows then 2 else 1
   done
 
+let gemm_nn ~alpha ~a ~b ~c ~m ~k ~n =
+  let ad = a.Tensor.data and bd = b.Tensor.data and cd = c.Tensor.data in
+  if m * n * k < par_flops then gemm_rows ~alpha ~ad ~bd ~cd ~k ~n ~row_lo:0 ~row_hi:(m - 1)
+  else begin
+    (* Slice ownership in units of row pairs keeps the two-row blocking of
+       the serial pass intact, so results are bit-identical for any lane
+       count. Each lane writes only its own rows of c. *)
+    let npairs = (m + 1) / 2 in
+    Dpool.parallel_for npairs (fun plo phi ->
+        gemm_rows ~alpha ~ad ~bd ~cd ~k ~n ~row_lo:(2 * plo)
+          ~row_hi:(min (m - 1) ((2 * phi) + 1)))
+  end
+
 let gemm ?(trans_a = false) ?(trans_b = false) ~alpha ~a ~b ~beta c =
   check_2d "Blas.gemm a" a;
   check_2d "Blas.gemm b" b;
@@ -78,12 +97,17 @@ let gemv ~a ~x =
   if Tensor.dim x 0 <> n then invalid_arg "Blas.gemv: dimension mismatch";
   let r = Tensor.zeros [| m |] in
   let ad = a.Tensor.data and xd = x.Tensor.data and rd = r.Tensor.data in
-  for i = 0 to m - 1 do
-    let row = i * n in
-    let acc = ref 0.0 in
-    for j = 0 to n - 1 do
-      acc := !acc +. (Bigarray.Array1.unsafe_get ad (row + j) *. Bigarray.Array1.unsafe_get xd j)
-    done;
-    Bigarray.Array1.unsafe_set rd i !acc
-  done;
+  let rows row_lo row_hi =
+    for i = row_lo to row_hi do
+      let row = i * n in
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc := !acc +. (Bigarray.Array1.unsafe_get ad (row + j) *. Bigarray.Array1.unsafe_get xd j)
+      done;
+      Bigarray.Array1.unsafe_set rd i !acc
+    done
+  in
+  (* Each row's dot product is self-contained, so row slices are bit-identical
+     to the serial loop. *)
+  if m * n < par_flops then rows 0 (m - 1) else Dpool.parallel_for m rows;
   r

@@ -8,6 +8,10 @@ let tconv_out_size ~size ~kernel ~stride ~pad =
   if o <= 0 then invalid_arg "Conv.tconv_out_size: non-positive output size";
   o
 
+(* Channel work below this many scalar reads stays serial (same cutoff idea
+   as Blas.par_flops); thresholding never changes results. *)
+let par_work = 16_384
+
 let im2col x ~n ~kernel ~stride ~pad =
   let c = Tensor.dim x 1 and h = Tensor.dim x 2 and w = Tensor.dim x 3 in
   let oh = out_size ~size:h ~kernel ~stride ~pad in
@@ -16,61 +20,74 @@ let im2col x ~n ~kernel ~stride ~pad =
   let xd = x.Tensor.data and cd = cols.Tensor.data in
   let sample_base = n * c * h * w in
   let ncols = oh * ow in
-  for ci = 0 to c - 1 do
-    let chan_base = sample_base + (ci * h * w) in
-    for kh = 0 to kernel - 1 do
-      for kw = 0 to kernel - 1 do
-        let row = (((ci * kernel) + kh) * kernel) + kw in
-        let row_base = row * ncols in
-        for ohi = 0 to oh - 1 do
-          let ih = (ohi * stride) - pad + kh in
-          if ih >= 0 && ih < h then begin
-            let in_row = chan_base + (ih * w) in
-            let out_row = row_base + (ohi * ow) in
-            for owi = 0 to ow - 1 do
-              let iw = (owi * stride) - pad + kw in
-              if iw >= 0 && iw < w then
-                Bigarray.Array1.unsafe_set cd (out_row + owi)
-                  (Bigarray.Array1.unsafe_get xd (in_row + iw))
-            done
-          end
+  (* Channel ci touches only rows [ci*k*k .. (ci+1)*k*k) of the column
+     matrix, so channel slices write disjoint regions. *)
+  let channels clo chi =
+    for ci = clo to chi do
+      let chan_base = sample_base + (ci * h * w) in
+      for kh = 0 to kernel - 1 do
+        for kw = 0 to kernel - 1 do
+          let row = (((ci * kernel) + kh) * kernel) + kw in
+          let row_base = row * ncols in
+          for ohi = 0 to oh - 1 do
+            let ih = (ohi * stride) - pad + kh in
+            if ih >= 0 && ih < h then begin
+              let in_row = chan_base + (ih * w) in
+              let out_row = row_base + (ohi * ow) in
+              for owi = 0 to ow - 1 do
+                let iw = (owi * stride) - pad + kw in
+                if iw >= 0 && iw < w then
+                  Bigarray.Array1.unsafe_set cd (out_row + owi)
+                    (Bigarray.Array1.unsafe_get xd (in_row + iw))
+              done
+            end
+          done
         done
       done
     done
-  done;
+  in
+  if c * kernel * kernel * ncols < par_work then channels 0 (c - 1)
+  else Dpool.parallel_for c channels;
   cols
 
-let col2im cols ~dst ~n ~channels ~height ~width ~kernel ~stride ~pad =
+let col2im cols ~dst ~n ~channels:nchan ~height ~width ~kernel ~stride ~pad =
   let oh = out_size ~size:height ~kernel ~stride ~pad in
   let ow = out_size ~size:width ~kernel ~stride ~pad in
-  if Tensor.dim cols 0 <> channels * kernel * kernel || Tensor.dim cols 1 <> oh * ow then
+  if Tensor.dim cols 0 <> nchan * kernel * kernel || Tensor.dim cols 1 <> oh * ow then
     invalid_arg "Conv.col2im: column matrix shape mismatch";
   let cd = cols.Tensor.data and dd = dst.Tensor.data in
-  let sample_base = n * channels * height * width in
+  let sample_base = n * nchan * height * width in
   let ncols = oh * ow in
-  for ci = 0 to channels - 1 do
-    let chan_base = sample_base + (ci * height * width) in
-    for kh = 0 to kernel - 1 do
-      for kw = 0 to kernel - 1 do
-        let row = (((ci * kernel) + kh) * kernel) + kw in
-        let row_base = row * ncols in
-        for ohi = 0 to oh - 1 do
-          let ih = (ohi * stride) - pad + kh in
-          if ih >= 0 && ih < height then begin
-            let out_row = chan_base + (ih * width) in
-            let col_row = row_base + (ohi * ow) in
-            for owi = 0 to ow - 1 do
-              let iw = (owi * stride) - pad + kw in
-              if iw >= 0 && iw < width then
-                Bigarray.Array1.unsafe_set dd (out_row + iw)
-                  (Bigarray.Array1.unsafe_get dd (out_row + iw)
-                  +. Bigarray.Array1.unsafe_get cd (col_row + owi))
-            done
-          end
+  (* Channel ci accumulates only into its own plane of dst, so channel
+     slices write disjoint regions and keep the serial accumulation order
+     within each element. *)
+  let channels clo chi =
+    for ci = clo to chi do
+      let chan_base = sample_base + (ci * height * width) in
+      for kh = 0 to kernel - 1 do
+        for kw = 0 to kernel - 1 do
+          let row = (((ci * kernel) + kh) * kernel) + kw in
+          let row_base = row * ncols in
+          for ohi = 0 to oh - 1 do
+            let ih = (ohi * stride) - pad + kh in
+            if ih >= 0 && ih < height then begin
+              let out_row = chan_base + (ih * width) in
+              let col_row = row_base + (ohi * ow) in
+              for owi = 0 to ow - 1 do
+                let iw = (owi * stride) - pad + kw in
+                if iw >= 0 && iw < width then
+                  Bigarray.Array1.unsafe_set dd (out_row + iw)
+                    (Bigarray.Array1.unsafe_get dd (out_row + iw)
+                    +. Bigarray.Array1.unsafe_get cd (col_row + owi))
+              done
+            end
+          done
         done
       done
     done
-  done
+  in
+  if nchan * kernel * kernel * ncols < par_work then channels 0 (nchan - 1)
+  else Dpool.parallel_for nchan channels
 
 let add_bias_nchw y bias =
   match bias with
@@ -117,15 +134,20 @@ let conv2d ~x ~weight ~bias ~stride ~pad =
   let ow = out_size ~size:w ~kernel ~stride ~pad in
   let y = Tensor.zeros [| n; oc; oh; ow |] in
   let wm = Tensor.view weight [| oc; ic * kernel * kernel |] in
-  for ni = 0 to n - 1 do
-    let cols = im2col x ~n:ni ~kernel ~stride ~pad in
-    (* A view into sample ni of the output, as an [oc x oh*ow] matrix sharing
-       storage with [y]. *)
-    let sample =
-      Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
-    in
-    Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 sample
-  done;
+  (* Samples are independent and write disjoint planes of y: run them on
+     separate domains. Inner kernels (im2col, gemm) detect the nesting and
+     stay serial inside a lane; with a single sample they parallelise
+     themselves instead. *)
+  Dpool.parallel_for n (fun nlo nhi ->
+      for ni = nlo to nhi do
+        let cols = im2col x ~n:ni ~kernel ~stride ~pad in
+        (* A view into sample ni of the output, as an [oc x oh*ow] matrix
+           sharing storage with [y]. *)
+        let sample =
+          Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
+        in
+        Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 sample
+      done);
   add_bias_nchw y bias;
   y
 
@@ -137,6 +159,11 @@ let conv2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias =
   let wm = Tensor.view weight [| oc; ic * kernel * kernel |] in
   let gwm = Tensor.view grad_weight [| oc; ic * kernel * kernel |] in
   let gx = Tensor.zeros [| n; ic; h; w |] in
+  (* The sample loop stays serial: grad_weight accumulates across samples and
+     its float accumulation order is part of the determinism guarantee. The
+     kernels inside each iteration (im2col, both gemms, col2im) parallelise
+     internally with disjoint-write slices, which keeps every value
+     bit-identical to the serial path. *)
   for ni = 0 to n - 1 do
     let cols = im2col x ~n:ni ~kernel ~stride ~pad in
     let gout_m =
@@ -161,12 +188,15 @@ let conv_transpose2d ~x ~weight ~bias ~stride ~pad =
   let ow = tconv_out_size ~size:w ~kernel ~stride ~pad in
   let y = Tensor.zeros [| n; oc; oh; ow |] in
   let wm = Tensor.view weight [| ic; oc * kernel * kernel |] in
-  for ni = 0 to n - 1 do
-    let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
-    let cols = Tensor.zeros [| oc * kernel * kernel; h * w |] in
-    Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xm ~beta:0.0 cols;
-    col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride ~pad
-  done;
+  (* Sample-parallel like conv2d: col2im scatters only into sample ni's
+     plane of y, so lanes never share output locations. *)
+  Dpool.parallel_for n (fun nlo nhi ->
+      for ni = nlo to nhi do
+        let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+        let cols = Tensor.zeros [| oc * kernel * kernel; h * w |] in
+        Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xm ~beta:0.0 cols;
+        col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride ~pad
+      done);
   add_bias_nchw y bias;
   y
 
@@ -177,6 +207,8 @@ let conv_transpose2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_b
   let wm = Tensor.view weight [| ic; oc * kernel * kernel |] in
   let gwm = Tensor.view grad_weight [| ic; oc * kernel * kernel |] in
   let gx = Tensor.zeros [| n; ic; h; w |] in
+  (* Serial sample loop for the same reason as conv2d_backward: the weight
+     gradient's accumulation order must match the serial path exactly. *)
   for ni = 0 to n - 1 do
     (* The forward pass is col2im(W^T x); its adjoint unfolds gout. *)
     let cols = im2col gout ~n:ni ~kernel ~stride ~pad in

@@ -1,26 +1,207 @@
+(* Persistent domain pool.
+
+   Worker domains are spawned lazily on the first parallel region that needs
+   them and then reused for the lifetime of the process (joined by an at_exit
+   hook or an explicit [shutdown]). A parallel region hands each lane a
+   deterministic contiguous slice of the iteration space; lane 0 runs on the
+   calling domain so a pool of [d] lanes occupies exactly [d] domains.
+
+   Determinism: slice boundaries depend only on the iteration count and the
+   lane count, and every output element is written by exactly one lane running
+   the same scalar code the serial path runs — so kernels built on
+   [parallel_for] with disjoint writes produce bit-identical results for every
+   domain count (including 1).
+
+   Nesting: a parallel region entered from inside a worker (or from lane 0 of
+   an enclosing region) degrades to the serial path instead of deadlocking on
+   the pool. *)
+
 let recommended () = max 1 (Domain.recommended_domain_count ())
 
-let parallel_map_array ?domains f a =
+(* OCaml caps the number of simultaneously-live domains (128); stay well
+   below it and leave headroom for the caller's own domains. *)
+let max_lanes = 64
+
+let env_domains () =
+  match Sys.getenv_opt "CACHEBOX_DOMAINS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n max_lanes)
+    | Some _ | None -> None)
+
+let configured : int option ref = ref None
+
+let domains () =
+  match !configured with
+  | Some n -> n
+  | None -> ( match env_domains () with Some n -> n | None -> recommended ())
+
+let set_domains n =
+  if n < 1 then invalid_arg "Dpool.set_domains: need at least one domain";
+  configured := Some (min n max_lanes)
+
+let with_domains n f =
+  if n < 1 then invalid_arg "Dpool.with_domains: need at least one domain";
+  let prev = !configured in
+  configured := Some (min n max_lanes);
+  Fun.protect ~finally:(fun () -> configured := prev) f
+
+(* True while the current domain is executing a lane of some parallel
+   region; used to run nested regions serially. *)
+let in_parallel : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type worker = {
+  m : Mutex.t;
+  has_job : Condition.t;
+  finished : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable busy : bool;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option;
+}
+
+let worker_loop w =
+  Domain.DLS.set in_parallel true;
+  let rec go () =
+    Mutex.lock w.m;
+    while w.job = None && not w.stop do
+      Condition.wait w.has_job w.m
+    done;
+    match w.job with
+    | None -> Mutex.unlock w.m (* stop requested *)
+    | Some job ->
+      w.job <- None;
+      Mutex.unlock w.m;
+      (* Jobs wrap user code in their own handler; this is a backstop so a
+         worker can never die and wedge the pool. *)
+      (try job () with _ -> ());
+      Mutex.lock w.m;
+      w.busy <- false;
+      Condition.signal w.finished;
+      Mutex.unlock w.m;
+      go ()
+  in
+  go ()
+
+(* [pool_m] guards pool growth and serialises whole parallel regions:
+   concurrent top-level callers take turns rather than sharing workers. *)
+let pool_m = Mutex.create ()
+let pool : worker array ref = ref [||]
+let exit_hook_registered = ref false
+
+let shutdown () =
+  Mutex.lock pool_m;
+  let ws = !pool in
+  pool := [||];
+  Mutex.unlock pool_m;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.m;
+      w.stop <- true;
+      Condition.signal w.has_job;
+      Mutex.unlock w.m;
+      match w.domain with Some d -> Domain.join d | None -> ())
+    ws
+
+(* Grow the pool to [n] workers; [pool_m] must be held. *)
+let ensure n =
+  let cur = Array.length !pool in
+  if cur < n then begin
+    if not !exit_hook_registered then begin
+      exit_hook_registered := true;
+      at_exit shutdown
+    end;
+    let fresh =
+      Array.init (n - cur) (fun _ ->
+          let w =
+            {
+              m = Mutex.create ();
+              has_job = Condition.create ();
+              finished = Condition.create ();
+              job = None;
+              busy = false;
+              stop = false;
+              domain = None;
+            }
+          in
+          w.domain <- Some (Domain.spawn (fun () -> worker_loop w));
+          w)
+    in
+    pool := Array.append !pool fresh
+  end
+
+(* Run [f 0 .. f (lanes-1)], lane 0 on the calling domain, the rest on pool
+   workers. An exception raised by any lane is re-raised here (lowest lane
+   wins) with its original backtrace. *)
+let run_lanes lanes f =
+  if lanes <= 1 || Domain.DLS.get in_parallel then
+    for lane = 0 to lanes - 1 do
+      f lane
+    done
+  else begin
+    Mutex.lock pool_m;
+    (match ensure (lanes - 1) with
+    | () -> ()
+    | exception e ->
+      Mutex.unlock pool_m;
+      raise e);
+    let failure = Array.make lanes None in
+    let guarded lane () =
+      try f lane
+      with e -> failure.(lane) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    for i = 0 to lanes - 2 do
+      let w = !pool.(i) in
+      Mutex.lock w.m;
+      w.job <- Some (guarded (i + 1));
+      w.busy <- true;
+      Condition.signal w.has_job;
+      Mutex.unlock w.m
+    done;
+    Domain.DLS.set in_parallel true;
+    guarded 0 ();
+    Domain.DLS.set in_parallel false;
+    for i = 0 to lanes - 2 do
+      let w = !pool.(i) in
+      Mutex.lock w.m;
+      while w.busy do
+        Condition.wait w.finished w.m
+      done;
+      Mutex.unlock w.m
+    done;
+    Mutex.unlock pool_m;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failure
+  end
+
+let parallel_for ?domains:d n body =
+  if n > 0 then begin
+    let lanes =
+      min max_lanes (min n (match d with Some d -> max 1 d | None -> domains ()))
+    in
+    if lanes <= 1 then body 0 (n - 1)
+    else
+      run_lanes lanes (fun lane ->
+          let lo = lane * n / lanes and hi = ((lane + 1) * n / lanes) - 1 in
+          if lo <= hi then body lo hi)
+  end
+
+let parallel_map_array ?domains:d f a =
   let n = Array.length a in
-  let workers = min (Option.value domains ~default:(recommended ())) n in
-  if workers <= 1 || n < 2 then Array.map f a
+  let lanes =
+    min max_lanes (min n (match d with Some d -> max 1 d | None -> domains ()))
+  in
+  if lanes <= 1 || n < 2 || Domain.DLS.get in_parallel then Array.map f a
   else begin
     let results = Array.make n None in
-    (* Contiguous slices, one per domain. *)
-    let slice w =
-      let lo = w * n / workers and hi = ((w + 1) * n / workers) - 1 in
-      (lo, hi)
-    in
-    let run_slice w =
-      let lo, hi = slice w in
-      for i = lo to hi do
-        results.(i) <- Some (f a.(i))
-      done
-    in
-    let handles =
-      List.init (workers - 1) (fun w -> Domain.spawn (fun () -> run_slice (w + 1)))
-    in
-    run_slice 0;
-    List.iter Domain.join handles;
+    run_lanes lanes (fun lane ->
+        let lo = lane * n / lanes and hi = ((lane + 1) * n / lanes) - 1 in
+        for i = lo to hi do
+          results.(i) <- Some (f a.(i))
+        done);
     Array.map (function Some v -> v | None -> assert false) results
   end

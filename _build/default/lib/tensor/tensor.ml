@@ -95,49 +95,63 @@ let to_array t = Array.init (numel t) (fun i -> Bigarray.Array1.unsafe_get t.dat
 let check_same_size name a b =
   if numel a <> numel b then invalid_arg (name ^ ": size mismatch")
 
+(* Elementwise loops fan out over the domain pool above this element count;
+   each lane owns a contiguous disjoint index slice, so parallel results are
+   bit-identical to the serial loop at any domain count. *)
+let par_numel = 1 lsl 16
+
+let pfor n body = if n < par_numel then body 0 (n - 1) else Dpool.parallel_for n body
+
 let add_ dst x =
   check_same_size "Tensor.add_" dst x;
   let d = dst.data and s = x.data in
-  for i = 0 to numel dst - 1 do
-    Bigarray.Array1.unsafe_set d i
-      (Bigarray.Array1.unsafe_get d i +. Bigarray.Array1.unsafe_get s i)
-  done
+  pfor (numel dst) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set d i
+          (Bigarray.Array1.unsafe_get d i +. Bigarray.Array1.unsafe_get s i)
+      done)
 
 let sub_ dst x =
   check_same_size "Tensor.sub_" dst x;
   let d = dst.data and s = x.data in
-  for i = 0 to numel dst - 1 do
-    Bigarray.Array1.unsafe_set d i
-      (Bigarray.Array1.unsafe_get d i -. Bigarray.Array1.unsafe_get s i)
-  done
+  pfor (numel dst) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set d i
+          (Bigarray.Array1.unsafe_get d i -. Bigarray.Array1.unsafe_get s i)
+      done)
 
 let mul_ dst x =
   check_same_size "Tensor.mul_" dst x;
   let d = dst.data and s = x.data in
-  for i = 0 to numel dst - 1 do
-    Bigarray.Array1.unsafe_set d i
-      (Bigarray.Array1.unsafe_get d i *. Bigarray.Array1.unsafe_get s i)
-  done
+  pfor (numel dst) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set d i
+          (Bigarray.Array1.unsafe_get d i *. Bigarray.Array1.unsafe_get s i)
+      done)
 
 let scale_ t alpha =
   let d = t.data in
-  for i = 0 to numel t - 1 do
-    Bigarray.Array1.unsafe_set d i (Bigarray.Array1.unsafe_get d i *. alpha)
-  done
+  pfor (numel t) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set d i (Bigarray.Array1.unsafe_get d i *. alpha)
+      done)
 
 let axpy ~alpha ~x ~y =
   check_same_size "Tensor.axpy" x y;
   let xd = x.data and yd = y.data in
-  for i = 0 to numel x - 1 do
-    Bigarray.Array1.unsafe_set yd i
-      ((alpha *. Bigarray.Array1.unsafe_get xd i) +. Bigarray.Array1.unsafe_get yd i)
-  done
+  pfor (numel x) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set yd i
+          ((alpha *. Bigarray.Array1.unsafe_get xd i) +. Bigarray.Array1.unsafe_get yd i)
+      done)
 
+(* [f] must be pure: it may run concurrently on several domains. *)
 let map_ f t =
   let d = t.data in
-  for i = 0 to numel t - 1 do
-    Bigarray.Array1.unsafe_set d i (f (Bigarray.Array1.unsafe_get d i))
-  done
+  pfor (numel t) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set d i (f (Bigarray.Array1.unsafe_get d i))
+      done)
 
 let clip_ t ~lo ~hi = map_ (fun v -> Float.max lo (Float.min hi v)) t
 
@@ -145,10 +159,11 @@ let binop name f a b =
   check_same_size name a b;
   let r = create a.shape in
   let rd = r.data and ad = a.data and bd = b.data in
-  for i = 0 to numel a - 1 do
-    Bigarray.Array1.unsafe_set rd i
-      (f (Bigarray.Array1.unsafe_get ad i) (Bigarray.Array1.unsafe_get bd i))
-  done;
+  pfor (numel a) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set rd i
+          (f (Bigarray.Array1.unsafe_get ad i) (Bigarray.Array1.unsafe_get bd i))
+      done);
   r
 
 let add a b = binop "Tensor.add" ( +. ) a b
@@ -156,6 +171,21 @@ let sub a b = binop "Tensor.sub" ( -. ) a b
 let mul a b = binop "Tensor.mul" ( *. ) a b
 let div a b = binop "Tensor.div" ( /. ) a b
 let map2 f a b = binop "Tensor.map2" f a b
+
+let map3 f a b c =
+  check_same_size "Tensor.map3" a b;
+  check_same_size "Tensor.map3" a c;
+  let r = create a.shape in
+  let rd = r.data and ad = a.data and bd = b.data and cd = c.data in
+  pfor (numel a) (fun lo hi ->
+      for i = lo to hi do
+        Bigarray.Array1.unsafe_set rd i
+          (f
+             (Bigarray.Array1.unsafe_get ad i)
+             (Bigarray.Array1.unsafe_get bd i)
+             (Bigarray.Array1.unsafe_get cd i))
+      done);
+  r
 
 let map f t =
   let r = copy t in
@@ -173,7 +203,31 @@ let fold f init t =
   done;
   !acc
 
-let sum t = fold ( +. ) 0.0 t
+(* Summation over fixed-size chunks: partials are computed per chunk (in
+   parallel for large tensors) and combined in chunk order. The chunk grid
+   depends only on the element count — never on the domain count — so the
+   result is identical for every pool size, serial included. *)
+let sum t =
+  let n = numel t in
+  let d = t.data in
+  let range_sum lo hi =
+    let acc = ref 0.0 in
+    for i = lo to hi do
+      acc := !acc +. Bigarray.Array1.unsafe_get d i
+    done;
+    !acc
+  in
+  if n <= par_numel then range_sum 0 (n - 1)
+  else begin
+    let nchunks = (n + par_numel - 1) / par_numel in
+    let partials = Array.make nchunks 0.0 in
+    Dpool.parallel_for nchunks (fun clo chi ->
+        for c = clo to chi do
+          partials.(c) <- range_sum (c * par_numel) (min (n - 1) (((c + 1) * par_numel) - 1))
+        done);
+    Array.fold_left ( +. ) 0.0 partials
+  end
+
 let mean t = sum t /. float_of_int (numel t)
 let max_value t = fold Float.max Float.neg_infinity t
 let min_value t = fold Float.min Float.infinity t

@@ -97,6 +97,11 @@ val neg : t -> t
 val map : (float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
 
+val map3 : (float -> float -> float -> float) -> t -> t -> t -> t
+(** [map3 f a b c] is the elementwise three-argument map (sizes must agree).
+    Like every elementwise operation here, large tensors are processed in
+    parallel on the {!Dpool} backend, so [f] must be pure. *)
+
 (** {1 Reductions and statistics} *)
 
 val sum : t -> float

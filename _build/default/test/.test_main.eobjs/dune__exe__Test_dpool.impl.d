@@ -1,0 +1,1 @@
+test/test_dpool.ml: Alcotest Array Dpool List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Cache Format Hierarchy List Multicachesim Printf Sys

@@ -1,0 +1,1 @@
+test/test_gradcheck.ml: Alcotest Dpool Float Fun Layers List Param Prng Tensor Value

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Array Blas Conv Dpool Float Printf Prng QCheck QCheck_alcotest Tensor

@@ -6,7 +6,11 @@ let () =
     [
       Test_prng.suite;
       Test_tensor.suite;
+      Test_dpool.suite;
       Test_blas.suite;
+      Test_parallel.suite;
+      Test_gradcheck.suite;
+      Test_golden.suite;
       Test_conv.suite;
       Test_value.suite;
       Test_nn.suite;

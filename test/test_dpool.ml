@@ -1,0 +1,112 @@
+(* Persistent domain-pool semantics: order preservation, exception
+   re-raising on the caller, nesting, and configuration knobs. *)
+
+exception Boom of int
+
+let test_order_preserved =
+  QCheck.Test.make ~name:"parallel_map_array preserves order" ~count:60
+    QCheck.(pair (int_range 0 200) (int_range 1 8))
+    (fun (n, domains) ->
+      let a = Array.init n (fun i -> i) in
+      let r = Dpool.parallel_map_array ~domains (fun x -> (x * 13) - 5) a in
+      r = Array.map (fun x -> (x * 13) - 5) a)
+
+let test_exception_reraised () =
+  (* An exception in a worker lane must surface on the caller as the original
+     exception, not a Domain.join wreck, and must not leave unset slices
+     visible. *)
+  let a = Array.init 64 (fun i -> i) in
+  let f x = if x = 37 then raise (Boom x) else x * 2 in
+  List.iter
+    (fun domains ->
+      match Dpool.parallel_map_array ~domains f a with
+      | _ -> Alcotest.failf "expected Boom to escape at %d domains" domains
+      | exception Boom 37 -> ())
+    [ 1; 2; 3; 8 ]
+
+let test_exception_on_caller_lane () =
+  (* Lane 0 runs on the calling domain; its exception takes the same path. *)
+  let a = Array.init 16 (fun i -> i) in
+  match Dpool.parallel_map_array ~domains:4 (fun x -> if x = 0 then raise (Boom 0) else x) a with
+  | _ -> Alcotest.fail "expected Boom from lane 0"
+  | exception Boom 0 -> ()
+
+let test_pool_survives_exception () =
+  (* A failed region must leave the pool reusable. *)
+  (try ignore (Dpool.parallel_map_array ~domains:4 (fun _ -> failwith "boom") [| 1; 2; 3; 4 |])
+   with Failure _ -> ());
+  let r = Dpool.parallel_map_array ~domains:4 (fun x -> x + 1) [| 1; 2; 3; 4 |] in
+  Alcotest.(check (array int)) "pool still works" [| 2; 3; 4; 5 |] r
+
+let test_parallel_for_exception () =
+  match Dpool.parallel_for ~domains:3 10 (fun lo _hi -> if lo = 0 then raise (Boom lo)) with
+  | () -> Alcotest.fail "expected Boom from parallel_for"
+  | exception Boom 0 -> ()
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun (n, domains) ->
+      let seen = Array.make n 0 in
+      Dpool.parallel_for ~domains n (fun lo hi ->
+          for i = lo to hi do
+            seen.(i) <- seen.(i) + 1
+          done);
+      Alcotest.(check bool)
+        (Printf.sprintf "each index once (n=%d d=%d)" n domains)
+        true
+        (Array.for_all (( = ) 1) seen))
+    [ (1, 1); (1, 8); (7, 3); (64, 8); (100, 7) ]
+
+let test_nested_regions () =
+  (* A region entered from inside a worker runs serially instead of
+     deadlocking on the pool. *)
+  let outer = Array.init 6 (fun i -> i) in
+  let r =
+    Dpool.parallel_map_array ~domains:3
+      (fun x ->
+        let inner = Array.init 5 (fun j -> (x * 10) + j) in
+        Array.fold_left ( + ) 0 (Dpool.parallel_map_array ~domains:3 (fun v -> v * 2) inner))
+      outer
+  in
+  let expect =
+    Array.map
+      (fun x -> Array.fold_left (fun acc j -> acc + (2 * ((x * 10) + j))) 0 [| 0; 1; 2; 3; 4 |])
+      outer
+  in
+  Alcotest.(check (array int)) "nested map" expect r
+
+let test_with_domains_restores () =
+  let before = Dpool.domains () in
+  let inside = Dpool.with_domains 5 (fun () -> Dpool.domains ()) in
+  Alcotest.(check int) "override visible" 5 inside;
+  Alcotest.(check int) "restored" before (Dpool.domains ());
+  (try Dpool.with_domains 6 (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "restored after exception" before (Dpool.domains ())
+
+let test_set_domains_validates () =
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Dpool.set_domains: need at least one domain") (fun () ->
+      Dpool.set_domains 0)
+
+let test_shutdown_restarts () =
+  ignore (Dpool.parallel_map_array ~domains:4 (fun x -> x * 3) [| 1; 2; 3; 4; 5 |]);
+  Dpool.shutdown ();
+  let r = Dpool.parallel_map_array ~domains:4 (fun x -> x * 3) [| 1; 2; 3; 4; 5 |] in
+  Alcotest.(check (array int)) "pool restarts after shutdown" [| 3; 6; 9; 12; 15 |] r
+
+let qc = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "dpool",
+    [
+      qc test_order_preserved;
+      Alcotest.test_case "worker exception re-raised" `Quick test_exception_reraised;
+      Alcotest.test_case "caller-lane exception re-raised" `Quick test_exception_on_caller_lane;
+      Alcotest.test_case "pool survives exception" `Quick test_pool_survives_exception;
+      Alcotest.test_case "parallel_for exception" `Quick test_parallel_for_exception;
+      Alcotest.test_case "parallel_for covers range" `Quick test_parallel_for_covers_range;
+      Alcotest.test_case "nested regions run serially" `Quick test_nested_regions;
+      Alcotest.test_case "with_domains restores" `Quick test_with_domains_restores;
+      Alcotest.test_case "set_domains validates" `Quick test_set_domains_validates;
+      Alcotest.test_case "shutdown then restart" `Quick test_shutdown_restarts;
+    ] )

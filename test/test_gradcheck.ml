@@ -1,0 +1,125 @@
+(* Finite-difference gradient checks for the conv / deconv / dense layers,
+   run under the parallel backend (3 domains) so backprop correctness is
+   pinned for the Dpool kernel paths.
+
+   phi(theta) = <layer(x), g> for a fixed random g is linear in each
+   parameter, so the central difference is exact up to float32 rounding; a
+   large step (0.1) swamps that rounding and the 1e-2 relative tolerance
+   checks the autodiff gradient directly. *)
+
+let gradcheck_domains = 3
+
+let rel_ok fd ad = Float.abs (fd -. ad) <= 1e-2 *. (1.0 +. Float.abs fd)
+
+(* phi = sum(layer_output * g); returns (phi as Value graph, scalar). *)
+let phi_of forward g =
+  let out = forward () in
+  Value.value (Value.sum_all (Value.mul out (Value.const g)))
+  |> fun t -> Tensor.get t 0
+
+let check_params ~name forward params =
+  Dpool.with_domains gradcheck_domains (fun () ->
+      (* Autodiff gradient. *)
+      List.iter Param.zero_grad params;
+      let g_target =
+        (* Fixed projection tensor, shaped like the output. *)
+        let out = forward () in
+        Tensor.randn (Prng.create 99) (Tensor.shape (Value.value out))
+      in
+      let loss () = Value.sum_all (Value.mul (forward ()) (Value.const g_target)) in
+      Value.backward (loss ());
+      let eps = 0.1 in
+      List.iter
+        (fun (p : Param.t) ->
+          let n = Tensor.numel p.Param.value in
+          (* Probe a handful of coordinates spread across the tensor. *)
+          let probes = if n <= 6 then List.init n Fun.id else [ 0; 1; n / 3; n / 2; (2 * n) / 3; n - 1 ] in
+          List.iter
+            (fun i ->
+              let orig = Tensor.get p.Param.value i in
+              Tensor.set p.Param.value i (orig +. eps);
+              let plus = phi_of forward g_target in
+              Tensor.set p.Param.value i (orig -. eps);
+              let minus = phi_of forward g_target in
+              Tensor.set p.Param.value i orig;
+              let fd = (plus -. minus) /. (2.0 *. eps) in
+              let ad = Tensor.get p.Param.grad i in
+              if not (rel_ok fd ad) then
+                Alcotest.failf "%s: %s[%d]: finite-diff %.6f vs autodiff %.6f" name
+                  p.Param.name i fd ad)
+            probes)
+        params)
+
+let test_conv_layer () =
+  let rng = Prng.create 21 in
+  let layer =
+    Layers.conv2d rng ~name:"gc_conv" ~in_channels:2 ~out_channels:3 ~kernel:3 ~stride:2 ~pad:1
+      ~bias:true
+  in
+  let x = Tensor.randn rng [| 2; 2; 6; 6 |] in
+  check_params ~name:"conv2d"
+    (fun () -> Layers.apply_conv2d layer (Value.const x))
+    (Layers.conv2d_params layer)
+
+let test_deconv_layer () =
+  let rng = Prng.create 22 in
+  let layer =
+    Layers.conv_transpose2d rng ~name:"gc_deconv" ~in_channels:3 ~out_channels:2 ~kernel:4
+      ~stride:2 ~pad:1 ~bias:true
+  in
+  let x = Tensor.randn rng [| 2; 3; 5; 5 |] in
+  check_params ~name:"conv_transpose2d"
+    (fun () -> Layers.apply_conv_transpose2d layer (Value.const x))
+    (Layers.conv_transpose2d_params layer)
+
+let test_dense_layer () =
+  let rng = Prng.create 23 in
+  let layer = Layers.linear rng ~name:"gc_dense" ~in_dim:7 ~out_dim:5 ~bias:true in
+  let x = Tensor.randn rng [| 4; 7 |] in
+  check_params ~name:"linear"
+    (fun () -> Layers.apply_linear layer (Value.const x))
+    (Layers.linear_params layer)
+
+let test_input_gradient () =
+  (* Gradient w.r.t. the input (the path the U-Net skip connections use),
+     checked the same way through a Value.leaf. *)
+  Dpool.with_domains gradcheck_domains (fun () ->
+      let rng = Prng.create 24 in
+      let layer =
+        Layers.conv2d rng ~name:"gc_conv_x" ~in_channels:2 ~out_channels:2 ~kernel:3 ~stride:1
+          ~pad:1 ~bias:false
+      in
+      let x = Tensor.randn rng [| 1; 2; 5; 5 |] in
+      let g = Tensor.randn rng [| 1; 2; 5; 5 |] in
+      let forward x =
+        Tensor.get
+          (Value.value
+             (Value.sum_all (Value.mul (Layers.apply_conv2d layer (Value.const x)) (Value.const g))))
+          0
+      in
+      let leaf = Value.leaf x in
+      Value.backward (Value.sum_all (Value.mul (Layers.apply_conv2d layer leaf) (Value.const g)));
+      let gx = Value.grad leaf in
+      let eps = 0.1 in
+      List.iter
+        (fun i ->
+          let orig = Tensor.get x i in
+          Tensor.set x i (orig +. eps);
+          let plus = forward x in
+          Tensor.set x i (orig -. eps);
+          let minus = forward x in
+          Tensor.set x i orig;
+          let fd = (plus -. minus) /. (2.0 *. eps) in
+          if not (rel_ok fd (Tensor.get gx i)) then
+            Alcotest.failf "input grad [%d]: finite-diff %.6f vs autodiff %.6f" i fd
+              (Tensor.get gx i))
+        [ 0; 7; 23; 49 ])
+
+let suite =
+  ( "gradcheck-parallel",
+    [
+      Alcotest.test_case "conv2d layer" `Quick test_conv_layer;
+      Alcotest.test_case "conv_transpose2d layer" `Quick test_deconv_layer;
+      Alcotest.test_case "dense layer" `Quick test_dense_layer;
+      Alcotest.test_case "input gradient" `Quick test_input_gradient;
+    ] )
