@@ -448,13 +448,25 @@ let () =
   log "CacheBox reproduction harness (scale: %dx%d heatmaps, %d-access traces, base epochs %d)\n"
     scale.Experiments.spec.Heatmap.height scale.Experiments.spec.Heatmap.width
     scale.Experiments.trace_len scale.Experiments.epochs;
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_experiments with
-      | Some f -> f ()
-      | None ->
-        log "unknown experiment %S; available: %s\n" name
-          (String.concat ", " (List.map fst all_experiments));
-        exit 2)
-    requested;
+  (* CACHEBOX_JOURNAL=path makes the sweep resumable: each experiment's
+     completion is journalled, and a re-run against the same journal skips
+     the drivers that already finished. *)
+  let run_all journal =
+    List.iter
+      (fun name ->
+        match List.assoc_opt name all_experiments with
+        | Some f ->
+          if Experiments.run_driver ?journal ~name f = None then
+            log "skipping %s (already completed in journal)\n%!" name
+        | None ->
+          log "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst all_experiments));
+          exit 2)
+      requested
+  in
+  (match Sys.getenv_opt "CACHEBOX_JOURNAL" with
+  | Some path ->
+    log "journalling sweep to %s\n" path;
+    Runlog.with_journal path (fun j -> run_all (Some j))
+  | None -> run_all None);
   log "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -148,7 +148,37 @@ let train_cmd =
   let count_arg =
     Arg.(value & opt int 10 & info [ "benchmarks" ] ~docv:"N" ~doc:"Training benchmarks (from the train split).")
   in
-  let run sets ways trace_len epochs ckpt count domains =
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Write a training snapshot every N batches (atomic, checksummed; the last 3 are \
+             kept). Required for $(b,--resume).")
+  in
+  let snapshot_dir_arg =
+    Arg.(
+      value
+      & opt string "_snapshots"
+      & info [ "snapshot-dir" ] ~docv:"DIR" ~doc:"Directory for rotating training snapshots.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the newest loadable snapshot in $(b,--snapshot-dir); the continued \
+             run is bit-identical to one that was never interrupted.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Append run events (snapshots, divergence rollbacks, resumes) to a JSONL journal.")
+  in
+  let run sets ways trace_len epochs ckpt count domains snapshot_every snapshot_dir resume journal =
     apply_domains domains;
     let spec = Heatmap.spec () in
     let cfg = cache_config ~sets ~ways in
@@ -158,15 +188,26 @@ let train_cmd =
       (Cache.config_name cfg) trace_len;
     let data = Cbox_dataset.build_l1 spec ~configs:[ cfg ] ~trace_len train_ws in
     let model = Cbgan.create ~seed:42 (Cbgan.default_config ()) in
-    let options = { (Cbox_train.default_options ~epochs ~batch_size:4 ()) with Cbox_train.lr = 1e-3 } in
-    ignore (Cbox_train.train ~log:print_endline model spec options (Cbox_dataset.to_samples data));
+    let snapshots_on = snapshot_every <> None || resume in
+    let options =
+      {
+        (Cbox_train.default_options ~epochs ~batch_size:4 ?snapshot_every
+           ?snapshot_dir:(if snapshots_on then Some snapshot_dir else None)
+           ?journal ())
+        with
+        Cbox_train.lr = 1e-3;
+      }
+    in
+    ignore
+      (Cbox_train.train ~log:print_endline ~resume model spec options
+         (Cbox_dataset.to_samples data));
     Cbgan.save model ckpt;
     Fmt.pr "checkpoint written to %s (%d parameters)@." ckpt (Cbgan.parameter_count model)
   in
   Cmd.v (Cmd.info "train" ~doc:"Train CB-GAN on the training split and save a checkpoint")
     Term.(
       const run $ sets_arg $ ways_arg $ trace_len_arg $ epochs_arg $ checkpoint_arg $ count_arg
-      $ domains_arg)
+      $ domains_arg $ snapshot_every_arg $ snapshot_dir_arg $ resume_arg $ journal_arg)
 
 (* --- infer --- *)
 

@@ -1,10 +1,22 @@
 let binary_magic = "CBTRACE1"
 
+(* Both writers go through a temp file + rename so a crash (or full disk)
+   mid-write never leaves a truncated trace under the target name. *)
+let atomic_write path ~binary write_to =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".trace" ".tmp" in
+  match
+    let oc = if binary then open_out_bin tmp else open_out tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_to oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
 let write_text path trace =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Array.iter (fun a -> Printf.fprintf oc "0x%x\n" a) trace)
+  atomic_write path ~binary:false (fun oc ->
+      Array.iter (fun a -> Printf.fprintf oc "0x%x\n" a) trace)
 
 let parse_hex_line line lineno =
   let s = String.trim line in
@@ -33,10 +45,7 @@ let read_text path =
       Array.of_list (List.rev !out))
 
 let write_binary path trace =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  atomic_write path ~binary:true (fun oc ->
       output_string oc binary_magic;
       let buf = Bytes.create 8 in
       Bytes.set_int64_le buf 0 (Int64.of_int (Array.length trace));
@@ -60,8 +69,15 @@ let read_binary path =
       let buf = Bytes.create 8 in
       really_input ic buf 0 8;
       let count = Int64.to_int (Bytes.get_int64_le buf 0) in
-      if count < 0 || len < String.length binary_magic + 8 + (8 * count) then
+      let expected = String.length binary_magic + 8 + (8 * count) in
+      if count < 0 || len < expected then
         failwith "Trace_io.read_binary: truncated payload";
+      if len > expected then
+        failwith
+          (Printf.sprintf
+             "Trace_io.read_binary: %d trailing byte(s) after the declared %d accesses \
+              (corrupt or mis-written trace)"
+             (len - expected) count);
       Array.init count (fun _ ->
           really_input ic buf 0 8;
           Int64.to_int (Bytes.get_int64_le buf 0)))

@@ -7,7 +7,10 @@
     - {b text}: one lowercase hex byte-address per line ("0x1a2b3c" or bare
       "1a2b3c"); blank lines and lines starting with '#' are skipped.
     - {b binary}: magic "CBTRACE1" followed by a little-endian int64 count
-      and that many little-endian int64 addresses. *)
+      and that many little-endian int64 addresses.
+
+    Both writers are atomic (temp file + rename): a crash mid-write never
+    leaves a truncated file under the target name. *)
 
 val write_text : string -> int array -> unit
 val read_text : string -> int array
@@ -15,7 +18,8 @@ val read_text : string -> int array
 
 val write_binary : string -> int array -> unit
 val read_binary : string -> int array
-(** Raises [Failure] on bad magic or truncated payload. *)
+(** Raises [Failure] on bad magic, a truncated payload, or trailing bytes
+    after the declared access count. *)
 
 val read_auto : string -> int array
 (** Dispatches on the binary magic, falling back to text. *)

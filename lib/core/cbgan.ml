@@ -274,6 +274,8 @@ let bn_states t =
   @ List.concat_map of_up (Array.to_list t.gen.ups)
   @ List.concat_map of_disc (Array.to_list t.disc.blocks)
 
+let state = bn_states
+
 let save t path =
   Checkpoint.save path
     ~params:(generator_params t @ discriminator_params t)

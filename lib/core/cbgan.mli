@@ -64,6 +64,11 @@ val discriminator_params : t -> Param.t list
 
 val parameter_count : t -> int
 
+val state : t -> (string * float array) list
+(** The model's non-parameter state (batch-norm running statistics) as the
+    {e live} named arrays: mutating them mutates the model. Used by
+    checkpointing and by the training loop's snapshot/rollback machinery. *)
+
 val save : t -> string -> unit
 val load : t -> string -> unit
 (** Loads weights into an existing model of identical configuration. *)

@@ -6,10 +6,29 @@ type options = {
   lambda_l1 : float;
   seed : int;
   domains : int option;
+  snapshot_every : int option;
+  snapshot_dir : string option;
+  keep_snapshots : int;
+  max_retries : int;
+  journal : string option;
 }
 
-let default_options ?(epochs = 2) ?(batch_size = 4) ?(lambda_l1 = 150.0) ?domains () =
-  { epochs; batch_size; lr = 2e-4; beta1 = 0.5; lambda_l1; seed = 1234; domains }
+let default_options ?(epochs = 2) ?(batch_size = 4) ?(lambda_l1 = 150.0) ?domains
+    ?snapshot_every ?snapshot_dir ?journal () =
+  {
+    epochs;
+    batch_size;
+    lr = 2e-4;
+    beta1 = 0.5;
+    lambda_l1;
+    seed = 1234;
+    domains;
+    snapshot_every;
+    snapshot_dir;
+    keep_snapshots = 3;
+    max_retries = 3;
+    journal;
+  }
 
 type epoch_stats = {
   epoch : int;
@@ -18,6 +37,10 @@ type epoch_stats = {
   d_loss : float;
   batches : int;
 }
+
+(* Raised internally when the per-batch sentinel sees a non-finite loss or
+   gradient norm; handled by rolling back to the last good snapshot. *)
+exception Diverged of string * float
 
 let chunks size xs =
   let rec go acc current count = function
@@ -40,96 +63,422 @@ let batch_tensors spec model (samples : Cbox_dataset.sample list) =
 
 let scalar v = Tensor.get (Value.value v) 0
 
-let train_loop ~log model spec options samples =
+(* --- resilience layer ---------------------------------------------------
+
+   A snapshot is the complete training state: parameters, batch-norm running
+   stats, both Adam states (moments + step + lr), the PRNG state, the epoch
+   permutation, the partial epoch-loss sums and the completed-epoch history.
+   Restoring one and continuing is bit-identical to never having stopped.
+
+   Snapshots live in two forms: an in-memory copy (always kept; the
+   divergence sentinel rolls back to it) and an on-disk Checkpoint v2 file
+   (when [snapshot_dir] is set; crash resume starts from the newest loadable
+   one). *)
+
+(* Mutable run position; everything here is captured in snapshots. *)
+type run_state = {
+  mutable epoch : int;  (* 1-based current epoch *)
+  mutable done_in_epoch : int;  (* completed batches within [epoch] *)
+  mutable global_batch : int;  (* completed batches across the run *)
+  mutable retries : int;  (* divergence rollbacks so far (not snapshotted) *)
+  mutable sum_g_adv : float;
+  mutable sum_g_l1 : float;
+  mutable sum_d : float;
+  mutable order : int array;  (* sample permutation for [epoch] *)
+  mutable history : epoch_stats list;  (* completed epochs, newest first *)
+}
+
+type mem_snapshot = {
+  s_params : float array array;
+  s_bn : float array array;
+  s_g_opt : (string * float array) list;
+  s_d_opt : (string * float array) list;
+  s_prng : int64;
+  s_epoch : int;
+  s_done : int;
+  s_global : int;
+  s_sums : float * float * float;
+  s_order : int array;
+  s_history : epoch_stats list;
+}
+
+let snapshot_name global = Printf.sprintf "snap-%09d.ckpt" global
+
+(* (global_batch, path) pairs, newest first. *)
+let list_snapshots dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if
+             String.length f = 19
+             && String.sub f 0 5 = "snap-"
+             && Filename.check_suffix f ".ckpt"
+           then
+             Option.map (fun b -> (b, Filename.concat dir f)) (int_of_string_opt (String.sub f 5 9))
+           else None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let flatten_history history =
+  let per (s : epoch_stats) =
+    [ float_of_int s.epoch; s.g_adv; s.g_l1; s.d_loss; float_of_int s.batches ]
+  in
+  Array.of_list (List.concat_map per (List.rev history))
+
+let unflatten_history a =
+  if Array.length a mod 5 <> 0 then
+    failwith "Cbox_train: malformed train.history in snapshot";
+  let n = Array.length a / 5 in
+  List.init n (fun i ->
+      {
+        epoch = int_of_float a.((i * 5) + 0);
+        g_adv = a.((i * 5) + 1);
+        g_l1 = a.((i * 5) + 2);
+        d_loss = a.((i * 5) + 3);
+        batches = int_of_float a.((i * 5) + 4);
+      })
+  |> List.rev
+
+(* Options that must agree between the snapshotting run and the resuming
+   run for bit-identical continuation ([%h] is exact for floats). *)
+let fingerprint options ~samples =
+  Printf.sprintf "v2|%d|%d|%h|%h|%h|%d|%d" options.epochs options.batch_size options.lr
+    options.beta1 options.lambda_l1 options.seed samples
+
+let train_loop ~log ~resume model spec options samples =
+  let samples_arr = Array.of_list samples in
+  let n = Array.length samples_arr in
   let rng = Prng.create options.seed in
   let g_opt = Optimizer.adam ~lr:options.lr ~beta1:options.beta1 (Cbgan.generator_params model) in
   let d_opt = Optimizer.adam ~lr:options.lr ~beta1:options.beta1 (Cbgan.discriminator_params model) in
-  let history = ref [] in
-  for epoch = 1 to options.epochs do
-    let shuffled = Cbox_dataset.shuffle rng samples in
-    let batches = chunks options.batch_size shuffled in
-    let sum_g_adv = ref 0.0 and sum_g_l1 = ref 0.0 and sum_d = ref 0.0 in
-    let n_batches = ref 0 in
-    List.iter
-      (fun batch ->
-        let access, target, cp = batch_tensors spec model batch in
-        let shape = Tensor.shape target in
-        (* One generator forward serves both phases: the discriminator step
-           sees a detached copy, the generator step reuses the live graph. *)
-        let fake = Cbgan.generator_forward model ~rng ~training:true ?cache_params:cp access in
-        let fake_detached = Tensor.copy (Value.value fake) in
-        (* --- Discriminator step --- *)
-        Optimizer.zero_grad d_opt;
-        let d_real = Cbgan.discriminator_forward model ~training:true ~access ~miss:(Value.const target) in
-        let d_fake = Cbgan.discriminator_forward model ~training:true ~access ~miss:(Value.const fake_detached) in
-        let ones = Tensor.ones (Tensor.shape (Value.value d_real)) in
-        let zeros = Tensor.zeros (Tensor.shape (Value.value d_fake)) in
-        let loss_d =
-          Value.scale
-            (Value.add (Value.bce_with_logits d_real ones) (Value.bce_with_logits d_fake zeros))
-            0.5
-        in
-        Value.backward loss_d;
-        Optimizer.step d_opt;
-        (* --- Generator step --- *)
-        Optimizer.zero_grad g_opt;
-        Optimizer.zero_grad d_opt;
-        let d_on_fake = Cbgan.discriminator_forward model ~training:true ~access ~miss:fake in
-        let adv_target = Tensor.ones (Tensor.shape (Value.value d_on_fake)) in
-        let adv = Value.bce_with_logits d_on_fake adv_target in
-        let l1 = Value.l1_loss fake (Tensor.view target shape) in
-        (* Miss heatmaps can be very sparse (a few hundred non-empty pixels
-           in a 64x64 image); a plain mean L1 is then dominated by the empty
-           background and the generator collapses to "no misses". Class-
-           balance by adding an L1 term restricted to the non-empty target
-           pixels, weighted by half the background/foreground pixel ratio —
-           the weight vanishes on dense targets and grows with sparsity. *)
-        let fg_mask = Tensor.map (fun v -> if v > -0.999 then 1.0 else 0.0) target in
-        let fg_count = Tensor.sum fg_mask in
-        let bg_count = float_of_int (Tensor.numel target) -. fg_count in
-        let fg_weight =
-          Float.min 8.0 (0.5 *. (bg_count /. Float.max 1.0 fg_count)) in
-        let recon =
-          if fg_weight < 0.05 then l1
-          else begin
-            let fg_target = Tensor.mul target fg_mask in
-            let l1_fg = Value.l1_loss (Value.mul fake (Value.const fg_mask)) fg_target in
-            Value.add l1 (Value.scale l1_fg fg_weight)
-          end
-        in
-        let loss_g = Value.add adv (Value.scale recon options.lambda_l1) in
-        Value.backward loss_g;
-        Optimizer.step g_opt;
-        (* The generator step leaked gradients into the discriminator's
-           parameters; clear them so the next D step starts clean. *)
-        Optimizer.zero_grad d_opt;
-        sum_g_adv := !sum_g_adv +. scalar adv;
-        sum_g_l1 := !sum_g_l1 +. scalar l1;
-        sum_d := !sum_d +. scalar loss_d;
-        incr n_batches)
-      batches;
-    let n = float_of_int (max 1 !n_batches) in
-    let stats =
-      {
-        epoch;
-        g_adv = !sum_g_adv /. n;
-        g_l1 = !sum_g_l1 /. n;
-        d_loss = !sum_d /. n;
-        batches = !n_batches;
-      }
-    in
-    log
-      (Printf.sprintf "epoch %d/%d: G_adv %.4f G_L1 %.4f D %.4f (%d batches)" epoch
-         options.epochs stats.g_adv stats.g_l1 stats.d_loss stats.batches);
-    history := stats :: !history
-  done;
-  List.rev !history
+  let g_params = Cbgan.generator_params model in
+  let all_params = g_params @ Cbgan.discriminator_params model in
+  let bn = Cbgan.state model in
+  let journal = Option.map Runlog.create options.journal in
+  let jevent kind fields = Option.iter (fun j -> Runlog.event j kind fields) journal in
+  let fp = fingerprint options ~samples:n in
+  let st =
+    {
+      epoch = 1;
+      done_in_epoch = 0;
+      global_batch = 0;
+      retries = 0;
+      sum_g_adv = 0.0;
+      sum_g_l1 = 0.0;
+      sum_d = 0.0;
+      order = [||];
+      history = [];
+    }
+  in
 
-let train ?(log = fun _ -> ()) model spec options samples =
+  (* --- in-memory snapshots (divergence rollback) --- *)
+  let capture () =
+    {
+      s_params = Array.of_list (List.map (fun p -> Tensor.to_array p.Param.value) all_params);
+      s_bn = Array.of_list (List.map (fun (_, a) -> Array.copy a) bn);
+      s_g_opt = Optimizer.state g_opt;
+      s_d_opt = Optimizer.state d_opt;
+      s_prng = Prng.state rng;
+      s_epoch = st.epoch;
+      s_done = st.done_in_epoch;
+      s_global = st.global_batch;
+      s_sums = (st.sum_g_adv, st.sum_g_l1, st.sum_d);
+      s_order = Array.copy st.order;
+      s_history = st.history;
+    }
+  in
+  let restore_mem s =
+    List.iteri
+      (fun i p -> Array.iteri (fun j v -> Tensor.set p.Param.value j v) s.s_params.(i))
+      all_params;
+    List.iteri (fun i (_, live) -> Array.blit s.s_bn.(i) 0 live 0 (Array.length live)) bn;
+    Optimizer.set_state g_opt s.s_g_opt;
+    Optimizer.set_state d_opt s.s_d_opt;
+    Prng.set_state rng s.s_prng;
+    st.epoch <- s.s_epoch;
+    st.done_in_epoch <- s.s_done;
+    st.global_batch <- s.s_global;
+    let a, b, c = s.s_sums in
+    st.sum_g_adv <- a;
+    st.sum_g_l1 <- b;
+    st.sum_d <- c;
+    st.order <- Array.copy s.s_order;
+    st.history <- s.s_history
+  in
+
+  (* --- on-disk snapshots (crash resume) --- *)
+  let snapshot_state () =
+    bn
+    @ List.map (fun (k, v) -> ("opt.g." ^ k, v)) (Optimizer.state g_opt)
+    @ List.map (fun (k, v) -> ("opt.d." ^ k, v)) (Optimizer.state d_opt)
+    @ [
+        ( "train.pos",
+          [|
+            float_of_int st.epoch;
+            float_of_int st.done_in_epoch;
+            float_of_int st.global_batch;
+          |] );
+        ("train.sums", [| st.sum_g_adv; st.sum_g_l1; st.sum_d |]);
+        ("train.order", Array.map float_of_int st.order);
+        ("train.history", flatten_history st.history);
+      ]
+  in
+  let write_snapshot dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (snapshot_name st.global_batch) in
+    Checkpoint.save path
+      ~meta:
+        [
+          ("schema", "cbox-train-snapshot/1");
+          ("options", fp);
+          ("prng", Int64.to_string (Prng.state rng));
+        ]
+      ~params:all_params ~state:(snapshot_state ());
+    jevent "snapshot"
+      [ ("path", Runlog.S path); ("epoch", Runlog.I st.epoch); ("batch", Runlog.I st.global_batch) ];
+    (* Rotate: keep the newest [keep_snapshots] files. *)
+    list_snapshots dir
+    |> List.iteri (fun i (_, p) ->
+           if i >= max 1 options.keep_snapshots then try Sys.remove p with Sys_error _ -> ())
+  in
+  let restore_disk (c : Checkpoint.container) =
+    (match List.assoc_opt "options" (Checkpoint.meta c) with
+    | Some fp' when fp' = fp -> ()
+    | Some _ ->
+      failwith
+        "Cbox_train.train: snapshot was written with different training options or dataset; \
+         refusing to resume"
+    | None -> failwith "Cbox_train.train: snapshot has no options fingerprint");
+    let req name =
+      match Checkpoint.find_array c name with
+      | Some a -> a
+      | None -> failwith ("Cbox_train.train: snapshot missing " ^ name)
+    in
+    let pos = req "train.pos" in
+    let sums = req "train.sums" in
+    if Array.length pos <> 3 || Array.length sums <> 3 then
+      failwith "Cbox_train.train: malformed snapshot position";
+    let order = Array.map int_of_float (req "train.order") in
+    if Array.length order <> n then
+      failwith "Cbox_train.train: snapshot permutation does not match the dataset";
+    let history = unflatten_history (req "train.history") in
+    let g_state = Optimizer.state g_opt and d_state = Optimizer.state d_opt in
+    Checkpoint.restore c ~params:all_params
+      ~state:
+        (bn
+        @ List.map (fun (k, v) -> ("opt.g." ^ k, v)) g_state
+        @ List.map (fun (k, v) -> ("opt.d." ^ k, v)) d_state);
+    Optimizer.set_state g_opt g_state;
+    Optimizer.set_state d_opt d_state;
+    (match List.assoc_opt "prng" (Checkpoint.meta c) with
+    | Some s -> Prng.set_state rng (Int64.of_string s)
+    | None -> failwith "Cbox_train.train: snapshot has no PRNG state");
+    st.epoch <- int_of_float pos.(0);
+    st.done_in_epoch <- int_of_float pos.(1);
+    st.global_batch <- int_of_float pos.(2);
+    st.sum_g_adv <- sums.(0);
+    st.sum_g_l1 <- sums.(1);
+    st.sum_d <- sums.(2);
+    st.order <- order;
+    st.history <- history
+  in
+  let try_resume dir =
+    let rec attempt = function
+      | [] -> jevent "resume_fresh" [ ("dir", Runlog.S dir) ]
+      | (_, path) :: rest -> (
+        match Checkpoint.read path with
+        | exception Failure msg ->
+          (* A corrupt or truncated snapshot (e.g. the crash hit mid-write on
+             a filesystem without atomic rename) falls back to the previous
+             one; replaying from an older point is still bit-identical. *)
+          jevent "snapshot_corrupt" [ ("path", Runlog.S path); ("error", Runlog.S msg) ];
+          attempt rest
+        | c ->
+          restore_disk c;
+          jevent "resume"
+            [
+              ("path", Runlog.S path);
+              ("epoch", Runlog.I st.epoch);
+              ("batch", Runlog.I st.global_batch);
+            ];
+          log
+            (Printf.sprintf "resumed from %s (epoch %d, batch %d)" path st.epoch st.global_batch))
+    in
+    attempt (list_snapshots dir)
+  in
+
+  (* --- per-batch work with the divergence sentinel --- *)
+  let check who v = if not (Float.is_finite v) then raise (Diverged (who, v)) in
+  let process_batch batch ~bidx =
+    let access, target, cp = batch_tensors spec model batch in
+    let shape = Tensor.shape target in
+    (* One generator forward serves both phases: the discriminator step
+       sees a detached copy, the generator step reuses the live graph. *)
+    let fake = Cbgan.generator_forward model ~rng ~training:true ?cache_params:cp access in
+    let fake_detached = Tensor.copy (Value.value fake) in
+    (* --- Discriminator step --- *)
+    Optimizer.zero_grad d_opt;
+    let d_real = Cbgan.discriminator_forward model ~training:true ~access ~miss:(Value.const target) in
+    let d_fake = Cbgan.discriminator_forward model ~training:true ~access ~miss:(Value.const fake_detached) in
+    let ones = Tensor.ones (Tensor.shape (Value.value d_real)) in
+    let zeros = Tensor.zeros (Tensor.shape (Value.value d_fake)) in
+    let loss_d =
+      Value.scale
+        (Value.add (Value.bce_with_logits d_real ones) (Value.bce_with_logits d_fake zeros))
+        0.5
+    in
+    Value.backward loss_d;
+    check "d_loss" (scalar loss_d);
+    check "d_grad_norm" (Optimizer.grad_norm d_opt);
+    Optimizer.step d_opt;
+    (* --- Generator step --- *)
+    Optimizer.zero_grad g_opt;
+    Optimizer.zero_grad d_opt;
+    let d_on_fake = Cbgan.discriminator_forward model ~training:true ~access ~miss:fake in
+    let adv_target = Tensor.ones (Tensor.shape (Value.value d_on_fake)) in
+    let adv = Value.bce_with_logits d_on_fake adv_target in
+    let l1 = Value.l1_loss fake (Tensor.view target shape) in
+    (* Miss heatmaps can be very sparse (a few hundred non-empty pixels
+       in a 64x64 image); a plain mean L1 is then dominated by the empty
+       background and the generator collapses to "no misses". Class-
+       balance by adding an L1 term restricted to the non-empty target
+       pixels, weighted by half the background/foreground pixel ratio —
+       the weight vanishes on dense targets and grows with sparsity. *)
+    let fg_mask = Tensor.map (fun v -> if v > -0.999 then 1.0 else 0.0) target in
+    let fg_count = Tensor.sum fg_mask in
+    let bg_count = float_of_int (Tensor.numel target) -. fg_count in
+    let fg_weight = Float.min 8.0 (0.5 *. (bg_count /. Float.max 1.0 fg_count)) in
+    let recon =
+      if fg_weight < 0.05 then l1
+      else begin
+        let fg_target = Tensor.mul target fg_mask in
+        let l1_fg = Value.l1_loss (Value.mul fake (Value.const fg_mask)) fg_target in
+        Value.add l1 (Value.scale l1_fg fg_weight)
+      end
+    in
+    let loss_g = Value.add adv (Value.scale recon options.lambda_l1) in
+    Value.backward loss_g;
+    Faultinject.poison_grads ~batch:bidx g_params;
+    check "g_adv" (scalar adv);
+    check "g_l1" (scalar l1);
+    check "g_grad_norm" (Optimizer.grad_norm g_opt);
+    Optimizer.step g_opt;
+    (* The generator step leaked gradients into the discriminator's
+       parameters; clear them so the next D step starts clean. *)
+    Optimizer.zero_grad d_opt;
+    st.sum_g_adv <- st.sum_g_adv +. scalar adv;
+    st.sum_g_l1 <- st.sum_g_l1 +. scalar l1;
+    st.sum_d <- st.sum_d +. scalar loss_d
+  in
+
+  (* --- driver --- *)
+  let run () =
+    jevent "run_start"
+      [
+        ("epochs", Runlog.I options.epochs);
+        ("batch_size", Runlog.I options.batch_size);
+        ("samples", Runlog.I n);
+        ("resume", Runlog.B resume);
+      ];
+    (match (resume, options.snapshot_dir) with
+    | true, Some dir -> try_resume dir
+    | true, None -> invalid_arg "Cbox_train.train: ~resume:true requires snapshot_dir"
+    | false, _ -> ());
+    let good = ref (capture ()) in
+    let take_snapshot () =
+      good := capture ();
+      Option.iter write_snapshot options.snapshot_dir
+    in
+    while st.epoch <= options.epochs do
+      if st.done_in_epoch = 0 then begin
+        st.order <- Array.init n Fun.id;
+        Prng.shuffle rng st.order;
+        st.sum_g_adv <- 0.0;
+        st.sum_g_l1 <- 0.0;
+        st.sum_d <- 0.0
+      end;
+      let shuffled = List.map (fun i -> samples_arr.(i)) (Array.to_list st.order) in
+      let batches = Array.of_list (chunks options.batch_size shuffled) in
+      let nb = Array.length batches in
+      match
+        while st.done_in_epoch < nb do
+          let bidx = st.global_batch + 1 in
+          process_batch batches.(st.done_in_epoch) ~bidx;
+          st.done_in_epoch <- st.done_in_epoch + 1;
+          st.global_batch <- bidx;
+          (match options.snapshot_every with
+          | Some k when k > 0 && st.global_batch mod k = 0 -> take_snapshot ()
+          | _ -> ());
+          Faultinject.kill_point ~batch:st.global_batch
+        done
+      with
+      | () ->
+        let nf = float_of_int (max 1 nb) in
+        let stats =
+          {
+            epoch = st.epoch;
+            g_adv = st.sum_g_adv /. nf;
+            g_l1 = st.sum_g_l1 /. nf;
+            d_loss = st.sum_d /. nf;
+            batches = nb;
+          }
+        in
+        log
+          (Printf.sprintf "epoch %d/%d: G_adv %.4f G_L1 %.4f D %.4f (%d batches)" st.epoch
+             options.epochs stats.g_adv stats.g_l1 stats.d_loss stats.batches);
+        jevent "epoch_end"
+          [
+            ("epoch", Runlog.I st.epoch);
+            ("g_adv", Runlog.F stats.g_adv);
+            ("g_l1", Runlog.F stats.g_l1);
+            ("d_loss", Runlog.F stats.d_loss);
+            ("batches", Runlog.I nb);
+          ];
+        st.history <- stats :: st.history;
+        st.epoch <- st.epoch + 1;
+        st.done_in_epoch <- 0;
+        (* Epoch boundaries are rollback points even with snapshotting off. *)
+        good := capture ()
+      | exception Diverged (who, v) ->
+        jevent "divergence"
+          [
+            ("source", Runlog.S who);
+            ("value", Runlog.F v);
+            ("epoch", Runlog.I st.epoch);
+            ("batch", Runlog.I (st.global_batch + 1));
+            ("retries", Runlog.I st.retries);
+          ];
+        if st.retries >= options.max_retries then begin
+          jevent "abort" [ ("reason", Runlog.S "divergence retries exhausted") ];
+          failwith
+            (Printf.sprintf
+               "Cbox_train.train: %s diverged (%g) at batch %d; %d rollbacks exhausted" who v
+               (st.global_batch + 1) st.retries)
+        end;
+        let r = st.retries + 1 in
+        restore_mem !good;
+        st.retries <- r;
+        let new_lr = Optimizer.lr g_opt /. 2.0 in
+        Optimizer.set_lr g_opt new_lr;
+        Optimizer.set_lr d_opt (Optimizer.lr d_opt /. 2.0);
+        jevent "rollback"
+          [
+            ("epoch", Runlog.I st.epoch);
+            ("batch", Runlog.I st.global_batch);
+            ("lr", Runlog.F new_lr);
+            ("retries", Runlog.I r);
+          ]
+    done;
+    jevent "run_end" [ ("epochs", Runlog.I options.epochs); ("batches", Runlog.I st.global_batch) ];
+    List.rev st.history
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Runlog.close journal) run
+
+let train ?(log = fun _ -> ()) ?(resume = false) model spec options samples =
   if samples = [] then invalid_arg "Cbox_train.train: empty dataset";
   (* [domains] pins the Dpool lane count for the whole run, so every kernel
      under the step (gemm, conv, elementwise) runs data-parallel; [None]
      keeps the ambient CACHEBOX_DOMAINS / machine default. *)
   match options.domains with
-  | Some d -> Dpool.with_domains d (fun () -> train_loop ~log model spec options samples)
-  | None -> train_loop ~log model spec options samples
+  | Some d -> Dpool.with_domains d (fun () -> train_loop ~log ~resume model spec options samples)
+  | None -> train_loop ~log ~resume model spec options samples

@@ -1,10 +1,29 @@
-(** CB-GAN training loop (paper §3.2.2, Fig 6).
+(** CB-GAN training loop (paper §3.2.2, Fig 6) with a run-resilience layer.
 
     Standard pix2pix alternation per batch: one discriminator step on a
     (real, fake) pair with the fake detached, then one generator step
     minimising the adversarial loss plus [lambda_l1] times the L1
     reconstruction loss (Equation 1; the paper uses lambda = 150). Both
-    optimizers are Adam with beta1 = 0.5. *)
+    optimizers are Adam with beta1 = 0.5.
+
+    The resilience layer makes long training campaigns crash-safe:
+
+    - {b Snapshots}: every [snapshot_every] batches the complete training
+      state (parameters, batch-norm stats, Adam moments, PRNG state, epoch
+      permutation, partial loss sums, completed-epoch history) is written to
+      [snapshot_dir] as an atomic, checksummed {!Checkpoint} file; the
+      newest [keep_snapshots] files are kept.
+    - {b Exact resume}: [~resume:true] restarts from the newest loadable
+      snapshot and the continued run is bit-identical — same per-epoch
+      stats, same final weights — to a run that was never interrupted. A
+      corrupt snapshot is skipped (journalled) in favour of the previous
+      one; a snapshot written under different options is refused.
+    - {b Divergence sentinel}: each batch's losses and gradient norms are
+      scanned for NaN/Inf before the optimizer steps. On a trip the run
+      rolls back to the last good snapshot, halves both learning rates and
+      retries, up to [max_retries] times, before failing with [Failure].
+    - {b Journal}: when [journal] is set, run/epoch/snapshot/divergence/
+      rollback/resume events are appended to a {!Runlog} JSONL file. *)
 
 type options = {
   epochs : int;
@@ -17,12 +36,31 @@ type options = {
       (** Dpool lane count used for the whole run ([None] = ambient
           [CACHEBOX_DOMAINS] / machine default). Results are bit-identical
           for every setting. *)
+  snapshot_every : int option;
+      (** Snapshot cadence in batches, counted across the whole run
+          ([None] = rollback points at epoch boundaries only, nothing on
+          disk). *)
+  snapshot_dir : string option;
+      (** Where on-disk snapshots go (created if missing). [None] keeps
+          snapshots in memory only. *)
+  keep_snapshots : int;  (** rotating window of on-disk snapshots (>= 1) *)
+  max_retries : int;  (** divergence rollbacks before giving up *)
+  journal : string option;  (** append-only JSONL run log path *)
 }
 
 val default_options :
-  ?epochs:int -> ?batch_size:int -> ?lambda_l1:float -> ?domains:int -> unit -> options
+  ?epochs:int ->
+  ?batch_size:int ->
+  ?lambda_l1:float ->
+  ?domains:int ->
+  ?snapshot_every:int ->
+  ?snapshot_dir:string ->
+  ?journal:string ->
+  unit ->
+  options
 (** Defaults: 2 epochs, batch 4, lr 2e-4, beta1 0.5, lambda 150, seed 1234,
-    ambient domain count. *)
+    ambient domain count, no snapshotting/journal, keep 3 snapshots, 3
+    divergence retries. *)
 
 type epoch_stats = {
   epoch : int;
@@ -34,10 +72,13 @@ type epoch_stats = {
 
 val train :
   ?log:(string -> unit) ->
+  ?resume:bool ->
   Cbgan.t ->
   Heatmap.spec ->
   options ->
   Cbox_dataset.sample list ->
   epoch_stats list
 (** Trains in place (random batching each epoch, as the paper notes) and
-    returns per-epoch loss statistics. *)
+    returns per-epoch loss statistics for the whole run — including, after a
+    resume, the epochs completed before the interruption. [~resume:true]
+    requires [snapshot_dir]; with no snapshot present it starts fresh. *)

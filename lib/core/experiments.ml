@@ -147,15 +147,13 @@ let train_model ?(log = fun _ -> ()) scale ~use_cache_params ?(disc_layers = 2) 
   let samples = Cbox_dataset.to_samples data in
   let options =
     {
-      Cbox_train.epochs = scale.epochs;
-      batch_size = scale.batch_size;
+      (Cbox_train.default_options ~epochs:scale.epochs ~batch_size:scale.batch_size
+         ~lambda_l1:scale.lambda_l1 ())
+      with
       (* Higher than pix2pix's 2e-4: repro-scale runs see far fewer samples,
          and the sparse log-normalised targets tolerate the larger step. *)
-      lr = 1e-3;
-      beta1 = 0.5;
-      lambda_l1 = scale.lambda_l1;
+      Cbox_train.lr = 1e-3;
       seed = scale.seed + 7;
-      domains = None;
     }
   in
   let _history = Cbox_train.train ~log model scale.spec options samples in
@@ -174,6 +172,31 @@ let rows_of_predictions preds =
         predicted = p.predicted_hit_rate;
       })
     preds
+
+(* --- resumable sweeps --- *)
+
+(* Wraps one experiment driver in journal bookkeeping: a driver whose
+   [driver_end] event is already in the journal is skipped, so an
+   interrupted multi-hour sweep re-run with the same journal resumes at the
+   first unfinished driver instead of retraining everything. *)
+let run_driver ?journal ~name f =
+  match journal with
+  | None -> Some (f ())
+  | Some j ->
+    if List.mem name (Runlog.completed_drivers (Runlog.path j)) then None
+    else begin
+      Runlog.event j "driver_start" [ ("driver", Runlog.S name) ];
+      let t0 = Unix.gettimeofday () in
+      match f () with
+      | result ->
+        Runlog.event j "driver_end"
+          [ ("driver", Runlog.S name); ("seconds", Runlog.F (Unix.gettimeofday () -. t0)) ];
+        Some result
+      | exception e ->
+        Runlog.event j "driver_error"
+          [ ("driver", Runlog.S name); ("error", Runlog.S (Printexc.to_string e)) ];
+        raise e
+    end
 
 (* --- RQ1 --- *)
 

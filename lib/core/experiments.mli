@@ -70,6 +70,16 @@ type accuracy_result = {
 
 val summarize : string -> row list -> accuracy_result
 
+(** {1 Resumable sweeps} *)
+
+val run_driver : ?journal:Runlog.t -> name:string -> (unit -> 'a) -> 'a option
+(** [run_driver ~journal ~name f] runs one experiment driver under journal
+    bookkeeping: it appends [driver_start]/[driver_end] events around [f]
+    (and [driver_error] if [f] raises), and returns [None] without running
+    [f] when the journal already records a completed [name] — making a long
+    RQ sweep resumable per-driver after a crash. Without a journal it just
+    runs [f]. *)
+
 (** {1 Experiments} *)
 
 val rq1 : ?log:(string -> unit) -> scale -> accuracy_result

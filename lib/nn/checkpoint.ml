@@ -1,76 +1,207 @@
-let magic = "CBOXCKPT1"
+(* Versioned checkpoint container.
 
-let write_int32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+   v2 ("CBOXCKPT2") layout:
+     magic                      9 bytes
+     payload length             u64 LE
+     CRC-32 (IEEE) of payload   u32 LE
+     payload:
+       meta count               u32 LE
+       meta entries             (klen, key, vlen, value) with u32 lengths
+       entry count              u32 LE
+       entries                  (nlen, name, ndims, dims..., float64 data)
+
+   v1 ("CBOXCKPT1") had no checksum, no meta section, and float32 payloads;
+   it is still readable. New files are always v2: the checksum turns any
+   single-byte corruption into a clean [Failure], and the float64 payload
+   makes save/load an exact round-trip (required for bit-identical training
+   resume). *)
+
+let magic_v1 = "CBOXCKPT1"
+let magic_v2 = "CBOXCKPT2"
+
+(* --- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+(* --- writing --- *)
+
+let write_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let write_string buf s =
+  write_u32 buf (String.length s);
+  Buffer.add_string buf s
 
 let write_entry buf name dims (get : int -> float) n =
-  write_int32 buf (String.length name);
-  Buffer.add_string buf name;
-  write_int32 buf (Array.length dims);
-  Array.iter (fun d -> write_int32 buf d) dims;
+  write_string buf name;
+  write_u32 buf (Array.length dims);
+  Array.iter (fun d -> write_u32 buf d) dims;
   for i = 0 to n - 1 do
-    Buffer.add_int32_le buf (Int32.bits_of_float (get i))
+    Buffer.add_int64_le buf (Int64.bits_of_float (get i))
   done
 
-let save path ~params ~state =
-  let buf = Buffer.create (1 lsl 16) in
-  Buffer.add_string buf magic;
-  write_int32 buf (List.length params + List.length state);
+let atomic_write path write_to =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".ckpt" ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_to oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let save ?(meta = []) path ~params ~state =
+  let payload = Buffer.create (1 lsl 16) in
+  write_u32 payload (List.length meta);
+  List.iter
+    (fun (k, v) ->
+      write_string payload k;
+      write_string payload v)
+    meta;
+  write_u32 payload (List.length params + List.length state);
   List.iter
     (fun (p : Param.t) ->
       let v = p.value in
-      write_entry buf p.name (Tensor.shape v) (Tensor.get v) (Tensor.numel v))
+      write_entry payload p.name (Tensor.shape v) (Tensor.get v) (Tensor.numel v))
     params;
   List.iter
     (fun (name, a) ->
-      write_entry buf name [| Array.length a |] (Array.get a) (Array.length a))
+      write_entry payload name [| Array.length a |] (Array.get a) (Array.length a))
     state;
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  let payload = Buffer.contents payload in
+  atomic_write path (fun oc ->
+      output_string oc magic_v2;
+      let hdr = Bytes.create 12 in
+      Bytes.set_int64_le hdr 0 (Int64.of_int (String.length payload));
+      Bytes.set_int32_le hdr 8 (Int32.of_int (crc32 payload));
+      output_bytes oc hdr;
+      output_string oc payload)
+
+(* --- reading --- *)
 
 type entry = { dims : int array; data : float array }
 
-let read_all path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let raw = really_input_string ic len in
-      if len < String.length magic || String.sub raw 0 (String.length magic) <> magic
-      then failwith ("Checkpoint.load: bad magic in " ^ path);
-      let pos = ref (String.length magic) in
-      let read_i32 () =
-        let v = Int32.to_int (String.get_int32_le raw !pos) in
-        pos := !pos + 4;
-        v
-      in
-      let read_f32 () =
-        let v = Int32.float_of_bits (String.get_int32_le raw !pos) in
-        pos := !pos + 4;
-        v
-      in
-      let count = read_i32 () in
-      let table = Hashtbl.create (2 * count) in
-      for _ = 1 to count do
-        let name_len = read_i32 () in
-        let name = String.sub raw !pos name_len in
-        pos := !pos + name_len;
-        let ndims = read_i32 () in
-        let dims = Array.init ndims (fun _ -> read_i32 ()) in
-        let n = Array.fold_left ( * ) 1 dims in
-        let data = Array.init n (fun _ -> read_f32 ()) in
-        Hashtbl.replace table name { dims; data }
-      done;
-      table)
+type container = {
+  version : int;
+  meta : (string * string) list;
+  table : (string, entry) Hashtbl.t;
+}
 
-let load path ~params ~state =
-  let table = read_all path in
+(* A cursor over [raw] whose primitive reads raise [Failure] (never
+   [Invalid_argument]) when the file is too short for the declared
+   structure. *)
+let cursor path raw start =
+  let pos = ref start in
+  let need n =
+    if !pos + n > String.length raw then
+      failwith ("Checkpoint.load: truncated file " ^ path)
+  in
+  let u32 () =
+    need 4;
+    let v = Int32.to_int (String.get_int32_le raw !pos) in
+    pos := !pos + 4;
+    if v < 0 then failwith ("Checkpoint.load: negative count in " ^ path);
+    v
+  in
+  let str () =
+    let n = u32 () in
+    need n;
+    let s = String.sub raw !pos n in
+    pos := !pos + n;
+    s
+  in
+  let f32 () =
+    need 4;
+    let v = Int32.float_of_bits (String.get_int32_le raw !pos) in
+    pos := !pos + 4;
+    v
+  in
+  let f64 () =
+    need 8;
+    let v = Int64.float_of_bits (String.get_int64_le raw !pos) in
+    pos := !pos + 8;
+    v
+  in
+  (u32, str, f32, f64)
+
+let read_entries path ~float_size (u32, str, f32, f64) =
+  let count = u32 () in
+  let table = Hashtbl.create (2 * count) in
+  let read_float = if float_size = 4 then f32 else f64 in
+  for _ = 1 to count do
+    let name = str () in
+    let ndims = u32 () in
+    if ndims > 8 then failwith ("Checkpoint.load: implausible rank in " ^ path);
+    let dims = Array.init ndims (fun _ -> u32 ()) in
+    let n = Array.fold_left ( * ) 1 dims in
+    let data = Array.init n (fun _ -> read_float ()) in
+    Hashtbl.replace table name { dims; data }
+  done;
+  table
+
+let read path =
+  let ic = open_in_bin path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let mlen = String.length magic_v2 in
+  if String.length raw < mlen then failwith ("Checkpoint.load: bad magic in " ^ path);
+  match String.sub raw 0 mlen with
+  | m when m = magic_v2 ->
+    if String.length raw < mlen + 12 then
+      failwith ("Checkpoint.load: truncated header in " ^ path);
+    let plen = Int64.to_int (String.get_int64_le raw mlen) in
+    let stored_crc = Int32.to_int (String.get_int32_le raw (mlen + 8)) land 0xFFFFFFFF in
+    if plen < 0 || String.length raw <> mlen + 12 + plen then
+      failwith ("Checkpoint.load: payload length mismatch in " ^ path);
+    let payload = String.sub raw (mlen + 12) plen in
+    if crc32 payload <> stored_crc then
+      failwith ("Checkpoint.load: checksum mismatch in " ^ path ^ " (corrupt file)");
+    let ((u32, str, _, _) as cur) = cursor path payload 0 in
+    let meta_count = u32 () in
+    if meta_count > 10_000 then
+      failwith ("Checkpoint.load: implausible meta count in " ^ path);
+    let meta =
+      List.init meta_count (fun _ ->
+          let k = str () in
+          let v = str () in
+          (k, v))
+    in
+    { version = 2; meta; table = read_entries path ~float_size:8 cur }
+  | m when m = magic_v1 ->
+    let cur = cursor path raw mlen in
+    { version = 1; meta = []; table = read_entries path ~float_size:4 cur }
+  | _ -> failwith ("Checkpoint.load: bad magic in " ^ path)
+
+let version c = c.version
+let meta c = c.meta
+
+let find_array c name =
+  Option.map (fun e -> e.data) (Hashtbl.find_opt c.table name)
+
+let restore c ~params ~state =
   let find name =
-    match Hashtbl.find_opt table name with
+    match Hashtbl.find_opt c.table name with
     | Some e -> e
-    | None -> failwith ("Checkpoint.load: missing entry " ^ name ^ " in " ^ path)
+    | None -> failwith ("Checkpoint.load: missing entry " ^ name)
   in
   List.iter
     (fun (p : Param.t) ->
@@ -87,7 +218,9 @@ let load path ~params ~state =
       Array.blit e.data 0 a 0 (Array.length a))
     state
 
+let load path ~params ~state = restore (read path) ~params ~state
+
 let entries path =
-  let table = read_all path in
-  Hashtbl.fold (fun name e acc -> (name, e.dims) :: acc) table []
+  let c = read path in
+  Hashtbl.fold (fun name e acc -> (name, e.dims) :: acc) c.table []
   |> List.sort compare

@@ -1,0 +1,52 @@
+(* Deterministic fault injection for resilience tests.
+
+   A single global fault can be armed at a global batch index; the training
+   loop calls the hook functions at fixed points and the fault fires exactly
+   once (then disarms itself), so a retried or resumed run sails past the
+   injection point. This is test machinery: production runs never arm
+   anything and the hooks reduce to one integer comparison per batch. *)
+
+type fault = Kill | Nan_grad
+
+exception Killed of int
+
+type armed = { fault : fault; at_batch : int }
+
+let current : armed option ref = ref None
+
+let arm fault ~at_batch =
+  if at_batch < 1 then invalid_arg "Faultinject.arm: at_batch must be >= 1";
+  current := Some { fault; at_batch }
+
+let disarm () = current := None
+
+let fires fault batch =
+  match !current with
+  | Some a when a.fault = fault && a.at_batch = batch ->
+    current := None;
+    true
+  | _ -> false
+
+let kill_point ~batch = if fires Kill batch then raise (Killed batch)
+
+let poison_grads ~batch params =
+  if fires Nan_grad batch then
+    match params with
+    | [] -> ()
+    | (p : Param.t) :: _ -> Tensor.set p.Param.grad 0 Float.nan
+
+let corrupt_byte path ~offset =
+  let ic = open_in_bin path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.length raw = 0 then invalid_arg "Faultinject.corrupt_byte: empty file";
+  let offset = ((offset mod String.length raw) + String.length raw) mod String.length raw in
+  let bytes = Bytes.of_string raw in
+  Bytes.set bytes offset (Char.chr (Char.code (Bytes.get bytes offset) lxor 0xFF));
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc bytes)

@@ -1,0 +1,33 @@
+(** Deterministic fault injection for crash/divergence recovery tests.
+
+    One global fault can be armed at a 1-based global batch index. The
+    training loop consults {!kill_point} and {!poison_grads} at fixed points;
+    an armed fault fires exactly once and disarms itself, so a rolled-back or
+    resumed run passes the injection point cleanly. With nothing armed the
+    hooks are a single integer comparison. *)
+
+type fault =
+  | Kill  (** raise {!Killed} after the batch completes (simulated crash) *)
+  | Nan_grad  (** overwrite one gradient element with NaN before the step *)
+
+exception Killed of int
+(** Raised by {!kill_point} with the batch index; simulates the process
+    dying mid-run (no state beyond already-written snapshots survives). *)
+
+val arm : fault -> at_batch:int -> unit
+(** Arms [fault] to fire at the given global batch (counted from 1 across
+    the whole run). Replaces any previously armed fault. *)
+
+val disarm : unit -> unit
+(** Clears any armed fault (tests should call this in cleanup). *)
+
+val kill_point : batch:int -> unit
+(** Raises [Killed batch] iff [Kill] is armed for exactly this batch. *)
+
+val poison_grads : batch:int -> Param.t list -> unit
+(** If [Nan_grad] is armed for exactly this batch, sets the first gradient
+    element of the first parameter to NaN. *)
+
+val corrupt_byte : string -> offset:int -> unit
+(** Flips all bits of one byte of a file in place ([offset] is taken modulo
+    the file length), for checkpoint-corruption tests. *)

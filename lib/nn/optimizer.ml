@@ -41,6 +41,58 @@ let clip_grad_norm t ~max_norm =
     Array.iter (fun p -> Tensor.scale_ p.Param.grad factor) t.params
   end
 
+(* Serializable optimizer state. Every entry is a named float array so it
+   drops straight into a {!Checkpoint} state list; [set_state] is the exact
+   inverse, fixing the historical silent reset-to-zero of Adam moments when a
+   run was resumed from a weights-only checkpoint. *)
+let state t =
+  let common = [ ("lr", [| t.lr |]) ] in
+  match t.algo with
+  | Sgd { velocity; _ } ->
+    common
+    @ Array.to_list
+        (Array.mapi
+           (fun i p -> ("velocity." ^ p.Param.name, Tensor.to_array velocity.(i)))
+           t.params)
+  | Adam a ->
+    common
+    @ [ ("step", [| float_of_int a.step_count |]) ]
+    @ Array.to_list
+        (Array.mapi (fun i p -> ("m." ^ p.Param.name, Tensor.to_array a.m.(i))) t.params)
+    @ Array.to_list
+        (Array.mapi (fun i p -> ("v." ^ p.Param.name, Tensor.to_array a.v.(i))) t.params)
+
+let set_state t entries =
+  let find name =
+    match List.assoc_opt name entries with
+    | Some a -> a
+    | None -> failwith ("Optimizer.set_state: missing entry " ^ name)
+  in
+  let restore_tensor name dst =
+    let a = find name in
+    if Array.length a <> Tensor.numel dst then
+      failwith ("Optimizer.set_state: length mismatch for " ^ name);
+    Array.iteri (fun i v -> Tensor.set dst i v) a
+  in
+  let scalar name =
+    match find name with
+    | [| v |] -> v
+    | _ -> failwith ("Optimizer.set_state: expected scalar entry " ^ name)
+  in
+  t.lr <- scalar "lr";
+  match t.algo with
+  | Sgd { velocity; _ } ->
+    Array.iteri
+      (fun i p -> restore_tensor ("velocity." ^ p.Param.name) velocity.(i))
+      t.params
+  | Adam a ->
+    a.step_count <- int_of_float (scalar "step");
+    Array.iteri
+      (fun i p ->
+        restore_tensor ("m." ^ p.Param.name) a.m.(i);
+        restore_tensor ("v." ^ p.Param.name) a.v.(i))
+      t.params
+
 let step t =
   match t.algo with
   | Sgd { momentum; velocity } ->

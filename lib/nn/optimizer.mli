@@ -19,6 +19,17 @@ val set_lr : t -> float -> unit
 val lr : t -> float
 val params : t -> Param.t list
 
+val state : t -> (string * float array) list
+(** Serializable optimizer state as named float arrays (fresh copies):
+    ["lr"], and per-parameter moment vectors — ["m.<name>"]/["v.<name>"]
+    plus ["step"] for Adam, ["velocity.<name>"] for SGD. Feed these (with a
+    distinguishing prefix) into {!Checkpoint.save} so moments survive a
+    restart instead of silently resetting to zero. *)
+
+val set_state : t -> (string * float array) list -> unit
+(** Exact inverse of {!state} for an optimizer built over the same parameter
+    list. Raises [Failure] on a missing entry or length mismatch. *)
+
 val grad_norm : t -> float
 (** L2 norm of the concatenated gradients (diagnostic). *)
 

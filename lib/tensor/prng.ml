@@ -19,6 +19,9 @@ let of_label label =
     label;
   { state = mix64 !h }
 
+let state g = g.state
+let set_state g s = g.state <- s
+
 let next_int64 g =
   g.state <- Int64.add g.state golden_gamma;
   mix64 g.state

@@ -21,6 +21,13 @@ val split : t -> t
 (** [split g] draws from [g] and returns a fresh generator statistically
     independent of the remainder of [g]'s stream. *)
 
+val state : t -> int64
+(** The full 64-bit generator state, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restores a state captured with {!state}; the generator then reproduces
+    the exact stream it would have produced from that point. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -24,5 +24,6 @@ let () =
       Test_characterize.suite;
       Test_metrics.suite;
       Test_core.suite;
+      Test_resilience.suite;
       Test_integration.suite;
     ]
