@@ -6,9 +6,21 @@
      heatmap    - trace -> access/miss heatmaps (HeatmapDataGenerator role)
      train      - train a CB-GAN and write a checkpoint
      infer      - load a checkpoint and predict hit rates (+ hit-rate calc)
-     baselines  - HRD / STM / TabSynth predictions for comparison *)
+     baselines  - HRD / STM / TabSynth predictions for comparison
+     serve      - hardened line-delimited-JSON inference daemon
+     call       - one-shot client for a running serve daemon
+
+   Every externally-caused failure exits with the stable taxonomy code
+   (see Serve_error): bad request/config 2, corrupt input 3, model
+   unavailable 4, deadline 5, overloaded 6, internal 7. *)
 
 open Cmdliner
+
+let die (e : Serve_error.t) =
+  Fmt.epr "%a@." Serve_error.pp e;
+  exit (Serve_error.exit_code e.Serve_error.code)
+
+let or_die = function Ok v -> v | Error e -> die e
 
 (* --- shared arguments --- *)
 
@@ -47,7 +59,10 @@ let find_workload name =
     Fmt.epr "unknown benchmark %S; try `cachebox list`@." name;
     exit 2
 
-let cache_config ~sets ~ways = Cache.config ~sets ~ways ()
+(* All CLI cache geometry flows through the shared Validate gate: an
+   impossible --sets/--ways prints the taxonomy error and exits 2 instead
+   of dying on an uncaught Invalid_argument. *)
+let cache_config ~sets ~ways = or_die (Validate.cache_config ~sets ~ways ())
 
 (* --- list --- *)
 
@@ -79,6 +94,7 @@ let simulate_cmd =
     let l1 = cache_config ~sets ~ways in
     let l2 = if levels >= 2 then Some (cache_config ~sets:(sets * 4) ~ways:8) else None in
     let l3 = if levels >= 3 then Some (cache_config ~sets:(sets * 8) ~ways:16) else None in
+    or_die (Validate.hierarchy_configs (l1 :: (Option.to_list l2 @ Option.to_list l3)));
     let pf =
       match prefetcher with
       | "none" -> Prefetch.No_prefetch
@@ -211,31 +227,230 @@ let train_cmd =
 
 (* --- infer --- *)
 
+let fallback_arg =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "fallback" ] ~docv:"KIND"
+        ~doc:
+          "Analytical fallback when the learned model is unusable: $(b,hrd), $(b,stm) or \
+           $(b,none). With $(b,none), a missing or corrupt checkpoint is a hard taxonomy \
+           error.")
+
+let parse_fallback s =
+  match Cbox_infer.fallback_of_string s with
+  | Some f -> f
+  | None ->
+    die (Serve_error.v Serve_error.Bad_request "unknown fallback %S (hrd|stm|none)" s)
+
 let infer_cmd =
-  let run name sets ways trace_len ckpt domains =
+  let run name sets ways trace_len ckpt domains fallback =
     apply_domains domains;
+    let fallback = parse_fallback fallback in
     let spec = Heatmap.spec () in
     let cfg = cache_config ~sets ~ways in
     let w = find_workload name in
-    let model = Cbgan.create ~seed:42 (Cbgan.default_config ()) in
-    if Sys.file_exists ckpt then Cbgan.load model ckpt
-    else begin
-      Fmt.epr "checkpoint %s not found; run `cachebox train` first@." ckpt;
-      exit 2
-    end;
+    let model =
+      match
+        Serve_engine.model_of_checkpoint ~seed:42 (Cbgan.default_config ()) ~path:ckpt
+      with
+      | Ok model -> Some model
+      | Error e ->
+        Fmt.epr "%a@." Serve_error.pp e;
+        if fallback = Cbox_infer.No_fallback then begin
+          Fmt.epr "no fallback enabled; rerun with --fallback hrd|stm or `cachebox train`@.";
+          exit (Serve_error.exit_code e.Serve_error.code)
+        end;
+        Fmt.epr "degrading to the %s analytical baseline@."
+          (Cbox_infer.fallback_name fallback);
+        None
+    in
     let data = Cbox_dataset.build_l1 spec ~configs:[ cfg ] ~trace_len [ w ] in
     List.iter
-      (fun d ->
-        let p = Cbox_infer.predict model spec d in
-        Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%%@." p.Cbox_infer.benchmark
-          (Cache.config_name cfg) p.Cbox_infer.true_hit_rate p.Cbox_infer.predicted_hit_rate
-          (Cbox_infer.abs_pct_diff p))
+      (fun (d : Cbox_dataset.benchmark_data) ->
+        match model with
+        | Some model ->
+          let p = Cbox_infer.predict model spec d in
+          Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%%@." p.Cbox_infer.benchmark
+            (Cache.config_name cfg) p.Cbox_infer.true_hit_rate p.Cbox_infer.predicted_hit_rate
+            (Cbox_infer.abs_pct_diff p)
+        | None ->
+          let trace = d.Cbox_dataset.workload.Workload.generate trace_len in
+          let predicted =
+            Option.get (Cbox_infer.baseline_hit_rate fallback d.Cbox_dataset.cache trace)
+          in
+          Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%% (degraded: %s fallback)@."
+            d.Cbox_dataset.workload.Workload.name (Cache.config_name cfg)
+            d.Cbox_dataset.true_hit_rate predicted
+            (Metrics.abs_pct_diff ~truth:d.Cbox_dataset.true_hit_rate ~predicted)
+            (Cbox_infer.fallback_name fallback))
       data
   in
   Cmd.v (Cmd.info "infer" ~doc:"Predict a benchmark's hit rate with a trained checkpoint")
     Term.(
       const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ checkpoint_arg
-      $ domains_arg)
+      $ domains_arg $ fallback_arg)
+
+(* --- serve / call --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path (default cachebox.sock).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen/connect on 127.0.0.1:PORT instead of a unix socket.")
+
+let listen_of ~socket ~port =
+  match (socket, port) with
+  | _, Some p -> Serve_daemon.Tcp ("127.0.0.1", p)
+  | Some path, None -> Serve_daemon.Unix_socket path
+  | None, None -> Serve_daemon.Unix_socket "cachebox.sock"
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc:"Bounded request-queue capacity; overflow is shed with an $(b,overloaded) reply.")
+  in
+  let deadline_arg =
+    Arg.(value & opt int 5000 & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Default per-request deadline.")
+  in
+  let breaker_threshold_arg =
+    Arg.(value & opt int 3 & info [ "breaker-threshold" ] ~docv:"N" ~doc:"Consecutive model faults before the circuit breaker opens.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(value & opt int 5000 & info [ "breaker-cooldown-ms" ] ~docv:"MS" ~doc:"Cooldown before a half-open model probe.")
+  in
+  let max_trace_arg =
+    Arg.(value & opt int Validate.default_max_trace_len & info [ "max-trace-len" ] ~docv:"N" ~doc:"Largest accepted trace, in accesses.")
+  in
+  let journal_serve_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc:"Append serve events (start/stop, degradations, breaker trips, sheds) to a JSONL journal.")
+  in
+  let run socket port ckpt fallback queue_depth deadline_ms breaker_threshold
+      breaker_cooldown_ms max_trace_len journal domains =
+    apply_domains domains;
+    let fallback = parse_fallback fallback in
+    let spec = Heatmap.spec () in
+    let model =
+      match
+        Serve_engine.model_of_checkpoint ~seed:42 (Cbgan.default_config ()) ~path:ckpt
+      with
+      | Ok model -> Some model
+      | Error e ->
+        (* Startup survives a bad checkpoint: serve analytically, degraded,
+           so callers keep getting (flagged) answers while the model is
+           repaired. *)
+        Fmt.epr "%a@." Serve_error.pp e;
+        Fmt.epr "starting DEGRADED: every inference will use the %s baseline@."
+          (Cbox_infer.fallback_name fallback);
+        None
+    in
+    if model = None && fallback = Cbox_infer.No_fallback then begin
+      Fmt.epr "no model and no fallback: refusing to start@.";
+      exit (Serve_error.exit_code Serve_error.Model_unavailable)
+    end;
+    let listen = listen_of ~socket ~port in
+    let config =
+      {
+        Serve_daemon.listen;
+        queue_depth;
+        engine =
+          {
+            (Serve_engine.default_config ~fallback ()) with
+            Serve_engine.default_deadline_s = float_of_int deadline_ms /. 1000.0;
+            breaker_threshold;
+            breaker_cooldown_s = float_of_int breaker_cooldown_ms /. 1000.0;
+            max_trace_len;
+          };
+      }
+    in
+    let ready () =
+      Fmt.pr "cachebox serve: listening on %s (model %s, fallback %s)@."
+        (match listen with
+        | Serve_daemon.Unix_socket p -> "unix:" ^ p
+        | Serve_daemon.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+        (if model = None then "UNAVAILABLE" else "loaded")
+        (Cbox_infer.fallback_name fallback)
+    in
+    let serve journal =
+      try Serve_daemon.run ?journal ~ready ~spec ~model config
+      with Serve_error.Error e -> die e
+    in
+    match journal with
+    | None -> serve None
+    | Some path -> Runlog.with_journal path (fun j -> serve (Some j))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve hit-rate predictions over line-delimited JSON (hardened: validated \
+          ingestion, deadlines, bounded queue, circuit breaker, analytical fallback)")
+    Term.(
+      const run $ socket_arg $ port_arg $ checkpoint_arg
+      $ Arg.(
+          value
+          & opt string "hrd"
+          & info [ "fallback" ] ~docv:"KIND"
+              ~doc:"Analytical fallback for degraded answers: $(b,hrd), $(b,stm) or $(b,none).")
+      $ queue_arg $ deadline_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+      $ max_trace_arg $ journal_serve_arg $ domains_arg)
+
+let call_cmd =
+  let request_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JSON" ~doc:"One request object, e.g. '{\"op\": \"health\"}'.")
+  in
+  let run socket port request =
+    let addr =
+      match (socket, port) with
+      | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, None -> Unix.ADDR_UNIX "cachebox.sock"
+    in
+    let fd =
+      Unix.socket
+        (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+        Unix.SOCK_STREAM 0
+    in
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "cannot connect: %s@." (Unix.error_message e);
+      exit 1);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc request;
+    output_char oc '\n';
+    flush oc;
+    (match input_line ic with
+    | line -> (
+      print_endline line;
+      (* Exit status mirrors the reply: 0 for ok (degraded included), the
+         stable taxonomy exit code for errors. *)
+      match Sjson.parse line with
+      | Ok json when Sjson.(member "ok" json |> Option.map to_bool) = Some (Some true) ->
+        exit 0
+      | Ok json -> (
+        match
+          Option.bind (Sjson.member "error" json) Sjson.to_str
+          |> Option.map Serve_error.code_of_string
+        with
+        | Some (Some code) -> exit (Serve_error.exit_code code)
+        | _ -> exit (Serve_error.exit_code Serve_error.Internal))
+      | Error _ -> exit (Serve_error.exit_code Serve_error.Internal))
+    | exception End_of_file ->
+      Fmt.epr "connection closed without a reply@.";
+      exit 1)
+  in
+  Cmd.v
+    (Cmd.info "call" ~doc:"Send one request line to a running serve daemon and print the reply")
+    Term.(const run $ socket_arg $ port_arg $ request_arg)
 
 (* --- export / import traces --- *)
 
@@ -324,4 +539,4 @@ let baselines_cmd =
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in
   let info = Cmd.info "cachebox" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; baselines_cmd; export_cmd; replay_cmd; characterize_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; baselines_cmd; export_cmd; replay_cmd; characterize_cmd ]))

@@ -6,20 +6,36 @@
 
     - {b text}: one lowercase hex byte-address per line ("0x1a2b3c" or bare
       "1a2b3c"); blank lines and lines starting with '#' are skipped.
-    - {b binary}: magic "CBTRACE1" followed by a little-endian int64 count
-      and that many little-endian int64 addresses.
+    - {b binary v2}: magic "CBTRACE2", a little-endian int64 count, a
+      CRC-32 (IEEE) of the payload, then that many little-endian int64
+      addresses. The checksum turns any byte-level corruption into a clean
+      [Failure] at read time. v1 files ("CBTRACE1", no checksum) remain
+      readable with per-address range checking as the only defence.
+
+    Addresses are bounded to [0, 2^52] in every format (larger values never
+    occur in real traces and cannot survive the float64 paths downstream);
+    writers reject out-of-range addresses with [Invalid_argument], readers
+    with [Failure].
 
     Both writers are atomic (temp file + rename): a crash mid-write never
     leaves a truncated file under the target name. *)
+
+val max_address : int
+(** Inclusive upper bound on trace addresses (2^52). *)
 
 val write_text : string -> int array -> unit
 val read_text : string -> int array
 (** Raises [Failure] with the offending line number on malformed input. *)
 
 val write_binary : string -> int array -> unit
+(** Always writes the checksummed v2 format. *)
+
 val read_binary : string -> int array
-(** Raises [Failure] on bad magic, a truncated payload, or trailing bytes
-    after the declared access count. *)
+(** Raises [Failure] on bad magic, a truncated payload, a checksum
+    mismatch, an out-of-range address, or trailing bytes after the declared
+    access count — never any other exception. *)
 
 val read_auto : string -> int array
-(** Dispatches on the binary magic, falling back to text. *)
+(** Dispatches on the binary magic, falling back to text. A file holding
+    only a strict prefix of a binary magic is a truncated binary trace
+    ([Failure]), not text. *)

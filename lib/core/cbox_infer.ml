@@ -40,6 +40,37 @@ let synthesize model spec ?(batch_size = 8) ?domains ~cache access_heatmaps =
   Dpool.parallel_map_array ?domains run_batch batch_list
   |> Array.to_list |> List.concat
 
+let predict_hit_rate model spec ?batch_size ?domains ~cache access =
+  let synthetic = synthesize model spec ?batch_size ?domains ~cache access in
+  Heatmap.hit_rate spec ~access ~miss:synthetic
+
+let validate_hit_rate ?(lo = -0.25) ?(hi = 1.25) raw =
+  if Float.is_nan raw then Error "hit rate is NaN"
+  else if raw = Float.infinity || raw = Float.neg_infinity then
+    Error "hit rate is infinite"
+  else if raw < lo || raw > hi then
+    Error (Printf.sprintf "hit rate %g outside plausible range [%g, %g]" raw lo hi)
+  else Ok (Float.max 0.0 (Float.min 1.0 raw))
+
+type fallback = No_fallback | Fallback_hrd | Fallback_stm
+
+let fallback_name = function
+  | No_fallback -> "none"
+  | Fallback_hrd -> "hrd"
+  | Fallback_stm -> "stm"
+
+let fallback_of_string = function
+  | "none" -> Some No_fallback
+  | "hrd" -> Some Fallback_hrd
+  | "stm" -> Some Fallback_stm
+  | _ -> None
+
+let baseline_hit_rate fallback cache trace =
+  match fallback with
+  | No_fallback -> None
+  | Fallback_hrd -> Some (Hrd.predict_l1 cache trace)
+  | Fallback_stm -> Some (Stm.predict cache trace)
+
 let predict model spec ?batch_size (data : Cbox_dataset.benchmark_data) =
   let access = List.map fst data.pairs in
   let synthetic = synthesize model spec ?batch_size ~cache:data.cache access in

@@ -29,6 +29,43 @@ val synthesize :
     — sample results are independent because inference batch-norm uses
     running statistics, so the parallel and serial paths agree exactly. *)
 
+val predict_hit_rate :
+  Cbgan.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  ?domains:int ->
+  cache:Cache.config ->
+  Tensor.t list ->
+  float
+(** Raw (unclamped) predicted hit rate from a list of access heatmaps: the
+    serving path's entry point. The result may be NaN or out of [0, 1] when
+    the model misbehaves — callers that serve the value must gate it through
+    {!validate_hit_rate}. *)
+
+val validate_hit_rate : ?lo:float -> ?hi:float -> float -> (float, string) result
+(** Validity gate for a raw model prediction: NaN, infinities and values
+    outside the grace range [\[lo, hi\]] (default [\[-0.25, 1.25\]] — mild
+    overshoot is normal for a regression-through-GAN, gross excursions mean
+    the model can't be trusted) are rejected with a reason; accepted values
+    are clamped to [\[0, 1\]]. *)
+
+(** {1 Analytical fallbacks}
+
+    When the learned model is unavailable or untrusted, serving degrades to
+    the analytical baselines (TAO-style hybrid design): same request, same
+    answer shape, no learned component. *)
+
+type fallback = No_fallback | Fallback_hrd | Fallback_stm
+
+val fallback_name : fallback -> string
+val fallback_of_string : string -> fallback option
+(** ["none" | "hrd" | "stm"]. *)
+
+val baseline_hit_rate : fallback -> Cache.config -> int array -> float option
+(** Deterministic analytical prediction for the trace under the config
+    ([None] for {!No_fallback}). HRD profiles reuse distances; STM clones
+    and re-simulates. Both are bounded to [\[0, 1\]] by construction. *)
+
 val predict :
   Cbgan.t -> Heatmap.spec -> ?batch_size:int -> Cbox_dataset.benchmark_data -> prediction
 (** Full per-benchmark prediction, including the de-overlapped hit-rate

@@ -19,24 +19,9 @@
 let magic_v1 = "CBOXCKPT1"
 let magic_v2 = "CBOXCKPT2"
 
-(* --- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) --- *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let crc = ref 0xFFFFFFFF in
-  String.iter
-    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
-    s;
-  !crc lxor 0xFFFFFFFF
+(* CRC-32 lives in the shared [Crc32] module (lib/tensor) so the trace
+   container uses the identical, identically-tested implementation. *)
+let crc32 = Crc32.digest
 
 (* --- writing --- *)
 

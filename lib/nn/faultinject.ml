@@ -1,39 +1,61 @@
 (* Deterministic fault injection for resilience tests.
 
-   A single global fault can be armed at a global batch index; the training
-   loop calls the hook functions at fixed points and the fault fires exactly
-   once (then disarms itself), so a retried or resumed run sails past the
-   injection point. This is test machinery: production runs never arm
-   anything and the hooks reduce to one integer comparison per batch. *)
+   A single global fault can be armed at a global index (training batch or
+   serving request, both 1-based and monotonic); the hardened loops call the
+   hook functions at fixed points and the fault fires [count] times starting
+   at that index (then disarms itself), so a retried or resumed run sails
+   past the injection point. This is test machinery: production runs never
+   arm anything and the hooks reduce to one integer comparison per call. *)
 
-type fault = Kill | Nan_grad
+type fault =
+  | Kill
+  | Nan_grad
+  | Slow of float
+  | Nan_output
+  | Corrupt_checkpoint
 
 exception Killed of int
 
-type armed = { fault : fault; at_batch : int }
+type armed = { fault : fault; at : int; mutable remaining : int }
 
 let current : armed option ref = ref None
 
-let arm fault ~at_batch =
+let arm ?(count = 1) fault ~at_batch =
   if at_batch < 1 then invalid_arg "Faultinject.arm: at_batch must be >= 1";
-  current := Some { fault; at_batch }
+  if count < 1 then invalid_arg "Faultinject.arm: count must be >= 1";
+  current := Some { fault; at = at_batch; remaining = count }
 
 let disarm () = current := None
 
-let fires fault batch =
+(* Fires iff a matching fault is armed and the (monotonic) index has reached
+   its start point; consumes one of the remaining shots. *)
+let fires_if pred index =
   match !current with
-  | Some a when a.fault = fault && a.at_batch = batch ->
-    current := None;
+  | Some a when index >= a.at && a.remaining > 0 && pred a.fault ->
+    a.remaining <- a.remaining - 1;
+    if a.remaining = 0 then current := None;
     true
   | _ -> false
 
-let kill_point ~batch = if fires Kill batch then raise (Killed batch)
+let kill_point ~batch = if fires_if (fun f -> f = Kill) batch then raise (Killed batch)
 
 let poison_grads ~batch params =
-  if fires Nan_grad batch then
+  if fires_if (fun f -> f = Nan_grad) batch then
     match params with
     | [] -> ()
     | (p : Param.t) :: _ -> Tensor.set p.Param.grad 0 Float.nan
+
+let slow_delay ~index =
+  let d = ref 0.0 in
+  if fires_if (function Slow s -> d := s; true | _ -> false) index then !d else 0.0
+
+let poison_output ~index tensors =
+  if fires_if (fun f -> f = Nan_output) index then
+    match tensors with
+    | [] -> ()
+    | (t : Tensor.t) :: _ -> Tensor.set t 0 Float.nan
+
+let checkpoint_fault ~index = fires_if (fun f -> f = Corrupt_checkpoint) index
 
 let corrupt_byte path ~offset =
   let ic = open_in_bin path in

@@ -1,33 +1,59 @@
-(** Deterministic fault injection for crash/divergence recovery tests.
+(** Deterministic fault injection for crash/divergence/serving tests.
 
-    One global fault can be armed at a 1-based global batch index. The
-    training loop consults {!kill_point} and {!poison_grads} at fixed points;
-    an armed fault fires exactly once and disarms itself, so a rolled-back or
-    resumed run passes the injection point cleanly. With nothing armed the
-    hooks are a single integer comparison. *)
+    One global fault can be armed at a 1-based global index — a training
+    batch for the training hooks, a request ordinal for the serving hooks;
+    both are monotonic, and the fault fires on the first [count] hook calls
+    whose index has reached the arm point, then disarms itself, so a
+    rolled-back, resumed or retried run passes the injection point cleanly.
+    With nothing armed every hook is a single integer comparison. *)
 
 type fault =
   | Kill  (** raise {!Killed} after the batch completes (simulated crash) *)
   | Nan_grad  (** overwrite one gradient element with NaN before the step *)
+  | Slow of float
+      (** stall the model inference path for the given seconds (simulated
+          overloaded/slow model, for deadline tests) *)
+  | Nan_output  (** overwrite one model-output element with NaN *)
+  | Corrupt_checkpoint
+      (** make the model path fail as if its checkpoint went unreadable *)
 
 exception Killed of int
 (** Raised by {!kill_point} with the batch index; simulates the process
     dying mid-run (no state beyond already-written snapshots survives). *)
 
-val arm : fault -> at_batch:int -> unit
-(** Arms [fault] to fire at the given global batch (counted from 1 across
-    the whole run). Replaces any previously armed fault. *)
+val arm : ?count:int -> fault -> at_batch:int -> unit
+(** Arms [fault] to fire on the first [count] (default 1) hook calls at or
+    after the given global index. Replaces any previously armed fault.
+    [count > 1] drives consecutive-fault scenarios (circuit breakers). *)
 
 val disarm : unit -> unit
 (** Clears any armed fault (tests should call this in cleanup). *)
 
+(** {1 Training hooks} *)
+
 val kill_point : batch:int -> unit
-(** Raises [Killed batch] iff [Kill] is armed for exactly this batch. *)
+(** Raises [Killed batch] iff [Kill] is armed and due at this batch. *)
 
 val poison_grads : batch:int -> Param.t list -> unit
-(** If [Nan_grad] is armed for exactly this batch, sets the first gradient
-    element of the first parameter to NaN. *)
+(** If [Nan_grad] is armed and due, sets the first gradient element of the
+    first parameter to NaN. *)
+
+(** {1 Serving hooks} *)
+
+val slow_delay : index:int -> float
+(** Seconds of artificial model latency to insert at this request (0 unless
+    [Slow] is armed and due). *)
+
+val poison_output : index:int -> Tensor.t list -> unit
+(** If [Nan_output] is armed and due, sets the first element of the first
+    tensor to NaN (a synthetic heatmap, poisoning the derived hit rate). *)
+
+val checkpoint_fault : index:int -> bool
+(** True iff [Corrupt_checkpoint] is armed and due at this request: the
+    caller must fail its model path as if the checkpoint were unreadable. *)
+
+(** {1 File corruption} *)
 
 val corrupt_byte : string -> offset:int -> unit
 (** Flips all bits of one byte of a file in place ([offset] is taken modulo
-    the file length), for checkpoint-corruption tests. *)
+    the file length), for checkpoint/trace-corruption tests. *)

@@ -1,0 +1,166 @@
+type listen = Unix_socket of string | Tcp of string * int
+
+type config = {
+  listen : listen;
+  queue_depth : int;
+  engine : Serve_engine.config;
+}
+
+let default_config listen =
+  { listen; queue_depth = 64; engine = Serve_engine.default_config () }
+
+(* A queued request: the raw line plus a one-shot reply slot the worker
+   fills and the connection reader blocks on. *)
+type job = {
+  line : string;
+  mutable reply : Serve_engine.outcome option;
+  m : Mutex.t;
+  cv : Condition.t;
+}
+
+let make_job line = { line; reply = None; m = Mutex.create (); cv = Condition.create () }
+
+let fulfill job outcome =
+  Mutex.lock job.m;
+  job.reply <- Some outcome;
+  Condition.signal job.cv;
+  Mutex.unlock job.m
+
+let await job =
+  Mutex.lock job.m;
+  while job.reply = None do
+    Condition.wait job.cv job.m
+  done;
+  let r = Option.get job.reply in
+  Mutex.unlock job.m;
+  r
+
+let send_line oc json =
+  output_string oc (Sjson.to_string json);
+  output_char oc '\n';
+  flush oc
+
+(* Worker: drains the queue through the engine; flips [stop] on shutdown. *)
+let worker_loop engine queue stop =
+  let rec go () =
+    match Squeue.pop queue with
+    | None -> ()
+    | Some job -> (
+      match Serve_engine.handle_line engine job.line with
+      | Serve_engine.Reply _ as outcome ->
+        fulfill job outcome;
+        go ()
+      | Serve_engine.Shutdown_reply _ as outcome ->
+        stop := true;
+        fulfill job outcome;
+        Squeue.close queue)
+  in
+  go ()
+
+(* Connection reader: one thread per client, lines answered in order. *)
+let connection_loop engine queue fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec go () =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      if line = "" then go ()
+      else begin
+        let job = make_job line in
+        if Squeue.try_push queue job then begin
+          (match await job with
+          | Serve_engine.Reply json | Serve_engine.Shutdown_reply json -> send_line oc json);
+          go ()
+        end
+        else begin
+          send_line oc (Serve_engine.overload_reply engine);
+          go ()
+        end
+      end
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    go
+
+let bind_listener = function
+  | Unix_socket path ->
+    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.bind fd (Unix.ADDR_UNIX path)
+     with Unix.Unix_error (e, _, _) ->
+       Unix.close fd;
+       Serve_error.fail Serve_error.Internal "cannot bind unix socket %s: %s" path
+         (Unix.error_message e));
+    fd
+  | Tcp (host, port) ->
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    (try Unix.bind fd (Unix.ADDR_INET (addr, port))
+     with Unix.Unix_error (e, _, _) ->
+       Unix.close fd;
+       Serve_error.fail Serve_error.Internal "cannot bind %s:%d: %s" host port
+         (Unix.error_message e));
+    fd
+
+let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
+  let engine = Serve_engine.create ?journal ~spec ~model config.engine in
+  let queue : job Squeue.t = Squeue.create ~capacity:config.queue_depth in
+  let stop = ref false in
+  let listener = bind_listener config.listen in
+  Unix.listen listener 16;
+  (match journal with
+  | None -> ()
+  | Some j ->
+    Runlog.event j "serve_start"
+      [
+        ( "listen",
+          Runlog.S
+            (match config.listen with
+            | Unix_socket p -> "unix:" ^ p
+            | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p) );
+        ("model_loaded", Runlog.B (Serve_engine.model_loaded engine));
+      ]);
+  let worker = Thread.create (fun () -> worker_loop engine queue stop) () in
+  let readers = ref [] in
+  ready ();
+  (* Accept loop: [stop] is only observed between accepts, so the worker
+     also closes the listener to interrupt a blocking accept. *)
+  let rec accept_loop () =
+    if not !stop then
+      match Unix.accept listener with
+      | fd, _ ->
+        readers := Thread.create (fun () -> connection_loop engine queue fd) () :: !readers;
+        accept_loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
+        ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  (* The worker cannot unblock the accept itself (it only sees the queue),
+     so poll [stop] from a watchdog. shutdown(2), not close(2): closing an
+     fd does not wake a thread already blocked in accept on Linux, while
+     shutdown makes that accept return EINVAL. *)
+  let watchdog =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          Thread.delay 0.05
+        done;
+        try Unix.shutdown listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      ()
+  in
+  accept_loop ();
+  Squeue.close queue;
+  Thread.join worker;
+  Thread.join watchdog;
+  List.iter Thread.join !readers;
+  (try Unix.close listener with Unix.Unix_error _ -> ());
+  (match config.listen with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ())

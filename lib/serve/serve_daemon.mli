@@ -1,0 +1,31 @@
+(** The [cachebox serve] daemon: line-delimited JSON over a Unix-domain or
+    TCP socket, in front of {!Serve_engine}.
+
+    Threading model: one reader thread per accepted connection parses lines
+    and pushes jobs into a bounded {!Squeue}; a single worker thread drains
+    it through the engine (the model is not reentrant). A full queue sheds
+    the request immediately with an [overloaded] reply — admission control,
+    not buffering. A [{"op": "shutdown"}] request answers, then stops the
+    daemon cleanly (the Unix socket file is removed). *)
+
+type listen = Unix_socket of string | Tcp of string * int
+
+type config = {
+  listen : listen;
+  queue_depth : int;  (** bounded admission queue capacity *)
+  engine : Serve_engine.config;
+}
+
+val default_config : listen -> config
+(** Queue depth 64 over {!Serve_engine.default_config}. *)
+
+val run :
+  ?journal:Runlog.t ->
+  ?ready:(unit -> unit) ->
+  spec:Heatmap.spec ->
+  model:Cbgan.t option ->
+  config ->
+  unit
+(** Binds, listens and serves until a shutdown request; [ready] fires once
+    the socket is accepting (tests use it to avoid races). Raises
+    {!Serve_error.Error} ([internal]) if the socket cannot be bound. *)

@@ -1,0 +1,307 @@
+type config = {
+  fallback : Cbox_infer.fallback;
+  default_deadline_s : float;
+  max_deadline_s : float;
+  max_trace_len : int;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  batch_size : int;
+  grace_lo : float;
+  grace_hi : float;
+}
+
+let default_config ?(fallback = Cbox_infer.Fallback_hrd) () =
+  {
+    fallback;
+    default_deadline_s = 5.0;
+    max_deadline_s = 60.0;
+    max_trace_len = Validate.default_max_trace_len;
+    breaker_threshold = 3;
+    breaker_cooldown_s = 5.0;
+    batch_size = 8;
+    grace_lo = -0.25;
+    grace_hi = 1.25;
+  }
+
+type t = {
+  cfg : config;
+  spec : Heatmap.spec;
+  now : unit -> float;
+  journal : Runlog.t option;
+  mutable model : Cbgan.t option;
+  breaker : Breaker.t;
+  stats : Serve_stats.t;
+  mutable ewma_model_s : float;  (* 0 until the first model inference *)
+  mutable req_count : int;
+}
+
+let create ?now ?journal ~spec ~model cfg =
+  let now = Option.value now ~default:Unix.gettimeofday in
+  {
+    cfg;
+    spec;
+    now;
+    journal;
+    model;
+    breaker =
+      Breaker.create ~threshold:cfg.breaker_threshold ~cooldown:cfg.breaker_cooldown_s ~now
+        ();
+    stats = Serve_stats.create ();
+    ewma_model_s = 0.0;
+    req_count = 0;
+  }
+
+let model_of_checkpoint ~seed model_cfg ~path =
+  if not (Sys.file_exists path) then
+    Error (Serve_error.v Serve_error.Model_unavailable "checkpoint %s not found" path)
+  else
+    Validate.load_checkpoint (fun () ->
+        let model = Cbgan.create ~seed model_cfg in
+        Cbgan.load model path;
+        model)
+
+let journal_event t kind fields =
+  match t.journal with None -> () | Some j -> Runlog.event j kind fields
+
+let stats t = Serve_stats.snapshot t.stats
+let breaker_state t = Breaker.state t.breaker
+let model_loaded t = t.model <> None
+let requests_seen t = t.req_count
+
+(* --- reply construction --- *)
+
+let base_fields id = match id with None -> [] | Some id -> [ ("id", Sjson.Str id) ]
+
+let error_reply ?id (e : Serve_error.t) =
+  Sjson.Obj
+    (base_fields id
+    @ [
+        ("ok", Sjson.Bool false);
+        ("error", Sjson.Str (Serve_error.code_string e.Serve_error.code));
+        ("message", Sjson.Str e.Serve_error.message);
+      ])
+
+let hit_rate_reply ?id ~degraded ~source ~reason ~latency_ms hit_rate =
+  Sjson.Obj
+    (base_fields id
+    @ [
+        ("ok", Sjson.Bool true);
+        ("op", Sjson.Str "infer");
+        ("hit_rate", Sjson.Num hit_rate);
+        ("degraded", Sjson.Bool degraded);
+        ("source", Sjson.Str source);
+      ]
+    @ (match reason with None -> [] | Some r -> [ ("reason", Sjson.Str r) ])
+    @ [ ("latency_ms", Sjson.Num latency_ms) ])
+
+let health_reply t =
+  let breaker = Breaker.state t.breaker in
+  let healthy = model_loaded t && breaker = Breaker.Closed in
+  Sjson.Obj
+    [
+      ("ok", Sjson.Bool true);
+      ("op", Sjson.Str "health");
+      ("status", Sjson.Str (if healthy then "ok" else "degraded"));
+      ("model_loaded", Sjson.Bool (model_loaded t));
+      ("breaker", Sjson.Str (Breaker.state_name breaker));
+      ("fallback", Sjson.Str (Cbox_infer.fallback_name t.cfg.fallback));
+    ]
+
+let stats_reply t =
+  let s = Serve_stats.snapshot t.stats in
+  Sjson.Obj
+    ([
+       ("ok", Sjson.Bool true);
+       ("op", Sjson.Str "stats");
+       ("served", Sjson.Num (float_of_int s.Serve_stats.served));
+       ("ok_count", Sjson.Num (float_of_int s.Serve_stats.ok));
+       ("degraded_count", Sjson.Num (float_of_int s.Serve_stats.degraded));
+       ("shed", Sjson.Num (float_of_int s.Serve_stats.shed));
+       ("p50_ms", Sjson.Num s.Serve_stats.p50_ms);
+       ("p99_ms", Sjson.Num s.Serve_stats.p99_ms);
+       ("breaker", Sjson.Str (Breaker.state_name (Breaker.state t.breaker)));
+       ("breaker_opens", Sjson.Num (float_of_int (Breaker.times_opened t.breaker)));
+     ]
+    @ List.map
+        (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))
+        s.Serve_stats.errors)
+
+let overload_reply t =
+  Serve_stats.shed t.stats;
+  journal_event t "shed" [];
+  error_reply (Serve_error.v Serve_error.Overloaded "request queue full")
+
+(* --- inference --- *)
+
+let resolve_trace t source =
+  match source with
+  | Validate.Inline arr -> Ok arr
+  | Validate.Benchmark { name; length } -> (
+    match Suite.find name with
+    | w -> Ok (w.Workload.generate length)
+    | exception Not_found ->
+      Error (Serve_error.v Serve_error.Bad_request "unknown benchmark %S" name))
+  | Validate.File path -> Validate.read_trace_file ~max_len:t.cfg.max_trace_len path
+
+(* One model attempt: returns a validated, clamped hit rate or the reason
+   the model cannot be trusted. Fault-injection hooks simulate a stalled
+   model, a NaN output and a checkpoint that rotted under a live server. *)
+let model_predict t index cache trace =
+  match t.model with
+  | None -> Error "model not loaded"
+  | Some model -> (
+    match
+      if Faultinject.checkpoint_fault ~index then
+        failwith "checkpoint unreadable (injected fault)";
+      let delay = Faultinject.slow_delay ~index in
+      if delay > 0.0 then Unix.sleepf delay;
+      let access = Heatmap.of_trace t.spec trace in
+      let synthetic =
+        Cbox_infer.synthesize model t.spec ~batch_size:t.cfg.batch_size ~cache access
+      in
+      Faultinject.poison_output ~index synthetic;
+      Heatmap.hit_rate t.spec ~access ~miss:synthetic
+    with
+    | raw -> Cbox_infer.validate_hit_rate ~lo:t.cfg.grace_lo ~hi:t.cfg.grace_hi raw
+    | exception e -> Error (Printexc.to_string e))
+
+let record_and_reply t ~arrival ~ok ~degraded ~code reply =
+  Serve_stats.record t.stats ~ok ~degraded ~code ~latency_s:(t.now () -. arrival);
+  reply
+
+let baseline t ~arrival ~id ~reason cache trace =
+  match Cbox_infer.baseline_hit_rate t.cfg.fallback cache trace with
+  | Some hit_rate ->
+    journal_event t "degraded"
+      [ ("reason", Runlog.S reason); ("source", Runlog.S (Cbox_infer.fallback_name t.cfg.fallback)) ];
+    let latency_ms = 1000.0 *. (t.now () -. arrival) in
+    record_and_reply t ~arrival ~ok:true ~degraded:true ~code:None
+      (hit_rate_reply ?id ~degraded:true
+         ~source:(Cbox_infer.fallback_name t.cfg.fallback)
+         ~reason:(Some reason) ~latency_ms hit_rate)
+  | None ->
+    let code =
+      if reason = "deadline" then Serve_error.Deadline_exceeded
+      else Serve_error.Model_unavailable
+    in
+    let e = Serve_error.v code "learned model unusable (%s) and fallback is off" reason in
+    record_and_reply t ~arrival ~ok:false ~degraded:false ~code:(Some code)
+      (error_reply ?id e)
+  | exception e ->
+    let e = Serve_error.of_exn e in
+    record_and_reply t ~arrival ~ok:false ~degraded:false
+      ~code:(Some e.Serve_error.code) (error_reply ?id e)
+
+let journal_breaker_transition t before =
+  let after = Breaker.state t.breaker in
+  if after <> before then
+    journal_event t "breaker"
+      [
+        ("from", Runlog.S (Breaker.state_name before));
+        ("to", Runlog.S (Breaker.state_name after));
+      ]
+
+let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s =
+  t.req_count <- t.req_count + 1;
+  let index = t.req_count in
+  let fail_with e =
+    record_and_reply t ~arrival ~ok:false ~degraded:false
+      ~code:(Some e.Serve_error.code) (error_reply ?id e)
+  in
+  match Validate.cache_config ~sets ~ways () with
+  | Error e -> fail_with e
+  | Ok cache -> (
+    match resolve_trace t source with
+    | Error e -> fail_with e
+    | Ok trace -> (
+      match Validate.trace_for_spec t.spec ~max_len:t.cfg.max_trace_len trace with
+      | Error e -> fail_with e
+      | Ok () ->
+        let budget =
+          Float.min t.cfg.max_deadline_s
+            (Option.value deadline_s ~default:t.cfg.default_deadline_s)
+        in
+        let deadline = arrival +. budget in
+        if t.now () > deadline then
+          (* Expired while queued: too late even for the baseline. *)
+          fail_with
+            (Serve_error.v Serve_error.Deadline_exceeded
+               "deadline (%.0f ms) expired before processing started" (1000.0 *. budget))
+        else begin
+          let model_usable = t.model <> None && Breaker.allow t.breaker in
+          let headroom = t.now () +. t.ewma_model_s <= deadline in
+          if model_usable && headroom then begin
+            let before = Breaker.state t.breaker in
+            let t0 = t.now () in
+            match model_predict t index cache trace with
+            | Ok hit_rate ->
+              let dur = t.now () -. t0 in
+              t.ewma_model_s <-
+                (if t.ewma_model_s = 0.0 then dur else (0.7 *. t.ewma_model_s) +. (0.3 *. dur));
+              Breaker.record_success t.breaker;
+              journal_breaker_transition t before;
+              if t.now () > deadline then
+                (* The answer arrived too late to trust the time budget;
+                   serve the (cheap) analytical answer, flagged. *)
+                baseline t ~arrival ~id ~reason:"deadline" cache trace
+              else
+                record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
+                  (hit_rate_reply ?id ~degraded:false ~source:"model" ~reason:None
+                     ~latency_ms:(1000.0 *. (t.now () -. arrival))
+                     hit_rate)
+            | Error why ->
+              Breaker.record_failure t.breaker;
+              journal_breaker_transition t before;
+              journal_event t "model_fault" [ ("why", Runlog.S why) ];
+              baseline t ~arrival ~id ~reason:("model_fault: " ^ why) cache trace
+          end
+          else
+            let reason =
+              if t.model = None then "model_unavailable"
+              else if not (Breaker.allow t.breaker) then "breaker_open"
+              else "deadline"
+            in
+            baseline t ~arrival ~id ~reason cache trace
+        end))
+
+type outcome = Reply of Sjson.t | Shutdown_reply of Sjson.t
+
+let handle_request t ~arrival req =
+  match req with
+  | Validate.Health ->
+    Reply
+      (record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None (health_reply t))
+  | Validate.Stats_request ->
+    Reply (record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None (stats_reply t))
+  | Validate.Shutdown ->
+    journal_event t "serve_stop" [];
+    Shutdown_reply
+      (record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
+         (Sjson.Obj [ ("ok", Sjson.Bool true); ("op", Sjson.Str "shutdown") ]))
+  | Validate.Infer { id; sets; ways; source; deadline_s } -> (
+    (* Total: a bug below this point is an [internal] reply, not a dead
+       worker. *)
+    match infer t ~arrival ~id ~sets ~ways ~source ~deadline_s with
+    | reply -> Reply reply
+    | exception e ->
+      let e = Serve_error.of_exn e in
+      let e = { e with Serve_error.code = Serve_error.Internal } in
+      Reply
+        (record_and_reply t ~arrival ~ok:false ~degraded:false
+           ~code:(Some Serve_error.Internal) (error_reply ?id e)))
+
+let handle_line t line =
+  let arrival = t.now () in
+  match Sjson.parse line with
+  | Error why ->
+    let e = Serve_error.v Serve_error.Bad_request "malformed JSON: %s" why in
+    Reply
+      (record_and_reply t ~arrival ~ok:false ~degraded:false
+         ~code:(Some Serve_error.Bad_request) (error_reply e))
+  | Ok json -> (
+    match Validate.request ~max_trace_len:t.cfg.max_trace_len json with
+    | Error e ->
+      Reply
+        (record_and_reply t ~arrival ~ok:false ~degraded:false
+           ~code:(Some e.Serve_error.code) (error_reply e))
+    | Ok req -> handle_request t ~arrival req)

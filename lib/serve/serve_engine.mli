@@ -1,0 +1,74 @@
+(** The hardened inference engine behind [cachebox serve].
+
+    One engine holds an optional CB-GAN model, the circuit breaker guarding
+    it, the serving counters and the degradation policy; {!handle_line}
+    takes one protocol line and always produces a reply — every failure
+    mode is a taxonomy error or a [degraded:true] baseline answer, never an
+    escaped exception.
+
+    The degradation ladder for [infer] (TAO-style hybrid):
+    + learned model, if loaded, the breaker allows it and the deadline has
+      headroom for it;
+    + the analytical baseline (HRD or STM per {!config.fallback}), tagged
+      [degraded:true] with a reason, when the model is missing, the breaker
+      is open, the model's answer fails its validity gate (NaN/out-of-range
+      hit rate), or the model finished past the deadline;
+    + a typed error ([model_unavailable] / [deadline_exceeded]) when
+      fallback is off.
+
+    Single-consumer: call {!handle_line} from one worker thread (the model
+    is not reentrant). {!note_shed} and {!stats} are safe from any
+    thread. *)
+
+type config = {
+  fallback : Cbox_infer.fallback;
+  default_deadline_s : float;  (** when the request names none *)
+  max_deadline_s : float;  (** requested deadlines are clamped to this *)
+  max_trace_len : int;
+  breaker_threshold : int;  (** consecutive model faults before opening *)
+  breaker_cooldown_s : float;
+  batch_size : int;  (** model inference batch size *)
+  grace_lo : float;  (** validity gate, passed to Cbox_infer.validate_hit_rate *)
+  grace_hi : float;
+}
+
+val default_config : ?fallback:Cbox_infer.fallback -> unit -> config
+(** HRD fallback, 5 s default / 60 s max deadline, 2M-access trace cap,
+    breaker 3 faults / 5 s cooldown, batch 8, grace [\[-0.25, 1.25\]]. *)
+
+type t
+
+val create :
+  ?now:(unit -> float) ->
+  ?journal:Runlog.t ->
+  spec:Heatmap.spec ->
+  model:Cbgan.t option ->
+  config ->
+  t
+(** [now] defaults to [Unix.gettimeofday] (inject a fake clock in tests).
+    [model = None] starts in degraded mode (every inference falls back). *)
+
+val model_of_checkpoint :
+  seed:int -> Cbgan.config -> path:string -> (Cbgan.t, Serve_error.t) result
+(** Builds a model and loads the checkpoint, mapping a missing file to
+    [Model_unavailable] and loader failures (corrupt/truncated/mismatched)
+    to [Model_unavailable] with the cause. *)
+
+type outcome = Reply of Sjson.t | Shutdown_reply of Sjson.t
+
+val handle_line : t -> string -> outcome
+(** Parse, validate and execute one protocol line; total. A
+    [Shutdown_reply] asks the caller to send the reply and stop serving. *)
+
+val handle_request : t -> arrival:float -> Validate.request -> outcome
+(** Same, from an already-validated request ([arrival] stamps queue entry;
+    deadlines count from it). *)
+
+val overload_reply : t -> Sjson.t
+(** The [overloaded] error reply for a shed request; also counts it. *)
+
+val stats : t -> Serve_stats.summary
+val breaker_state : t -> Breaker.state
+val model_loaded : t -> bool
+val requests_seen : t -> int
+(** Count of [infer] requests admitted so far (the fault-injection index). *)

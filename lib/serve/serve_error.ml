@@ -1,0 +1,55 @@
+type code =
+  | Bad_request
+  | Invalid_config
+  | Corrupt_input
+  | Model_unavailable
+  | Deadline_exceeded
+  | Overloaded
+  | Internal
+
+type t = { code : code; message : string }
+
+exception Error of t
+
+let all_codes =
+  [
+    Bad_request;
+    Invalid_config;
+    Corrupt_input;
+    Model_unavailable;
+    Deadline_exceeded;
+    Overloaded;
+    Internal;
+  ]
+
+let code_string = function
+  | Bad_request -> "bad_request"
+  | Invalid_config -> "invalid_config"
+  | Corrupt_input -> "corrupt_input"
+  | Model_unavailable -> "model_unavailable"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Overloaded -> "overloaded"
+  | Internal -> "internal"
+
+let code_of_string s = List.find_opt (fun c -> code_string c = s) all_codes
+
+let exit_code = function
+  | Bad_request -> 2
+  | Invalid_config -> 2
+  | Corrupt_input -> 3
+  | Model_unavailable -> 4
+  | Deadline_exceeded -> 5
+  | Overloaded -> 6
+  | Internal -> 7
+
+let v code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+let fail code fmt = Printf.ksprintf (fun message -> raise (Error { code; message })) fmt
+
+let of_exn = function
+  | Error e -> e
+  | Failure m -> { code = Corrupt_input; message = m }
+  | Sys_error m -> { code = Corrupt_input; message = m }
+  | Invalid_argument m -> { code = Bad_request; message = m }
+  | e -> { code = Internal; message = Printexc.to_string e }
+
+let pp ppf e = Format.fprintf ppf "%s: %s" (code_string e.code) e.message

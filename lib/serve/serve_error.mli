@@ -1,0 +1,55 @@
+(** The serving error taxonomy.
+
+    Every failure an external caller can observe — over the wire or as a CLI
+    exit status — is one of these seven codes. The string codes and exit
+    codes are {e stable}: clients and CI scripts match on them.
+
+    {v
+    code               wire string          exit  meaning
+    Bad_request        "bad_request"         2    malformed/over-limit request
+    Invalid_config     "invalid_config"      2    impossible cache geometry
+    Corrupt_input      "corrupt_input"       3    checksum/parse failure in a file
+    Model_unavailable  "model_unavailable"   4    no loadable/trustworthy model
+    Deadline_exceeded  "deadline_exceeded"   5    request deadline expired
+    Overloaded         "overloaded"          6    bounded queue shed the request
+    Internal           "internal"            7    anything else (a bug)
+    v} *)
+
+type code =
+  | Bad_request
+  | Invalid_config
+  | Corrupt_input
+  | Model_unavailable
+  | Deadline_exceeded
+  | Overloaded
+  | Internal
+
+type t = { code : code; message : string }
+
+exception Error of t
+(** The only exception the serving layer lets escape on purpose. *)
+
+val all_codes : code list
+
+val code_string : code -> string
+(** Stable wire identifier, e.g. ["bad_request"]. *)
+
+val code_of_string : string -> code option
+
+val exit_code : code -> int
+(** Stable CLI exit status (see table above; success is 0). *)
+
+val v : code -> ('a, unit, string, t) format4 -> 'a
+(** [v code fmt ...] builds an error value. *)
+
+val fail : code -> ('a, unit, string, 'b) format4 -> 'a
+(** [fail code fmt ...] raises {!Error}. *)
+
+val of_exn : exn -> t
+(** Total mapping of any exception into the taxonomy: {!Error} passes
+    through, [Failure]/[Sys_error] become {!Corrupt_input},
+    [Invalid_argument] becomes {!Bad_request}, everything else is
+    {!Internal} (with the exception text preserved). *)
+
+val pp : Format.formatter -> t -> unit
+(** ["<code>: <message>"]. *)

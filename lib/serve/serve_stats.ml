@@ -1,0 +1,85 @@
+type t = {
+  m : Mutex.t;
+  mutable served : int;
+  mutable ok : int;
+  mutable degraded : int;
+  mutable shed_count : int;
+  errors : (Serve_error.code, int ref) Hashtbl.t;
+  ring : float array;
+  mutable ring_len : int;  (* samples stored, <= Array.length ring *)
+  mutable ring_pos : int;  (* next write slot *)
+}
+
+type summary = {
+  served : int;
+  ok : int;
+  degraded : int;
+  shed : int;
+  errors : (string * int) list;
+  p50_ms : float;
+  p99_ms : float;
+  window : int;
+}
+
+let create ?(window = 1024) () =
+  if window < 1 then invalid_arg "Serve_stats.create: window must be >= 1";
+  {
+    m = Mutex.create ();
+    served = 0;
+    ok = 0;
+    degraded = 0;
+    shed_count = 0;
+    errors = Hashtbl.create 8;
+    ring = Array.make window 0.0;
+    ring_len = 0;
+    ring_pos = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let record t ~ok ~degraded ~code ~latency_s =
+  with_lock t (fun () ->
+      t.served <- t.served + 1;
+      if ok then t.ok <- t.ok + 1;
+      if degraded then t.degraded <- t.degraded + 1;
+      (match code with
+      | None -> ()
+      | Some c -> (
+        match Hashtbl.find_opt t.errors c with
+        | Some r -> incr r
+        | None -> Hashtbl.add t.errors c (ref 1)));
+      t.ring.(t.ring_pos) <- latency_s;
+      t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
+      t.ring_len <- min (t.ring_len + 1) (Array.length t.ring))
+
+let shed t = with_lock t (fun () -> t.shed_count <- t.shed_count + 1)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let snapshot t =
+  with_lock t (fun () ->
+      let samples = Array.sub t.ring 0 t.ring_len in
+      Array.sort compare samples;
+      {
+        served = t.served;
+        ok = t.ok;
+        degraded = t.degraded;
+        shed = t.shed_count;
+        errors =
+          List.filter_map
+            (fun c ->
+              match Hashtbl.find_opt t.errors c with
+              | Some r -> Some (Serve_error.code_string c, !r)
+              | None -> None)
+            Serve_error.all_codes;
+        p50_ms = 1000.0 *. percentile samples 0.50;
+        p99_ms = 1000.0 *. percentile samples 0.99;
+        window = t.ring_len;
+      })

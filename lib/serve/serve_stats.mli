@@ -1,0 +1,30 @@
+(** Serving counters and latency percentiles.
+
+    Thread-safe (readers shed from connection threads, the worker records
+    completions). Latencies are kept in a fixed-size ring of the most
+    recent samples; p50/p99 are computed over that window on demand. *)
+
+type t
+
+type summary = {
+  served : int;  (** requests answered (ok or error), excluding shed *)
+  ok : int;  (** answered successfully, including degraded *)
+  degraded : int;  (** answered by an analytical fallback *)
+  shed : int;  (** rejected at admission ([Overloaded]) *)
+  errors : (string * int) list;  (** taxonomy code → count, code order *)
+  p50_ms : float;  (** 0 when no samples *)
+  p99_ms : float;
+  window : int;  (** latency samples currently in the ring *)
+}
+
+val create : ?window:int -> unit -> t
+(** [window] is the latency-ring size (default 1024). *)
+
+val record :
+  t -> ok:bool -> degraded:bool -> code:Serve_error.code option -> latency_s:float -> unit
+(** One answered request. [code] is set for error answers. *)
+
+val shed : t -> unit
+(** One request rejected at admission. *)
+
+val snapshot : t -> summary

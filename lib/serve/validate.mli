@@ -1,0 +1,77 @@
+(** The single strict gate every external input passes through.
+
+    Cache configurations, traces, heatmaps, files and wire requests are all
+    validated here before any downstream code sees them; every rejection is
+    a typed {!Serve_error.t}, so callers (the daemon, the CLI) map failures
+    to stable wire/exit codes without ad-hoc exception handling. *)
+
+val max_sets : int
+val max_ways : int
+val default_max_trace_len : int
+
+val cache_config :
+  ?block_bytes:int ->
+  ?policy:Cache.policy ->
+  sets:int ->
+  ways:int ->
+  unit ->
+  (Cache.config, Serve_error.t) result
+(** Power-of-two sets in [\[1, 2^22\]], ways in [\[1, 1024\]], power-of-two
+    block size in [\[8, 65536\]]. Errors carry {!Serve_error.Invalid_config}
+    and name the offending value. *)
+
+val hierarchy_configs : Cache.config list -> (unit, Serve_error.t) result
+(** Inner-to-outer level list (L1 first): each level's capacity must be at
+    least its predecessor's (level monotonicity). *)
+
+val trace :
+  ?max_len:int -> ?what:string -> int array -> (unit, Serve_error.t) result
+(** Non-empty, at most [max_len] (default {!default_max_trace_len})
+    accesses, every address in [\[0, Trace_io.max_address\]]. *)
+
+val trace_for_spec :
+  Heatmap.spec -> ?max_len:int -> int array -> (unit, Serve_error.t) result
+(** {!trace} plus the heatmap pipeline's own floor: the trace must fill at
+    least one full heatmap image under [spec]. *)
+
+val finite_tensor : what:string -> Tensor.t -> (unit, Serve_error.t) result
+(** Rejects NaN/Inf pixels ({!Serve_error.Corrupt_input}), naming the first
+    offending index. *)
+
+val read_trace_file :
+  ?max_len:int -> string -> (int array, Serve_error.t) result
+(** {!Trace_io.read_auto} with every failure mode mapped into the taxonomy
+    (missing file / bad magic / checksum mismatch / truncation →
+    {!Serve_error.Corrupt_input}) and the result gated through {!trace}. *)
+
+val load_checkpoint : (unit -> 'a) -> ('a, Serve_error.t) result
+(** Runs a checkpoint-loading thunk, mapping [Failure]/[Sys_error] (the
+    loader's documented failure modes) to {!Serve_error.Model_unavailable}
+    with the cause preserved. *)
+
+(** {1 Wire requests} *)
+
+type trace_source =
+  | Inline of int array  (** addresses carried in the request *)
+  | Benchmark of { name : string; length : int }  (** generate on the server *)
+  | File of string  (** read a trace file server-side *)
+
+type request =
+  | Infer of {
+      id : string option;
+      sets : int;
+      ways : int;
+      source : trace_source;
+      deadline_s : float option;  (** requested budget, seconds *)
+    }
+  | Health
+  | Stats_request
+  | Shutdown
+
+val request : ?max_trace_len:int -> Sjson.t -> (request, Serve_error.t) result
+(** Schema gate for one parsed protocol line. [op] selects the variant;
+    [infer] requires integer [sets]/[ways] and exactly one of [trace]
+    (array of addresses), [benchmark] (+ optional [trace_len]) or
+    [trace_file]; optional [id] (string) and [deadline_ms] (positive
+    number). Unknown [op]s, wrong types, over-limit traces and out-of-range
+    deadlines are {!Serve_error.Bad_request}. *)

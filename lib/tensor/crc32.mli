@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320).
+
+    Shared integrity primitive for every checksummed on-disk container in
+    the system (model checkpoints, binary traces): one implementation, one
+    set of test vectors. *)
+
+val digest : string -> int
+(** CRC-32 of the whole string, in [0, 0xFFFFFFFF]. *)

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the hardened serving path (run from the repo root,
+# after `dune build`): train a tiny checkpoint, serve it over a Unix
+# socket, exercise the protocol (health, a valid inference, malformed and
+# invalid requests, stats, clean shutdown), then restart against a
+# corrupted checkpoint and check the daemon starts degraded and answers
+# from the HRD analytical baseline instead of crashing. Also checks the
+# stable taxonomy exit codes the CLI maps errors to.
+set -euo pipefail
+
+CB=${CB:-./_build/default/bin/cachebox.exe}
+BENCH=600.perlbench_s-734B
+WORK=$(mktemp -d)
+SOCK="$WORK/cachebox.sock"
+CKPT="$WORK/smoke.ckpt"
+SERVE_PID=
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+expect_exit() { # expect_exit WANT CMD...
+  local want=$1 rc=0
+  shift
+  "$@" >/dev/null 2>&1 || rc=$?
+  [ "$rc" -eq "$want" ] || fail "expected exit $want, got $rc: $*"
+}
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "daemon socket $SOCK never appeared"
+}
+
+echo "== train a tiny checkpoint"
+"$CB" train --benchmarks 1 --epochs 1 --trace-len 4000 --checkpoint "$CKPT"
+
+echo "== invalid geometry -> invalid_config, exit 2"
+expect_exit 2 "$CB" infer "$BENCH" --sets 100 --ways 4 --trace-len 4000 --checkpoint "$CKPT"
+
+echo "== missing checkpoint -> model_unavailable (exit 4); --fallback hrd answers instead"
+expect_exit 4 "$CB" infer "$BENCH" --sets 64 --ways 4 --trace-len 4000 --checkpoint "$WORK/nope.ckpt"
+"$CB" infer "$BENCH" --sets 64 --ways 4 --trace-len 4000 --checkpoint "$WORK/nope.ckpt" \
+  --fallback hrd | grep -q "degraded: hrd" || fail "no degraded hrd prediction"
+
+echo "== serve a healthy checkpoint"
+"$CB" serve --socket "$SOCK" --checkpoint "$CKPT" &
+SERVE_PID=$!
+wait_ready
+"$CB" call --socket "$SOCK" '{"op": "health"}' | grep -q '"status": "ok"' || fail "health not ok"
+OUT=$("$CB" call --socket "$SOCK" \
+  "{\"op\": \"infer\", \"sets\": 64, \"ways\": 12, \"benchmark\": \"$BENCH\", \"trace_len\": 4000}")
+echo "$OUT" | grep -q '"ok": true' || fail "valid inference refused: $OUT"
+expect_exit 2 "$CB" call --socket "$SOCK" '{"op": "infer"'
+expect_exit 2 "$CB" call --socket "$SOCK" \
+  "{\"op\": \"infer\", \"sets\": 100, \"ways\": 4, \"benchmark\": \"$BENCH\", \"trace_len\": 4000}"
+"$CB" call --socket "$SOCK" '{"op": "stats"}' | grep -q '"served":' || fail "stats missing served"
+"$CB" call --socket "$SOCK" '{"op": "shutdown"}' >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+[ ! -S "$SOCK" ] || fail "socket file survived shutdown"
+
+echo "== corrupted checkpoint -> daemon starts degraded, answers from the hrd baseline"
+dd if=/dev/zero of="$CKPT" bs=1 seek=100 count=8 conv=notrunc status=none
+"$CB" serve --socket "$SOCK" --checkpoint "$CKPT" --fallback hrd &
+SERVE_PID=$!
+wait_ready
+"$CB" call --socket "$SOCK" '{"op": "health"}' | grep -q '"status": "degraded"' \
+  || fail "expected degraded health"
+OUT=$("$CB" call --socket "$SOCK" \
+  "{\"op\": \"infer\", \"sets\": 64, \"ways\": 12, \"benchmark\": \"$BENCH\", \"trace_len\": 4000}")
+echo "$OUT" | grep -q '"degraded": true' || fail "expected a degraded answer: $OUT"
+echo "$OUT" | grep -q '"source": "hrd"' || fail "expected the hrd baseline: $OUT"
+"$CB" call --socket "$SOCK" '{"op": "shutdown"}' >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+
+echo "serve_smoke: OK"

@@ -14,8 +14,10 @@ let test_text_roundtrip =
       back = trace)
 
 let test_binary_roundtrip =
+  (* Addresses span the full writable domain [0, 2^52]; anything larger is
+     rejected at write time (see test_binary_address_bound). *)
   QCheck.Test.make ~name:"binary trace roundtrip" ~count:30
-    QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 max_int))
+    QCheck.(list_of_size Gen.(0 -- 200) (int_range 0 Trace_io.max_address))
     (fun addrs ->
       let trace = Array.of_list addrs in
       let path = tmp ".btrace" in
@@ -23,6 +25,14 @@ let test_binary_roundtrip =
       let back = Trace_io.read_binary path in
       Sys.remove path;
       back = trace)
+
+let test_binary_address_bound () =
+  let path = tmp ".btrace" in
+  (try
+     Trace_io.write_binary path [| Trace_io.max_address + 1 |];
+     Alcotest.fail "expected Invalid_argument for an address beyond 2^52"
+   with Invalid_argument _ -> ());
+  if Sys.file_exists path then Sys.remove path
 
 let test_text_tolerates_comments () =
   let path = tmp ".trace" in
@@ -168,6 +178,7 @@ let suite =
       Alcotest.test_case "victim reset" `Quick test_victim_reset;
       qc test_text_roundtrip;
       qc test_binary_roundtrip;
+      Alcotest.test_case "binary address bound" `Quick test_binary_address_bound;
       qc test_access_evict_address_reconstruction;
       qc test_victim_never_hurts;
     ] )

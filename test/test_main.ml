@@ -25,5 +25,6 @@ let () =
       Test_metrics.suite;
       Test_core.suite;
       Test_resilience.suite;
+      Test_serve.suite;
       Test_integration.suite;
     ]

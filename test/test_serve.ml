@@ -1,0 +1,610 @@
+(* Hardened serving layer: JSON codec, validation gate, error taxonomy,
+   circuit breaker, bounded queue, degradation ladder, fault-injected
+   corruption properties, and a live daemon round-trip over a Unix socket. *)
+
+let temp_dir () =
+  let d = Filename.temp_file "cbox_serve" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let str_field json k = Option.bind (Sjson.member k json) Sjson.to_str
+let bool_field json k = Option.bind (Sjson.member k json) Sjson.to_bool
+let num_field json k = Option.bind (Sjson.member k json) Sjson.to_float
+
+let check_str json k expected =
+  Alcotest.(check (option string)) k (Some expected) (str_field json k)
+
+let check_bool json k expected =
+  Alcotest.(check (option bool)) k (Some expected) (bool_field json k)
+
+(* --- Sjson codec --- *)
+
+let test_sjson_roundtrip () =
+  let j =
+    Sjson.Obj
+      [
+        ("s", Sjson.Str "a \"b\"\n\t\\");
+        ("i", Sjson.Num 42.0);
+        ("f", Sjson.Num 1.5);
+        ("neg", Sjson.Num (-3.0));
+        ("t", Sjson.Bool true);
+        ("n", Sjson.Null);
+        ("a", Sjson.Arr [ Sjson.Num 1.0; Sjson.Str "x"; Sjson.Bool false ]);
+        ("o", Sjson.Obj [ ("k", Sjson.Num 7.0) ]);
+      ]
+  in
+  (match Sjson.parse (Sjson.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "parse inverts to_string" true (j = j')
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e);
+  (* Integral numbers must print without a decimal point (protocol ints). *)
+  Alcotest.(check string) "integral rendering" "{\"i\": 42}"
+    (Sjson.to_string (Sjson.Obj [ ("i", Sjson.Num 42.0) ]))
+
+let test_sjson_rejects_garbage () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\": 1} junk"; "nul"; "\"unterminated"; "{1: 2}"; "+5" ] in
+  List.iter
+    (fun s ->
+      match Sjson.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad
+
+let test_sjson_accessors () =
+  match Sjson.parse {|{"i": 3, "f": 3.5, "s": "x", "u": "é"}|} with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j ->
+    Alcotest.(check (option int)) "to_int exact" (Some 3)
+      (Option.bind (Sjson.member "i" j) Sjson.to_int);
+    Alcotest.(check (option int)) "to_int rejects 3.5" None
+      (Option.bind (Sjson.member "f" j) Sjson.to_int);
+    Alcotest.(check (option string)) "unicode escape decodes to UTF-8"
+      (Some "\xc3\xa9") (str_field j "u");
+    Alcotest.(check (option string)) "absent member" None (str_field j "missing")
+
+(* --- error taxonomy --- *)
+
+let test_taxonomy_stable () =
+  List.iter
+    (fun code ->
+      Alcotest.(check (option bool)) "code string roundtrips" (Some true)
+        (Option.map (fun c -> c = code) (Serve_error.code_of_string (Serve_error.code_string code))))
+    Serve_error.all_codes;
+  let exits = List.map Serve_error.exit_code Serve_error.all_codes in
+  Alcotest.(check (list int)) "exit codes are the documented table"
+    [ 2; 2; 3; 4; 5; 6; 7 ] exits;
+  Alcotest.(check (option string)) "unknown code string" None
+    (Option.map Serve_error.code_string (Serve_error.code_of_string "nope"))
+
+let test_taxonomy_of_exn () =
+  let code e = (Serve_error.of_exn e).Serve_error.code in
+  Alcotest.(check bool) "Failure -> Corrupt_input" true
+    (code (Failure "x") = Serve_error.Corrupt_input);
+  Alcotest.(check bool) "Sys_error -> Corrupt_input" true
+    (code (Sys_error "x") = Serve_error.Corrupt_input);
+  Alcotest.(check bool) "Invalid_argument -> Bad_request" true
+    (code (Invalid_argument "x") = Serve_error.Bad_request);
+  Alcotest.(check bool) "unknown -> Internal" true (code Exit = Serve_error.Internal);
+  Alcotest.(check bool) "Error passes through" true
+    (code (Serve_error.Error (Serve_error.v Serve_error.Overloaded "q")) = Serve_error.Overloaded)
+
+(* --- validation gate --- *)
+
+let expect_code what expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s" what (Serve_error.code_string expected)
+  | Error (e : Serve_error.t) ->
+    Alcotest.(check string) what (Serve_error.code_string expected)
+      (Serve_error.code_string e.Serve_error.code)
+
+let test_validate_cache_config () =
+  (match Validate.cache_config ~sets:64 ~ways:4 () with
+  | Ok cfg ->
+    Alcotest.(check int) "sets kept" 64 cfg.Cache.sets;
+    Alcotest.(check int) "ways kept" 4 cfg.Cache.ways
+  | Error e -> Alcotest.failf "valid config rejected: %s" e.Serve_error.message);
+  expect_code "non-power-of-two sets" Serve_error.Invalid_config
+    (Validate.cache_config ~sets:100 ~ways:4 ());
+  expect_code "zero sets" Serve_error.Invalid_config (Validate.cache_config ~sets:0 ~ways:4 ());
+  expect_code "oversized sets" Serve_error.Invalid_config
+    (Validate.cache_config ~sets:(2 * Validate.max_sets) ~ways:4 ());
+  expect_code "zero ways" Serve_error.Invalid_config (Validate.cache_config ~sets:64 ~ways:0 ());
+  expect_code "oversized ways" Serve_error.Invalid_config
+    (Validate.cache_config ~sets:64 ~ways:(Validate.max_ways + 1) ());
+  expect_code "bad block size" Serve_error.Invalid_config
+    (Validate.cache_config ~block_bytes:24 ~sets:64 ~ways:4 ())
+
+let test_validate_hierarchy () =
+  let l1 = Cache.config ~sets:64 ~ways:4 () in
+  let l2 = Cache.config ~sets:256 ~ways:8 () in
+  Alcotest.(check bool) "monotone hierarchy accepted" true
+    (Validate.hierarchy_configs [ l1; l2 ] = Ok ());
+  expect_code "shrinking hierarchy" Serve_error.Invalid_config
+    (Validate.hierarchy_configs [ l2; l1 ])
+
+let test_validate_trace () =
+  Alcotest.(check bool) "good trace" true (Validate.trace [| 0; 64; 128 |] = Ok ());
+  expect_code "empty trace" Serve_error.Bad_request (Validate.trace [||]);
+  expect_code "negative address" Serve_error.Bad_request (Validate.trace [| 64; -1 |]);
+  expect_code "address beyond 2^52" Serve_error.Bad_request
+    (Validate.trace [| Trace_io.max_address + 1 |]);
+  expect_code "over max_len" Serve_error.Bad_request
+    (Validate.trace ~max_len:2 [| 0; 64; 128 |])
+
+let parse_request s =
+  match Sjson.parse s with
+  | Ok j -> Validate.request j
+  | Error e -> Alcotest.failf "test request is not JSON: %s" e
+
+let test_validate_request () =
+  (match parse_request {|{"op": "infer", "id": "r", "sets": 8, "ways": 2, "trace": [0, 64, 128], "deadline_ms": 250}|} with
+  | Ok (Validate.Infer { id; sets; ways; source; deadline_s }) ->
+    Alcotest.(check (option string)) "id" (Some "r") id;
+    Alcotest.(check int) "sets" 8 sets;
+    Alcotest.(check int) "ways" 2 ways;
+    Alcotest.(check (option (float 1e-9))) "deadline" (Some 0.25) deadline_s;
+    (match source with
+    | Validate.Inline arr -> Alcotest.(check int) "trace len" 3 (Array.length arr)
+    | _ -> Alcotest.fail "expected inline source")
+  | Ok _ -> Alcotest.fail "wrong variant"
+  | Error e -> Alcotest.failf "valid request rejected: %s" e.Serve_error.message);
+  Alcotest.(check bool) "health" true (parse_request {|{"op": "health"}|} = Ok Validate.Health);
+  Alcotest.(check bool) "shutdown" true
+    (parse_request {|{"op": "shutdown"}|} = Ok Validate.Shutdown);
+  expect_code "unknown op" Serve_error.Bad_request (parse_request {|{"op": "frobnicate"}|});
+  expect_code "non-object" Serve_error.Bad_request (parse_request {|[1, 2]|});
+  expect_code "missing sets" Serve_error.Bad_request
+    (parse_request {|{"op": "infer", "ways": 2, "trace": [0]}|});
+  expect_code "no trace source" Serve_error.Bad_request
+    (parse_request {|{"op": "infer", "sets": 8, "ways": 2}|});
+  expect_code "conflicting sources" Serve_error.Bad_request
+    (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "benchmark": "x"}|});
+  expect_code "float sets" Serve_error.Bad_request
+    (parse_request {|{"op": "infer", "sets": 8.5, "ways": 2, "trace": [0]}|});
+  expect_code "zero deadline" Serve_error.Bad_request
+    (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "deadline_ms": 0}|});
+  expect_code "huge deadline" Serve_error.Bad_request
+    (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "deadline_ms": 900000}|})
+
+(* --- circuit breaker (fake clock) --- *)
+
+let test_breaker_lifecycle () =
+  let t = ref 100.0 in
+  let b = Breaker.create ~threshold:3 ~cooldown:5.0 ~now:(fun () -> !t) () in
+  Alcotest.(check string) "starts closed" "closed" (Breaker.state_name (Breaker.state b));
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check bool) "below threshold stays closed" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check int) "success resets the streak" 0 (Breaker.consecutive_failures b);
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Breaker.record_failure b;
+  Alcotest.(check string) "third consecutive failure opens" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "open blocks the model" false (Breaker.allow b);
+  t := 104.9;
+  Alcotest.(check bool) "still open before cooldown" false (Breaker.allow b);
+  t := 105.0;
+  Alcotest.(check string) "cooldown expiry surfaces as half-open" "half_open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "half-open allows the probe" true (Breaker.allow b);
+  Breaker.record_failure b;
+  Alcotest.(check string) "failed probe re-opens immediately" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check int) "two opens counted" 2 (Breaker.times_opened b);
+  t := 111.0;
+  Alcotest.(check bool) "second probe allowed" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check string) "successful probe closes" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "closed allows again" true (Breaker.allow b)
+
+(* --- bounded queue --- *)
+
+let test_squeue_sheds_when_full () =
+  let q = Squeue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Squeue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Squeue.try_push q 2);
+  Alcotest.(check bool) "push 3 shed" false (Squeue.try_push q 3);
+  Alcotest.(check int) "length" 2 (Squeue.length q);
+  Alcotest.(check (option int)) "fifo pop" (Some 1) (Squeue.pop q);
+  Alcotest.(check bool) "slot freed" true (Squeue.try_push q 4);
+  Squeue.close q;
+  Alcotest.(check bool) "closed rejects pushes" false (Squeue.try_push q 5);
+  Alcotest.(check (option int)) "drains after close" (Some 2) (Squeue.pop q);
+  Alcotest.(check (option int)) "drains after close (2)" (Some 4) (Squeue.pop q);
+  Alcotest.(check (option int)) "empty + closed ends" None (Squeue.pop q)
+
+let test_squeue_close_wakes_popper () =
+  let q : int Squeue.t = Squeue.create ~capacity:1 in
+  let result = ref (Some 0) in
+  let popper = Thread.create (fun () -> result := Squeue.pop q) () in
+  Thread.delay 0.05;
+  Squeue.close q;
+  Thread.join popper;
+  Alcotest.(check (option int)) "blocked pop returns None on close" None !result
+
+(* --- serving engine --- *)
+
+let tiny_spec = Heatmap.spec ~height:16 ~width:16 ~window:8 ~overlap:0.3 ~granularity:64 ()
+
+let tiny_model_config =
+  { (Cbgan.default_config ~image_size:16 ~ngf:4 ~ndf:4 ()) with Cbgan.cond_dim = 4; cond_hidden = 8 }
+
+let tiny_trace_len = 4 * Heatmap.accesses_per_image tiny_spec
+
+let tiny_trace =
+  lazy
+    (let rng = Prng.create 31 in
+     Array.init tiny_trace_len (fun i ->
+         if Prng.float rng 1.0 < 0.7 then (i mod 32) * 64 else Prng.int rng 4096 * 64))
+
+let infer_line ?id ?deadline_ms () =
+  let trace = Lazy.force tiny_trace in
+  Sjson.to_string
+    (Sjson.Obj
+       ((match id with None -> [] | Some id -> [ ("id", Sjson.Str id) ])
+       @ [
+           ("op", Sjson.Str "infer");
+           ("sets", Sjson.Num 4.0);
+           ("ways", Sjson.Num 2.0);
+           ( "trace",
+             Sjson.Arr (Array.to_list (Array.map (fun a -> Sjson.Num (float_of_int a)) trace))
+           );
+         ]
+       @
+       match deadline_ms with
+       | None -> []
+       | Some ms -> [ ("deadline_ms", Sjson.Num (float_of_int ms)) ]))
+
+let reply engine line =
+  match Serve_engine.handle_line engine line with
+  | Serve_engine.Reply j | Serve_engine.Shutdown_reply j -> j
+
+(* Wide validity gate so an untrained generator's raw answer still counts
+   as a model success; the NaN injected by [Nan_output] fails any gate. *)
+let engine ?now ~model ?(fallback = Cbox_infer.Fallback_hrd) () =
+  let cfg =
+    {
+      (Serve_engine.default_config ~fallback ()) with
+      Serve_engine.grace_lo = -1e9;
+      grace_hi = 1e9;
+      breaker_cooldown_s = 5.0;
+    }
+  in
+  Serve_engine.create ?now ~spec:tiny_spec ~model cfg
+
+let test_engine_degrades_without_model () =
+  let e = engine ~model:None () in
+  let r = reply e (infer_line ~id:"d1" ()) in
+  check_bool r "ok" true;
+  check_bool r "degraded" true;
+  check_str r "source" "hrd";
+  check_str r "reason" "model_unavailable";
+  check_str r "id" "d1";
+  (match num_field r "hit_rate" with
+  | Some hr -> Alcotest.(check bool) "hit rate in [0,1]" true (hr >= 0.0 && hr <= 1.0)
+  | None -> Alcotest.fail "no hit_rate in degraded reply");
+  let h = reply e {|{"op": "health"}|} in
+  check_str h "status" "degraded";
+  check_bool h "model_loaded" false
+
+let test_engine_no_model_no_fallback () =
+  let e = engine ~model:None ~fallback:Cbox_infer.No_fallback () in
+  let r = reply e (infer_line ()) in
+  check_bool r "ok" false;
+  check_str r "error" "model_unavailable"
+
+let test_engine_typed_errors () =
+  let e = engine ~model:None () in
+  check_str (reply e "{ not json") "error" "bad_request";
+  check_str (reply e {|{"op": "infer", "sets": 100, "ways": 4, "trace": [0, 64]}|}) "error"
+    "invalid_config";
+  check_str (reply e {|{"op": "infer", "sets": 4, "ways": 2, "benchmark": "no-such"}|}) "error"
+    "bad_request";
+  (* A valid trace that cannot fill one heatmap image is a typed error, not
+     a crash inside the heatmap pipeline. *)
+  check_str (reply e {|{"op": "infer", "sets": 4, "ways": 2, "trace": [0, 64, 128]}|}) "error"
+    "bad_request";
+  let s = reply e {|{"op": "stats"}|} in
+  Alcotest.(check (option (float 1e-9))) "bad_request errors counted" (Some 3.0)
+    (num_field s "err_bad_request")
+
+let test_engine_deadline_expired_in_queue () =
+  let t = ref 1000.0 in
+  let e = engine ~now:(fun () -> !t) ~model:None () in
+  let req =
+    Validate.Infer
+      {
+        id = Some "late";
+        sets = 4;
+        ways = 2;
+        source = Validate.Inline (Lazy.force tiny_trace);
+        deadline_s = Some 1.0;
+      }
+  in
+  (* Arrived 10 s ago with a 1 s budget: dead before the worker saw it. *)
+  match Serve_engine.handle_request e ~arrival:(!t -. 10.0) req with
+  | Serve_engine.Reply r ->
+    check_bool r "ok" false;
+    check_str r "error" "deadline_exceeded";
+    check_str r "id" "late"
+  | Serve_engine.Shutdown_reply _ -> Alcotest.fail "unexpected shutdown"
+
+let with_model f =
+  let model = Cbgan.create ~seed:51 tiny_model_config in
+  Fun.protect ~finally:Faultinject.disarm (fun () -> f model)
+
+let test_engine_model_happy_path () =
+  with_model (fun model ->
+      let e = engine ~model:(Some model) () in
+      let r = reply e (infer_line ~id:"m1" ()) in
+      check_bool r "ok" true;
+      check_bool r "degraded" false;
+      check_str r "source" "model";
+      Alcotest.(check (option string)) "no reason on clean answers" None (str_field r "reason");
+      let h = reply e {|{"op": "health"}|} in
+      check_str h "status" "ok")
+
+let test_engine_nan_output_degrades () =
+  with_model (fun model ->
+      let e = engine ~model:(Some model) () in
+      Faultinject.arm Faultinject.Nan_output ~at_batch:1;
+      let r = reply e (infer_line ()) in
+      check_bool r "ok" true;
+      check_bool r "degraded" true;
+      check_str r "source" "hrd";
+      (match str_field r "reason" with
+      | Some reason ->
+        Alcotest.(check bool) "reason names the model fault" true
+          (String.length reason >= 11 && String.sub reason 0 11 = "model_fault")
+      | None -> Alcotest.fail "degraded reply must carry a reason");
+      (* One fault is below the threshold: the model is trusted again. *)
+      let r2 = reply e (infer_line ()) in
+      check_bool r2 "degraded" false;
+      check_str r2 "source" "model")
+
+let test_engine_breaker_trips_and_recovers () =
+  with_model (fun model ->
+      let t = ref 500.0 in
+      let e = engine ~now:(fun () -> !t) ~model:(Some model) () in
+      (* Three consecutive NaN outputs: every answer stays a flagged
+         baseline, and the third trips the breaker. *)
+      Faultinject.arm ~count:3 Faultinject.Nan_output ~at_batch:1;
+      for _ = 1 to 3 do
+        let r = reply e (infer_line ()) in
+        check_bool r "degraded" true
+      done;
+      Alcotest.(check string) "breaker open after threshold" "open"
+        (Breaker.state_name (Serve_engine.breaker_state e));
+      (* Open: the model is skipped entirely (the injected fault is spent,
+         so a model attempt would succeed — the breaker must prevent it). *)
+      let r = reply e (infer_line ()) in
+      check_bool r "degraded" true;
+      check_str r "reason" "breaker_open";
+      (* Cooldown expires: half-open probe reaches the (healthy) model and
+         closes the breaker. *)
+      t := 506.0;
+      let r = reply e (infer_line ()) in
+      check_bool r "degraded" false;
+      check_str r "source" "model";
+      Alcotest.(check string) "probe success closes" "closed"
+        (Breaker.state_name (Serve_engine.breaker_state e));
+      let s = reply e {|{"op": "stats"}|} in
+      Alcotest.(check (option (float 1e-9))) "opens counted" (Some 1.0) (num_field s "breaker_opens");
+      Alcotest.(check (option (float 1e-9))) "degraded counted" (Some 4.0)
+        (num_field s "degraded_count"))
+
+let test_engine_slow_model_degrades_on_deadline () =
+  with_model (fun model ->
+      (* Real clock: the injected stall must actually consume the budget. *)
+      let e = engine ~model:(Some model) () in
+      Faultinject.arm (Faultinject.Slow 0.25) ~at_batch:1;
+      let r = reply e (infer_line ~deadline_ms:50 ()) in
+      check_bool r "ok" true;
+      check_bool r "degraded" true;
+      check_str r "reason" "deadline";
+      (* The stall is spent; with headroom restored the model answers. *)
+      let r2 = reply e (infer_line ~deadline_ms:5000 ()) in
+      check_str r2 "source" "model")
+
+let test_engine_overload_reply () =
+  let e = engine ~model:None () in
+  let r = Serve_engine.overload_reply e in
+  check_bool r "ok" false;
+  check_str r "error" "overloaded";
+  let s = reply e {|{"op": "stats"}|} in
+  Alcotest.(check (option (float 1e-9))) "shed counted" (Some 1.0) (num_field s "shed")
+
+(* --- corruption properties (fault drill) --- *)
+
+let corrupt_codes result expected what =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: corruption accepted" what
+  | Error (e : Serve_error.t) -> e.Serve_error.code = expected
+
+let test_corrupt_trace_property =
+  (* Flipping any byte of a binary trace must surface as a typed
+     [corrupt_input] — never a crash, never silently different addresses. *)
+  QCheck.Test.make ~name:"corrupt trace byte -> typed corrupt_input" ~count:80
+    QCheck.(int_range 0 4_000)
+    (fun offset ->
+      let dir = temp_dir () in
+      let path = Filename.concat dir "t.bin" in
+      Trace_io.write_binary path (Array.init 64 (fun i -> i * 64));
+      Faultinject.corrupt_byte path ~offset;
+      let ok = corrupt_codes (Validate.read_trace_file path) Serve_error.Corrupt_input "trace" in
+      rm_rf dir;
+      ok)
+
+let test_truncated_trace_property =
+  QCheck.Test.make ~name:"truncated trace -> typed corrupt_input" ~count:60
+    QCheck.(int_range 0 4_000)
+    (fun cut ->
+      let dir = temp_dir () in
+      let path = Filename.concat dir "t.bin" in
+      Trace_io.write_binary path (Array.init 64 (fun i -> i * 64));
+      let ic = open_in_bin path in
+      let full = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let keep = cut mod String.length full in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 keep);
+      close_out oc;
+      let ok =
+        corrupt_codes (Validate.read_trace_file path) Serve_error.Corrupt_input "truncation"
+      in
+      rm_rf dir;
+      ok)
+
+let test_corrupt_checkpoint_property =
+  (* Serving must never load weights from a damaged checkpoint: any flipped
+     byte is a typed [model_unavailable] at startup. *)
+  let pristine =
+    lazy
+      (let dir = temp_dir () in
+       let path = Filename.concat dir "m.ckpt" in
+       Cbgan.save (Cbgan.create ~seed:52 tiny_model_config) path;
+       let ic = open_in_bin path in
+       let bytes = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       rm_rf dir;
+       bytes)
+  in
+  QCheck.Test.make ~name:"corrupt checkpoint byte -> typed model_unavailable" ~count:20
+    QCheck.(int_range 0 1_000_000)
+    (fun offset ->
+      let dir = temp_dir () in
+      let path = Filename.concat dir "m.ckpt" in
+      let oc = open_out_bin path in
+      output_string oc (Lazy.force pristine);
+      close_out oc;
+      Faultinject.corrupt_byte path ~offset;
+      let ok =
+        corrupt_codes
+          (Serve_engine.model_of_checkpoint ~seed:52 tiny_model_config ~path)
+          Serve_error.Model_unavailable "checkpoint"
+      in
+      rm_rf dir;
+      ok)
+
+let test_junk_request_property =
+  (* The engine is total: any byte soup gets a reply, and error replies
+     carry a known taxonomy code. *)
+  let e = lazy (engine ~model:None ()) in
+  QCheck.Test.make ~name:"arbitrary request line -> typed reply" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun line ->
+      let r = reply (Lazy.force e) line in
+      match bool_field r "ok" with
+      | Some true -> true
+      | Some false -> (
+        match str_field r "error" with
+        | Some code -> Serve_error.code_of_string code <> None
+        | None -> false)
+      | None -> false)
+
+(* --- daemon round-trip over a real Unix socket --- *)
+
+let test_daemon_roundtrip () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let is_ready = ref false in
+  let config =
+    {
+      Serve_daemon.listen = Serve_daemon.Unix_socket sock;
+      queue_depth = 8;
+      engine =
+        { (Serve_engine.default_config ~fallback:Cbox_infer.Fallback_hrd ()) with
+          Serve_engine.grace_lo = -1e9; grace_hi = 1e9 };
+    }
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        Serve_daemon.run
+          ~ready:(fun () ->
+            Mutex.lock ready_m;
+            is_ready := true;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          ~spec:tiny_spec ~model:None config)
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !is_ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let call line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match Sjson.parse (input_line ic) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "daemon sent a non-JSON reply: %s" e
+  in
+  let h = call {|{"op": "health"}|} in
+  check_bool h "ok" true;
+  check_str h "status" "degraded";
+  check_bool h "model_loaded" false;
+  let r = call (infer_line ~id:"net1" ()) in
+  check_bool r "ok" true;
+  check_bool r "degraded" true;
+  check_str r "source" "hrd";
+  check_str r "id" "net1";
+  check_str (call "{ not json") "error" "bad_request";
+  let s = call {|{"op": "stats"}|} in
+  (match num_field s "served" with
+  | Some n -> Alcotest.(check bool) "served >= 3" true (n >= 3.0)
+  | None -> Alcotest.fail "stats missing served");
+  let sd = call {|{"op": "shutdown"}|} in
+  check_str sd "op" "shutdown";
+  (* The daemon joins its per-connection readers, which only exit on client
+     EOF: close before joining or the join deadlocks. *)
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Thread.join server;
+  Alcotest.(check bool) "socket file removed on shutdown" false (Sys.file_exists sock);
+  rm_rf dir
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "sjson roundtrip" `Quick test_sjson_roundtrip;
+      Alcotest.test_case "sjson rejects garbage" `Quick test_sjson_rejects_garbage;
+      Alcotest.test_case "sjson accessors" `Quick test_sjson_accessors;
+      Alcotest.test_case "taxonomy codes stable" `Quick test_taxonomy_stable;
+      Alcotest.test_case "taxonomy of_exn total" `Quick test_taxonomy_of_exn;
+      Alcotest.test_case "validate cache config" `Quick test_validate_cache_config;
+      Alcotest.test_case "validate hierarchy" `Quick test_validate_hierarchy;
+      Alcotest.test_case "validate trace" `Quick test_validate_trace;
+      Alcotest.test_case "validate wire requests" `Quick test_validate_request;
+      Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
+      Alcotest.test_case "squeue sheds when full" `Quick test_squeue_sheds_when_full;
+      Alcotest.test_case "squeue close wakes popper" `Quick test_squeue_close_wakes_popper;
+      Alcotest.test_case "engine degrades without model" `Quick test_engine_degrades_without_model;
+      Alcotest.test_case "engine no model no fallback" `Quick test_engine_no_model_no_fallback;
+      Alcotest.test_case "engine typed errors" `Quick test_engine_typed_errors;
+      Alcotest.test_case "engine deadline expired in queue" `Quick test_engine_deadline_expired_in_queue;
+      Alcotest.test_case "engine model happy path" `Slow test_engine_model_happy_path;
+      Alcotest.test_case "engine nan output degrades" `Slow test_engine_nan_output_degrades;
+      Alcotest.test_case "engine breaker trips and recovers" `Slow test_engine_breaker_trips_and_recovers;
+      Alcotest.test_case "engine slow model deadline" `Slow test_engine_slow_model_degrades_on_deadline;
+      Alcotest.test_case "engine overload reply" `Quick test_engine_overload_reply;
+      QCheck_alcotest.to_alcotest test_corrupt_trace_property;
+      QCheck_alcotest.to_alcotest test_truncated_trace_property;
+      QCheck_alcotest.to_alcotest test_corrupt_checkpoint_property;
+      QCheck_alcotest.to_alcotest test_junk_request_property;
+      Alcotest.test_case "daemon unix-socket roundtrip" `Quick test_daemon_roundtrip;
+    ] )
