@@ -9,16 +9,19 @@ type config = {
 let default_config listen =
   { listen; queue_depth = 64; engine = Serve_engine.default_config () }
 
-(* A queued request: the raw line plus a one-shot reply slot the worker
-   fills and the connection reader blocks on. *)
+(* A queued request: the raw line, its admission timestamp (deadlines count
+   from it, so queue wait is on the clock) plus a one-shot reply slot the
+   worker fills and the connection reader blocks on. *)
 type job = {
   line : string;
+  arrival : float;
   mutable reply : Serve_engine.outcome option;
   m : Mutex.t;
   cv : Condition.t;
 }
 
-let make_job line = { line; reply = None; m = Mutex.create (); cv = Condition.create () }
+let make_job ~arrival line =
+  { line; arrival; reply = None; m = Mutex.create (); cv = Condition.create () }
 
 let fulfill job outcome =
   Mutex.lock job.m;
@@ -40,25 +43,58 @@ let send_line oc json =
   output_char oc '\n';
   flush oc
 
-(* Worker: drains the queue through the engine; flips [stop] on shutdown. *)
+(* Live client fds, so shutdown can wake readers blocked in input_line. *)
+type clients = { cm : Mutex.t; mutable fds : Unix.file_descr list }
+
+let clients_create () = { cm = Mutex.create (); fds = [] }
+
+let clients_add c fd =
+  Mutex.lock c.cm;
+  c.fds <- fd :: c.fds;
+  Mutex.unlock c.cm
+
+let clients_remove c fd =
+  Mutex.lock c.cm;
+  c.fds <- List.filter (fun f -> f <> fd) c.fds;
+  Mutex.unlock c.cm
+
+let clients_snapshot c =
+  Mutex.lock c.cm;
+  let fds = c.fds in
+  Mutex.unlock c.cm;
+  fds
+
+(* Worker: drains the queue through the engine; flips [stop] on shutdown.
+   Jobs admitted before the shutdown closed the queue still have readers
+   blocked in [await], so they are drained and answered (as shed) rather
+   than abandoned — an unfulfilled job would deadlock [run]'s reader
+   join. *)
 let worker_loop engine queue stop =
   let rec go () =
     match Squeue.pop queue with
     | None -> ()
     | Some job -> (
-      match Serve_engine.handle_line engine job.line with
+      match Serve_engine.handle_line engine ~arrival:job.arrival job.line with
       | Serve_engine.Reply _ as outcome ->
         fulfill job outcome;
         go ()
       | Serve_engine.Shutdown_reply _ as outcome ->
         stop := true;
         fulfill job outcome;
-        Squeue.close queue)
+        Squeue.close queue;
+        let rec drain () =
+          match Squeue.pop queue with
+          | None -> ()
+          | Some orphan ->
+            fulfill orphan (Serve_engine.Reply (Serve_engine.draining_reply engine));
+            drain ()
+        in
+        drain ())
   in
   go ()
 
 (* Connection reader: one thread per client, lines answered in order. *)
-let connection_loop engine queue fd =
+let connection_loop engine queue clients fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec go () =
@@ -67,7 +103,7 @@ let connection_loop engine queue fd =
       let line = String.trim line in
       if line = "" then go ()
       else begin
-        let job = make_job line in
+        let job = make_job ~arrival:(Serve_engine.now engine) line in
         if Squeue.try_push queue job then begin
           (match await job with
           | Serve_engine.Reply json | Serve_engine.Shutdown_reply json -> send_line oc json);
@@ -82,12 +118,32 @@ let connection_loop engine queue fd =
     | exception Sys_error _ -> ()
   in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    go
+    ~finally:(fun () ->
+      clients_remove clients fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try go () with Sys_error _ -> ())
 
 let bind_listener = function
   | Unix_socket path ->
-    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+    if Sys.file_exists path then begin
+      (* Only a stale socket file (connect refused) may be reclaimed;
+         a live daemon on the same path is a configuration error, and
+         anything else (say, a regular file) is left for bind to reject. *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let verdict =
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+        | exception Unix.Unix_error _ -> `Unknown
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      (match verdict with
+      | `Live ->
+        Serve_error.fail Serve_error.Invalid_config
+          "socket %s is in use by a running daemon" path
+      | `Stale -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | `Unknown -> ())
+    end;
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try Unix.bind fd (Unix.ADDR_UNIX path)
      with Unix.Unix_error (e, _, _) ->
@@ -97,8 +153,10 @@ let bind_listener = function
     fd
   | Tcp (host, port) ->
     let addr =
-      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-      with Not_found -> Unix.inet_addr_loopback
+      match (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+      | addr -> addr
+      | exception (Not_found | Invalid_argument _) ->
+        Serve_error.fail Serve_error.Invalid_config "cannot resolve host %S" host
     in
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt fd Unix.SO_REUSEADDR true;
@@ -128,6 +186,7 @@ let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
         ("model_loaded", Runlog.B (Serve_engine.model_loaded engine));
       ]);
   let worker = Thread.create (fun () -> worker_loop engine queue stop) () in
+  let clients = clients_create () in
   let readers = ref [] in
   ready ();
   (* Accept loop: [stop] is only observed between accepts, so the worker
@@ -136,7 +195,8 @@ let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
     if not !stop then
       match Unix.accept listener with
       | fd, _ ->
-        readers := Thread.create (fun () -> connection_loop engine queue fd) () :: !readers;
+        clients_add clients fd;
+        readers := Thread.create (fun () -> connection_loop engine queue clients fd) () :: !readers;
         accept_loop ()
       | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
         ()
@@ -157,9 +217,16 @@ let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
   in
   accept_loop ();
   Squeue.close queue;
+  (* Join order matters: the worker first (it fulfills every admitted job,
+     releasing readers blocked in [await]), then wake the idle readers
+     blocked in input_line. SHUTDOWN_RECEIVE delivers the EOF without
+     cutting off a reply a reader is still flushing. *)
   Thread.join worker;
-  Thread.join watchdog;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    (clients_snapshot clients);
   List.iter Thread.join !readers;
+  Thread.join watchdog;
   (try Unix.close listener with Unix.Unix_error _ -> ());
   (match config.listen with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())

@@ -5,8 +5,12 @@
     and pushes jobs into a bounded {!Squeue}; a single worker thread drains
     it through the engine (the model is not reentrant). A full queue sheds
     the request immediately with an [overloaded] reply — admission control,
-    not buffering. A [{"op": "shutdown"}] request answers, then stops the
-    daemon cleanly (the Unix socket file is removed). *)
+    not buffering. Jobs are stamped with their admission time, so time
+    spent queued counts against the request's deadline. A
+    [{"op": "shutdown"}] request answers, then stops the daemon cleanly:
+    requests already admitted to the queue are answered with an
+    [overloaded] "server shutting down" error, idle connections are woken
+    with EOF, and the Unix socket file is removed. *)
 
 type listen = Unix_socket of string | Tcp of string * int
 
@@ -28,4 +32,7 @@ val run :
   unit
 (** Binds, listens and serves until a shutdown request; [ready] fires once
     the socket is accepting (tests use it to avoid races). Raises
-    {!Serve_error.Error} ([internal]) if the socket cannot be bound. *)
+    {!Serve_error.Error}: [invalid_config] when the Unix socket path is
+    already served by a live daemon (a stale socket file left by a crash is
+    reclaimed) or a TCP host does not resolve, [internal] when the socket
+    cannot be bound. *)

@@ -67,6 +67,7 @@ let stats t = Serve_stats.snapshot t.stats
 let breaker_state t = Breaker.state t.breaker
 let model_loaded t = t.model <> None
 let requests_seen t = t.req_count
+let now t = t.now ()
 
 (* --- reply construction --- *)
 
@@ -130,6 +131,11 @@ let overload_reply t =
   Serve_stats.shed t.stats;
   journal_event t "shed" [];
   error_reply (Serve_error.v Serve_error.Overloaded "request queue full")
+
+let draining_reply t =
+  Serve_stats.shed t.stats;
+  journal_event t "shed" [ ("why", Runlog.S "shutdown") ];
+  error_reply (Serve_error.v Serve_error.Overloaded "server shutting down")
 
 (* --- inference --- *)
 
@@ -290,8 +296,8 @@ let handle_request t ~arrival req =
         (record_and_reply t ~arrival ~ok:false ~degraded:false
            ~code:(Some Serve_error.Internal) (error_reply ?id e)))
 
-let handle_line t line =
-  let arrival = t.now () in
+let handle_line ?arrival t line =
+  let arrival = Option.value arrival ~default:(t.now ()) in
   match Sjson.parse line with
   | Error why ->
     let e = Serve_error.v Serve_error.Bad_request "malformed JSON: %s" why in

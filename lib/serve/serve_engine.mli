@@ -56,9 +56,12 @@ val model_of_checkpoint :
 
 type outcome = Reply of Sjson.t | Shutdown_reply of Sjson.t
 
-val handle_line : t -> string -> outcome
+val handle_line : ?arrival:float -> t -> string -> outcome
 (** Parse, validate and execute one protocol line; total. A
-    [Shutdown_reply] asks the caller to send the reply and stop serving. *)
+    [Shutdown_reply] asks the caller to send the reply and stop serving.
+    [arrival] is when the request entered the system (defaults to "now");
+    the daemon stamps it at enqueue time so queue wait counts against the
+    request's deadline. *)
 
 val handle_request : t -> arrival:float -> Validate.request -> outcome
 (** Same, from an already-validated request ([arrival] stamps queue entry;
@@ -66,6 +69,15 @@ val handle_request : t -> arrival:float -> Validate.request -> outcome
 
 val overload_reply : t -> Sjson.t
 (** The [overloaded] error reply for a shed request; also counts it. *)
+
+val draining_reply : t -> Sjson.t
+(** The [overloaded] error reply for a request that was admitted but
+    orphaned by shutdown before the worker reached it; also counted as a
+    shed. *)
+
+val now : t -> float
+(** The engine's clock — use it to stamp request arrival at admission so
+    deadlines include queue wait. *)
 
 val stats : t -> Serve_stats.summary
 val breaker_state : t -> Breaker.state

@@ -53,18 +53,41 @@ let parse (s : string) : (t, string) result =
     !v
   in
   let add_utf8 buf cp =
-    (* Encode a BMP code point (surrogate pairs are not recombined; the
-       protocol never emits them). *)
     if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  (* A \u escape naming a high surrogate must be immediately followed by a
+     low-surrogate escape; the pair recombines into one code point so
+     non-BMP text decodes to real UTF-8, not CESU-8. Lone surrogates are a
+     parse error. *)
+  let unicode_escape () =
+    let cp = hex4 () in
+    if cp >= 0xD800 && cp <= 0xDBFF then begin
+      if not (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u') then
+        err "unpaired high surrogate \\u%04x at offset %d" cp !pos;
+      pos := !pos + 2;
+      let lo = hex4 () in
+      if lo < 0xDC00 || lo > 0xDFFF then
+        err "high surrogate \\u%04x followed by non-low \\u%04x" cp lo;
+      0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+    end
+    else if cp >= 0xDC00 && cp <= 0xDFFF then
+      err "unpaired low surrogate \\u%04x at offset %d" cp !pos
+    else cp
   in
   let parse_string () =
     expect '"';
@@ -88,7 +111,7 @@ let parse (s : string) : (t, string) result =
          | 'n' -> Buffer.add_char buf '\n'
          | 'r' -> Buffer.add_char buf '\r'
          | 't' -> Buffer.add_char buf '\t'
-         | 'u' -> add_utf8 buf (hex4 ())
+         | 'u' -> add_utf8 buf (unicode_escape ())
          | c -> err "bad escape '\\%c'" c);
         go ()
       | c when Char.code c < 0x20 -> err "unescaped control character in string"

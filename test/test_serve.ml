@@ -56,6 +56,21 @@ let test_sjson_rejects_garbage () =
       | Error _ -> ())
     bad
 
+let test_sjson_surrogates () =
+  (match Sjson.parse {|"\ud83d\ude00"|} with
+  | Ok (Sjson.Str s) ->
+    Alcotest.(check string) "surrogate pair recombines to 4-byte UTF-8" "\xf0\x9f\x98\x80" s;
+    Alcotest.(check string) "non-BMP text reprints as raw UTF-8" "\"\xf0\x9f\x98\x80\""
+      (Sjson.to_string (Sjson.Str s))
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "surrogate pair rejected: %s" e);
+  List.iter
+    (fun s ->
+      match Sjson.parse s with
+      | Ok _ -> Alcotest.failf "accepted lone/mismatched surrogate %S" s
+      | Error _ -> ())
+    [ {|"\ud83d"|}; {|"\ud83dx"|}; {|"\ud83dA"|}; {|"\ude00"|}; {|"\ud83d\ud83d"|} ]
+
 let test_sjson_accessors () =
   match Sjson.parse {|{"i": 3, "f": 3.5, "s": "x", "u": "é"}|} with
   | Error e -> Alcotest.failf "parse: %s" e
@@ -337,6 +352,23 @@ let test_engine_deadline_expired_in_queue () =
     check_str r "id" "late"
   | Serve_engine.Shutdown_reply _ -> Alcotest.fail "unexpected shutdown"
 
+(* Same scenario through [handle_line ?arrival] — the daemon path: the
+   timestamp the daemon stamps at enqueue, not the dequeue time, drives the
+   deadline, so time spent queued is on the clock. *)
+let test_engine_queue_wait_counts_against_deadline () =
+  let t = ref 1000.0 in
+  let e = engine ~now:(fun () -> !t) ~model:None () in
+  (match Serve_engine.handle_line e ~arrival:(!t -. 10.0) (infer_line ~id:"q" ~deadline_ms:1000 ()) with
+  | Serve_engine.Reply r ->
+    check_bool r "ok" false;
+    check_str r "error" "deadline_exceeded";
+    check_str r "id" "q"
+  | Serve_engine.Shutdown_reply _ -> Alcotest.fail "unexpected shutdown");
+  (* A fresh arrival with the same budget goes through. *)
+  match Serve_engine.handle_line e ~arrival:!t (infer_line ~id:"f" ~deadline_ms:1000 ()) with
+  | Serve_engine.Reply r -> check_bool r "ok" true
+  | Serve_engine.Shutdown_reply _ -> Alcotest.fail "unexpected shutdown"
+
 let with_model f =
   let model = Cbgan.create ~seed:51 tiny_model_config in
   Fun.protect ~finally:Faultinject.disarm (fun () -> f model)
@@ -510,22 +542,21 @@ let test_junk_request_property =
         | None -> false)
       | None -> false)
 
-(* --- daemon round-trip over a real Unix socket --- *)
+(* --- daemon over a real Unix socket --- *)
 
-let test_daemon_roundtrip () =
-  let dir = temp_dir () in
-  let sock = Filename.concat dir "s.sock" in
+let daemon_config sock =
+  {
+    Serve_daemon.listen = Serve_daemon.Unix_socket sock;
+    queue_depth = 8;
+    engine =
+      { (Serve_engine.default_config ~fallback:Cbox_infer.Fallback_hrd ()) with
+        Serve_engine.grace_lo = -1e9; grace_hi = 1e9 };
+  }
+
+(* Starts the daemon in a thread and blocks until its socket accepts. *)
+let start_daemon ?(model = None) config =
   let ready_m = Mutex.create () and ready_c = Condition.create () in
   let is_ready = ref false in
-  let config =
-    {
-      Serve_daemon.listen = Serve_daemon.Unix_socket sock;
-      queue_depth = 8;
-      engine =
-        { (Serve_engine.default_config ~fallback:Cbox_infer.Fallback_hrd ()) with
-          Serve_engine.grace_lo = -1e9; grace_hi = 1e9 };
-    }
-  in
   let server =
     Thread.create
       (fun () ->
@@ -535,7 +566,7 @@ let test_daemon_roundtrip () =
             is_ready := true;
             Condition.signal ready_c;
             Mutex.unlock ready_m)
-          ~spec:tiny_spec ~model:None config)
+          ~spec:tiny_spec ~model config)
       ()
   in
   Mutex.lock ready_m;
@@ -543,17 +574,33 @@ let test_daemon_roundtrip () =
     Condition.wait ready_c ready_m
   done;
   Mutex.unlock ready_m;
+  server
+
+let connect_client sock =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX sock);
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send_req oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let read_reply ic =
+  match Sjson.parse (input_line ic) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "daemon sent a non-JSON reply: %s" e
+
+let close_client fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let test_daemon_roundtrip () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let server = start_daemon (daemon_config sock) in
+  let fd, ic, oc = connect_client sock in
   let call line =
-    output_string oc line;
-    output_char oc '\n';
-    flush oc;
-    match Sjson.parse (input_line ic) with
-    | Ok j -> j
-    | Error e -> Alcotest.failf "daemon sent a non-JSON reply: %s" e
+    send_req oc line;
+    read_reply ic
   in
   let h = call {|{"op": "health"}|} in
   check_bool h "ok" true;
@@ -571,18 +618,101 @@ let test_daemon_roundtrip () =
   | None -> Alcotest.fail "stats missing served");
   let sd = call {|{"op": "shutdown"}|} in
   check_str sd "op" "shutdown";
-  (* The daemon joins its per-connection readers, which only exit on client
-     EOF: close before joining or the join deadlocks. *)
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* The connection is deliberately left open across the join: shutdown
+     must wake the idle reader itself (EOF), not wait for the client. *)
   Thread.join server;
+  (match input_line ic with
+  | exception End_of_file -> ()
+  | _ -> Alcotest.fail "client expected EOF after shutdown");
+  close_client fd;
   Alcotest.(check bool) "socket file removed on shutdown" false (Sys.file_exists sock);
   rm_rf dir
+
+(* Shutdown under concurrency: while the worker is stalled inside a slow
+   model inference, a shutdown and a trailing infer pile up in the queue.
+   The daemon must answer the stalled request, the shutdown, and the
+   orphaned request (as shed), wake the idle client with EOF, and join —
+   the exact interleaving that used to deadlock [run]. *)
+let test_daemon_shutdown_drains_and_wakes () =
+  with_model (fun model ->
+      let dir = temp_dir () in
+      let sock = Filename.concat dir "s.sock" in
+      let server = start_daemon ~model:(Some model) (daemon_config sock) in
+      let idle_fd, idle_ic, _ = connect_client sock in
+      let slow_fd, slow_ic, slow_oc = connect_client sock in
+      let ctl_fd, ctl_ic, ctl_oc = connect_client sock in
+      let late_fd, late_ic, late_oc = connect_client sock in
+      Faultinject.arm (Faultinject.Slow 0.5) ~at_batch:1;
+      send_req slow_oc (infer_line ~id:"slow" ());
+      Thread.delay 0.15;
+      send_req ctl_oc {|{"op": "shutdown"}|};
+      Thread.delay 0.1;
+      send_req late_oc (infer_line ~id:"late" ());
+      let slow_r = read_reply slow_ic in
+      check_bool slow_r "ok" true;
+      let ctl_r = read_reply ctl_ic in
+      check_str ctl_r "op" "shutdown";
+      let late_r = read_reply late_ic in
+      check_bool late_r "ok" false;
+      check_str late_r "error" "overloaded";
+      (match input_line idle_ic with
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "idle client expected EOF on shutdown");
+      Thread.join server;
+      List.iter close_client [ idle_fd; slow_fd; ctl_fd; late_fd ];
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock);
+      rm_rf dir)
+
+(* A second daemon on a live socket must refuse (and leave the live daemon
+   undisturbed); a stale socket file left by a crash is reclaimed. *)
+let test_daemon_socket_in_use_and_stale () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let config = daemon_config sock in
+  let server = start_daemon config in
+  (match Serve_daemon.run ~spec:tiny_spec ~model:None config with
+  | () -> Alcotest.fail "second daemon started over a live one"
+  | exception Serve_error.Error e ->
+    Alcotest.(check string) "live socket refused as invalid_config" "invalid_config"
+      (Serve_error.code_string e.Serve_error.code));
+  let fd, ic, oc = connect_client sock in
+  send_req oc {|{"op": "health"}|};
+  check_bool (read_reply ic) "ok" true;
+  send_req oc {|{"op": "shutdown"}|};
+  ignore (read_reply ic);
+  Thread.join server;
+  close_client fd;
+  (* Stale file: bound but nobody listening behind it (simulated crash). *)
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX sock);
+  Unix.close stale;
+  Alcotest.(check bool) "stale socket file left behind" true (Sys.file_exists sock);
+  let server2 = start_daemon config in
+  let fd2, ic2, oc2 = connect_client sock in
+  send_req oc2 {|{"op": "health"}|};
+  check_bool (read_reply ic2) "ok" true;
+  send_req oc2 {|{"op": "shutdown"}|};
+  ignore (read_reply ic2);
+  Thread.join server2;
+  close_client fd2;
+  rm_rf dir
+
+let test_daemon_unresolvable_host () =
+  let config =
+    Serve_daemon.default_config (Serve_daemon.Tcp ("no-such-host.invalid", 0))
+  in
+  match Serve_daemon.run ~spec:tiny_spec ~model:None config with
+  | () -> Alcotest.fail "daemon started on an unresolvable host"
+  | exception Serve_error.Error e ->
+    Alcotest.(check string) "unresolvable host is invalid_config" "invalid_config"
+      (Serve_error.code_string e.Serve_error.code)
 
 let suite =
   ( "serve",
     [
       Alcotest.test_case "sjson roundtrip" `Quick test_sjson_roundtrip;
       Alcotest.test_case "sjson rejects garbage" `Quick test_sjson_rejects_garbage;
+      Alcotest.test_case "sjson surrogate pairs" `Quick test_sjson_surrogates;
       Alcotest.test_case "sjson accessors" `Quick test_sjson_accessors;
       Alcotest.test_case "taxonomy codes stable" `Quick test_taxonomy_stable;
       Alcotest.test_case "taxonomy of_exn total" `Quick test_taxonomy_of_exn;
@@ -597,6 +727,8 @@ let suite =
       Alcotest.test_case "engine no model no fallback" `Quick test_engine_no_model_no_fallback;
       Alcotest.test_case "engine typed errors" `Quick test_engine_typed_errors;
       Alcotest.test_case "engine deadline expired in queue" `Quick test_engine_deadline_expired_in_queue;
+      Alcotest.test_case "engine queue wait counts against deadline" `Quick
+        test_engine_queue_wait_counts_against_deadline;
       Alcotest.test_case "engine model happy path" `Slow test_engine_model_happy_path;
       Alcotest.test_case "engine nan output degrades" `Slow test_engine_nan_output_degrades;
       Alcotest.test_case "engine breaker trips and recovers" `Slow test_engine_breaker_trips_and_recovers;
@@ -607,4 +739,10 @@ let suite =
       QCheck_alcotest.to_alcotest test_corrupt_checkpoint_property;
       QCheck_alcotest.to_alcotest test_junk_request_property;
       Alcotest.test_case "daemon unix-socket roundtrip" `Quick test_daemon_roundtrip;
+      Alcotest.test_case "daemon shutdown drains queue and wakes idle clients" `Slow
+        test_daemon_shutdown_drains_and_wakes;
+      Alcotest.test_case "daemon refuses live socket, reclaims stale" `Quick
+        test_daemon_socket_in_use_and_stale;
+      Alcotest.test_case "daemon rejects unresolvable host" `Quick
+        test_daemon_unresolvable_host;
     ] )
