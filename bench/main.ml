@@ -349,6 +349,20 @@ let run_parallel () =
   report "cb-gan train step"
     (List.map (fun d -> (d, time (train_step d))) counts)
 
+(* --- Kernel benchmarks: reference vs tiled dense path --- *)
+
+let run_kernels () =
+  section "Kernels: reference vs tiled+workspace dense path (old vs new)";
+  let results = Kbench.run ~log:progress () in
+  Kbench.pp_table Format.std_formatter results;
+  try
+    let dir = "_artifacts" in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir "BENCH_KERNELS.json" in
+    Kbench.write_json ~path results;
+    progress (Printf.sprintf "json written to %s" path)
+  with Sys_error _ -> ()
+
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure family --- *)
 
 let run_bechamel () =
@@ -435,6 +449,7 @@ let all_experiments =
     ("ablations", run_ablations);
     ("policies", run_policies);
     ("parallel", run_parallel);
+    ("kernels", run_kernels);
     ("bechamel", run_bechamel);
   ]
 

@@ -536,7 +536,144 @@ let baselines_cmd =
   Cmd.v (Cmd.info "baselines" ~doc:"Run the HRD/STM/TabSynth baseline predictors on a benchmark")
     Term.(const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg)
 
+(* --- bench: kernel benchmarks + perf-regression gate --- *)
+
+let bench_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Write the results as BENCH_KERNELS.json to $(docv).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"PATH"
+        ~doc:
+          "Committed BENCH_KERNELS.json to compare against; exits 1 when any \
+           benchmark's speedup regressed by more than $(b,--max-slowdown).")
+  in
+  let max_slowdown_arg =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "max-slowdown" ] ~docv:"X"
+        ~doc:
+          "Regression threshold: fail when measured speedup falls below \
+           baseline speedup divided by $(docv). Generous by default — \
+           speedups are machine-portable but still noisy on loaded CI \
+           hosts.")
+  in
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fast" ] ~doc:"Shrink shapes for a smoke run (also: $(b,CACHEBOX_FAST)=1).")
+  in
+  (* The committed baseline is read with the serving stack's JSON codec so
+     harness, CI and CLI share one schema and one parser. *)
+  let read_baseline path =
+    if not (Sys.file_exists path) then begin
+      Fmt.epr "no such baseline file: %s@." path;
+      exit 2
+    end;
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Sjson.parse text with
+    | Error why ->
+      Fmt.epr "malformed baseline %s: %s@." path why;
+      exit 2
+    | Ok json ->
+      let results =
+        Option.bind (Sjson.member "results" json) Sjson.to_list
+        |> Option.value ~default:[]
+      in
+      List.filter_map
+        (fun r ->
+          match
+            ( Option.bind (Sjson.member "name" r) Sjson.to_str,
+              Option.bind (Sjson.member "domains" r) Sjson.to_int,
+              Option.bind (Sjson.member "speedup" r) Sjson.to_float )
+          with
+          | Some name, Some domains, Some speedup -> Some ((name, domains), speedup)
+          | _ -> None)
+        results
+  in
+  let run domains json baseline max_slowdown fast =
+    apply_domains domains;
+    if max_slowdown < 1.0 then begin
+      Fmt.epr "--max-slowdown must be at least 1.0 (got %g)@." max_slowdown;
+      exit 2
+    end;
+    let fast = fast || Sys.getenv_opt "CACHEBOX_FAST" <> None in
+    let results = Kbench.run ~fast ~log:(fun name -> Fmt.pr "  [%s]@." name) () in
+    Kbench.pp_table Format.std_formatter results;
+    Option.iter
+      (fun path ->
+        Kbench.write_json ~path results;
+        Fmt.pr "wrote %s@." path)
+      json;
+    match baseline with
+    | None -> ()
+    | Some path ->
+      let committed = read_baseline path in
+      let matched =
+        List.exists
+          (fun (r : Kbench.result) ->
+            List.mem_assoc (r.Kbench.name, r.Kbench.domains) committed)
+          results
+      in
+      (* Benchmark names embed their shapes, so a --fast run gated against a
+         full-scale baseline would compare nothing and "pass"; make that
+         mistake loud instead. *)
+      if not matched then begin
+        Fmt.epr
+          "baseline %s shares no benchmarks with this run (fast vs full \
+           scale mismatch?)@."
+          path;
+        exit 2
+      end;
+      let regressions =
+        List.filter_map
+          (fun (r : Kbench.result) ->
+            match List.assoc_opt (r.Kbench.name, r.Kbench.domains) committed with
+            | None -> None
+            | Some committed_speedup ->
+              let floor = committed_speedup /. max_slowdown in
+              if r.Kbench.speedup < floor then Some (r, committed_speedup, floor)
+              else None)
+          results
+      in
+      List.iter
+        (fun ((r : Kbench.result), committed_speedup, floor) ->
+          Fmt.epr
+            "REGRESSION %s (domains %d): speedup %.2fx < floor %.2fx (baseline \
+             %.2fx / %g)@."
+            r.Kbench.name r.Kbench.domains r.Kbench.speedup floor committed_speedup
+            max_slowdown)
+        regressions;
+      if regressions <> [] then exit 1
+      else Fmt.pr "no perf regressions vs %s (max slowdown %gx)@." path max_slowdown
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the kernel benchmarks (reference vs tiled dense path)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Times the old (reference GEMM, workspace off) against the new \
+              (tiled+packed GEMM, workspace arena) dense path in one process \
+              and reports per-benchmark speedups. With $(b,--json) the \
+              results are written in the BENCH_KERNELS.json schema; with \
+              $(b,--baseline) the measured speedups are gated against a \
+              committed baseline (CI's perf-regression job).";
+         ])
+    Term.(const run $ domains_arg $ json_arg $ baseline_arg $ max_slowdown_arg $ fast_arg)
+
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in
   let info = Cmd.info "cachebox" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; baselines_cmd; export_cmd; replay_cmd; characterize_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))

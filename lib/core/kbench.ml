@@ -1,0 +1,237 @@
+(* Kernel benchmark suite: old (reference) vs new (tiled+workspace) dense
+   path, timed on the same machine in the same process.
+
+   The reference configuration is the pre-tiling production setup — the
+   two-row-blocked GEMM with the workspace arena disabled (fresh scratch
+   allocations everywhere) — kept runtime-selectable in Blas/Workspace
+   exactly so this comparison stays honest: both sides run the same repo,
+   same compiler flags, same process.
+
+   Results are recorded as speedups (ref_s / tiled_s), which is what CI
+   compares against the committed BENCH_KERNELS.json baseline: absolute
+   times shift with the host, relative speedups of the same two code paths
+   on the same host are stable. *)
+
+type result = {
+  name : string;
+  domains : int;
+  ref_s : float;
+  tiled_s : float;
+  speedup : float;
+  max_rel_err : float option;
+      (* max_i |ref_i - tiled_i| / max(1, max_i |ref_i|); None when the
+         benchmark has no directly comparable output (training steps). *)
+}
+
+let time ~reps f =
+  (* Best-of-N: on a shared machine the minimum is the least-noisy
+     estimate of the true cost. *)
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* Run [f] under an explicit kernel/workspace configuration, restoring the
+   ambient configuration afterwards even on exceptions. *)
+let with_mode kernel ws f =
+  let k0 = Blas.kernel () and w0 = Workspace.enabled () in
+  Blas.set_kernel kernel;
+  Workspace.set_enabled ws;
+  Fun.protect
+    ~finally:(fun () ->
+      Blas.set_kernel k0;
+      Workspace.set_enabled w0)
+    f
+
+let rel_err ~ref_out ~tiled_out =
+  let a = Tensor.to_array ref_out and b = Tensor.to_array tiled_out in
+  let scale = ref 1.0 in
+  Array.iter (fun v -> if Float.abs v > !scale then scale := Float.abs v) a;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let d = Float.abs (v -. b.(i)) /. !scale in
+      if d > !worst then worst := d)
+    a;
+  !worst
+
+(* One old-vs-new measurement. [f] must return a freshly computed output
+   tensor (or [None]); it runs once for warmup, then [reps] timed times,
+   under each mode, inside a [domains]-lane pool. *)
+let compare_modes ~name ~domains ~reps f =
+  Dpool.with_domains domains (fun () ->
+      let run mode ws =
+        with_mode mode ws (fun () ->
+            let out = ref None in
+            let thunk () = out := f () in
+            thunk ();
+            (* warmup: pool spin-up, arena population *)
+            let t = time ~reps thunk in
+            (t, !out))
+      in
+      let ref_s, ref_out = run Blas.Reference false in
+      let tiled_s, tiled_out = run Blas.Tiled true in
+      let max_rel_err =
+        match (ref_out, tiled_out) with
+        | Some a, Some b -> Some (rel_err ~ref_out:a ~tiled_out:b)
+        | _ -> None
+      in
+      { name; domains; ref_s; tiled_s; speedup = ref_s /. Float.max 1e-9 tiled_s;
+        max_rel_err })
+
+(* --- benchmark definitions --- *)
+
+let gemm_bench ~name ~m ~k ~n ~domains ~reps =
+  let rng = Prng.create 42 in
+  let a = Tensor.randn rng [| m; k |] and b = Tensor.randn rng [| k; n |] in
+  let c = Tensor.zeros [| m; n |] in
+  compare_modes ~name ~domains ~reps (fun () ->
+      Blas.gemm ~alpha:1.0 ~a ~b ~beta:0.0 c;
+      Some (Tensor.copy c))
+
+let conv_fwd_bench ~fast ~domains ~reps =
+  let batch = 4 and ic = (if fast then 8 else 16) and oc = if fast then 16 else 32 in
+  let size = if fast then 16 else 32 in
+  let rng = Prng.create 43 in
+  let x = Tensor.randn rng [| batch; ic; size; size |] in
+  let weight = Tensor.randn rng [| oc; ic; 4; 4 |] in
+  let bias = Some (Tensor.randn rng [| oc |]) in
+  compare_modes
+    ~name:(Printf.sprintf "conv_fwd_b%d_%dc%d_%d" batch ic oc size)
+    ~domains ~reps
+    (fun () -> Some (Conv.conv2d ~x ~weight ~bias ~stride:2 ~pad:1))
+
+let conv_bwd_bench ~fast ~domains ~reps =
+  let batch = 4 and ic = (if fast then 8 else 16) and oc = if fast then 16 else 32 in
+  let size = if fast then 16 else 32 in
+  let rng = Prng.create 44 in
+  let x = Tensor.randn rng [| batch; ic; size; size |] in
+  let weight = Tensor.randn rng [| oc; ic; 4; 4 |] in
+  let osz = Conv.out_size ~size ~kernel:4 ~stride:2 ~pad:1 in
+  let gout = Tensor.randn rng [| batch; oc; osz; osz |] in
+  compare_modes
+    ~name:(Printf.sprintf "conv_bwd_b%d_%dc%d_%d" batch ic oc size)
+    ~domains ~reps
+    (fun () ->
+      let gw = Tensor.zeros [| oc; ic; 4; 4 |] in
+      let gx =
+        Conv.conv2d_backward ~x ~weight ~gout ~stride:2 ~pad:1 ~grad_weight:gw
+          ~grad_bias:None
+      in
+      Some gx)
+
+let train_step_bench ~fast ~domains =
+  let spec = (Experiments.default_scale ()).Experiments.spec in
+  let ws =
+    List.filteri (fun i _ -> i < 1) (Suite.split (Suite.all ())).Suite.train
+  in
+  let data =
+    Cbox_dataset.build_l1 spec ~configs:[ Experiments.l1_64s12w ]
+      ~trace_len:(if fast then 4000 else 8000)
+      ws
+  in
+  let samples = Cbox_dataset.to_samples data in
+  compare_modes
+    ~name:"cbgan_train_step"
+    ~domains ~reps:1
+    (fun () ->
+      (* A fresh model per run so both modes train from the same state;
+         epoch results depend only on the seed, so the measured work is
+         identical apart from the kernel/workspace configuration. *)
+      let model = Cbgan.create ~seed:7 (Cbgan.default_config ~ngf:8 ~ndf:8 ()) in
+      let options =
+        { (Cbox_train.default_options ~epochs:1 ~batch_size:4 ()) with
+          Cbox_train.domains = Some domains;
+        }
+      in
+      ignore (Cbox_train.train model spec options samples);
+      None)
+
+let run ?(fast = Sys.getenv_opt "CACHEBOX_FAST" <> None) ?(log = fun _ -> ()) () =
+  let reps = if fast then 2 else 3 in
+  let dim = if fast then 96 else 256 in
+  (* U-Net-shaped GEMMs: [oc x ic*k*k] times [ic*k*k x oh*ow] as lowered by
+     im2col at the generator's first/middle levels, plus a square workload. *)
+  let benches =
+    [
+      ( "gemm_unet_down",
+        fun () ->
+          gemm_bench ~name:"gemm_unet_down"
+            ~m:(if fast then 16 else 64)
+            ~k:(if fast then 128 else 1024)
+            ~n:(if fast then 256 else 1024)
+            ~domains:1 ~reps );
+      ( "gemm_unet_mid",
+        fun () ->
+          gemm_bench ~name:"gemm_unet_mid"
+            ~m:(if fast then 32 else 128)
+            ~k:(if fast then 256 else 2048)
+            ~n:(if fast then 64 else 256)
+            ~domains:1 ~reps );
+    ]
+    @ List.map
+        (fun d ->
+          ( Printf.sprintf "gemm_square_%d at %d domains" dim d,
+            fun () ->
+              gemm_bench
+                ~name:(Printf.sprintf "gemm_square_%d" dim)
+                ~m:dim ~k:dim ~n:dim ~domains:d ~reps ))
+        [ 1; 2; 4 ]
+    @ [
+        ("conv_fwd d1", fun () -> conv_fwd_bench ~fast ~domains:1 ~reps);
+        ("conv_fwd d4", fun () -> conv_fwd_bench ~fast ~domains:4 ~reps);
+        ("conv_bwd d1", fun () -> conv_bwd_bench ~fast ~domains:1 ~reps);
+      ]
+    @ List.map
+        (fun d ->
+          ( Printf.sprintf "cbgan_train_step at %d domains" d,
+            fun () -> train_step_bench ~fast ~domains:d ))
+        [ 1; 2; 4 ]
+  in
+  List.map
+    (fun (name, f) ->
+      log name;
+      f ())
+    benches
+
+(* --- machine-readable output ---
+
+   Written by hand so lib/core needs no JSON dependency; the parser lives
+   behind [cachebox bench] (bin/), which links the serve library's Sjson. *)
+
+let json_of_result r =
+  let err =
+    match r.max_rel_err with
+    | Some e -> Printf.sprintf ", \"max_rel_err\": %.9g" e
+    | None -> ""
+  in
+  Printf.sprintf
+    "    {\"name\": %S, \"domains\": %d, \"ref_s\": %.6f, \"tiled_s\": %.6f, \
+     \"speedup\": %.4f%s}"
+    r.name r.domains r.ref_s r.tiled_s r.speedup err
+
+let to_json results =
+  Printf.sprintf "{\n  \"version\": 1,\n  \"results\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map json_of_result results))
+
+let write_json ~path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json results))
+
+let pp_table fmt results =
+  Format.fprintf fmt "  %-24s %7s %10s %10s %8s %12s@." "benchmark" "domains"
+    "ref (s)" "tiled (s)" "speedup" "max rel err";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-24s %7d %10.4f %10.4f %7.2fx %12s@." r.name
+        r.domains r.ref_s r.tiled_s r.speedup
+        (match r.max_rel_err with
+        | Some e -> Printf.sprintf "%.2e" e
+        | None -> "-"))
+    results

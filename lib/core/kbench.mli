@@ -1,0 +1,32 @@
+(** Kernel benchmarks: reference (pre-tiling two-row GEMM, workspace arena
+    off) vs production (tiled+packed GEMM, arena on), same process, same
+    machine.
+
+    This is the code path behind both [bench/main.exe -- kernels] and
+    [cachebox bench]; CI compares the measured {!result.speedup} values
+    against the committed [BENCH_KERNELS.json] baseline. Speedups — not
+    absolute times — are the stable, machine-portable quantity. *)
+
+type result = {
+  name : string;
+  domains : int;  (** Dpool lane count the benchmark ran under *)
+  ref_s : float;  (** best-of-N seconds, reference configuration *)
+  tiled_s : float;  (** best-of-N seconds, production configuration *)
+  speedup : float;  (** [ref_s /. tiled_s] *)
+  max_rel_err : float option;
+      (** scaled max deviation between the two configurations' outputs;
+          [None] for benchmarks without a directly comparable output *)
+}
+
+val run : ?fast:bool -> ?log:(string -> unit) -> unit -> result list
+(** Runs the full suite: U-Net-shaped and square GEMMs (1/2/4 domains),
+    convolution forward (1/4 domains) and backward, and a one-epoch CB-GAN
+    training step (1/2/4 domains). [fast] (default: [CACHEBOX_FAST] set)
+    shrinks shapes for smoke runs; [log] receives a progress line per
+    benchmark. *)
+
+val to_json : result list -> string
+(** The [BENCH_KERNELS.json] document: [{"version": 1, "results": [...]}]. *)
+
+val write_json : path:string -> result list -> unit
+val pp_table : Format.formatter -> result list -> unit

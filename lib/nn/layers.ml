@@ -3,11 +3,19 @@ let init_normal rng shape std =
   Tensor.scale_ t std;
   t
 
+(* Each layer caches the [Value.of_param] leaf nodes for its parameters.
+   A leaf's gradient slot aliases the parameter's persistent [grad] tensor,
+   so sharing one node across every apply (and every step) accumulates into
+   exactly the same place as rebuilding it each time — it just stops the
+   tape from allocating fresh leaf nodes per forward pass. *)
+
 type conv2d = {
   weight : Param.t;
   bias : Param.t option;
   stride : int;
   pad : int;
+  wnode : Value.t;
+  bnode : Value.t option;
 }
 
 let conv2d rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~bias =
@@ -16,12 +24,12 @@ let conv2d rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~bias =
       (init_normal rng [| out_channels; in_channels; kernel; kernel |] 0.02)
   in
   let bias = if bias then Some (Param.create (name ^ ".bias") (Tensor.zeros [| out_channels |])) else None in
-  { weight; bias; stride; pad }
+  { weight; bias; stride; pad;
+    wnode = Value.of_param weight;
+    bnode = Option.map Value.of_param bias }
 
 let apply_conv2d l x =
-  Value.conv2d ~weight:(Value.of_param l.weight)
-    ~bias:(Option.map Value.of_param l.bias)
-    ~stride:l.stride ~pad:l.pad x
+  Value.conv2d ~weight:l.wnode ~bias:l.bnode ~stride:l.stride ~pad:l.pad x
 
 let conv2d_params l = l.weight :: Option.to_list l.bias
 
@@ -30,6 +38,8 @@ type conv_transpose2d = {
   tbias : Param.t option;
   tstride : int;
   tpad : int;
+  twnode : Value.t;
+  tbnode : Value.t option;
 }
 
 let conv_transpose2d rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~bias =
@@ -38,28 +48,33 @@ let conv_transpose2d rng ~name ~in_channels ~out_channels ~kernel ~stride ~pad ~
       (init_normal rng [| in_channels; out_channels; kernel; kernel |] 0.02)
   in
   let tbias = if bias then Some (Param.create (name ^ ".bias") (Tensor.zeros [| out_channels |])) else None in
-  { tweight; tbias; tstride = stride; tpad = pad }
+  { tweight; tbias; tstride = stride; tpad = pad;
+    twnode = Value.of_param tweight;
+    tbnode = Option.map Value.of_param tbias }
 
 let apply_conv_transpose2d l x =
-  Value.conv_transpose2d ~weight:(Value.of_param l.tweight)
-    ~bias:(Option.map Value.of_param l.tbias)
-    ~stride:l.tstride ~pad:l.tpad x
+  Value.conv_transpose2d ~weight:l.twnode ~bias:l.tbnode ~stride:l.tstride
+    ~pad:l.tpad x
 
 let conv_transpose2d_params l = l.tweight :: Option.to_list l.tbias
 
-type linear = { lweight : Param.t; lbias : Param.t option }
+type linear = {
+  lweight : Param.t;
+  lbias : Param.t option;
+  lwnode : Value.t;
+  lbnode : Value.t option;
+}
 
 let linear rng ~name ~in_dim ~out_dim ~bias =
   (* Scaled (He-style) initialisation keeps dense activations well-ranged. *)
   let std = sqrt (2.0 /. float_of_int in_dim) in
   let lweight = Param.create (name ^ ".weight") (init_normal rng [| out_dim; in_dim |] std) in
   let lbias = if bias then Some (Param.create (name ^ ".bias") (Tensor.zeros [| out_dim |])) else None in
-  { lweight; lbias }
+  { lweight; lbias;
+    lwnode = Value.of_param lweight;
+    lbnode = Option.map Value.of_param lbias }
 
-let apply_linear l x =
-  Value.linear ~weight:(Value.of_param l.lweight)
-    ~bias:(Option.map Value.of_param l.lbias)
-    x
+let apply_linear l x = Value.linear ~weight:l.lwnode ~bias:l.lbnode x
 
 let linear_params l = l.lweight :: Option.to_list l.lbias
 
@@ -70,21 +85,27 @@ type batch_norm = {
   running_var : float array;
   momentum : float;
   eps : float;
+  gnode : Value.t;
+  betanode : Value.t;
 }
 
 let batch_norm rng ~name ~channels =
   let gamma_init = Tensor.map (fun v -> 1.0 +. (0.02 *. v)) (Tensor.randn rng [| channels |]) in
+  let gamma = Param.create (name ^ ".gamma") gamma_init in
+  let beta = Param.create (name ^ ".beta") (Tensor.zeros [| channels |]) in
   {
-    gamma = Param.create (name ^ ".gamma") gamma_init;
-    beta = Param.create (name ^ ".beta") (Tensor.zeros [| channels |]);
+    gamma;
+    beta;
     running_mean = Array.make channels 0.0;
     running_var = Array.make channels 1.0;
     momentum = 0.1;
     eps = 1e-5;
+    gnode = Value.of_param gamma;
+    betanode = Value.of_param beta;
   }
 
 let apply_batch_norm l ~training x =
-  Value.batch_norm ~gamma:(Value.of_param l.gamma) ~beta:(Value.of_param l.beta)
+  Value.batch_norm ~gamma:l.gnode ~beta:l.betanode
     ~running_mean:l.running_mean ~running_var:l.running_var ~momentum:l.momentum
     ~eps:l.eps ~training x
 

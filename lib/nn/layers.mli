@@ -1,12 +1,19 @@
 (** Stateful layer building blocks: parameter containers plus application
     functions over {!Value.t}. Initialisation follows pix2pix: weights are
-    drawn from N(0, 0.02), batch-norm gains from N(1, 0.02). *)
+    drawn from N(0, 0.02), batch-norm gains from N(1, 0.02).
+
+    The [*node] fields cache the {!Value.of_param} leaves for the layer's
+    parameters: a leaf's gradient slot aliases the parameter's persistent
+    grad tensor, so one shared node accumulates identically to a fresh node
+    per apply while keeping the tape allocation-free for parameters. *)
 
 type conv2d = {
   weight : Param.t;
   bias : Param.t option;
   stride : int;
   pad : int;
+  wnode : Value.t;
+  bnode : Value.t option;
 }
 
 val conv2d :
@@ -28,6 +35,8 @@ type conv_transpose2d = {
   tbias : Param.t option;
   tstride : int;
   tpad : int;
+  twnode : Value.t;
+  tbnode : Value.t option;
 }
 
 val conv_transpose2d :
@@ -44,7 +53,12 @@ val conv_transpose2d :
 val apply_conv_transpose2d : conv_transpose2d -> Value.t -> Value.t
 val conv_transpose2d_params : conv_transpose2d -> Param.t list
 
-type linear = { lweight : Param.t; lbias : Param.t option }
+type linear = {
+  lweight : Param.t;
+  lbias : Param.t option;
+  lwnode : Value.t;
+  lbnode : Value.t option;
+}
 
 val linear : Prng.t -> name:string -> in_dim:int -> out_dim:int -> bias:bool -> linear
 val apply_linear : linear -> Value.t -> Value.t
@@ -57,6 +71,8 @@ type batch_norm = {
   running_var : float array;
   momentum : float;
   eps : float;
+  gnode : Value.t;
+  betanode : Value.t;
 }
 
 val batch_norm : Prng.t -> name:string -> channels:int -> batch_norm

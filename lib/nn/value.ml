@@ -131,18 +131,20 @@ let conv2d ~weight ~bias ~stride ~pad x =
   in
   let push self =
     let gout = the_grad self in
-    let gw = Tensor.zeros (Tensor.shape weight.v) in
-    let gb = Option.map (fun b -> Tensor.zeros (Tensor.shape b.v)) bias in
-    let gx =
-      Conv.conv2d_backward ~x:x.v ~weight:weight.v ~gout ~stride ~pad
-        ~grad_weight:gw ~grad_bias:gb
-    in
-    accum x gx;
-    accum weight gw;
-    match (bias, gb) with
-    | Some b, Some g -> accum b g
-    | None, None -> ()
-    | _ -> assert false
+    (* The gradient temporaries live only until [accum] copies them out, so
+       they are borrowed from the workspace arena. Both need zeroing: the
+       kernel accumulates (gemm beta=1 into gw, col2im into gx). *)
+    Workspace.with_buf2 ~zero:true (Tensor.shape weight.v) (Tensor.shape x.v)
+      (fun gw gx ->
+        let gb = Option.map (fun b -> Tensor.zeros (Tensor.shape b.v)) bias in
+        Conv.conv2d_backward_into ~x:x.v ~weight:weight.v ~gout ~stride ~pad
+          ~grad_weight:gw ~grad_bias:gb ~gx;
+        accum x gx;
+        accum weight gw;
+        match (bias, gb) with
+        | Some b, Some g -> accum b g
+        | None, None -> ()
+        | _ -> assert false)
   in
   node ~parents ~push y
 
@@ -154,18 +156,20 @@ let conv_transpose2d ~weight ~bias ~stride ~pad x =
   in
   let push self =
     let gout = the_grad self in
-    let gw = Tensor.zeros (Tensor.shape weight.v) in
-    let gb = Option.map (fun b -> Tensor.zeros (Tensor.shape b.v)) bias in
-    let gx =
-      Conv.conv_transpose2d_backward ~x:x.v ~weight:weight.v ~gout ~stride ~pad
-        ~grad_weight:gw ~grad_bias:gb
-    in
-    accum x gx;
-    accum weight gw;
-    match (bias, gb) with
-    | Some b, Some g -> accum b g
-    | None, None -> ()
-    | _ -> assert false
+    (* gw needs zeroing (the kernel accumulates into it); gx is fully
+       overwritten by conv_transpose2d_backward_into, so it is borrowed
+       uninitialised. *)
+    Workspace.with_buf ~zero:true (Tensor.shape weight.v) (fun gw ->
+        Workspace.with_buf (Tensor.shape x.v) (fun gx ->
+            let gb = Option.map (fun b -> Tensor.zeros (Tensor.shape b.v)) bias in
+            Conv.conv_transpose2d_backward_into ~x:x.v ~weight:weight.v ~gout
+              ~stride ~pad ~grad_weight:gw ~grad_bias:gb ~gx;
+            accum x gx;
+            accum weight gw;
+            match (bias, gb) with
+            | Some b, Some g -> accum b g
+            | None, None -> ()
+            | _ -> assert false))
   in
   node ~parents ~push y
 
@@ -176,9 +180,13 @@ let linear ~weight ~bias x =
   (match bias with
   | None -> ()
   | Some b ->
+    let yd = y.Tensor.data and bd = b.v.Tensor.data in
     for i = 0 to n - 1 do
+      let base = i * out_dim in
       for j = 0 to out_dim - 1 do
-        Tensor.set2 y i j (Tensor.get2 y i j +. Tensor.get b.v j)
+        Bigarray.Array1.unsafe_set yd (base + j)
+          (Bigarray.Array1.unsafe_get yd (base + j)
+          +. Bigarray.Array1.unsafe_get bd j)
       done
     done);
   let parents =
@@ -186,19 +194,24 @@ let linear ~weight ~bias x =
   in
   let push self =
     let gout = the_grad self in
-    let gx = Tensor.zeros (Tensor.shape x.v) in
-    Blas.gemm ~alpha:1.0 ~a:gout ~b:weight.v ~beta:0.0 gx;
-    accum x gx;
-    let gw = Tensor.zeros (Tensor.shape weight.v) in
-    Blas.gemm ~trans_a:true ~alpha:1.0 ~a:gout ~b:x.v ~beta:0.0 gw;
-    accum weight gw;
+    (* Both GEMMs run with beta=0 and fully overwrite their outputs, so the
+       borrowed buffers need no zeroing. *)
+    Workspace.with_buf2 (Tensor.shape x.v) (Tensor.shape weight.v) (fun gx gw ->
+        Blas.gemm ~alpha:1.0 ~a:gout ~b:weight.v ~beta:0.0 gx;
+        accum x gx;
+        Blas.gemm ~trans_a:true ~alpha:1.0 ~a:gout ~b:x.v ~beta:0.0 gw;
+        accum weight gw);
     match bias with
     | None -> ()
     | Some b ->
       let gb = Tensor.zeros (Tensor.shape b.v) in
+      let gd = gout.Tensor.data and gbd = gb.Tensor.data in
       for i = 0 to n - 1 do
+        let base = i * out_dim in
         for j = 0 to out_dim - 1 do
-          Tensor.set gb j (Tensor.get gb j +. Tensor.get2 gout i j)
+          Bigarray.Array1.unsafe_set gbd j
+            (Bigarray.Array1.unsafe_get gbd j
+            +. Bigarray.Array1.unsafe_get gd (base + j))
         done
       done;
       accum b gb
@@ -256,24 +269,26 @@ let batch_norm ~gamma ~beta ~running_mean ~running_var ~momentum ~eps ~training 
       Tensor.set dbeta ci sum_g.(ci);
       Tensor.set dgamma ci sum_gx.(ci)
     done;
-    let gx = Tensor.create shp in
-    for ni = 0 to n - 1 do
-      for ci = 0 to c - 1 do
-        let base = ((ni * c) + ci) * hw in
-        let g = Tensor.get gamma.v ci in
-        let scale = g *. inv_std.(ci) in
-        for i = 0 to hw - 1 do
-          let go = Tensor.get gout (base + i) and xh = Tensor.get xhat (base + i) in
-          let v =
-            if training then
-              scale *. (go -. (sum_g.(ci) /. count) -. (xh *. sum_gx.(ci) /. count))
-            else scale *. go
-          in
-          Tensor.set gx (base + i) v
-        done
-      done
-    done;
-    accum x gx;
+    (* gx is fully written below, so it is borrowed uninitialised; [accum]
+       copies it out before the borrow ends. *)
+    Workspace.with_buf shp (fun gx ->
+        for ni = 0 to n - 1 do
+          for ci = 0 to c - 1 do
+            let base = ((ni * c) + ci) * hw in
+            let g = Tensor.get gamma.v ci in
+            let scale = g *. inv_std.(ci) in
+            for i = 0 to hw - 1 do
+              let go = Tensor.get gout (base + i) and xh = Tensor.get xhat (base + i) in
+              let v =
+                if training then
+                  scale *. (go -. (sum_g.(ci) /. count) -. (xh *. sum_gx.(ci) /. count))
+                else scale *. go
+              in
+              Tensor.set gx (base + i) v
+            done
+          done
+        done;
+        accum x gx);
     accum gamma dgamma;
     accum beta dbeta
   in

@@ -8,6 +8,7 @@ type config = {
   batch_size : int;
   grace_lo : float;
   grace_hi : float;
+  warmup : bool;
 }
 
 let default_config ?(fallback = Cbox_infer.Fallback_hrd) () =
@@ -21,6 +22,7 @@ let default_config ?(fallback = Cbox_infer.Fallback_hrd) () =
     batch_size = 8;
     grace_lo = -0.25;
     grace_hi = 1.25;
+    warmup = true;
   }
 
 type t = {
@@ -35,8 +37,26 @@ type t = {
   mutable req_count : int;
 }
 
+(* A tiny inference through the real serving pipeline so the first client
+   request doesn't pay the cold-start costs: workspace arenas reach their
+   steady slot population, the Dpool workers spin up, and code paths get
+   compiled/paged in. Best-effort by design — a model that cannot run a
+   warmup inference will fail identically on real requests and be handled
+   by the breaker/fallback machinery there. *)
+let warmup_model ~spec ~batch_size model =
+  try
+    match Validate.cache_config ~sets:64 ~ways:12 () with
+    | Error _ -> ()
+    | Ok cache ->
+      let trace = Array.init 256 (fun i -> i * 64) in
+      let access = Heatmap.of_trace spec trace in
+      ignore (Cbox_infer.synthesize model spec ~batch_size ~cache access)
+  with _ -> ()
+
 let create ?now ?journal ~spec ~model cfg =
   let now = Option.value now ~default:Unix.gettimeofday in
+  if cfg.warmup then
+    Option.iter (warmup_model ~spec ~batch_size:cfg.batch_size) model;
   {
     cfg;
     spec;
@@ -122,6 +142,11 @@ let stats_reply t =
        ("p99_ms", Sjson.Num s.Serve_stats.p99_ms);
        ("breaker", Sjson.Str (Breaker.state_name (Breaker.state t.breaker)));
        ("breaker_opens", Sjson.Num (float_of_int (Breaker.times_opened t.breaker)));
+       (* Workspace-arena counters: ws_allocs should plateau after warmup;
+          steady growth under load means scratch buffers are not being
+          reused (an allocation regression). *)
+       ("ws_allocs", Sjson.Num (float_of_int (Workspace.alloc_count ())));
+       ("ws_borrows", Sjson.Num (float_of_int (Workspace.borrow_count ())));
      ]
     @ List.map
         (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))

@@ -30,11 +30,15 @@ type config = {
   batch_size : int;  (** model inference batch size *)
   grace_lo : float;  (** validity gate, passed to Cbox_infer.validate_hit_rate *)
   grace_hi : float;
+  warmup : bool;
+      (** run one small inference at {!create} so the first request doesn't
+          pay cold-start costs (workspace arena population, Dpool spin-up) *)
 }
 
 val default_config : ?fallback:Cbox_infer.fallback -> unit -> config
 (** HRD fallback, 5 s default / 60 s max deadline, 2M-access trace cap,
-    breaker 3 faults / 5 s cooldown, batch 8, grace [\[-0.25, 1.25\]]. *)
+    breaker 3 faults / 5 s cooldown, batch 8, grace [\[-0.25, 1.25\]],
+    warmup on. *)
 
 type t
 

@@ -1,25 +1,54 @@
 let check_2d name t =
   if Array.length (Tensor.shape t) <> 2 then invalid_arg (name ^ ": expected 2-D tensor")
 
-let transpose t =
-  check_2d "Blas.transpose" t;
-  let m = Tensor.dim t 0 and n = Tensor.dim t 1 in
-  let r = Tensor.create [| n; m |] in
-  let td = t.Tensor.data and rd = r.Tensor.data in
+let transpose_into ~src ~dst =
+  let m = Tensor.dim src 0 and n = Tensor.dim src 1 in
+  let td = src.Tensor.data and rd = dst.Tensor.data in
   for i = 0 to m - 1 do
     let row = i * n in
     for j = 0 to n - 1 do
       Bigarray.Array1.unsafe_set rd ((j * m) + i) (Bigarray.Array1.unsafe_get td (row + j))
     done
-  done;
+  done
+
+let transpose t =
+  check_2d "Blas.transpose" t;
+  let m = Tensor.dim t 0 and n = Tensor.dim t 1 in
+  let r = Tensor.create [| n; m |] in
+  transpose_into ~src:t ~dst:r;
   r
 
-(* Minimum multiply-add count before a kernel is worth fanning out over the
-   domain pool; below it the dispatch overhead dominates. Thresholding never
-   affects results: the parallel slices compute bit-identical values. *)
-let par_flops = 16_384
+(* --- kernel selection ---
 
-(* Core kernel over rows [row_lo .. row_hi] (inclusive) of the output:
+   [Tiled] is the cache-blocked, panel-packed production kernel. [Reference]
+   is the previous two-row-blocked kernel (with materialised transposes and
+   no packing), kept callable so the kernels benchmark can measure the
+   speedup honestly on the same machine and so a regression can be bisected
+   at runtime (CACHEBOX_KERNEL=ref). Both satisfy the same contract:
+   bit-identical results at every domain count. *)
+
+type kernel_impl = Reference | Tiled
+
+let kernel_of_env () =
+  match Sys.getenv_opt "CACHEBOX_KERNEL" with
+  | Some ("ref" | "reference" | "naive") -> Reference
+  | Some _ | None -> Tiled
+
+let selected = ref (kernel_of_env ())
+let set_kernel k = selected := k
+let kernel () = !selected
+
+(* Minimum multiply-add count before a kernel is worth packing panels or
+   fanning out over the domain pool; below it the overhead dominates.
+   Thresholding never affects results: the small path runs the same scalar
+   recurrence serially. *)
+let par_flops = 16_384
+let small_cutoff = ref par_flops
+let set_small_cutoff n = small_cutoff := max 0 n
+
+(* --- reference kernel (previous implementation, unchanged) ---
+
+   Core kernel over rows [row_lo .. row_hi] (inclusive) of the output:
    c[i,:] += alpha * a[i,:] * b, with an i-k-j loop order so the inner loop
    streams contiguously over b and c. Two rows of A per pass halve the
    traffic on B. Row slices handed to the pool are aligned to even row pairs
@@ -57,7 +86,7 @@ let gemm_rows ~alpha ~ad ~bd ~cd ~k ~n ~row_lo ~row_hi =
     i := !i + if two_rows then 2 else 1
   done
 
-let gemm_nn ~alpha ~a ~b ~c ~m ~k ~n =
+let gemm_nn_ref ~alpha ~a ~b ~c ~m ~k ~n =
   let ad = a.Tensor.data and bd = b.Tensor.data and cd = c.Tensor.data in
   if m * n * k < par_flops then gemm_rows ~alpha ~ad ~bd ~cd ~k ~n ~row_lo:0 ~row_hi:(m - 1)
   else begin
@@ -70,19 +99,236 @@ let gemm_nn ~alpha ~a ~b ~c ~m ~k ~n =
           ~row_hi:(min (m - 1) ((2 * phi) + 1)))
   end
 
+(* --- tiled & packed kernel ---
+
+   Classic three-level blocking: C is computed in NC-wide column blocks; for
+   each, B is packed one KC x NC panel at a time into NR-wide column
+   micro-panels (k-major, zero-padded to a whole panel), and A is packed one
+   MC x KC block at a time into MR-tall row micro-panels with alpha folded
+   in. The MR x NR register microkernel then accumulates a full KC block
+   into local accumulators and flushes to C once.
+
+   Determinism: an element (i, j) of C receives exactly one contribution per
+   (jc, pc) block, in pc order, each computed by the same scalar k-ordered
+   recurrence. The domain pool partitions rows of C in MR-aligned panels, so
+   lane boundaries change neither the KC grid nor any element's accumulation
+   order — results are bit-identical for every domain count. Zero padding in
+   the packed panels only feeds accumulators whose rows/columns fall outside
+   the matrix and are never written back. *)
+
+let mr = 4
+let nr = 4
+let kc_blk = 256
+let mc_blk = 64
+let nc_blk = 256
+
+(* Pack op(A)[i0 .. i0+mcur-1, p0 .. p0+kcur-1] as MR-tall k-major panels
+   with [alpha] folded in; rows past [mcur] pack as zero. [ac] is the stored
+   column count of [a] (its leading dimension). *)
+let pack_a ~trans ~alpha ad ~ac ~i0 ~mcur ~p0 ~kcur dst =
+  let panels = (mcur + mr - 1) / mr in
+  for pi = 0 to panels - 1 do
+    let base = pi * mr * kcur in
+    let row0 = i0 + (pi * mr) in
+    for p = 0 to kcur - 1 do
+      let o = base + (p * mr) in
+      let kp = p0 + p in
+      for r = 0 to mr - 1 do
+        let i = row0 + r in
+        let v =
+          if i < i0 + mcur then
+            alpha
+            *. (if trans then Bigarray.Array1.unsafe_get ad ((kp * ac) + i)
+                else Bigarray.Array1.unsafe_get ad ((i * ac) + kp))
+          else 0.0
+        in
+        Bigarray.Array1.unsafe_set dst (o + r) v
+      done
+    done
+  done
+
+(* Pack op(B)[p0 .. p0+kcur-1, j0 .. j0+ncur-1] as NR-wide k-major panels;
+   columns past [ncur] pack as zero. [bc] is [b]'s stored column count. *)
+let pack_b ~trans bd ~bc ~p0 ~kcur ~j0 ~ncur dst =
+  let panels = (ncur + nr - 1) / nr in
+  for pj = 0 to panels - 1 do
+    let base = pj * nr * kcur in
+    let col0 = j0 + (pj * nr) in
+    for p = 0 to kcur - 1 do
+      let o = base + (p * nr) in
+      let kp = p0 + p in
+      for cc = 0 to nr - 1 do
+        let j = col0 + cc in
+        let v =
+          if j < j0 + ncur then
+            if trans then Bigarray.Array1.unsafe_get bd ((j * bc) + kp)
+            else Bigarray.Array1.unsafe_get bd ((kp * bc) + j)
+          else 0.0
+        in
+        Bigarray.Array1.unsafe_set dst (o + cc) v
+      done
+    done
+  done
+
+(* 4x4 register microkernel: accumulate a full KC block in k order into 16
+   local accumulators, then flush [rows] x [cols] of them to C (the rest
+   belong to zero-padded edge rows/columns and are discarded). *)
+let kern4x4 ap a0 bp b0 ~kcur cd ~c0 ~ldc ~rows ~cols =
+  let acc00 = ref 0.0 and acc01 = ref 0.0 and acc02 = ref 0.0 and acc03 = ref 0.0 in
+  let acc10 = ref 0.0 and acc11 = ref 0.0 and acc12 = ref 0.0 and acc13 = ref 0.0 in
+  let acc20 = ref 0.0 and acc21 = ref 0.0 and acc22 = ref 0.0 and acc23 = ref 0.0 in
+  let acc30 = ref 0.0 and acc31 = ref 0.0 and acc32 = ref 0.0 and acc33 = ref 0.0 in
+  let ai = ref a0 and bi = ref b0 in
+  for _p = 1 to kcur do
+    let x0 = Bigarray.Array1.unsafe_get ap !ai
+    and x1 = Bigarray.Array1.unsafe_get ap (!ai + 1)
+    and x2 = Bigarray.Array1.unsafe_get ap (!ai + 2)
+    and x3 = Bigarray.Array1.unsafe_get ap (!ai + 3) in
+    let y0 = Bigarray.Array1.unsafe_get bp !bi
+    and y1 = Bigarray.Array1.unsafe_get bp (!bi + 1)
+    and y2 = Bigarray.Array1.unsafe_get bp (!bi + 2)
+    and y3 = Bigarray.Array1.unsafe_get bp (!bi + 3) in
+    acc00 := !acc00 +. (x0 *. y0);
+    acc01 := !acc01 +. (x0 *. y1);
+    acc02 := !acc02 +. (x0 *. y2);
+    acc03 := !acc03 +. (x0 *. y3);
+    acc10 := !acc10 +. (x1 *. y0);
+    acc11 := !acc11 +. (x1 *. y1);
+    acc12 := !acc12 +. (x1 *. y2);
+    acc13 := !acc13 +. (x1 *. y3);
+    acc20 := !acc20 +. (x2 *. y0);
+    acc21 := !acc21 +. (x2 *. y1);
+    acc22 := !acc22 +. (x2 *. y2);
+    acc23 := !acc23 +. (x2 *. y3);
+    acc30 := !acc30 +. (x3 *. y0);
+    acc31 := !acc31 +. (x3 *. y1);
+    acc32 := !acc32 +. (x3 *. y2);
+    acc33 := !acc33 +. (x3 *. y3);
+    ai := !ai + 4;
+    bi := !bi + 4
+  done;
+  if rows = 4 && cols = 4 then begin
+    let r0 = c0 and r1 = c0 + ldc in
+    let r2 = r1 + ldc in
+    let r3 = r2 + ldc in
+    Bigarray.Array1.unsafe_set cd r0 (Bigarray.Array1.unsafe_get cd r0 +. !acc00);
+    Bigarray.Array1.unsafe_set cd (r0 + 1) (Bigarray.Array1.unsafe_get cd (r0 + 1) +. !acc01);
+    Bigarray.Array1.unsafe_set cd (r0 + 2) (Bigarray.Array1.unsafe_get cd (r0 + 2) +. !acc02);
+    Bigarray.Array1.unsafe_set cd (r0 + 3) (Bigarray.Array1.unsafe_get cd (r0 + 3) +. !acc03);
+    Bigarray.Array1.unsafe_set cd r1 (Bigarray.Array1.unsafe_get cd r1 +. !acc10);
+    Bigarray.Array1.unsafe_set cd (r1 + 1) (Bigarray.Array1.unsafe_get cd (r1 + 1) +. !acc11);
+    Bigarray.Array1.unsafe_set cd (r1 + 2) (Bigarray.Array1.unsafe_get cd (r1 + 2) +. !acc12);
+    Bigarray.Array1.unsafe_set cd (r1 + 3) (Bigarray.Array1.unsafe_get cd (r1 + 3) +. !acc13);
+    Bigarray.Array1.unsafe_set cd r2 (Bigarray.Array1.unsafe_get cd r2 +. !acc20);
+    Bigarray.Array1.unsafe_set cd (r2 + 1) (Bigarray.Array1.unsafe_get cd (r2 + 1) +. !acc21);
+    Bigarray.Array1.unsafe_set cd (r2 + 2) (Bigarray.Array1.unsafe_get cd (r2 + 2) +. !acc22);
+    Bigarray.Array1.unsafe_set cd (r2 + 3) (Bigarray.Array1.unsafe_get cd (r2 + 3) +. !acc23);
+    Bigarray.Array1.unsafe_set cd r3 (Bigarray.Array1.unsafe_get cd r3 +. !acc30);
+    Bigarray.Array1.unsafe_set cd (r3 + 1) (Bigarray.Array1.unsafe_get cd (r3 + 1) +. !acc31);
+    Bigarray.Array1.unsafe_set cd (r3 + 2) (Bigarray.Array1.unsafe_get cd (r3 + 2) +. !acc32);
+    Bigarray.Array1.unsafe_set cd (r3 + 3) (Bigarray.Array1.unsafe_get cd (r3 + 3) +. !acc33)
+  end
+  else begin
+    let accs =
+      [|
+        !acc00; !acc01; !acc02; !acc03; !acc10; !acc11; !acc12; !acc13;
+        !acc20; !acc21; !acc22; !acc23; !acc30; !acc31; !acc32; !acc33;
+      |]
+    in
+    for r = 0 to rows - 1 do
+      let row = c0 + (r * ldc) in
+      for c = 0 to cols - 1 do
+        Bigarray.Array1.unsafe_set cd (row + c)
+          (Bigarray.Array1.unsafe_get cd (row + c) +. accs.((r * 4) + c))
+      done
+    done
+  end
+
+(* One lane's share: rows [row_lo .. row_hi] of C, full jc -> pc -> ic block
+   sweep. [ap]/[bp] are this lane's packing buffers (>= mc_blk*kc_blk and
+   nc_blk*kc_blk elements). *)
+let gemm_tile_rows ~trans_a ~trans_b ~alpha ~ad ~ac ~bd ~bc ~cd ~k ~n ~row_lo ~row_hi ~ap
+    ~bp =
+  let jc = ref 0 in
+  while !jc < n do
+    let ncur = min nc_blk (n - !jc) in
+    let pc = ref 0 in
+    while !pc < k do
+      let kcur = min kc_blk (k - !pc) in
+      pack_b ~trans:trans_b bd ~bc ~p0:!pc ~kcur ~j0:!jc ~ncur bp;
+      let ic = ref row_lo in
+      while !ic <= row_hi do
+        let mcur = min mc_blk (row_hi - !ic + 1) in
+        pack_a ~trans:trans_a ~alpha ad ~ac ~i0:!ic ~mcur ~p0:!pc ~kcur ap;
+        let mpan = (mcur + mr - 1) / mr and npan = (ncur + nr - 1) / nr in
+        (* NR-panel outer, MR-panel inner: the KC x NR sliver of packed B
+           stays hot in L1 while the whole packed A block streams past it. *)
+        for pj = 0 to npan - 1 do
+          let cols = min nr (ncur - (pj * nr)) in
+          let b0 = pj * nr * kcur and jcol = !jc + (pj * nr) in
+          for pi = 0 to mpan - 1 do
+            let rows = min mr (mcur - (pi * mr)) in
+            kern4x4 ap (pi * mr * kcur) bp b0 ~kcur cd
+              ~c0:(((!ic + (pi * mr)) * n) + jcol)
+              ~ldc:n ~rows ~cols
+          done
+        done;
+        ic := !ic + mcur
+      done;
+      pc := !pc + kcur
+    done;
+    jc := !jc + ncur
+  done
+
+let gemm_tiled ~trans_a ~trans_b ~alpha ~a ~b ~c ~m ~k ~n =
+  let ad = a.Tensor.data and bd = b.Tensor.data and cd = c.Tensor.data in
+  let ac = Tensor.dim a 1 and bc = Tensor.dim b 1 in
+  (* Row ownership in MR-aligned panels: every lane runs the same jc/pc
+     block grid over its own rows, so results are bit-identical for any
+     lane count (see the module comment above). *)
+  let npanels = (m + mr - 1) / mr in
+  Dpool.parallel_for npanels (fun plo phi ->
+      let row_lo = plo * mr and row_hi = min (m - 1) ((phi * mr) + mr - 1) in
+      Workspace.with_buf2 [| mc_blk * kc_blk |] [| nc_blk * kc_blk |] (fun apt bpt ->
+          gemm_tile_rows ~trans_a ~trans_b ~alpha ~ad ~ac ~bd ~bc ~cd ~k ~n ~row_lo
+            ~row_hi ~ap:apt.Tensor.data ~bp:bpt.Tensor.data))
+
+(* Materialise op(t) (dims rows x cols) into workspace scratch when a
+   transpose is requested; the small path's row kernel wants plain NN
+   operands but must not allocate. *)
+let with_op ~trans t ~rows ~cols f =
+  if not trans then f t
+  else
+    Workspace.with_buf [| rows; cols |] (fun dst ->
+        transpose_into ~src:t ~dst;
+        f dst)
+
 let gemm ?(trans_a = false) ?(trans_b = false) ~alpha ~a ~b ~beta c =
   check_2d "Blas.gemm a" a;
   check_2d "Blas.gemm b" b;
   check_2d "Blas.gemm c" c;
-  let a = if trans_a then transpose a else a in
-  let b = if trans_b then transpose b else b in
-  let m = Tensor.dim a 0 and k = Tensor.dim a 1 in
-  let k2 = Tensor.dim b 0 and n = Tensor.dim b 1 in
+  let m = Tensor.dim a (if trans_a then 1 else 0) in
+  let k = Tensor.dim a (if trans_a then 0 else 1) in
+  let k2 = Tensor.dim b (if trans_b then 1 else 0) in
+  let n = Tensor.dim b (if trans_b then 0 else 1) in
   if k <> k2 then invalid_arg "Blas.gemm: inner dimension mismatch";
   if Tensor.dim c 0 <> m || Tensor.dim c 1 <> n then
     invalid_arg "Blas.gemm: output dimension mismatch";
   if beta = 0.0 then Tensor.fill c 0.0 else if beta <> 1.0 then Tensor.scale_ c beta;
-  gemm_nn ~alpha ~a ~b ~c ~m ~k ~n
+  if alpha = 0.0 then ()
+  else
+    match !selected with
+    | Reference ->
+      let a = if trans_a then transpose a else a in
+      let b = if trans_b then transpose b else b in
+      gemm_nn_ref ~alpha ~a ~b ~c ~m ~k ~n
+    | Tiled ->
+      if m * n * k < !small_cutoff then
+        with_op ~trans:trans_a a ~rows:m ~cols:k (fun a ->
+            with_op ~trans:trans_b b ~rows:k ~cols:n (fun b ->
+                gemm_rows ~alpha ~ad:a.Tensor.data ~bd:b.Tensor.data ~cd:c.Tensor.data
+                  ~k ~n ~row_lo:0 ~row_hi:(m - 1)))
+      else gemm_tiled ~trans_a ~trans_b ~alpha ~a ~b ~c ~m ~k ~n
 
 let matmul a b =
   let m = Tensor.dim a 0 and n = Tensor.dim b 1 in

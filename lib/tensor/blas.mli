@@ -1,7 +1,35 @@
 (** Dense linear algebra kernels over 2-D {!Tensor.t} values.
 
     These are the hot loops of the neural-network stack: everything
-    convolutional is lowered onto {!gemm} through im2col (see {!Conv}). *)
+    convolutional is lowered onto {!gemm} through im2col (see {!Conv}).
+
+    The production GEMM is cache-blocked and panel-packed: A and B are
+    copied into contiguous MR-tall / NR-wide k-major micro-panels one
+    MC x KC / KC x NC block at a time (packing buffers come from the
+    {!Workspace} arena, so steady state allocates nothing), and an MR x NR
+    register microkernel accumulates each KC block before flushing to C.
+    Transposes are absorbed by the packing — [trans_a]/[trans_b] never
+    materialise a transposed copy on this path.
+
+    Determinism contract: results are bit-identical for every domain count.
+    The pool partitions rows of C in MR-aligned panels and every element's
+    accumulation order depends only on the KC block grid, never on lane
+    boundaries. *)
+
+type kernel_impl =
+  | Reference  (** previous two-row-blocked kernel, kept for benchmarking *)
+  | Tiled  (** cache-blocked, packed production kernel (default) *)
+
+val set_kernel : kernel_impl -> unit
+val kernel : unit -> kernel_impl
+(** Kernel selection; defaults to [Tiled], or [Reference] when
+    [CACHEBOX_KERNEL=ref] is set. Both implementations satisfy the full
+    {!gemm} contract. *)
+
+val set_small_cutoff : int -> unit
+(** Multiply-add count below which {!gemm} uses the serial row kernel
+    instead of packing panels (default 16384). Exposed so tests can force
+    tiny shapes through the tiled path; results never depend on it. *)
 
 val gemm :
   ?trans_a:bool ->
@@ -21,6 +49,10 @@ val matmul : Tensor.t -> Tensor.t -> Tensor.t
 
 val transpose : Tensor.t -> Tensor.t
 (** Fresh transposed copy of a 2-D tensor. *)
+
+val transpose_into : src:Tensor.t -> dst:Tensor.t -> unit
+(** Writes [src]'s transpose into caller-owned [dst] (no allocation); [dst]
+    must have the transposed element count. *)
 
 val gemv : a:Tensor.t -> x:Tensor.t -> Tensor.t
 (** [gemv ~a ~x] is the matrix-vector product for 2-D [a] and 1-D [x]. *)

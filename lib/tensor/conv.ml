@@ -12,11 +12,17 @@ let tconv_out_size ~size ~kernel ~stride ~pad =
    as Blas.par_flops); thresholding never changes results. *)
 let par_work = 16_384
 
-let im2col x ~n ~kernel ~stride ~pad =
+(* Unfold sample [n] of [x] into a caller-owned [c*k*k x oh*ow] column
+   matrix. Only in-bounds positions are written — a set that depends on the
+   geometry alone, never the data — so a workspace buffer zeroed once can be
+   reused across samples of the same shape without re-zeroing: the padding
+   positions stay zero and every written position is overwritten. *)
+let im2col_into x ~n ~kernel ~stride ~pad cols =
   let c = Tensor.dim x 1 and h = Tensor.dim x 2 and w = Tensor.dim x 3 in
   let oh = out_size ~size:h ~kernel ~stride ~pad in
   let ow = out_size ~size:w ~kernel ~stride ~pad in
-  let cols = Tensor.zeros [| c * kernel * kernel; oh * ow |] in
+  if Tensor.dim cols 0 <> c * kernel * kernel || Tensor.dim cols 1 <> oh * ow then
+    invalid_arg "Conv.im2col_into: column matrix shape mismatch";
   let xd = x.Tensor.data and cd = cols.Tensor.data in
   let sample_base = n * c * h * w in
   let ncols = oh * ow in
@@ -47,7 +53,14 @@ let im2col x ~n ~kernel ~stride ~pad =
     done
   in
   if c * kernel * kernel * ncols < par_work then channels 0 (c - 1)
-  else Dpool.parallel_for c channels;
+  else Dpool.parallel_for c channels
+
+let im2col x ~n ~kernel ~stride ~pad =
+  let c = Tensor.dim x 1 and h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let oh = out_size ~size:h ~kernel ~stride ~pad in
+  let ow = out_size ~size:w ~kernel ~stride ~pad in
+  let cols = Tensor.zeros [| c * kernel * kernel; oh * ow |] in
+  im2col_into x ~n ~kernel ~stride ~pad cols;
   cols
 
 let col2im cols ~dst ~n ~channels:nchan ~height ~width ~kernel ~stride ~pad =
@@ -137,46 +150,57 @@ let conv2d ~x ~weight ~bias ~stride ~pad =
   (* Samples are independent and write disjoint planes of y: run them on
      separate domains. Inner kernels (im2col, gemm) detect the nesting and
      stay serial inside a lane; with a single sample they parallelise
-     themselves instead. *)
+     themselves instead. Each lane borrows one column buffer from its
+     domain's workspace arena, zeroes it once and reuses it for every sample
+     it owns (see im2col_into for why no re-zeroing is needed). *)
   Dpool.parallel_for n (fun nlo nhi ->
-      for ni = nlo to nhi do
-        let cols = im2col x ~n:ni ~kernel ~stride ~pad in
-        (* A view into sample ni of the output, as an [oc x oh*ow] matrix
-           sharing storage with [y]. *)
-        let sample =
-          Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
-        in
-        Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 sample
-      done);
+      Workspace.with_buf ~zero:true [| ic * kernel * kernel; oh * ow |] (fun cols ->
+          for ni = nlo to nhi do
+            im2col_into x ~n:ni ~kernel ~stride ~pad cols;
+            (* A view into sample ni of the output, as an [oc x oh*ow]
+               matrix sharing storage with [y]. *)
+            let sample =
+              Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
+            in
+            Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 sample
+          done));
   add_bias_nchw y bias;
   y
 
-let conv2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias =
+let conv2d_backward_into ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias ~gx =
   let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
   let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
   let oc = Tensor.dim weight 0 and kernel = Tensor.dim weight 2 in
   let oh = Tensor.dim gout 2 and ow = Tensor.dim gout 3 in
   let wm = Tensor.view weight [| oc; ic * kernel * kernel |] in
   let gwm = Tensor.view grad_weight [| oc; ic * kernel * kernel |] in
-  let gx = Tensor.zeros [| n; ic; h; w |] in
+  if Tensor.shape gx <> [| n; ic; h; w |] then
+    invalid_arg "Conv.conv2d_backward_into: gx shape mismatch";
   (* The sample loop stays serial: grad_weight accumulates across samples and
      its float accumulation order is part of the determinism guarantee. The
      kernels inside each iteration (im2col, both gemms, col2im) parallelise
      internally with disjoint-write slices, which keeps every value
-     bit-identical to the serial path. *)
-  for ni = 0 to n - 1 do
-    let cols = im2col x ~n:ni ~kernel ~stride ~pad in
-    let gout_m =
-      Tensor.sub_view gout ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
-    in
-    (* dW += gout * cols^T *)
-    Blas.gemm ~trans_b:true ~alpha:1.0 ~a:gout_m ~b:cols ~beta:1.0 gwm;
-    (* dcols = W^T * gout, then fold back into the input plane. *)
-    let dcols = Tensor.zeros [| ic * kernel * kernel; oh * ow |] in
-    Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:gout_m ~beta:0.0 dcols;
-    col2im dcols ~dst:gx ~n:ni ~channels:ic ~height:h ~width:w ~kernel ~stride ~pad
-  done;
-  bias_grad_nchw gout grad_bias;
+     bit-identical to the serial path. [cols] is zeroed once and reused
+     across samples; [dcols] is fully overwritten by its beta=0 GEMM. *)
+  Workspace.with_buf ~zero:true [| ic * kernel * kernel; oh * ow |] (fun cols ->
+      Workspace.with_buf [| ic * kernel * kernel; oh * ow |] (fun dcols ->
+          for ni = 0 to n - 1 do
+            im2col_into x ~n:ni ~kernel ~stride ~pad cols;
+            let gout_m =
+              Tensor.sub_view gout ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
+            in
+            (* dW += gout * cols^T *)
+            Blas.gemm ~trans_b:true ~alpha:1.0 ~a:gout_m ~b:cols ~beta:1.0 gwm;
+            (* dcols = W^T * gout, then fold back into the input plane. *)
+            Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:gout_m ~beta:0.0 dcols;
+            col2im dcols ~dst:gx ~n:ni ~channels:ic ~height:h ~width:w ~kernel ~stride
+              ~pad
+          done));
+  bias_grad_nchw gout grad_bias
+
+let conv2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias =
+  let gx = Tensor.zeros (Tensor.shape x) in
+  conv2d_backward_into ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias ~gx;
   gx
 
 let conv_transpose2d ~x ~weight ~bias ~stride ~pad =
@@ -189,35 +213,45 @@ let conv_transpose2d ~x ~weight ~bias ~stride ~pad =
   let y = Tensor.zeros [| n; oc; oh; ow |] in
   let wm = Tensor.view weight [| ic; oc * kernel * kernel |] in
   (* Sample-parallel like conv2d: col2im scatters only into sample ni's
-     plane of y, so lanes never share output locations. *)
+     plane of y, so lanes never share output locations. [cols] is fully
+     overwritten by the beta=0 GEMM each sample, so no zeroing is needed. *)
   Dpool.parallel_for n (fun nlo nhi ->
-      for ni = nlo to nhi do
-        let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
-        let cols = Tensor.zeros [| oc * kernel * kernel; h * w |] in
-        Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xm ~beta:0.0 cols;
-        col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride ~pad
-      done);
+      Workspace.with_buf [| oc * kernel * kernel; h * w |] (fun cols ->
+          for ni = nlo to nhi do
+            let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+            Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xm ~beta:0.0 cols;
+            col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride
+              ~pad
+          done));
   add_bias_nchw y bias;
   y
 
-let conv_transpose2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias =
+let conv_transpose2d_backward_into ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias
+    ~gx =
   let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
   let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
   let oc = Tensor.dim weight 1 and kernel = Tensor.dim weight 2 in
   let wm = Tensor.view weight [| ic; oc * kernel * kernel |] in
   let gwm = Tensor.view grad_weight [| ic; oc * kernel * kernel |] in
-  let gx = Tensor.zeros [| n; ic; h; w |] in
+  if Tensor.shape gx <> [| n; ic; h; w |] then
+    invalid_arg "Conv.conv_transpose2d_backward_into: gx shape mismatch";
   (* Serial sample loop for the same reason as conv2d_backward: the weight
      gradient's accumulation order must match the serial path exactly. *)
-  for ni = 0 to n - 1 do
-    (* The forward pass is col2im(W^T x); its adjoint unfolds gout. *)
-    let cols = im2col gout ~n:ni ~kernel ~stride ~pad in
-    let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
-    (* dW += x * cols^T *)
-    Blas.gemm ~trans_b:true ~alpha:1.0 ~a:xm ~b:cols ~beta:1.0 gwm;
-    (* dx = W * cols *)
-    let gxm = Tensor.sub_view gx ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
-    Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 gxm
-  done;
-  bias_grad_nchw gout grad_bias;
+  Workspace.with_buf ~zero:true [| oc * kernel * kernel; h * w |] (fun cols ->
+      for ni = 0 to n - 1 do
+        (* The forward pass is col2im(W^T x); its adjoint unfolds gout. *)
+        im2col_into gout ~n:ni ~kernel ~stride ~pad cols;
+        let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+        (* dW += x * cols^T *)
+        Blas.gemm ~trans_b:true ~alpha:1.0 ~a:xm ~b:cols ~beta:1.0 gwm;
+        (* dx = W * cols *)
+        let gxm = Tensor.sub_view gx ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+        Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 gxm
+      done);
+  bias_grad_nchw gout grad_bias
+
+let conv_transpose2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias =
+  let gx = Tensor.zeros (Tensor.shape x) in
+  conv_transpose2d_backward_into ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias
+    ~gx;
   gx

@@ -18,6 +18,13 @@ val im2col :
 (** [im2col x ~n ~kernel ~stride ~pad] unfolds sample [n] of the NCHW tensor
     [x] into a [\[c*kernel*kernel; oh*ow\]] matrix (zero padding). *)
 
+val im2col_into :
+  Tensor.t -> n:int -> kernel:int -> stride:int -> pad:int -> Tensor.t -> unit
+(** Like {!im2col} but writes into a caller-owned column matrix (typically a
+    {!Workspace} borrow). Only in-bounds positions are written and that set
+    depends on the geometry alone, so a buffer zeroed once may be reused
+    across samples of the same shape without re-zeroing. *)
+
 val col2im :
   Tensor.t ->
   dst:Tensor.t ->
@@ -54,6 +61,20 @@ val conv2d_backward :
 (** Accumulates weight/bias gradients (into [grad_weight]/[grad_bias]) and
     returns the gradient with respect to [x]. *)
 
+val conv2d_backward_into :
+  x:Tensor.t ->
+  weight:Tensor.t ->
+  gout:Tensor.t ->
+  stride:int ->
+  pad:int ->
+  grad_weight:Tensor.t ->
+  grad_bias:Tensor.t option ->
+  gx:Tensor.t ->
+  unit
+(** Allocation-free variant of {!conv2d_backward}: accumulates the input
+    gradient into caller-owned [gx] (which the caller must zero first when a
+    plain gradient rather than an accumulation is wanted). *)
+
 val conv_transpose2d :
   x:Tensor.t ->
   weight:Tensor.t ->
@@ -73,3 +94,17 @@ val conv_transpose2d_backward :
   grad_bias:Tensor.t option ->
   Tensor.t
 (** Adjoint of {!conv_transpose2d}; same contract as {!conv2d_backward}. *)
+
+val conv_transpose2d_backward_into :
+  x:Tensor.t ->
+  weight:Tensor.t ->
+  gout:Tensor.t ->
+  stride:int ->
+  pad:int ->
+  grad_weight:Tensor.t ->
+  grad_bias:Tensor.t option ->
+  gx:Tensor.t ->
+  unit
+(** Allocation-free variant of {!conv_transpose2d_backward}. [gx] is fully
+    overwritten (unlike {!conv2d_backward_into} it does not accumulate), so
+    pre-zeroing is permitted but not required. *)

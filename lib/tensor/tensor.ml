@@ -58,6 +58,11 @@ let copy t =
   blit ~src:t ~dst:r;
   r
 
+let of_buffer buf shape =
+  if product shape <> Bigarray.Array1.dim buf then
+    invalid_arg "Tensor.of_buffer: element count mismatch";
+  { data = buf; shape = Array.copy shape }
+
 let view t shape =
   if product shape <> numel t then invalid_arg "Tensor.view: element count mismatch";
   { data = t.data; shape = Array.copy shape }

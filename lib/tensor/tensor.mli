@@ -36,6 +36,11 @@ val rand : Prng.t -> int array -> lo:float -> hi:float -> t
 
 val copy : t -> t
 
+val of_buffer : buffer -> int array -> t
+(** [of_buffer buf shape] wraps an existing storage buffer (no copy); the
+    buffer's length must equal the shape's element count. Used by
+    {!Workspace} to hand out views of pooled scratch storage. *)
+
 val view : t -> int array -> t
 (** [view t shape] shares storage with [t] under a new shape of equal element
     count. *)

@@ -8,6 +8,8 @@ let () =
       Test_tensor.suite;
       Test_dpool.suite;
       Test_blas.suite;
+      Test_blas_tiled.suite;
+      Test_workspace.suite;
       Test_parallel.suite;
       Test_gradcheck.suite;
       Test_golden.suite;
