@@ -363,6 +363,20 @@ let run_kernels () =
     progress (Printf.sprintf "json written to %s" path)
   with Sys_error _ -> ()
 
+(* --- Dataset-pipeline benchmarks: recorded seed path vs streaming builders --- *)
+
+let run_dataset () =
+  section "Dataset pipeline: recorded traces vs streaming/parallel/cached builders (old vs new)";
+  let results = Dbench.run ~log:progress () in
+  Kbench.pp_table Format.std_formatter results;
+  try
+    let dir = "_artifacts" in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir "BENCH_DATASET.json" in
+    Kbench.write_json ~path results;
+    progress (Printf.sprintf "json written to %s" path)
+  with Sys_error _ -> ()
+
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure family --- *)
 
 let run_bechamel () =
@@ -450,6 +464,7 @@ let all_experiments =
     ("policies", run_policies);
     ("parallel", run_parallel);
     ("kernels", run_kernels);
+    ("dataset", run_dataset);
     ("bechamel", run_bechamel);
   ]
 

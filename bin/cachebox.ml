@@ -50,6 +50,19 @@ let apply_domains = function
     Fmt.epr "--domains must be at least 1 (got %d)@." n;
     exit 2
 
+let simcache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "simcache" ] ~docv:"DIR"
+      ~doc:
+        "Cache ground-truth simulation results under $(docv) (default: \
+         $(b,CACHEBOX_SIMCACHE)). Entries are keyed by workload, trace \
+         length, cache configs and heatmap spec; corrupt or stale entries \
+         are ignored and regenerated.")
+
+let apply_simcache = function None -> () | Some d -> Simcache.set_dir (Some d)
+
 let workload_arg idx =
   Arg.(required & pos idx (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see $(b,cachebox list)).")
 
@@ -194,8 +207,10 @@ let train_cmd =
       & info [ "journal" ] ~docv:"FILE"
           ~doc:"Append run events (snapshots, divergence rollbacks, resumes) to a JSONL journal.")
   in
-  let run sets ways trace_len epochs ckpt count domains snapshot_every snapshot_dir resume journal =
+  let run sets ways trace_len epochs ckpt count domains simcache snapshot_every snapshot_dir
+      resume journal =
     apply_domains domains;
+    apply_simcache simcache;
     let spec = Heatmap.spec () in
     let cfg = cache_config ~sets ~ways in
     let split = Suite.split (Suite.all ()) in
@@ -223,7 +238,8 @@ let train_cmd =
   Cmd.v (Cmd.info "train" ~doc:"Train CB-GAN on the training split and save a checkpoint")
     Term.(
       const run $ sets_arg $ ways_arg $ trace_len_arg $ epochs_arg $ checkpoint_arg $ count_arg
-      $ domains_arg $ snapshot_every_arg $ snapshot_dir_arg $ resume_arg $ journal_arg)
+      $ domains_arg $ simcache_arg $ snapshot_every_arg $ snapshot_dir_arg $ resume_arg
+      $ journal_arg)
 
 (* --- infer --- *)
 
@@ -539,11 +555,23 @@ let baselines_cmd =
 (* --- bench: kernel benchmarks + perf-regression gate --- *)
 
 let bench_cmd =
+  let suite_arg =
+    Arg.(
+      value
+      & opt (enum [ ("kernels", `Kernels); ("dataset", `Dataset) ]) `Kernels
+      & info [ "suite" ] ~docv:"SUITE"
+        ~doc:
+          "Benchmark suite to run: $(b,kernels) (reference vs tiled dense \
+           path) or $(b,dataset) (recorded-trace vs streaming/parallel/cached \
+           dataset builders). Both share the JSON schema and the baseline \
+           gate.")
+  in
   let json_arg =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"PATH" ~doc:"Write the results as BENCH_KERNELS.json to $(docv).")
+      & info [ "json" ] ~docv:"PATH"
+        ~doc:"Write the results as BENCH_KERNELS.json / BENCH_DATASET.json to $(docv).")
   in
   let baseline_arg =
     Arg.(
@@ -601,14 +629,15 @@ let bench_cmd =
           | _ -> None)
         results
   in
-  let run domains json baseline max_slowdown fast =
+  let run domains suite json baseline max_slowdown fast =
     apply_domains domains;
     if max_slowdown < 1.0 then begin
       Fmt.epr "--max-slowdown must be at least 1.0 (got %g)@." max_slowdown;
       exit 2
     end;
     let fast = fast || Sys.getenv_opt "CACHEBOX_FAST" <> None in
-    let results = Kbench.run ~fast ~log:(fun name -> Fmt.pr "  [%s]@." name) () in
+    let runner = match suite with `Kernels -> Kbench.run | `Dataset -> Dbench.run in
+    let results = runner ~fast ~log:(fun name -> Fmt.pr "  [%s]@." name) () in
     Kbench.pp_table Format.std_formatter results;
     Option.iter
       (fun path ->
@@ -659,19 +688,25 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"Run the kernel benchmarks (reference vs tiled dense path)"
+       ~doc:"Run the kernel or dataset-pipeline benchmarks with the perf-regression gate"
        ~man:
          [
            `S Manpage.s_description;
            `P
-             "Times the old (reference GEMM, workspace off) against the new \
-              (tiled+packed GEMM, workspace arena) dense path in one process \
-              and reports per-benchmark speedups. With $(b,--json) the \
-              results are written in the BENCH_KERNELS.json schema; with \
-              $(b,--baseline) the measured speedups are gated against a \
-              committed baseline (CI's perf-regression job).";
+             "Times the old implementation against the new one in one \
+              process and reports per-benchmark speedups: \
+              $(b,--suite kernels) covers the dense path (reference GEMM vs \
+              tiled+packed with the workspace arena), $(b,--suite dataset) \
+              the dataset pipeline (recorded traces + second-pass heatmaps \
+              vs streaming/parallel builders and the warm simulation \
+              cache). With $(b,--json) the results are written in the \
+              BENCH_KERNELS.json schema; with $(b,--baseline) the measured \
+              speedups are gated against a committed baseline (CI's \
+              perf-regression jobs).";
          ])
-    Term.(const run $ domains_arg $ json_arg $ baseline_arg $ max_slowdown_arg $ fast_arg)
+    Term.(
+      const run $ domains_arg $ suite_arg $ json_arg $ baseline_arg $ max_slowdown_arg
+      $ fast_arg)
 
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in

@@ -38,12 +38,28 @@ val access : t -> int -> bool
 val run : t -> int array -> unit
 (** Feeds a whole trace (recording enabled). *)
 
+val levels : t -> level array
+(** The configured levels, innermost (L1) first — the index space of
+    {!run_observed}'s observer. *)
+
+val run_observed : t -> f:(int -> int -> bool -> unit) -> int array -> unit
+(** Streaming variant of {!run}: feeds the trace and calls
+    [f level_index addr hit] for every access that reaches a level (index 0
+    is L1; see {!levels}), instead of recording per-level traces or
+    prefetch issue logs. Memory use is constant in the trace length — this
+    is the dataset-pipeline fast path that folds accesses straight into
+    heatmap accumulators. Cache state, statistics and prefetch fills evolve
+    exactly as under {!run}. *)
+
 val level_traces : t -> level_trace list
 (** Recorded per-level traces, innermost (L1) first. Only meaningful after
-    {!run} or a sequence of {!access} calls. *)
+    {!run} or a sequence of {!access} calls. The decode is memoised until
+    the next {!access}/{!run}/{!reset}, and the same arrays are returned on
+    repeated calls — treat them as read-only. *)
 
 val prefetched_addresses : t -> int array
-(** Addresses the L1 prefetcher filled, in issue order (RQ7 ground truth). *)
+(** Addresses the L1 prefetcher filled, in issue order (RQ7 ground truth).
+    Memoised like {!level_traces}; treat the array as read-only. *)
 
 val stats : t -> (level * Cache.stats) list
 val reset : t -> unit

@@ -32,36 +32,55 @@ let kind t = t.k
    prefetchers. *)
 let region_key addr table_len = (addr lsr 12) mod table_len
 
-let on_access t ~addr ~block_bytes =
-  let block = addr / block_bytes in
-  let result =
-    match t.state with
-    | S_none -> []
-    | S_next -> [ (block + 1) * block_bytes ]
-    | S_stride { degree; table } ->
-      let e = table.(region_key addr (Array.length table)) in
-      let out =
-        if e.last_block < 0 then []
-        else begin
-          let s = block - e.last_block in
-          if s <> 0 && s = e.stride then begin
-            e.confidence <- min 3 (e.confidence + 1);
-            if e.confidence >= 2 then
-              List.init degree (fun i -> (block + (s * (i + 1))) * block_bytes)
-            else []
+let max_degree t =
+  match t.state with S_none -> 0 | S_next -> 1 | S_stride { degree; _ } -> degree
+
+(* Proposals are written into [buf] (sized >= [max_degree t] by the caller)
+   and the count returned; the demand loop reuses one scratch buffer for the
+   whole trace instead of consing a list per access. [No_prefetch] returns
+   before computing anything. *)
+let on_access_into t ~addr ~block_bytes ~buf =
+  match t.state with
+  | S_none -> 0
+  | S_next ->
+    buf.(0) <- ((addr / block_bytes) + 1) * block_bytes;
+    t.issued <- t.issued + 1;
+    1
+  | S_stride { degree; table } ->
+    let block = addr / block_bytes in
+    let e = table.(region_key addr (Array.length table)) in
+    let n =
+      if e.last_block < 0 then 0
+      else begin
+        let s = block - e.last_block in
+        if s <> 0 && s = e.stride then begin
+          e.confidence <- min 3 (e.confidence + 1);
+          if e.confidence >= 2 then begin
+            for i = 0 to degree - 1 do
+              buf.(i) <- (block + (s * (i + 1))) * block_bytes
+            done;
+            degree
           end
-          else begin
-            e.stride <- s;
-            e.confidence <- 0;
-            []
-          end
+          else 0
         end
-      in
-      e.last_block <- block;
-      out
-  in
-  t.issued <- t.issued + List.length result;
-  result
+        else begin
+          e.stride <- s;
+          e.confidence <- 0;
+          0
+        end
+      end
+    in
+    e.last_block <- block;
+    t.issued <- t.issued + n;
+    n
+
+let on_access t ~addr ~block_bytes =
+  match t.state with
+  | S_none -> []
+  | _ ->
+    let buf = Array.make (max_degree t) 0 in
+    let n = on_access_into t ~addr ~block_bytes ~buf in
+    List.init n (fun i -> buf.(i))
 
 let issued t = t.issued
 

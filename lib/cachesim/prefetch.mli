@@ -22,6 +22,16 @@ val on_access : t -> addr:int -> block_bytes:int -> int list
 (** Byte addresses the prefetcher wants filled in response to a demand
     access to [addr]. *)
 
+val max_degree : t -> int
+(** Upper bound on proposals per access (0 for [No_prefetch]); sizes the
+    scratch buffer for {!on_access_into}. *)
+
+val on_access_into : t -> addr:int -> block_bytes:int -> buf:int array -> int
+(** Allocation-free variant of {!on_access}: writes proposals into the
+    first cells of [buf] (which must hold at least [max_degree t] elements)
+    and returns how many were written. [No_prefetch] does no work at all.
+    State transitions are identical to {!on_access}. *)
+
 val issued : t -> int
 (** Total prefetches proposed so far. *)
 

@@ -32,7 +32,17 @@ val denormalize : Heatmap.spec -> Tensor.t -> Tensor.t
 val batch_images : Heatmap.spec -> Tensor.t list -> Tensor.t
 (** Normalises and stacks [k] heatmaps into an [\[k; 1; h; w\]] tensor. *)
 
-(** {1 Construction} *)
+(** {1 Construction}
+
+    The builders stream every simulated access straight into
+    {!Heatmap.Accum} columns (constant memory per level — no recorded
+    trace arrays, no decode, no second pass), fan workloads across the
+    {!Dpool} domain pool ([CACHEBOX_DOMAINS]), and consult the
+    content-addressed {!Simcache} when one is enabled. Workload traces
+    are self-seeded by name, each lane simulates a disjoint roster slice,
+    and results are concatenated in roster order — output is bit-identical
+    to a serial run at every domain count, and to the recorded-path
+    [_reference] builders below. *)
 
 val build_l1 :
   Heatmap.spec ->
@@ -66,6 +76,37 @@ val build_prefetch :
   benchmark_data list
 (** Pairs of (demand access heatmap, prefetched-address heatmap) for RQ7.
     [true_hit_rate] holds the cache's demand hit rate for reference. *)
+
+(** {1 Recorded-path references}
+
+    The original record-decode-then-cut implementations, kept verbatim:
+    always serial, never cached. They are the bit-identity oracle the test
+    suite compares the streaming builders against, and the baseline side
+    of [bench -- dataset]. *)
+
+val build_l1_reference :
+  Heatmap.spec ->
+  configs:Cache.config list ->
+  trace_len:int ->
+  Workload.t list ->
+  benchmark_data list
+
+val build_hierarchy_reference :
+  Heatmap.spec ->
+  l1:Cache.config ->
+  l2:Cache.config ->
+  l3:Cache.config ->
+  trace_len:int ->
+  Workload.t list ->
+  benchmark_data list
+
+val build_prefetch_reference :
+  Heatmap.spec ->
+  config:Cache.config ->
+  kind:Prefetch.kind ->
+  trace_len:int ->
+  Workload.t list ->
+  benchmark_data list
 
 val to_samples : benchmark_data list -> sample list
 val shuffle : Prng.t -> sample list -> sample list

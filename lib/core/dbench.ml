@@ -1,0 +1,424 @@
+(* Dataset-pipeline benchmarks: seed recorded path vs streaming builders.
+
+   The reference side is the dataset pipeline exactly as it first shipped,
+   replicated here verbatim (the [Blas.Reference] convention): a cache model
+   that recomputes [log2 sets] on every access and rescans the set on a
+   miss, a list-walked hierarchy that records every per-level trace into
+   buffers, per-access prefetcher consultation returning fresh lists, a full
+   decode of the recorded buffers, and a second pass cutting heatmaps out of
+   the arrays with [Heatmap.pair_of_trace]. The production side is
+   [Cbox_dataset.build_*]: fused-scan LRU, streaming [Heatmap.Accum]
+   columns, Dpool workload fan-out and (for the warm benchmark) the
+   content-addressed [Simcache].
+
+   Outputs are compared element-for-element: [max_rel_err] must be 0 — the
+   streaming path is a pure optimization, not an approximation. *)
+
+module Seed = struct
+  (* Verbatim replica of the seed [Cache] (see the initial lib/cachesim
+     revision): positional find/victim scans, a (hit, eviction) tuple per
+     access, and the tag shift recomputed per access. *)
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+
+  type cache = {
+    cfg : Cache.config;
+    block_shift : int;
+    set_mask : int;
+    tags : int array;
+    meta : int array;
+    mutable clock : int;
+    mutable accesses : int;
+    mutable hits : int;
+    rng : Prng.t option;
+  }
+
+  let create (cfg : Cache.config) =
+    {
+      cfg;
+      block_shift = log2 cfg.Cache.block_bytes;
+      set_mask = cfg.Cache.sets - 1;
+      tags = Array.make (cfg.Cache.sets * cfg.Cache.ways) (-1);
+      meta = Array.make (cfg.Cache.sets * cfg.Cache.ways) 0;
+      clock = 0;
+      accesses = 0;
+      hits = 0;
+      rng =
+        (match cfg.Cache.policy with
+        | Cache.Random_policy seed -> Some (Prng.create seed)
+        | _ -> None);
+    }
+
+  let set_and_tag t addr =
+    let block = addr lsr t.block_shift in
+    (block land t.set_mask, block lsr log2 t.cfg.Cache.sets)
+
+  let find_way t base tag =
+    let rec go w =
+      if w >= t.cfg.Cache.ways then -1
+      else if t.tags.(base + w) = tag then w
+      else go (w + 1)
+    in
+    go 0
+
+  let plru_touch t base way =
+    t.meta.(base + way) <- 1;
+    let all_set = ref true in
+    for w = 0 to t.cfg.Cache.ways - 1 do
+      if t.meta.(base + w) = 0 then all_set := false
+    done;
+    if !all_set then
+      for w = 0 to t.cfg.Cache.ways - 1 do
+        if w <> way then t.meta.(base + w) <- 0
+      done
+
+  let on_hit t base way =
+    t.clock <- t.clock + 1;
+    match t.cfg.Cache.policy with
+    | Cache.Lru -> t.meta.(base + way) <- t.clock
+    | Cache.Fifo -> ()
+    | Cache.Plru -> plru_touch t base way
+    | Cache.Srrip -> t.meta.(base + way) <- 0
+    | Cache.Random_policy _ -> ()
+
+  let victim t base =
+    let invalid = ref (-1) in
+    for w = t.cfg.Cache.ways - 1 downto 0 do
+      if t.tags.(base + w) = -1 then invalid := w
+    done;
+    if !invalid >= 0 then !invalid
+    else
+      match t.cfg.Cache.policy with
+      | Cache.Lru | Cache.Fifo ->
+        let best = ref 0 in
+        for w = 1 to t.cfg.Cache.ways - 1 do
+          if t.meta.(base + w) < t.meta.(base + !best) then best := w
+        done;
+        !best
+      | Cache.Plru ->
+        let rec first_clear w =
+          if w >= t.cfg.Cache.ways then 0
+          else if t.meta.(base + w) = 0 then w
+          else first_clear (w + 1)
+        in
+        first_clear 0
+      | Cache.Srrip ->
+        let rec go () =
+          let found = ref (-1) in
+          for w = t.cfg.Cache.ways - 1 downto 0 do
+            if t.meta.(base + w) >= 3 then found := w
+          done;
+          if !found >= 0 then !found
+          else begin
+            for w = 0 to t.cfg.Cache.ways - 1 do
+              t.meta.(base + w) <- t.meta.(base + w) + 1
+            done;
+            go ()
+          end
+        in
+        go ()
+      | Cache.Random_policy _ -> (
+        match t.rng with Some g -> Prng.int g t.cfg.Cache.ways | None -> assert false)
+
+  let on_fill t base way =
+    t.clock <- t.clock + 1;
+    match t.cfg.Cache.policy with
+    | Cache.Lru | Cache.Fifo -> t.meta.(base + way) <- t.clock
+    | Cache.Plru -> plru_touch t base way
+    | Cache.Srrip -> t.meta.(base + way) <- 2
+    | Cache.Random_policy _ -> ()
+
+  let fill t base tag =
+    let way = victim t base in
+    let evicted = t.tags.(base + way) in
+    t.tags.(base + way) <- tag;
+    on_fill t base way;
+    evicted
+
+  let rebuild_address t set tag =
+    let block = (tag lsl log2 t.cfg.Cache.sets) lor set in
+    block lsl t.block_shift
+
+  let access_evict t addr =
+    let set, tag = set_and_tag t addr in
+    let base = set * t.cfg.Cache.ways in
+    t.accesses <- t.accesses + 1;
+    let way = find_way t base tag in
+    if way >= 0 then begin
+      t.hits <- t.hits + 1;
+      on_hit t base way;
+      (true, None)
+    end
+    else begin
+      let evicted = fill t base tag in
+      (false, if evicted < 0 then None else Some (rebuild_address t set evicted))
+    end
+
+  let access t addr = fst (access_evict t addr)
+
+  let insert t addr =
+    let set, tag = set_and_tag t addr in
+    let base = set * t.cfg.Cache.ways in
+    if find_way t base tag < 0 then ignore (fill t base tag)
+
+  (* Verbatim replica of the seed [Hierarchy]: an association list of
+     (level, node) walked with closures, per-level buffer recorders decoded
+     into arrays after the run. *)
+  type recorder = { addrs : Buffer.t; flags : Buffer.t }
+
+  let recorder () = { addrs = Buffer.create 4096; flags = Buffer.create 512 }
+
+  let record r addr hit =
+    Buffer.add_int64_le r.addrs (Int64.of_int addr);
+    Buffer.add_char r.flags (if hit then '\001' else '\000')
+
+  let recorded_trace r level =
+    let raw = Buffer.contents r.addrs in
+    let n = String.length raw / 8 in
+    let addresses = Array.init n (fun i -> Int64.to_int (String.get_int64_le raw (i * 8))) in
+    let flags_raw = Buffer.contents r.flags in
+    let hits = Array.init n (fun i -> flags_raw.[i] = '\001') in
+    { Hierarchy.level; addresses; hits }
+
+  type node = { cache : cache; rec_ : recorder }
+
+  type hierarchy = {
+    levels : (Hierarchy.level * node) list;
+    prefetcher : Prefetch.t;
+    pf_addrs : Buffer.t;
+  }
+
+  let hierarchy ~l1 ~l2 ~l3 () =
+    let mk lvl cfg = (lvl, { cache = create cfg; rec_ = recorder () }) in
+    {
+      levels = [ mk Hierarchy.L1 l1; mk Hierarchy.L2 l2; mk Hierarchy.L3 l3 ];
+      prefetcher = Prefetch.create Prefetch.No_prefetch;
+      pf_addrs = Buffer.create 512;
+    }
+
+  let h_access t addr =
+    match t.levels with
+    | [] -> assert false
+    | (_, l1_node) :: deeper ->
+      let pf =
+        Prefetch.on_access t.prefetcher ~addr
+          ~block_bytes:l1_node.cache.cfg.Cache.block_bytes
+      in
+      let l1_hit = access l1_node.cache addr in
+      record l1_node.rec_ addr l1_hit;
+      let rec go levels =
+        match levels with
+        | [] -> ()
+        | (_lvl, node) :: rest ->
+          let hit = access node.cache addr in
+          record node.rec_ addr hit;
+          if not hit then go rest
+      in
+      if not l1_hit then go deeper;
+      List.iter
+        (fun pf_addr ->
+          Buffer.add_int64_le t.pf_addrs (Int64.of_int pf_addr);
+          insert l1_node.cache pf_addr)
+        pf;
+      l1_hit
+
+  let h_run t trace = Array.iter (fun addr -> ignore (h_access t addr)) trace
+
+  let level_traces t = List.map (fun (lvl, node) -> recorded_trace node.rec_ lvl) t.levels
+
+  (* Seed dataset builders over the replica simulator: record, decode, cut
+     heatmaps from arrays, sum pixels for the hit rate. *)
+  let data_for ~workload ~cache ~level spec ~addresses ~hits =
+    let pairs = Heatmap.pair_of_trace spec ~addresses ~hits in
+    let access = List.map fst pairs and miss = List.map snd pairs in
+    {
+      Cbox_dataset.workload;
+      cache;
+      level;
+      pairs;
+      true_hit_rate = Heatmap.hit_rate spec ~access ~miss;
+    }
+
+  let build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads =
+    let config_of_level = function
+      | Hierarchy.L1 -> l1
+      | Hierarchy.L2 -> l2
+      | Hierarchy.L3 -> l3
+    in
+    List.concat_map
+      (fun w ->
+        let trace = w.Workload.generate trace_len in
+        let h = hierarchy ~l1 ~l2 ~l3 () in
+        h_run h trace;
+        level_traces h
+        |> List.filter_map (fun (lt : Hierarchy.level_trace) ->
+               if Array.length lt.addresses < Heatmap.accesses_per_image spec then None
+               else
+                 Some
+                   (data_for ~workload:w ~cache:(config_of_level lt.level) ~level:lt.level
+                      spec ~addresses:lt.addresses ~hits:lt.hits)))
+      workloads
+
+  let build_l1 spec ~configs ~trace_len workloads =
+    List.concat_map
+      (fun w ->
+        let trace = w.Workload.generate trace_len in
+        List.map
+          (fun cfg ->
+            let cache = create cfg in
+            let hits = Array.map (fun addr -> access cache addr) trace in
+            data_for ~workload:w ~cache:cfg ~level:Hierarchy.L1 spec ~addresses:trace
+              ~hits)
+          configs)
+      workloads
+end
+
+(* --- harness --- *)
+
+let time ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+(* Scaled max deviation across two benchmark_data lists; [None] when the
+   lists are not even structurally comparable. The streaming path must
+   reproduce the recorded path exactly, so the expected value is 0. *)
+let max_rel_err (ref_data : Cbox_dataset.benchmark_data list)
+    (new_data : Cbox_dataset.benchmark_data list) =
+  if List.length ref_data <> List.length new_data then None
+  else begin
+    let diff = ref 0.0 and peak = ref 1e-9 in
+    let scan a b =
+      let pa = Tensor.to_array a and pb = Tensor.to_array b in
+      if Array.length pa <> Array.length pb then diff := infinity
+      else
+        Array.iteri
+          (fun i va ->
+            peak := Float.max !peak (Float.abs va);
+            diff := Float.max !diff (Float.abs (va -. pb.(i))))
+          pa
+    in
+    List.iter2
+      (fun (r : Cbox_dataset.benchmark_data) (n : Cbox_dataset.benchmark_data) ->
+        diff := Float.max !diff (Float.abs (r.true_hit_rate -. n.true_hit_rate));
+        if List.length r.pairs <> List.length n.pairs then diff := infinity
+        else
+          List.iter2
+            (fun (ra, rm) (na, nm) ->
+              scan ra na;
+              scan rm nm)
+            r.pairs n.pairs)
+      ref_data new_data;
+    Some (!diff /. !peak)
+  end
+
+let fresh_tmp_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go k =
+    let d = Filename.concat base (Printf.sprintf "cbx-simcache-%d-%d" (Unix.getpid ()) k) in
+    if Sys.file_exists d then go (k + 1)
+    else begin
+      Sys.mkdir d 0o700;
+      d
+    end
+  in
+  go 0
+
+let remove_tree d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (Sys.readdir d);
+    try Sys.rmdir d with Sys_error _ -> ()
+  end
+
+let run ?fast ?(log = fun _ -> ()) () =
+  let fast =
+    match fast with Some f -> f | None -> Sys.getenv_opt "CACHEBOX_FAST" <> None
+  in
+  let spec = Heatmap.spec () in
+  let l1 = Cache.config ~sets:64 ~ways:12 () in
+  let l2 = Cache.config ~sets:256 ~ways:8 () in
+  let l3 = Cache.config ~sets:512 ~ways:16 () in
+  let workloads = Suite.of_suite Workload.Spec in
+  let trace_len = if fast then 12_000 else 48_000 in
+  let reps = if fast then 2 else 3 in
+  let nw = List.length workloads in
+  let label name = Printf.sprintf "%s nw%d len%dk" name nw (trace_len / 1000) in
+  let results = ref [] in
+  let push name domains ref_s new_s err =
+    results :=
+      {
+        Kbench.name;
+        domains;
+        ref_s;
+        tiled_s = new_s;
+        speedup = ref_s /. Float.max 1e-9 new_s;
+        max_rel_err = err;
+      }
+      :: !results
+  in
+  (* Everything below runs with the simulation cache disabled unless a
+     benchmark explicitly primes one. *)
+  Simcache.with_dir None (fun () ->
+      (* build_hierarchy: cold, at 1 and 4 domains. *)
+      let name = label "dataset.build_hierarchy.cold" in
+      log name;
+      let seed_out = Seed.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads in
+      let ref_s =
+        time ~reps (fun () -> Seed.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads)
+      in
+      List.iter
+        (fun domains ->
+          let out =
+            Dpool.with_domains domains (fun () ->
+                Cbox_dataset.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads)
+          in
+          let new_s =
+            Dpool.with_domains domains (fun () ->
+                time ~reps (fun () ->
+                    Cbox_dataset.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads))
+          in
+          push name domains ref_s new_s (max_rel_err seed_out out);
+          (* Idle pool workers still cost stop-the-world handshakes on every
+             minor collection — measured 4x on a single-core host — so the
+             pool is torn down before the serial benchmarks that follow. *)
+          Dpool.shutdown ())
+        [ 1; 4 ];
+      (* build_hierarchy: warm, against a primed simulation cache. *)
+      let name = label "dataset.build_hierarchy.warm" in
+      log name;
+      let tmp = fresh_tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> remove_tree tmp)
+        (fun () ->
+          Simcache.with_dir (Some tmp) (fun () ->
+              let out =
+                Dpool.with_domains 1 (fun () ->
+                    Cbox_dataset.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads)
+              in
+              let warm_s =
+                Dpool.with_domains 1 (fun () ->
+                    time ~reps (fun () ->
+                        Cbox_dataset.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len workloads))
+              in
+              push name 1 ref_s warm_s (max_rel_err seed_out out)));
+      (* build_l1: cold, single config sweep. *)
+      let name = label "dataset.build_l1.cold" in
+      log name;
+      let configs = [ l1 ] in
+      let seed_out = Seed.build_l1 spec ~configs ~trace_len workloads in
+      let ref_s = time ~reps (fun () -> Seed.build_l1 spec ~configs ~trace_len workloads) in
+      let out =
+        Dpool.with_domains 1 (fun () -> Cbox_dataset.build_l1 spec ~configs ~trace_len workloads)
+      in
+      let new_s =
+        Dpool.with_domains 1 (fun () ->
+            time ~reps (fun () -> Cbox_dataset.build_l1 spec ~configs ~trace_len workloads))
+      in
+      push name 1 ref_s new_s (max_rel_err seed_out out));
+  List.rev !results

@@ -1,0 +1,18 @@
+(** Dataset-pipeline benchmarks: seed recorded path vs streaming builders.
+
+    The reference side replicates the dataset pipeline exactly as it first
+    shipped (recorded per-level traces, full decode, heatmaps cut from
+    arrays in a second pass, the original positional cache scans); the
+    production side is {!Cbox_dataset}'s streaming + parallel + cached
+    builders. Results reuse the {!Kbench.result} record and JSON schema, so
+    [cachebox bench --suite dataset] gates them against the committed
+    [BENCH_DATASET.json] exactly like the kernel job.
+
+    Benchmarks: [build_hierarchy] cold at 1 and 4 domains, [build_hierarchy]
+    warm against a primed {!Simcache} (a throwaway temp directory, removed
+    afterwards), and [build_l1] cold. Every row cross-checks outputs:
+    [max_rel_err] must be 0 — the streaming path is an exact optimization. *)
+
+val run : ?fast:bool -> ?log:(string -> unit) -> unit -> Kbench.result list
+(** [fast] (default: [CACHEBOX_FAST] set) shrinks trace lengths for smoke
+    runs; [log] receives a progress line per benchmark. *)

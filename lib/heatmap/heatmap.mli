@@ -57,6 +57,39 @@ val pair_of_trace :
   spec -> addresses:int array -> hits:bool array -> (Tensor.t * Tensor.t) list
 (** Aligned (access, miss) heatmap pairs. *)
 
+(** Streaming heatmap construction: feed one access at a time and collect
+    completed images — no trace arrays, constant memory in the trace
+    length. An accumulator carries [planes] aligned pixel planes (e.g.
+    plane 0 = accesses, plane 1 = misses); each {!Accum.add} structurally
+    advances every plane and increments the pixel in the planes whose bit
+    is set in [mask]. Completed images are bit-identical to
+    {!of_trace}/{!of_trace_filtered}/{!pair_of_trace} over the same
+    stream; a trace shorter than one image simply completes zero images
+    (no exception, unlike {!image_count}). *)
+module Accum : sig
+  type t
+
+  val create : ?planes:int -> spec -> t
+  (** [planes] defaults to 1; at most 30. *)
+
+  val add : t -> addr:int -> mask:int -> unit
+  (** Feed the next access of the stream. Bit [p] of [mask] selects whether
+      plane [p] counts this access; the stream position advances for every
+      plane regardless (so planes stay column-aligned). *)
+
+  val completed : t -> int
+  (** Images fully accumulated so far (equals {!image_count} once the
+      stream ends, or 0 for short streams). *)
+
+  val images : t -> plane:int -> Tensor.t list
+  (** Completed [\[height; width\]] images of one plane, oldest first. *)
+
+  val deoverlapped_mass : t -> plane:int -> float
+  (** Exactly [deoverlapped_sum spec (images t ~plane)], tracked as integer
+      counters during accumulation — the streaming route to {!hit_rate}
+      without a pixel pass. *)
+end
+
 val deoverlapped_sum : spec -> Tensor.t list -> float
 (** Total pixel mass counting each access window exactly once: for every
     image after the first, the overlapped leading columns are skipped

@@ -6,3 +6,8 @@
 
 val digest : string -> int
 (** CRC-32 of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val digest_sub : Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 of [len] bytes starting at [pos] — same function as {!digest},
+    computed eight input bytes per step (slicing-by-8), for the large
+    checksummed payloads on the simulation-cache warm path. *)

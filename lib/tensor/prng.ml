@@ -57,9 +57,13 @@ let zipf g ~n ~s =
   if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
   if n = 1 then 0
   else begin
-    let h x = if Float.abs (s -. 1.0) < 1e-9 then log x else (x ** (1.0 -. s)) /. (1.0 -. s) in
+    (* The near-1 test is hoisted out of the sampling loop, and h (k + 0.5)
+       is computed once per candidate; pow (x, 1.0) = x exactly (IEEE 754),
+       so dropping the ** 1.0 changes no bits. *)
+    let log_case = Float.abs (s -. 1.0) < 1e-9 in
+    let h x = if log_case then log x else (x ** (1.0 -. s)) /. (1.0 -. s) in
     let h_inv x =
-      if Float.abs (s -. 1.0) < 1e-9 then exp x else ((1.0 -. s) *. x) ** (1.0 /. (1.0 -. s))
+      if log_case then exp x else ((1.0 -. s) *. x) ** (1.0 /. (1.0 -. s))
     in
     let nf = Float.of_int n in
     let h_x1 = h 1.5 -. 1.0 in
@@ -69,8 +73,8 @@ let zipf g ~n ~s =
       let x = h_inv u in
       let k = Float.round x in
       let k = Float.max 1.0 (Float.min nf k) in
-      if k -. x <= 1.0 -. (h (k +. 0.5) -. u) ** 1.0 || u >= h (k +. 0.5) -. (k ** -.s) then
-        int_of_float k - 1
+      let hk = h (k +. 0.5) in
+      if k -. x <= 1.0 -. (hk -. u) || u >= hk -. (k ** -.s) then int_of_float k - 1
       else loop ()
     in
     loop ()

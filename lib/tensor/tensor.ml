@@ -32,7 +32,10 @@ let scalar v = full [| 1 |] v
 let of_array shape a =
   let t = create shape in
   if Array.length a <> numel t then invalid_arg "Tensor.of_array: length mismatch";
-  Array.iteri (fun i v -> Bigarray.Array1.unsafe_set t.data i v) a;
+  (* Direct loop: a closure here would box every float on the minor heap. *)
+  for i = 0 to Array.length a - 1 do
+    Bigarray.Array1.unsafe_set t.data i (Array.unsafe_get a i)
+  done;
   t
 
 let randn g shape =

@@ -1,0 +1,415 @@
+(* Dataset pipeline: streaming accumulator vs recorded-trace heatmaps, the
+   content-addressed simulation cache, and streaming-vs-reference builder
+   bit-identity at several domain counts (ISSUE 5).
+
+   Everything here checks *exact* equality: the streaming path is an
+   optimization, not an approximation, so any deviation from the recorded
+   reference implementations is a bug. *)
+
+let block = 64
+
+(* --- helpers --- *)
+
+let tensor_eq a b =
+  Tensor.shape a = Tensor.shape b
+  &&
+  let xa = Tensor.to_array a and xb = Tensor.to_array b in
+  xa = xb
+
+let tensors_eq la lb = List.length la = List.length lb && List.for_all2 tensor_eq la lb
+
+let pairs_eq la lb =
+  List.length la = List.length lb
+  && List.for_all2 (fun (a1, m1) (a2, m2) -> tensor_eq a1 a2 && tensor_eq m1 m2) la lb
+
+let data_eq (a : Cbox_dataset.benchmark_data list) (b : Cbox_dataset.benchmark_data list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Cbox_dataset.benchmark_data) (y : Cbox_dataset.benchmark_data) ->
+         x.Cbox_dataset.workload.Workload.name = y.Cbox_dataset.workload.Workload.name
+         && x.Cbox_dataset.cache = y.Cbox_dataset.cache
+         && x.Cbox_dataset.level = y.Cbox_dataset.level
+         && Int64.bits_of_float x.Cbox_dataset.true_hit_rate
+            = Int64.bits_of_float y.Cbox_dataset.true_hit_rate
+         && pairs_eq x.Cbox_dataset.pairs y.Cbox_dataset.pairs)
+       a b
+
+let fresh_tmp_dir () =
+  let d = Filename.temp_file "cbx-test-simcache" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o700;
+  d
+
+let remove_tree d =
+  if Sys.file_exists d then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (Sys.readdir d);
+    try Sys.rmdir d with Sys_error _ -> ()
+  end
+
+let with_tmp_cache f =
+  let d = fresh_tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_tree d)
+    (fun () -> Simcache.with_dir (Some d) (fun () -> f d))
+
+(* --- Accum vs of_trace / pair_of_trace (satellite c) --- *)
+
+(* Specs are generated via an integer overlap-column count so the
+   inter-image step is always positive. *)
+let gen_spec =
+  QCheck.Gen.(
+    let* height = oneofl [ 4; 8; 16 ] in
+    let* width = int_range 2 12 in
+    let* window = int_range 1 8 in
+    let* oc = int_range 0 (width - 1) in
+    let* granularity = oneofl [ 1; 64 ] in
+    return
+      (Heatmap.spec ~height ~width ~window
+         ~overlap:(float_of_int oc /. float_of_int width)
+         ~granularity ()))
+
+let gen_case =
+  QCheck.Gen.(
+    let* spec = gen_spec in
+    let per_image = Heatmap.accesses_per_image spec in
+    (* From one short of a full image up to ~4 images, hitting the
+       exact-length boundary often. *)
+    let* len = int_range (max 0 (per_image - 1)) ((4 * per_image) + 3) in
+    let* seed = int_range 0 10_000 in
+    return (spec, len, seed))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (s, len, seed) ->
+      Printf.sprintf "h%d w%d win%d ov%.3f g%d len%d seed%d" s.Heatmap.height s.Heatmap.width
+        s.Heatmap.window s.Heatmap.overlap s.Heatmap.granularity len seed)
+    gen_case
+
+let test_accum_matches_trace =
+  QCheck.Test.make ~name:"Accum = of_trace/pair_of_trace (bit-identical)" ~count:200 arb_case
+    (fun (spec, len, seed) ->
+      let rng = Prng.create seed in
+      let addresses = Array.init len (fun _ -> Prng.int rng 100_000) in
+      let hits = Array.init len (fun _ -> Prng.bool rng) in
+      let acc = Heatmap.Accum.create ~planes:2 spec in
+      Array.iteri
+        (fun i addr -> Heatmap.Accum.add acc ~addr ~mask:(if hits.(i) then 1 else 3))
+        addresses;
+      if len < Heatmap.accesses_per_image spec then Heatmap.Accum.completed acc = 0
+      else begin
+        let pairs = Heatmap.pair_of_trace spec ~addresses ~hits in
+        let expect_access = List.map fst pairs and expect_miss = List.map snd pairs in
+        Heatmap.Accum.completed acc = List.length pairs
+        && tensors_eq (Heatmap.Accum.images acc ~plane:0) expect_access
+        && tensors_eq (Heatmap.Accum.images acc ~plane:1) expect_miss
+        && Heatmap.Accum.deoverlapped_mass acc ~plane:0
+           = Heatmap.deoverlapped_sum spec expect_access
+        && Heatmap.Accum.deoverlapped_mass acc ~plane:1
+           = Heatmap.deoverlapped_sum spec expect_miss
+      end)
+
+let test_accum_empty () =
+  let spec = Heatmap.spec ~height:8 ~width:4 ~window:5 ~overlap:0.25 () in
+  let acc = Heatmap.Accum.create ~planes:2 spec in
+  Alcotest.(check int) "no images" 0 (Heatmap.Accum.completed acc);
+  Alcotest.(check (float 0.0)) "no mass" 0.0 (Heatmap.Accum.deoverlapped_mass acc ~plane:0)
+
+(* --- Crc32.digest_sub (tentpole support) --- *)
+
+let test_digest_sub =
+  QCheck.Test.make ~name:"Crc32.digest_sub = digest of the slice" ~count:200
+    QCheck.(pair small_string small_int)
+    (fun (s, salt) ->
+      let whole = Printf.sprintf "%d%s%d" salt s salt in
+      let pos = salt mod (String.length whole + 1) in
+      let len = String.length whole - pos in
+      Crc32.digest_sub (Bytes.of_string whole) ~pos ~len
+      = Crc32.digest (String.sub whole pos len))
+
+(* --- Simcache container (satellite d) --- *)
+
+let spec = Heatmap.spec ()
+let l1 = Cache.config ~sets:64 ~ways:8 ()
+
+let sample_sections () =
+  let rng = Prng.create 7 in
+  let plane lo =
+    Tensor.of_array [| 4; 3 |] (Array.init 12 (fun i -> float_of_int (lo + (i * 7 mod 50))))
+  in
+  ignore (Prng.int rng 2);
+  [
+    { Simcache.tag = "L1"; pairs = [ (plane 0, plane 3); (plane 5, plane 1) ]; true_hit_rate = 0.875 };
+    { Simcache.tag = "L2"; pairs = [ (plane 2, plane 9) ]; true_hit_rate = 0.25 };
+  ]
+
+let sections_eq a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Simcache.section) (y : Simcache.section) ->
+         x.Simcache.tag = y.Simcache.tag
+         && Int64.bits_of_float x.Simcache.true_hit_rate
+            = Int64.bits_of_float y.Simcache.true_hit_rate
+         && pairs_eq x.Simcache.pairs y.Simcache.pairs)
+       a b
+
+let test_simcache_roundtrip () =
+  with_tmp_cache (fun _dir ->
+      Simcache.reset_stats ();
+      let descriptor =
+        Simcache.descriptor ~kind:"test" ~workload:"w" ~trace_len:100 ~configs:[ l1 ] ~spec
+      in
+      let sections = sample_sections () in
+      Alcotest.(check bool) "miss before store" true (Simcache.lookup ~descriptor = None);
+      Simcache.store ~descriptor sections;
+      (match Simcache.lookup ~descriptor with
+      | Some got -> Alcotest.(check bool) "roundtrip bit-identical" true (sections_eq sections got)
+      | None -> Alcotest.fail "stored entry not found");
+      let s = Simcache.stats () in
+      Alcotest.(check int) "one store" 1 s.Simcache.stores;
+      Alcotest.(check int) "one hit" 1 s.Simcache.hits;
+      Alcotest.(check int) "one miss" 1 s.Simcache.misses;
+      Alcotest.(check int) "no errors" 0 s.Simcache.errors)
+
+let test_simcache_corruption () =
+  with_tmp_cache (fun dir ->
+      let descriptor =
+        Simcache.descriptor ~kind:"test" ~workload:"w" ~trace_len:100 ~configs:[ l1 ] ~spec
+      in
+      let sections = sample_sections () in
+      Simcache.store ~descriptor sections;
+      let path = Simcache.entry_path ~dir ~descriptor in
+      let size = (Unix.stat path).Unix.st_size in
+      (* Flip a byte in the header, the descriptor and the pixel data: every
+         corruption must read as a miss, never a crash or wrong data. *)
+      List.iter
+        (fun offset ->
+          Simcache.store ~descriptor sections;
+          Faultinject.corrupt_byte path ~offset;
+          Simcache.reset_stats ();
+          Alcotest.(check bool)
+            (Printf.sprintf "corrupt byte @%d ignored" offset)
+            true
+            (Simcache.lookup ~descriptor = None);
+          Alcotest.(check int)
+            (Printf.sprintf "corrupt byte @%d counted" offset)
+            1 (Simcache.stats ()).Simcache.errors;
+          (* with_sections regenerates and heals the entry in place. *)
+          let got = Simcache.with_sections ~descriptor (fun () -> sections) in
+          Alcotest.(check bool) "regenerated" true (sections_eq sections got);
+          match Simcache.lookup ~descriptor with
+          | Some healed -> Alcotest.(check bool) "healed on disk" true (sections_eq sections healed)
+          | None -> Alcotest.fail "entry not rewritten after corruption")
+        [ 0; 3; 10; size / 2; size - 1 ])
+
+let test_simcache_stale_formats () =
+  with_tmp_cache (fun dir ->
+      let descriptor =
+        Simcache.descriptor ~kind:"test" ~workload:"w" ~trace_len:100 ~configs:[ l1 ] ~spec
+      in
+      let path = Simcache.entry_path ~dir ~descriptor in
+      let plant text =
+        let oc = open_out_bin path in
+        output_string oc text;
+        close_out oc
+      in
+      (* Truncated, foreign-magic and empty files — e.g. leftovers from an
+         older container format — all read as misses. *)
+      List.iter
+        (fun text ->
+          plant text;
+          Simcache.reset_stats ();
+          Alcotest.(check bool) "stale entry ignored" true (Simcache.lookup ~descriptor = None);
+          Alcotest.(check int) "stale entry counted" 1 (Simcache.stats ()).Simcache.errors)
+        [ ""; "CBSC1\n"; "CBSC0\n0123456789abcdef-old-format-entry"; String.make 64 '\xff' ])
+
+let test_simcache_descriptor_keys () =
+  (* Distinct inputs must produce distinct descriptors (the cache key). *)
+  let d ~kind ~workload ~trace_len ~configs ~spec =
+    Simcache.descriptor ~kind ~workload ~trace_len ~configs ~spec
+  in
+  let base = d ~kind:"l1" ~workload:"w" ~trace_len:100 ~configs:[ l1 ] ~spec in
+  let variants =
+    [
+      d ~kind:"hierarchy" ~workload:"w" ~trace_len:100 ~configs:[ l1 ] ~spec;
+      d ~kind:"l1" ~workload:"w2" ~trace_len:100 ~configs:[ l1 ] ~spec;
+      d ~kind:"l1" ~workload:"w" ~trace_len:101 ~configs:[ l1 ] ~spec;
+      d ~kind:"l1" ~workload:"w" ~trace_len:100 ~configs:[ Cache.config ~sets:128 ~ways:8 () ] ~spec;
+      d ~kind:"l1" ~workload:"w" ~trace_len:100 ~configs:[ l1 ]
+        ~spec:(Heatmap.spec ~window:49 ());
+    ]
+  in
+  List.iter (fun v -> Alcotest.(check bool) "descriptor differs" true (base <> v)) variants
+
+let test_simcache_disabled () =
+  Simcache.with_dir None (fun () ->
+      Simcache.reset_stats ();
+      let descriptor =
+        Simcache.descriptor ~kind:"test" ~workload:"w" ~trace_len:10 ~configs:[ l1 ] ~spec
+      in
+      Simcache.store ~descriptor (sample_sections ());
+      Alcotest.(check bool) "lookup disabled" true (Simcache.lookup ~descriptor = None);
+      let s = Simcache.stats () in
+      Alcotest.(check int) "no traffic when disabled" 0 (s.Simcache.stores + s.Simcache.hits))
+
+(* --- streaming builders vs recorded references (satellite e) --- *)
+
+let workloads () =
+  List.filteri (fun i _ -> i < 4) (Suite.of_suite Workload.Spec)
+
+let trace_len = 4_000
+let l2 = Cache.config ~sets:256 ~ways:8 ()
+let l3 = Cache.config ~sets:512 ~ways:16 ()
+
+let test_build_l1_matches_reference () =
+  let ws = workloads () in
+  let configs = [ l1; Cache.config ~sets:32 ~ways:4 () ] in
+  let reference = Cbox_dataset.build_l1_reference spec ~configs ~trace_len ws in
+  Simcache.with_dir None (fun () ->
+      List.iter
+        (fun domains ->
+          let got =
+            Dpool.with_domains domains (fun () -> Cbox_dataset.build_l1 spec ~configs ~trace_len ws)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "build_l1 bit-identical at %d domains" domains)
+            true (data_eq reference got))
+        [ 1; 4 ])
+
+let test_build_hierarchy_matches_reference () =
+  let ws = workloads () in
+  let reference = Cbox_dataset.build_hierarchy_reference spec ~l1 ~l2 ~l3 ~trace_len ws in
+  Simcache.with_dir None (fun () ->
+      List.iter
+        (fun domains ->
+          let got =
+            Dpool.with_domains domains (fun () ->
+                Cbox_dataset.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len ws)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "build_hierarchy bit-identical at %d domains" domains)
+            true (data_eq reference got))
+        [ 1; 4 ])
+
+let test_build_prefetch_matches_reference () =
+  let ws = workloads () in
+  let kind = Prefetch.Next_line in
+  let reference = Cbox_dataset.build_prefetch_reference spec ~config:l1 ~kind ~trace_len ws in
+  Simcache.with_dir None (fun () ->
+      List.iter
+        (fun domains ->
+          let got =
+            Dpool.with_domains domains (fun () ->
+                Cbox_dataset.build_prefetch spec ~config:l1 ~kind ~trace_len ws)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "build_prefetch bit-identical at %d domains" domains)
+            true (data_eq reference got))
+        [ 1; 4 ])
+
+let test_builders_through_simcache () =
+  (* Cold (stores) then warm (hits): both must equal the uncached
+     reference bit-for-bit, including across domain counts. *)
+  let ws = workloads () in
+  let reference = Cbox_dataset.build_hierarchy_reference spec ~l1 ~l2 ~l3 ~trace_len ws in
+  with_tmp_cache (fun _dir ->
+      Simcache.reset_stats ();
+      let cold =
+        Dpool.with_domains 1 (fun () -> Cbox_dataset.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len ws)
+      in
+      Alcotest.(check bool) "cold run stores" true ((Simcache.stats ()).Simcache.stores > 0);
+      Alcotest.(check bool) "cold bit-identical" true (data_eq reference cold);
+      Simcache.reset_stats ();
+      List.iter
+        (fun domains ->
+          let warm =
+            Dpool.with_domains domains (fun () ->
+                Cbox_dataset.build_hierarchy spec ~l1 ~l2 ~l3 ~trace_len ws)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "warm bit-identical at %d domains" domains)
+            true (data_eq reference warm))
+        [ 1; 4 ];
+      let s = Simcache.stats () in
+      Alcotest.(check bool) "warm runs hit" true (s.Simcache.hits > 0);
+      Alcotest.(check int) "warm runs never simulate" 0 s.Simcache.misses)
+
+(* --- golden per-level counts through the observer path --- *)
+
+let lcg state = ((state * 1664525) + 1013904223) land 0x3FFFFFFF
+
+let streaming_trace n = Array.init n (fun i -> i * 8 mod (256 * 1024))
+
+let mixed_trace n =
+  let state = ref 12345 in
+  Array.init n (fun i ->
+      match i / 1000 mod 3 with
+      | 0 -> i mod 64 * block
+      | 1 ->
+        state := lcg !state;
+        (!state mod (1024 * 1024)) land lnot 7
+      | _ -> (n - i) mod 512 * 16)
+
+let strided_trace n =
+  Array.init n (fun i ->
+      let phase = i / 2000 mod 4 in
+      let stride = [| 8; 64; 256; 1024 |].(phase) in
+      i mod 2000 * stride mod (2 * 1024 * 1024))
+
+(* Same traces, configs and pins as test_golden.ml — but counted through
+   [Hierarchy.run_observed], the streaming builders' event source, instead
+   of the recorded per-level statistics. *)
+let golden_observed =
+  [
+    ("streaming", streaming_trace 12_000,
+     [ (12000, 10500, 1500); (1500, 0, 1500); (1500, 0, 1500) ]);
+    ("mixed", mixed_trace 12_000, [ (12000, 7554, 4446); (4446, 646, 3800); (3800, 122, 3678) ]);
+    ("strided", strided_trace 12_000,
+     [ (12000, 4000, 8000); (8000, 2000, 6000); (6000, 875, 5125) ]);
+  ]
+
+let test_observed_golden (name, trace, expect) () =
+  let golden_l1 = Cache.config ~sets:64 ~ways:8 () in
+  List.iter
+    (fun domains ->
+      Dpool.with_domains domains (fun () ->
+          let h = Hierarchy.create ~l2 ~l3 ~l1:golden_l1 () in
+          let nlevels = Array.length (Hierarchy.levels h) in
+          let acc = Array.make nlevels 0
+          and hits = Array.make nlevels 0
+          and misses = Array.make nlevels 0 in
+          Hierarchy.run_observed h trace ~f:(fun level _addr hit ->
+              acc.(level) <- acc.(level) + 1;
+              if hit then hits.(level) <- hits.(level) + 1
+              else misses.(level) <- misses.(level) + 1);
+          let got = List.init nlevels (fun i -> (acc.(i), hits.(i), misses.(i))) in
+          Alcotest.(check (list (triple int int int)))
+            (Printf.sprintf "%s observed per-level counts (%d domains)" name domains)
+            expect got))
+    [ 1; 4 ]
+
+let suite =
+  ( "dataset",
+    [
+      QCheck_alcotest.to_alcotest test_accum_matches_trace;
+      Alcotest.test_case "accum: short trace yields nothing" `Quick test_accum_empty;
+      QCheck_alcotest.to_alcotest test_digest_sub;
+      Alcotest.test_case "simcache: roundtrip" `Quick test_simcache_roundtrip;
+      Alcotest.test_case "simcache: corruption ignored+healed" `Quick test_simcache_corruption;
+      Alcotest.test_case "simcache: stale formats ignored" `Quick test_simcache_stale_formats;
+      Alcotest.test_case "simcache: descriptor keys distinct" `Quick test_simcache_descriptor_keys;
+      Alcotest.test_case "simcache: disabled is inert" `Quick test_simcache_disabled;
+      Alcotest.test_case "build_l1 = reference (1 and 4 domains)" `Quick
+        test_build_l1_matches_reference;
+      Alcotest.test_case "build_hierarchy = reference (1 and 4 domains)" `Quick
+        test_build_hierarchy_matches_reference;
+      Alcotest.test_case "build_prefetch = reference (1 and 4 domains)" `Quick
+        test_build_prefetch_matches_reference;
+      Alcotest.test_case "builders through simcache (cold+warm)" `Quick
+        test_builders_through_simcache;
+    ]
+    @ List.map
+        (fun ((name, _, _) as case) ->
+          Alcotest.test_case ("observed golden: " ^ name) `Quick (test_observed_golden case))
+        golden_observed )
