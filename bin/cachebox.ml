@@ -346,9 +346,20 @@ let serve_cmd =
   let journal_serve_arg =
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc:"Append serve events (start/stop, degradations, breaker trips, sheds) to a JSONL journal.")
   in
+  let batch_max_arg =
+    Arg.(value & opt int Batcher.default_config.Batcher.max_batch & info [ "batch-max" ] ~docv:"N" ~doc:"Micro-batching: flush as soon as N infer requests have coalesced.")
+  in
+  let batch_linger_arg =
+    Arg.(value & opt float 5.0 & info [ "batch-linger-ms" ] ~docv:"MS" ~doc:"Micro-batching: longest any request waits for batch mates before its batch is flushed.")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc:"Model replica pool size; due batches are executed concurrently across replicas.")
+  in
   let run socket port ckpt fallback queue_depth deadline_ms breaker_threshold
-      breaker_cooldown_ms max_trace_len journal domains =
+      breaker_cooldown_ms max_trace_len journal batch_max batch_linger_ms replicas domains =
     apply_domains domains;
+    if Faultinject.arm_from_env () then
+      Fmt.epr "cachebox serve: fault armed from CACHEBOX_FAULT@.";
     let fallback = parse_fallback fallback in
     let spec = Heatmap.spec () in
     let model =
@@ -374,6 +385,12 @@ let serve_cmd =
       {
         Serve_daemon.listen;
         queue_depth;
+        batcher =
+          {
+            Batcher.default_config with
+            Batcher.max_batch = batch_max;
+            max_linger_s = batch_linger_ms /. 1000.0;
+          };
         engine =
           {
             (Serve_engine.default_config ~fallback ()) with
@@ -381,6 +398,7 @@ let serve_cmd =
             breaker_threshold;
             breaker_cooldown_s = float_of_int breaker_cooldown_ms /. 1000.0;
             max_trace_len;
+            replicas;
           };
       }
     in
@@ -413,7 +431,8 @@ let serve_cmd =
           & info [ "fallback" ] ~docv:"KIND"
               ~doc:"Analytical fallback for degraded answers: $(b,hrd), $(b,stm) or $(b,none).")
       $ queue_arg $ deadline_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-      $ max_trace_arg $ journal_serve_arg $ domains_arg)
+      $ max_trace_arg $ journal_serve_arg $ batch_max_arg $ batch_linger_arg
+      $ replicas_arg $ domains_arg)
 
 let call_cmd =
   let request_arg =
@@ -467,6 +486,202 @@ let call_cmd =
   Cmd.v
     (Cmd.info "call" ~doc:"Send one request line to a running serve daemon and print the reply")
     Term.(const run $ socket_arg $ port_arg $ request_arg)
+
+(* --- loadgen: concurrency stress against a running daemon ---
+
+   N client threads each pipeline R line-delimited requests (a mix of valid
+   inferences and malformed lines) down one connection and then read R
+   replies back. The reactor guarantees per-connection FIFO replies, so
+   reply j on a connection answers request j: a valid request must come
+   back with its own echoed id (anything else is a reorder or duplicate), a
+   malformed one must come back as bad_request, and either may come back as
+   an id-less overloaded shed. Any missing reply (EOF or timeout) is a
+   drop. Afterwards the shed count every client observed is reconciled
+   against the daemon's own stats. Exits non-zero on any violation. *)
+
+let loadgen_cmd =
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "n"; "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 32 & info [ "r"; "requests" ] ~docv:"N" ~doc:"Requests pipelined per client.")
+  in
+  let invalid_every_arg =
+    Arg.(value & opt int 7 & info [ "invalid-every" ] ~docv:"K" ~doc:"Every Kth request on each connection is malformed JSON (0 disables).")
+  in
+  let loadgen_benchmark_arg =
+    Arg.(value & opt string "600.perlbench_s-734B" & info [ "benchmark" ] ~docv:"NAME" ~doc:"Benchmark named by the valid infer requests.")
+  in
+  let loadgen_trace_arg =
+    Arg.(value & opt int 4000 & info [ "trace-len" ] ~docv:"N" ~doc:"Trace length of the valid infer requests.")
+  in
+  let shutdown_after_arg =
+    Arg.(value & flag & info [ "shutdown-after" ] ~doc:"After the run and the stats reconciliation, ask the daemon to shut down and expect a clean drain.")
+  in
+  let run socket port clients requests invalid_every benchmark trace_len shutdown_after =
+    let addr =
+      match (socket, port) with
+      | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, None -> Unix.ADDR_UNIX "cachebox.sock"
+    in
+    let connect () =
+      let fd =
+        Unix.socket
+          (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      Unix.connect fd addr;
+      (* A lost reply must fail the run, not hang it. *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+      fd
+    in
+    let is_valid j = invalid_every <= 0 || (j + 1) mod invalid_every <> 0 in
+    let request k j =
+      if is_valid j then
+        Printf.sprintf
+          "{\"op\": \"infer\", \"id\": \"c%d-%d\", \"sets\": 64, \"ways\": 8, \
+           \"benchmark\": %S, \"trace_len\": %d}"
+          k j benchmark trace_len
+      else Printf.sprintf "{\"op\": \"infer\", \"id\": \"c%d-%d\"" k j
+    in
+    let answered = Array.make clients 0
+    and ok_replies = Array.make clients 0
+    and shed_replies = Array.make clients 0
+    and late_replies = Array.make clients 0
+    and invalid_replies = Array.make clients 0
+    and failures = Array.make clients [] in
+    let fail k fmt = Printf.ksprintf (fun m -> failures.(k) <- m :: failures.(k)) fmt in
+    let str_field name json = Option.bind (Sjson.member name json) Sjson.to_str in
+    let client k () =
+      match connect () with
+      | exception Unix.Unix_error (e, _, _) -> fail k "connect: %s" (Unix.error_message e)
+      | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let ic = Unix.in_channel_of_descr fd
+            and oc = Unix.out_channel_of_descr fd in
+            for j = 0 to requests - 1 do
+              output_string oc (request k j);
+              output_char oc '\n';
+              (* A third of the clients dribble line by line instead of
+                 bursting, to vary the interleavings the reactor sees. *)
+              if k mod 3 = 2 then begin
+                flush oc;
+                Thread.delay 0.001
+              end
+            done;
+            flush oc;
+            (try
+               for j = 0 to requests - 1 do
+                 match input_line ic with
+                 | exception End_of_file ->
+                   fail k "reply %d: EOF — reply dropped" j;
+                   raise Exit
+                 | exception Sys_error m ->
+                   fail k "reply %d: read failed (%s)" j m;
+                   raise Exit
+                 | line -> (
+                   answered.(k) <- answered.(k) + 1;
+                   match Sjson.parse line with
+                   | Error e -> fail k "reply %d: server sent bad JSON (%s)" j e
+                   | Ok json -> (
+                     let expect = Printf.sprintf "c%d-%d" k j in
+                     match (str_field "id" json, str_field "error" json) with
+                     | Some got, _ when got <> expect ->
+                       fail k "reply %d: id %S, expected %S — reordered or duplicated" j
+                         got expect
+                     | Some _, None -> ok_replies.(k) <- ok_replies.(k) + 1
+                     | Some _, Some "deadline_exceeded" ->
+                       (* Deadline-aware flushing under overload: an in-order,
+                          exactly-once answer, just an unhappy one. *)
+                       late_replies.(k) <- late_replies.(k) + 1
+                     | Some _, Some err ->
+                       fail k "reply %d: unexpected error %S on a valid request" j err
+                     | None, Some "overloaded" -> shed_replies.(k) <- shed_replies.(k) + 1
+                     | None, Some "bad_request" when not (is_valid j) ->
+                       invalid_replies.(k) <- invalid_replies.(k) + 1
+                     | None, err ->
+                       fail k "reply %d: unmatched reply (error %s)" j
+                         (Option.value err ~default:"<none>")))
+               done
+             with Exit -> ()))
+    in
+    let threads = List.init clients (fun k -> Thread.create (client k) ()) in
+    List.iter Thread.join threads;
+    let sum a = Array.fold_left ( + ) 0 a in
+    let total = clients * requests in
+    let problems = ref (List.concat_map List.rev (Array.to_list failures)) in
+    let shed_total = sum shed_replies in
+    if sum answered <> total then
+      problems :=
+        Printf.sprintf "answered %d of %d requests — replies were dropped" (sum answered)
+          total
+        :: !problems;
+    (* Reconcile against the daemon's own accounting, then optionally drain. *)
+    let control op =
+      let fd = connect () in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd
+          and oc = Unix.out_channel_of_descr fd in
+          output_string oc op;
+          output_char oc '\n';
+          flush oc;
+          match input_line ic with
+          | exception _ -> Error "no reply"
+          | line -> ( match Sjson.parse line with Ok j -> Ok j | Error e -> Error e))
+    in
+    (match control "{\"op\": \"stats\"}" with
+    | Error e -> problems := Printf.sprintf "stats query failed: %s" e :: !problems
+    | Ok json ->
+      let num name = Option.bind (Sjson.member name json) Sjson.to_int in
+      (match num "shed" with
+      | Some shed when shed <> shed_total ->
+        problems :=
+          Printf.sprintf "daemon counted %d shed requests, clients observed %d" shed
+            shed_total
+          :: !problems
+      | Some _ -> ()
+      | None -> problems := "stats reply has no shed count" :: !problems);
+      match num "served" with
+      | Some served when served < total - shed_total ->
+        problems :=
+          Printf.sprintf "daemon served %d < answered-minus-shed %d" served
+            (total - shed_total)
+          :: !problems
+      | Some _ -> ()
+      | None -> problems := "stats reply has no served count" :: !problems);
+    if shutdown_after then (
+      match control "{\"op\": \"shutdown\"}" with
+      | Ok json
+        when Sjson.(member "ok" json |> Option.map to_bool) = Some (Some true) ->
+        ()
+      | Ok json ->
+        problems :=
+          Printf.sprintf "shutdown refused: %s" (Sjson.to_string json) :: !problems
+      | Error e -> problems := Printf.sprintf "shutdown failed: %s" e :: !problems);
+    Fmt.pr
+      "loadgen: %d clients x %d requests: %d answered (%d ok, %d bad_request, %d shed, \
+       %d past deadline)@."
+      clients requests (sum answered) (sum ok_replies) (sum invalid_replies) shed_total
+      (sum late_replies);
+    match !problems with
+    | [] -> Fmt.pr "loadgen: OK@."
+    | ps ->
+      List.iter (fun p -> Fmt.epr "loadgen: FAIL: %s@." p) (List.rev ps);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Stress a running serve daemon with concurrent pipelined clients and check \
+          every reply for drops, duplicates and reorders")
+    Term.(
+      const run $ socket_arg $ port_arg $ clients_arg $ requests_arg $ invalid_every_arg
+      $ loadgen_benchmark_arg $ loadgen_trace_arg $ shutdown_after_arg)
 
 (* --- export / import traces --- *)
 
@@ -558,13 +773,14 @@ let bench_cmd =
   let suite_arg =
     Arg.(
       value
-      & opt (enum [ ("kernels", `Kernels); ("dataset", `Dataset) ]) `Kernels
+      & opt (enum [ ("kernels", `Kernels); ("dataset", `Dataset); ("serve", `Serve) ]) `Kernels
       & info [ "suite" ] ~docv:"SUITE"
         ~doc:
           "Benchmark suite to run: $(b,kernels) (reference vs tiled dense \
-           path) or $(b,dataset) (recorded-trace vs streaming/parallel/cached \
-           dataset builders). Both share the JSON schema and the baseline \
-           gate.")
+           path), $(b,dataset) (recorded-trace vs streaming/parallel/cached \
+           dataset builders) or $(b,serve) (per-request inference vs dynamic \
+           micro-batching, with closed-loop latency percentiles). All share \
+           the JSON schema and the baseline gate.")
   in
   let json_arg =
     Arg.(
@@ -636,12 +852,23 @@ let bench_cmd =
       exit 2
     end;
     let fast = fast || Sys.getenv_opt "CACHEBOX_FAST" <> None in
-    let runner = match suite with `Kernels -> Kbench.run | `Dataset -> Dbench.run in
-    let results = runner ~fast ~log:(fun name -> Fmt.pr "  [%s]@." name) () in
-    Kbench.pp_table Format.std_formatter results;
+    let log name = Fmt.pr "  [%s]@." name in
+    let results, serve_results =
+      match suite with
+      | `Kernels -> (Kbench.run ~fast ~log (), None)
+      | `Dataset -> (Dbench.run ~fast ~log (), None)
+      | `Serve ->
+        let rs = Sbench.run ~fast ~log () in
+        (Sbench.to_kbench rs, Some rs)
+    in
+    (match serve_results with
+    | Some rs -> Sbench.pp_table Format.std_formatter rs
+    | None -> Kbench.pp_table Format.std_formatter results);
     Option.iter
       (fun path ->
-        Kbench.write_json ~path results;
+        (match serve_results with
+        | Some rs -> Sbench.write_json ~path rs
+        | None -> Kbench.write_json ~path results);
         Fmt.pr "wrote %s@." path)
       json;
     match baseline with
@@ -711,4 +938,4 @@ let bench_cmd =
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in
   let info = Cmd.info "cachebox" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; loadgen_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))

@@ -276,6 +276,25 @@ let bn_states t =
 
 let state = bn_states
 
+let clone t =
+  (* Same config, any seed: every weight and every batch-norm running
+     statistic is then overwritten from [t], so the copy is functionally
+     identical. Param/state orderings are deterministic for a fixed config
+     (both are built by the same structural traversal). *)
+  let c = create ~seed:0 t.cfg in
+  List.iter2
+    (fun (src : Param.t) (dst : Param.t) ->
+      Tensor.blit ~src:src.Param.value ~dst:dst.Param.value)
+    (generator_params t @ discriminator_params t)
+    (generator_params c @ discriminator_params c);
+  List.iter2
+    (fun (name_src, (src : float array)) (name_dst, dst) ->
+      if name_src <> name_dst || Array.length src <> Array.length dst then
+        invalid_arg "Cbgan.clone: state mismatch";
+      Array.blit src 0 dst 0 (Array.length src))
+    (bn_states t) (bn_states c);
+  c
+
 let save t path =
   Checkpoint.save path
     ~params:(generator_params t @ discriminator_params t)

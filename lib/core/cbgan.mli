@@ -69,6 +69,11 @@ val state : t -> (string * float array) list
     {e live} named arrays: mutating them mutates the model. Used by
     checkpointing and by the training loop's snapshot/rollback machinery. *)
 
+val clone : t -> t
+(** Deep copy: same configuration, independent parameter and batch-norm
+    state storage, identical values. Replica pools clone the loaded model so
+    concurrent batches never share mutable forward-pass state. *)
+
 val save : t -> string -> unit
 val load : t -> string -> unit
 (** Loads weights into an existing model of identical configuration. *)

@@ -40,6 +40,58 @@ let synthesize model spec ?(batch_size = 8) ?domains ~cache access_heatmaps =
   Dpool.parallel_map_array ?domains run_batch batch_list
   |> Array.to_list |> List.concat
 
+let synthesize_group model spec ?(batch_size = 8) ?domains items =
+  if batch_size <= 0 then
+    invalid_arg "Cbox_infer.synthesize_group: batch_size must be positive";
+  let h = (Cbgan.model_config model).Cbgan.image_size in
+  (* Flatten every request's windows into one (cache, image) stream; the
+     conditioning tensor carries one row per sample, so windows of requests
+     with different cache geometries share a forward pass. Inference
+     batch-norm uses running statistics, so each sample's output is
+     independent of its batch mates — results are bit-identical to scoring
+     each request alone (the serve-batch suite asserts this). *)
+  let flat =
+    List.concat_map (fun (cache, imgs) -> List.map (fun img -> (cache, img)) imgs) items
+  in
+  let run_batch batch =
+    let rng = Prng.create 0 in
+    let imgs = List.map snd batch in
+    let x = Cbox_dataset.batch_images spec imgs in
+    let n = List.length batch in
+    let cp =
+      if (Cbgan.model_config model).Cbgan.use_cache_params then
+        Some (Cbgan.cache_params_tensor (List.map fst batch))
+      else None
+    in
+    let out =
+      Value.value (Cbgan.generator_forward model ~rng ~training:false ?cache_params:cp x)
+    in
+    List.init n (fun i ->
+        let img = Tensor.slice_batch out i 1 in
+        Cbox_dataset.denormalize spec (Tensor.view img [| h; h |]))
+  in
+  let rec batches acc = function
+    | [] -> List.rev acc
+    | xs ->
+      let batch = List.filteri (fun i _ -> i < batch_size) xs in
+      let rest = List.filteri (fun i _ -> i >= batch_size) xs in
+      batches (batch :: acc) rest
+  in
+  let outputs =
+    Dpool.parallel_map_array ?domains run_batch (Array.of_list (batches [] flat))
+    |> Array.to_list |> List.concat
+  in
+  (* Unflatten back to one synthetic list per request, preserving order. *)
+  let rec split outs = function
+    | [] -> []
+    | (_, imgs) :: rest ->
+      let k = List.length imgs in
+      let mine = List.filteri (fun i _ -> i < k) outs in
+      let theirs = List.filteri (fun i _ -> i >= k) outs in
+      mine :: split theirs rest
+  in
+  split outputs items
+
 let predict_hit_rate model spec ?batch_size ?domains ~cache access =
   let synthetic = synthesize model spec ?batch_size ?domains ~cache access in
   Heatmap.hit_rate spec ~access ~miss:synthetic

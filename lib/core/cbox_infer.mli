@@ -29,6 +29,21 @@ val synthesize :
     — sample results are independent because inference batch-norm uses
     running statistics, so the parallel and serial paths agree exactly. *)
 
+val synthesize_group :
+  Cbgan.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  ?domains:int ->
+  (Cache.config * Tensor.t list) list ->
+  Tensor.t list list
+(** Cross-request batching: each item is one request's (cache geometry,
+    access heatmaps); ALL windows of ALL items are flattened into shared
+    forward passes — the conditioning tensor carries one row per sample, so
+    requests with different geometries batch together. Returns one synthetic
+    list per item, order preserved. Because inference batch-norm uses running
+    statistics, outputs are bit-identical to calling {!synthesize} per item
+    (asserted by the serve-batch suite); only the speed differs. *)
+
 val predict_hit_rate :
   Cbgan.t ->
   Heatmap.spec ->

@@ -27,6 +27,46 @@ let arm ?(count = 1) fault ~at_batch =
 
 let disarm () = current := None
 
+(* "fault[:param][@at[xcount]]" — e.g. "slow:0.05@3x2" arms Slow 0.05 at
+   request 3 for 2 shots. Lets a load-test script arm a fault inside the
+   daemon process it spawns, where no test harness runs. *)
+let arm_from_env ?(var = "CACHEBOX_FAULT") () =
+  match Sys.getenv_opt var with
+  | None | Some "" -> false
+  | Some spec ->
+    let body, at, count =
+      match String.index_opt spec '@' with
+      | None -> (spec, 1, 1)
+      | Some i ->
+        let body = String.sub spec 0 i in
+        let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+        (match String.index_opt rest 'x' with
+        | None -> (body, int_of_string rest, 1)
+        | Some j ->
+          ( body,
+            int_of_string (String.sub rest 0 j),
+            int_of_string (String.sub rest (j + 1) (String.length rest - j - 1)) ))
+    in
+    let name, param =
+      match String.index_opt body ':' with
+      | None -> (body, None)
+      | Some i ->
+        ( String.sub body 0 i,
+          Some (String.sub body (i + 1) (String.length body - i - 1)) )
+    in
+    let fault =
+      match (String.lowercase_ascii name, param) with
+      | "kill", _ -> Kill
+      | "nan_grad", _ -> Nan_grad
+      | "slow", Some s -> Slow (float_of_string s)
+      | "slow", None -> Slow 0.05
+      | "nan_output", _ -> Nan_output
+      | "corrupt_checkpoint", _ -> Corrupt_checkpoint
+      | _ -> invalid_arg (Printf.sprintf "Faultinject.arm_from_env: unknown fault %S" spec)
+    in
+    arm ~count fault ~at_batch:at;
+    true
+
 (* Fires iff a matching fault is armed and the (monotonic) index has reached
    its start point; consumes one of the remaining shots. *)
 let fires_if pred index =

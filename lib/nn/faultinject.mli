@@ -29,6 +29,15 @@ val arm : ?count:int -> fault -> at_batch:int -> unit
 val disarm : unit -> unit
 (** Clears any armed fault (tests should call this in cleanup). *)
 
+val arm_from_env : ?var:string -> unit -> bool
+(** Arms a fault described by the [CACHEBOX_FAULT] environment variable
+    (override the name with [var]); returns whether anything was armed.
+    Syntax ["fault[:param][@at[xcount]]"], e.g. ["slow:0.05@3x2"] arms
+    [Slow 0.05] at request 3 for 2 shots; fault names are [kill],
+    [nan_grad], [slow], [nan_output], [corrupt_checkpoint]. Lets the
+    concurrency stress script arm a fault inside the daemon process it
+    spawns. Raises [Invalid_argument] on an unknown fault name. *)
+
 (** {1 Training hooks} *)
 
 val kill_point : batch:int -> unit

@@ -6,6 +6,7 @@ type t = {
   threshold : int;
   cooldown : float;
   now : unit -> float;
+  m : Mutex.t;
   mutable st : internal;
   mutable failures : int;
   mutable opened : int;
@@ -14,17 +15,36 @@ type t = {
 let create ?(threshold = 3) ?(cooldown = 5.0) ~now () =
   if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
   if cooldown < 0.0 then invalid_arg "Breaker.create: cooldown must be >= 0";
-  { threshold; cooldown; now; st = St_closed; failures = 0; opened = 0 }
+  {
+    threshold;
+    cooldown;
+    now;
+    m = Mutex.create ();
+    st = St_closed;
+    failures = 0;
+    opened = 0;
+  }
 
-(* An expired cooldown surfaces as Half_open the moment anyone looks. *)
+(* Every observation and transition runs under the mutex: replica batches
+   complete concurrently, and a torn read-modify-write of the failure streak
+   could miss a trip or double-open. The critical sections are a few loads
+   and stores — contention is negligible next to a model forward pass. *)
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* An expired cooldown surfaces as Half_open the moment anyone looks.
+   Call only with the lock held. *)
 let refresh t =
   match t.st with
   | St_open until when t.now () >= until -> t.st <- St_half_open
   | _ -> ()
 
-let state t =
+let observe t =
   refresh t;
   match t.st with St_closed -> Closed | St_open _ -> Open | St_half_open -> Half_open
+
+let state t = with_lock t (fun () -> observe t)
 
 let state_name = function
   | Closed -> "closed"
@@ -38,16 +58,18 @@ let trip t =
   t.st <- St_open (t.now () +. t.cooldown)
 
 let record_success t =
-  t.failures <- 0;
-  t.st <- St_closed
+  with_lock t (fun () ->
+      t.failures <- 0;
+      t.st <- St_closed)
 
 let record_failure t =
-  refresh t;
-  t.failures <- t.failures + 1;
-  match t.st with
-  | St_half_open -> trip t (* failed probe: straight back to open *)
-  | St_closed when t.failures >= t.threshold -> trip t
-  | _ -> ()
+  with_lock t (fun () ->
+      refresh t;
+      t.failures <- t.failures + 1;
+      match t.st with
+      | St_half_open -> trip t (* failed probe: straight back to open *)
+      | St_closed when t.failures >= t.threshold -> trip t
+      | _ -> ())
 
-let consecutive_failures t = t.failures
-let times_opened t = t.opened
+let consecutive_failures t = with_lock t (fun () -> t.failures)
+let times_opened t = with_lock t (fun () -> t.opened)

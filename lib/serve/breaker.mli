@@ -6,8 +6,10 @@
     the model) → success closes, failure re-opens.
 
     Time is injected at construction so tests drive transitions with a fake
-    clock. Not thread-safe by itself: the serving engine calls it from its
-    single worker. *)
+    clock. Thread-safe: every observation and transition runs under an
+    internal mutex, because replica-pool batches complete concurrently and
+    each completion records per-request outcomes (the serve-batch suite
+    hammers this from parallel threads and checks the open count). *)
 
 type state = Closed | Open | Half_open
 

@@ -3,125 +3,22 @@ type listen = Unix_socket of string | Tcp of string * int
 type config = {
   listen : listen;
   queue_depth : int;
+  batcher : Batcher.config;
   engine : Serve_engine.config;
 }
 
 let default_config listen =
-  { listen; queue_depth = 64; engine = Serve_engine.default_config () }
+  {
+    listen;
+    queue_depth = 64;
+    batcher = Batcher.default_config;
+    engine = Serve_engine.default_config ();
+  }
 
 (* A queued request: the raw line, its admission timestamp (deadlines count
-   from it, so queue wait is on the clock) plus a one-shot reply slot the
-   worker fills and the connection reader blocks on. *)
-type job = {
-  line : string;
-  arrival : float;
-  mutable reply : Serve_engine.outcome option;
-  m : Mutex.t;
-  cv : Condition.t;
-}
-
-let make_job ~arrival line =
-  { line; arrival; reply = None; m = Mutex.create (); cv = Condition.create () }
-
-let fulfill job outcome =
-  Mutex.lock job.m;
-  job.reply <- Some outcome;
-  Condition.signal job.cv;
-  Mutex.unlock job.m
-
-let await job =
-  Mutex.lock job.m;
-  while job.reply = None do
-    Condition.wait job.cv job.m
-  done;
-  let r = Option.get job.reply in
-  Mutex.unlock job.m;
-  r
-
-let send_line oc json =
-  output_string oc (Sjson.to_string json);
-  output_char oc '\n';
-  flush oc
-
-(* Live client fds, so shutdown can wake readers blocked in input_line. *)
-type clients = { cm : Mutex.t; mutable fds : Unix.file_descr list }
-
-let clients_create () = { cm = Mutex.create (); fds = [] }
-
-let clients_add c fd =
-  Mutex.lock c.cm;
-  c.fds <- fd :: c.fds;
-  Mutex.unlock c.cm
-
-let clients_remove c fd =
-  Mutex.lock c.cm;
-  c.fds <- List.filter (fun f -> f <> fd) c.fds;
-  Mutex.unlock c.cm
-
-let clients_snapshot c =
-  Mutex.lock c.cm;
-  let fds = c.fds in
-  Mutex.unlock c.cm;
-  fds
-
-(* Worker: drains the queue through the engine; flips [stop] on shutdown.
-   Jobs admitted before the shutdown closed the queue still have readers
-   blocked in [await], so they are drained and answered (as shed) rather
-   than abandoned — an unfulfilled job would deadlock [run]'s reader
-   join. *)
-let worker_loop engine queue stop =
-  let rec go () =
-    match Squeue.pop queue with
-    | None -> ()
-    | Some job -> (
-      match Serve_engine.handle_line engine ~arrival:job.arrival job.line with
-      | Serve_engine.Reply _ as outcome ->
-        fulfill job outcome;
-        go ()
-      | Serve_engine.Shutdown_reply _ as outcome ->
-        stop := true;
-        fulfill job outcome;
-        Squeue.close queue;
-        let rec drain () =
-          match Squeue.pop queue with
-          | None -> ()
-          | Some orphan ->
-            fulfill orphan (Serve_engine.Reply (Serve_engine.draining_reply engine));
-            drain ()
-        in
-        drain ())
-  in
-  go ()
-
-(* Connection reader: one thread per client, lines answered in order. *)
-let connection_loop engine queue clients fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let rec go () =
-    match input_line ic with
-    | line ->
-      let line = String.trim line in
-      if line = "" then go ()
-      else begin
-        let job = make_job ~arrival:(Serve_engine.now engine) line in
-        if Squeue.try_push queue job then begin
-          (match await job with
-          | Serve_engine.Reply json | Serve_engine.Shutdown_reply json -> send_line oc json);
-          go ()
-        end
-        else begin
-          send_line oc (Serve_engine.overload_reply engine);
-          go ()
-        end
-      end
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      clients_remove clients fd;
-      try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> try go () with Sys_error _ -> ())
+   from it, so queue wait is on the clock) and the reactor ticket that will
+   carry the reply back to the connection, in per-connection order. *)
+type job = { line : string; arrival : float; ticket : Reactor.ticket }
 
 let bind_listener = function
   | Unix_socket path ->
@@ -167,12 +64,135 @@ let bind_listener = function
          (Unix.error_message e));
     fd
 
+(* The batcher thread: drains the admission queue, coalesces infer requests
+   in the {!Batcher}, and runs due batches through the engine — inline when
+   there is a single replica, through a pool of executor threads otherwise.
+
+   Shutdown protocol, on a [{"op": "shutdown"}] line:
+   + flip [draining] so the reactor answers further lines with the shed
+     reply without touching the queue;
+   + answer the shutdown request itself;
+   + requests already coalescing in the batcher were picked up before the
+     shutdown, so they get real (batched) answers;
+   + close the executor pool and the admission queue, answering orphaned
+     queue entries as shed;
+   + stop the reactor, which flushes every reply and closes connections —
+     idle clients see EOF. *)
+let batcher_loop engine cfg queue reactor draining =
+  let b : (Serve_engine.infer_item * Reactor.ticket) Batcher.t =
+    Batcher.create ~now:(fun () -> Serve_engine.now engine) cfg.batcher
+  in
+  let run_batch ?replica batch =
+    let replies = Serve_engine.infer_batch ?replica engine (List.map fst batch) in
+    List.iter2
+      (fun (_, tk) json -> Reactor.resolve tk (Sjson.to_string json))
+      batch replies
+  in
+  let replicas = Serve_engine.replica_count engine in
+  let exec_q =
+    if replicas > 1 then Some (Squeue.create ~capacity:(2 * replicas)) else None
+  in
+  let executors =
+    match exec_q with
+    | None -> []
+    | Some q ->
+      List.init replicas (fun k ->
+          Thread.create
+            (fun () ->
+              let rec go () =
+                match Squeue.pop q with
+                | None -> ()
+                | Some batch ->
+                  run_batch ~replica:k batch;
+                  go ()
+              in
+              go ())
+            ())
+  in
+  let dispatch batch =
+    if batch <> [] then
+      match exec_q with
+      | None -> run_batch batch
+      | Some q ->
+        (* The executor pool is small and bounded; back off until a slot
+           frees rather than shedding work already admitted. *)
+        let rec push () =
+          if not (Squeue.try_push q batch) then begin
+            Thread.delay 0.0005;
+            push ()
+          end
+        in
+        push ()
+  in
+  let process job =
+    match Serve_engine.classify_line ~arrival:job.arrival engine job.line with
+    | Serve_engine.Immediate (Serve_engine.Reply json) ->
+      Reactor.resolve job.ticket (Sjson.to_string json);
+      `Continue
+    | Serve_engine.Immediate (Serve_engine.Shutdown_reply json) ->
+      `Shutdown (job.ticket, json)
+    | Serve_engine.Batchable item ->
+      Serve_engine.set_item_pickup item (Serve_engine.now engine);
+      Batcher.push b ~deadline:(Serve_engine.item_deadline item) (item, job.ticket);
+      `Continue
+  in
+  let shutdown ticket json =
+    Atomic.set draining true;
+    Reactor.resolve ticket (Sjson.to_string json);
+    dispatch (Batcher.drain b);
+    (match exec_q with
+    | None -> ()
+    | Some q ->
+      Squeue.close q;
+      List.iter Thread.join executors);
+    Squeue.close queue;
+    let rec drain_orphans () =
+      match Squeue.pop queue with
+      | None -> ()
+      | Some orphan ->
+        Reactor.resolve orphan.ticket
+          (Sjson.to_string (Serve_engine.draining_reply engine));
+        drain_orphans ()
+    in
+    drain_orphans ();
+    Reactor.stop reactor
+  in
+  let rec loop () =
+    if Batcher.length b = 0 then
+      (* Nothing coalescing: block until the reactor admits a request. *)
+      match Squeue.pop queue with
+      | None -> Reactor.stop reactor (* external close: bail out cleanly *)
+      | Some job -> step job
+    else if Batcher.due b then begin
+      dispatch (Batcher.take b);
+      loop ()
+    end
+    else
+      (* A batch is forming: keep pulling ready work, and otherwise nap
+         until the earliest flush obligation (bounded so a new arrival is
+         picked up within a millisecond). *)
+      match Squeue.try_pop queue with
+      | Some job -> step job
+      | None ->
+        let wait =
+          match Batcher.next_flush b with
+          | Some at -> at -. Serve_engine.now engine
+          | None -> 0.001
+        in
+        if wait > 0.0 then Thread.delay (Float.min wait 0.001);
+        loop ()
+  and step job =
+    match process job with
+    | `Continue -> loop ()
+    | `Shutdown (ticket, json) -> shutdown ticket json
+  in
+  loop ()
+
 let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
   let engine = Serve_engine.create ?journal ~spec ~model config.engine in
-  let queue : job Squeue.t = Squeue.create ~capacity:config.queue_depth in
-  let stop = ref false in
   let listener = bind_listener config.listen in
-  Unix.listen listener 16;
+  Unix.listen listener 64;
+  Unix.set_nonblock listener;
   (match journal with
   | None -> ()
   | Some j ->
@@ -184,50 +204,26 @@ let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
             | Unix_socket p -> "unix:" ^ p
             | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p) );
         ("model_loaded", Runlog.B (Serve_engine.model_loaded engine));
+        ("replicas", Runlog.I (Serve_engine.replica_count engine));
       ]);
-  let worker = Thread.create (fun () -> worker_loop engine queue stop) () in
-  let clients = clients_create () in
-  let readers = ref [] in
+  let queue : job Squeue.t = Squeue.create ~capacity:config.queue_depth in
+  let reactor = Reactor.create ~listener () in
+  let draining = Atomic.make false in
+  Reactor.set_on_line reactor (fun ticket line ->
+      if Atomic.get draining then
+        Reactor.resolve ticket (Sjson.to_string (Serve_engine.draining_reply engine))
+      else begin
+        let job = { line; arrival = Serve_engine.now engine; ticket } in
+        if not (Squeue.try_push queue job) then
+          Reactor.resolve ticket (Sjson.to_string (Serve_engine.overload_reply engine))
+      end);
+  let batcher =
+    Thread.create (fun () -> batcher_loop engine config queue reactor draining) ()
+  in
   ready ();
-  (* Accept loop: [stop] is only observed between accepts, so the worker
-     also closes the listener to interrupt a blocking accept. *)
-  let rec accept_loop () =
-    if not !stop then
-      match Unix.accept listener with
-      | fd, _ ->
-        clients_add clients fd;
-        readers := Thread.create (fun () -> connection_loop engine queue clients fd) () :: !readers;
-        accept_loop ()
-      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
-        ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-  in
-  (* The worker cannot unblock the accept itself (it only sees the queue),
-     so poll [stop] from a watchdog. shutdown(2), not close(2): closing an
-     fd does not wake a thread already blocked in accept on Linux, while
-     shutdown makes that accept return EINVAL. *)
-  let watchdog =
-    Thread.create
-      (fun () ->
-        while not !stop do
-          Thread.delay 0.05
-        done;
-        try Unix.shutdown listener Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      ()
-  in
-  accept_loop ();
-  Squeue.close queue;
-  (* Join order matters: the worker first (it fulfills every admitted job,
-     releasing readers blocked in [await]), then wake the idle readers
-     blocked in input_line. SHUTDOWN_RECEIVE delivers the EOF without
-     cutting off a reply a reader is still flushing. *)
-  Thread.join worker;
-  List.iter
-    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-    (clients_snapshot clients);
-  List.iter Thread.join !readers;
-  Thread.join watchdog;
+  Reactor.run reactor;
+  Thread.join batcher;
   (try Unix.close listener with Unix.Unix_error _ -> ());
-  (match config.listen with
+  match config.listen with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-  | Tcp _ -> ())
+  | Tcp _ -> ()

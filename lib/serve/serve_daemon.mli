@@ -1,27 +1,38 @@
 (** The [cachebox serve] daemon: line-delimited JSON over a Unix-domain or
     TCP socket, in front of {!Serve_engine}.
 
-    Threading model: one reader thread per accepted connection parses lines
-    and pushes jobs into a bounded {!Squeue}; a single worker thread drains
-    it through the engine (the model is not reentrant). A full queue sheds
-    the request immediately with an [overloaded] reply — admission control,
-    not buffering. Jobs are stamped with their admission time, so time
-    spent queued counts against the request's deadline. A
+    Threading model: one non-blocking {!Reactor} event loop owns accept,
+    read and write for every connection (no per-connection threads); each
+    admitted line is pushed as a job into a bounded {!Squeue}. A single
+    batcher thread drains it: health/stats/validation-error requests are
+    answered immediately, valid infer requests coalesce in a {!Batcher}
+    until the batch is full or a linger/deadline obligation fires, then the
+    whole batch runs through one shared model forward
+    ({!Serve_engine.infer_batch}). With [engine.replicas > 1] due batches
+    are handed to a pool of executor threads, one per model replica, so
+    batches overlap.
+
+    A full queue sheds the request immediately with an [overloaded] reply —
+    admission control, not buffering. Jobs are stamped with their admission
+    time, so time spent queued counts against the request's deadline. A
     [{"op": "shutdown"}] request answers, then stops the daemon cleanly:
-    requests already admitted to the queue are answered with an
-    [overloaded] "server shutting down" error, idle connections are woken
-    with EOF, and the Unix socket file is removed. *)
+    requests already coalescing in the batcher get real (batched) answers,
+    requests still in the admission queue are answered with an [overloaded]
+    "server shutting down" error, idle connections are woken with EOF, and
+    the Unix socket file is removed. *)
 
 type listen = Unix_socket of string | Tcp of string * int
 
 type config = {
   listen : listen;
   queue_depth : int;  (** bounded admission queue capacity *)
+  batcher : Batcher.config;  (** micro-batching policy (size/linger) *)
   engine : Serve_engine.config;
 }
 
 val default_config : listen -> config
-(** Queue depth 64 over {!Serve_engine.default_config}. *)
+(** Queue depth 64, {!Batcher.default_config}, over
+    {!Serve_engine.default_config}. *)
 
 val run :
   ?journal:Runlog.t ->

@@ -9,6 +9,7 @@ type config = {
   grace_lo : float;
   grace_hi : float;
   warmup : bool;
+  replicas : int;
 }
 
 let default_config ?(fallback = Cbox_infer.Fallback_hrd) () =
@@ -23,6 +24,7 @@ let default_config ?(fallback = Cbox_infer.Fallback_hrd) () =
     grace_lo = -0.25;
     grace_hi = 1.25;
     warmup = true;
+    replicas = 1;
   }
 
 type t = {
@@ -30,9 +32,12 @@ type t = {
   spec : Heatmap.spec;
   now : unit -> float;
   journal : Runlog.t option;
+  jm : Mutex.t;  (* Runlog is not thread-safe; batch completions journal concurrently *)
   mutable model : Cbgan.t option;
+  pool : (Cbgan.t * Mutex.t) array;  (* replica 0 is [model] itself *)
   breaker : Breaker.t;
   stats : Serve_stats.t;
+  em : Mutex.t;  (* guards ewma_model_s and req_count across entrants *)
   mutable ewma_model_s : float;  (* 0 until the first model inference *)
   mutable req_count : int;
 }
@@ -55,18 +60,32 @@ let warmup_model ~spec ~batch_size model =
 
 let create ?now ?journal ~spec ~model cfg =
   let now = Option.value now ~default:Unix.gettimeofday in
+  if cfg.replicas < 1 then invalid_arg "Serve_engine.create: replicas must be >= 1";
+  (* Serving is forward-only, so the wide-batch conv lowering (bit-identical,
+     faster at batch > 1) is safe to leave on for the whole process. *)
+  Conv.set_wide_batch true;
   if cfg.warmup then
     Option.iter (warmup_model ~spec ~batch_size:cfg.batch_size) model;
+  let pool =
+    match model with
+    | None -> [||]
+    | Some m ->
+      Array.init cfg.replicas (fun i ->
+          ((if i = 0 then m else Cbgan.clone m), Mutex.create ()))
+  in
   {
     cfg;
     spec;
     now;
     journal;
+    jm = Mutex.create ();
     model;
+    pool;
     breaker =
       Breaker.create ~threshold:cfg.breaker_threshold ~cooldown:cfg.breaker_cooldown_s ~now
         ();
     stats = Serve_stats.create ();
+    em = Mutex.create ();
     ewma_model_s = 0.0;
     req_count = 0;
   }
@@ -81,7 +100,12 @@ let model_of_checkpoint ~seed model_cfg ~path =
         model)
 
 let journal_event t kind fields =
-  match t.journal with None -> () | Some j -> Runlog.event j kind fields
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    Mutex.lock t.jm;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.jm) (fun () ->
+        Runlog.event j kind fields)
 
 let stats t = Serve_stats.snapshot t.stats
 let breaker_state t = Breaker.state t.breaker
@@ -232,9 +256,27 @@ let journal_breaker_transition t before =
         ("to", Runlog.S (Breaker.state_name after));
       ]
 
-let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s =
+let next_index t =
+  Mutex.lock t.em;
   t.req_count <- t.req_count + 1;
-  let index = t.req_count in
+  let i = t.req_count in
+  Mutex.unlock t.em;
+  i
+
+let update_ewma t dur =
+  Mutex.lock t.em;
+  t.ewma_model_s <-
+    (if t.ewma_model_s = 0.0 then dur else (0.7 *. t.ewma_model_s) +. (0.3 *. dur));
+  Mutex.unlock t.em
+
+let ewma t =
+  Mutex.lock t.em;
+  let v = t.ewma_model_s in
+  Mutex.unlock t.em;
+  v
+
+let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s =
+  let index = next_index t in
   let fail_with e =
     record_and_reply t ~arrival ~ok:false ~degraded:false
       ~code:(Some e.Serve_error.code) (error_reply ?id e)
@@ -260,15 +302,14 @@ let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s =
                "deadline (%.0f ms) expired before processing started" (1000.0 *. budget))
         else begin
           let model_usable = t.model <> None && Breaker.allow t.breaker in
-          let headroom = t.now () +. t.ewma_model_s <= deadline in
+          let headroom = t.now () +. ewma t <= deadline in
           if model_usable && headroom then begin
             let before = Breaker.state t.breaker in
             let t0 = t.now () in
             match model_predict t index cache trace with
             | Ok hit_rate ->
               let dur = t.now () -. t0 in
-              t.ewma_model_s <-
-                (if t.ewma_model_s = 0.0 then dur else (0.7 *. t.ewma_model_s) +. (0.3 *. dur));
+              update_ewma t dur;
               Breaker.record_success t.breaker;
               journal_breaker_transition t before;
               if t.now () > deadline then
@@ -336,3 +377,215 @@ let handle_line ?arrival t line =
         (record_and_reply t ~arrival ~ok:false ~degraded:false
            ~code:(Some e.Serve_error.code) (error_reply e))
     | Ok req -> handle_request t ~arrival req)
+
+(* --- batched execution (the daemon's dynamic micro-batching path) --- *)
+
+type infer_item = {
+  item_id : string option;
+  item_arrival : float;
+  item_index : int;  (* admission order; the fault-injection index *)
+  item_cache : Cache.config;
+  item_trace : int array;
+  item_deadline : float;  (* absolute, on the engine clock *)
+  mutable item_pickup : float;  (* when the batcher popped it (stats) *)
+}
+
+type classified = Immediate of outcome | Batchable of infer_item
+
+let item_deadline it = it.item_deadline
+let set_item_pickup it ts = it.item_pickup <- ts
+
+let classify_request t ~arrival req =
+  match req with
+  | Validate.Infer { id; sets; ways; source; deadline_s } -> (
+    let fail_with e =
+      Immediate
+        (Reply
+           (record_and_reply t ~arrival ~ok:false ~degraded:false
+              ~code:(Some e.Serve_error.code) (error_reply ?id e)))
+    in
+    match
+      match Validate.cache_config ~sets ~ways () with
+      | Error e -> fail_with e
+      | Ok cache -> (
+        match resolve_trace t source with
+        | Error e -> fail_with e
+        | Ok trace -> (
+          match Validate.trace_for_spec t.spec ~max_len:t.cfg.max_trace_len trace with
+          | Error e -> fail_with e
+          | Ok () ->
+            let budget =
+              Float.min t.cfg.max_deadline_s
+                (Option.value deadline_s ~default:t.cfg.default_deadline_s)
+            in
+            Batchable
+              {
+                item_id = id;
+                item_arrival = arrival;
+                item_index = next_index t;
+                item_cache = cache;
+                item_trace = trace;
+                item_deadline = arrival +. budget;
+                item_pickup = arrival;
+              }))
+    with
+    | c -> c
+    | exception e ->
+      let e = Serve_error.of_exn e in
+      let e = { e with Serve_error.code = Serve_error.Internal } in
+      Immediate
+        (Reply
+           (record_and_reply t ~arrival ~ok:false ~degraded:false
+              ~code:(Some Serve_error.Internal) (error_reply ?id e))))
+  | req -> Immediate (handle_request t ~arrival req)
+
+let classify_line ?arrival t line =
+  let arrival = Option.value arrival ~default:(t.now ()) in
+  match Sjson.parse line with
+  | Error why ->
+    let e = Serve_error.v Serve_error.Bad_request "malformed JSON: %s" why in
+    Immediate
+      (Reply
+         (record_and_reply t ~arrival ~ok:false ~degraded:false
+            ~code:(Some Serve_error.Bad_request) (error_reply e)))
+  | Ok json -> (
+    match Validate.request ~max_trace_len:t.cfg.max_trace_len json with
+    | Error e ->
+      Immediate
+        (Reply
+           (record_and_reply t ~arrival ~ok:false ~degraded:false
+              ~code:(Some e.Serve_error.code) (error_reply e)))
+    | Ok req -> classify_request t ~arrival req)
+
+let replica_count t = max 1 (Array.length t.pool)
+
+(* Per-item execution plan, decided once at batch start. Unlike the
+   sequential path, the admission decision (breaker state, headroom) is made
+   for the whole batch at its start: a breaker that trips while the batch
+   runs affects the NEXT batch, not batch mates that already went through
+   the shared forward pass. *)
+type plan =
+  | P_expired
+  | P_baseline of string  (* degradation reason *)
+  | P_fault of string  (* model fault raised before the forward *)
+  | P_forward
+
+let infer_batch ?(replica = 0) t items =
+  match items with
+  | [] -> []
+  | _ ->
+    let t0 = t.now () in
+    let have_model = Array.length t.pool > 0 in
+    let model_usable = have_model && Breaker.allow t.breaker in
+    let est = ewma t in
+    let pairs =
+      List.map
+        (fun it ->
+          let plan =
+            if t0 > it.item_deadline then P_expired
+            else if not model_usable then
+              P_baseline (if have_model then "breaker_open" else "model_unavailable")
+            else if t0 +. est > it.item_deadline then P_baseline "deadline"
+            else if Faultinject.checkpoint_fault ~index:it.item_index then
+              P_fault "checkpoint unreadable (injected fault)"
+            else P_forward
+          in
+          (it, plan))
+        items
+    in
+    let fwd = List.filter (fun (_, p) -> p = P_forward) pairs in
+    (* A slow fault stalls the whole batch (the forward pass is shared);
+       sleeping the summed delay keeps total injected latency equal to the
+       sequential path. *)
+    let slow =
+      List.fold_left
+        (fun acc (it, _) -> acc +. Faultinject.slow_delay ~index:it.item_index)
+        0.0 fwd
+    in
+    if slow > 0.0 then Unix.sleepf slow;
+    let n_fwd = List.length fwd in
+    let results : (int, (float, string) result) Hashtbl.t = Hashtbl.create 16 in
+    (if n_fwd > 0 then
+       let model, lock = t.pool.(replica mod Array.length t.pool) in
+       let inputs =
+         List.map
+           (fun (it, _) -> (it.item_cache, Heatmap.of_trace t.spec it.item_trace))
+           fwd
+       in
+       let t_f0 = t.now () in
+       match
+         Mutex.lock lock;
+         Fun.protect
+           ~finally:(fun () -> Mutex.unlock lock)
+           (fun () ->
+             Cbox_infer.synthesize_group model t.spec ~batch_size:t.cfg.batch_size
+               inputs)
+       with
+       | synth ->
+         let dur = t.now () -. t_f0 in
+         update_ewma t (dur /. float_of_int n_fwd);
+         Serve_stats.record_batch t.stats ~size:n_fwd;
+         List.iter2
+           (fun ((it, _), (_, access)) syn ->
+             Faultinject.poison_output ~index:it.item_index syn;
+             let r =
+               match Heatmap.hit_rate t.spec ~access ~miss:syn with
+               | raw ->
+                 Cbox_infer.validate_hit_rate ~lo:t.cfg.grace_lo ~hi:t.cfg.grace_hi raw
+               | exception e -> Error (Printexc.to_string e)
+             in
+             Hashtbl.replace results it.item_index r)
+           (List.combine fwd inputs) synth
+       | exception e ->
+         (* The shared forward died: every batch mate records the fault. *)
+         let why = Printexc.to_string e in
+         List.iter (fun (it, _) -> Hashtbl.replace results it.item_index (Error why)) fwd);
+    (* Replies, breaker bookkeeping and stage accounting, in item order. *)
+    List.map
+      (fun (it, plan) ->
+        let arrival = it.item_arrival and id = it.item_id in
+        let infer_share =
+          match plan with
+          | P_forward when n_fwd > 0 -> (t.now () -. t0) /. float_of_int n_fwd
+          | _ -> 0.0
+        in
+        Serve_stats.record_stages t.stats
+          ~queue_s:(it.item_pickup -. arrival)
+          ~batch_s:(t0 -. it.item_pickup) ~infer_s:infer_share;
+        let fault why =
+          let before = Breaker.state t.breaker in
+          Breaker.record_failure t.breaker;
+          journal_breaker_transition t before;
+          journal_event t "model_fault" [ ("why", Runlog.S why) ];
+          baseline t ~arrival ~id ~reason:("model_fault: " ^ why) it.item_cache
+            it.item_trace
+        in
+        match plan with
+        | P_expired ->
+          let budget = it.item_deadline -. arrival in
+          let e =
+            Serve_error.v Serve_error.Deadline_exceeded
+              "deadline (%.0f ms) expired before processing started" (1000.0 *. budget)
+          in
+          record_and_reply t ~arrival ~ok:false ~degraded:false
+            ~code:(Some e.Serve_error.code) (error_reply ?id e)
+        | P_baseline reason -> baseline t ~arrival ~id ~reason it.item_cache it.item_trace
+        | P_fault why -> fault why
+        | P_forward -> (
+          match Hashtbl.find_opt results it.item_index with
+          | Some (Ok hit_rate) ->
+            let before = Breaker.state t.breaker in
+            Breaker.record_success t.breaker;
+            journal_breaker_transition t before;
+            if t.now () > it.item_deadline then
+              baseline t ~arrival ~id ~reason:"deadline" it.item_cache it.item_trace
+            else
+              record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
+                (hit_rate_reply ?id ~degraded:false ~source:"model" ~reason:None
+                   ~latency_ms:(1000.0 *. (t.now () -. arrival))
+                   hit_rate)
+          | Some (Error why) -> fault why
+          | None ->
+            (* Unreachable: every P_forward item was given a result above. *)
+            fault "batch result missing"))
+      pairs

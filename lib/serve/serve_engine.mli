@@ -16,9 +16,13 @@
     + a typed error ([model_unavailable] / [deadline_exceeded]) when
       fallback is off.
 
-    Single-consumer: call {!handle_line} from one worker thread (the model
-    is not reentrant). {!note_shed} and {!stats} are safe from any
-    thread. *)
+    Concurrency: the engine is multi-entrant across {e replicas}. Each
+    replica is an independent deep copy of the model guarded by its own
+    mutex, so up to [config.replicas] batches run concurrently through
+    {!infer_batch}; the breaker, stats, journal, request counter and
+    latency EWMA are shared and internally synchronised. A single model
+    instance is still not reentrant — two calls targeting the same replica
+    index serialise on its mutex. *)
 
 type config = {
   fallback : Cbox_infer.fallback;
@@ -33,12 +37,15 @@ type config = {
   warmup : bool;
       (** run one small inference at {!create} so the first request doesn't
           pay cold-start costs (workspace arena population, Dpool spin-up) *)
+  replicas : int;
+      (** model copies in the replica pool; batches dispatched to distinct
+          replicas run concurrently *)
 }
 
 val default_config : ?fallback:Cbox_infer.fallback -> unit -> config
 (** HRD fallback, 5 s default / 60 s max deadline, 2M-access trace cap,
     breaker 3 faults / 5 s cooldown, batch 8, grace [\[-0.25, 1.25\]],
-    warmup on. *)
+    warmup on, 1 replica. *)
 
 type t
 
@@ -88,3 +95,43 @@ val breaker_state : t -> Breaker.state
 val model_loaded : t -> bool
 val requests_seen : t -> int
 (** Count of [infer] requests admitted so far (the fault-injection index). *)
+
+(** {2 Batched execution}
+
+    The daemon's dynamic micro-batching path: {!classify_line} splits a
+    protocol line into either an immediate outcome (health/stats/shutdown,
+    validation errors — answered without queueing for the model) or a
+    batchable infer item; {!infer_batch} then executes a coalesced batch of
+    items through ONE shared model forward pass. Replies are bit-identical
+    to running {!handle_line} per request (inference batch-norm uses running
+    statistics, and the wide-batch conv lowering preserves accumulation
+    order), except for the [latency_ms] field. *)
+
+type infer_item
+
+type classified = Immediate of outcome | Batchable of infer_item
+
+val classify_line : ?arrival:float -> t -> string -> classified
+(** Parse + validate one protocol line. Validation errors and non-infer ops
+    are [Immediate] (already recorded in stats); a valid infer request
+    becomes a [Batchable] item stamped with its admission index and absolute
+    deadline. Total, like {!handle_line}. *)
+
+val item_deadline : infer_item -> float
+(** Absolute deadline on the engine clock — feed it to {!Batcher.push}. *)
+
+val set_item_pickup : infer_item -> float -> unit
+(** Stamp when the batcher popped the item from the admission queue
+    (queue-wait vs batch-wait attribution in {!Serve_stats}). *)
+
+val infer_batch : ?replica:int -> t -> infer_item list -> Sjson.t list
+(** Execute a batch: one reply per item, in order. Expired, breaker-blocked
+    and no-headroom items degrade per the ladder without touching the model;
+    the rest share one batched forward on replica [replica mod replicas]
+    (concurrent calls on distinct replicas run in parallel; same replica
+    serialises). Faults injected per admission index fire for their item
+    only — except [Slow], which stalls the whole batch by the summed delay.
+    The breaker/headroom admission decision is made once at batch start. *)
+
+val replica_count : t -> int
+(** Size of the replica pool (1 when no model is loaded). *)

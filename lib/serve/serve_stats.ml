@@ -8,6 +8,16 @@ type t = {
   ring : float array;
   mutable ring_len : int;  (* samples stored, <= Array.length ring *)
   mutable ring_pos : int;  (* next write slot *)
+  (* Stage accounting: per-request sums in seconds, plus how many requests
+     carried stage timings (health/stats requests don't). *)
+  mutable staged : int;
+  mutable queue_sum_s : float;
+  mutable batch_sum_s : float;
+  mutable infer_sum_s : float;
+  (* Batching: forward passes executed and requests they carried. *)
+  mutable batches : int;
+  mutable batched_requests : int;
+  mutable max_batch : int;
 }
 
 type summary = {
@@ -19,6 +29,14 @@ type summary = {
   p50_ms : float;
   p99_ms : float;
   window : int;
+  staged : int;
+  queue_ms_mean : float;
+  batch_ms_mean : float;
+  infer_ms_mean : float;
+  batches : int;
+  batched_requests : int;
+  max_batch : int;
+  mean_batch : float;
 }
 
 let create ?(window = 1024) () =
@@ -33,6 +51,13 @@ let create ?(window = 1024) () =
     ring = Array.make window 0.0;
     ring_len = 0;
     ring_pos = 0;
+    staged = 0;
+    queue_sum_s = 0.0;
+    batch_sum_s = 0.0;
+    infer_sum_s = 0.0;
+    batches = 0;
+    batched_requests = 0;
+    max_batch = 0;
   }
 
 let with_lock t f =
@@ -54,6 +79,19 @@ let record t ~ok ~degraded ~code ~latency_s =
       t.ring_pos <- (t.ring_pos + 1) mod Array.length t.ring;
       t.ring_len <- min (t.ring_len + 1) (Array.length t.ring))
 
+let record_stages t ~queue_s ~batch_s ~infer_s =
+  with_lock t (fun () ->
+      t.staged <- t.staged + 1;
+      t.queue_sum_s <- t.queue_sum_s +. Float.max 0.0 queue_s;
+      t.batch_sum_s <- t.batch_sum_s +. Float.max 0.0 batch_s;
+      t.infer_sum_s <- t.infer_sum_s +. Float.max 0.0 infer_s)
+
+let record_batch t ~size =
+  with_lock t (fun () ->
+      t.batches <- t.batches + 1;
+      t.batched_requests <- t.batched_requests + size;
+      if size > t.max_batch then t.max_batch <- size)
+
 let shed t = with_lock t (fun () -> t.shed_count <- t.shed_count + 1)
 
 let percentile sorted p =
@@ -67,6 +105,7 @@ let snapshot t =
   with_lock t (fun () ->
       let samples = Array.sub t.ring 0 t.ring_len in
       Array.sort compare samples;
+      let mean sum n = if n = 0 then 0.0 else 1000.0 *. sum /. float_of_int n in
       {
         served = t.served;
         ok = t.ok;
@@ -82,4 +121,14 @@ let snapshot t =
         p50_ms = 1000.0 *. percentile samples 0.50;
         p99_ms = 1000.0 *. percentile samples 0.99;
         window = t.ring_len;
+        staged = t.staged;
+        queue_ms_mean = mean t.queue_sum_s t.staged;
+        batch_ms_mean = mean t.batch_sum_s t.staged;
+        infer_ms_mean = mean t.infer_sum_s t.staged;
+        batches = t.batches;
+        batched_requests = t.batched_requests;
+        max_batch = t.max_batch;
+        mean_batch =
+          (if t.batches = 0 then 0.0
+           else float_of_int t.batched_requests /. float_of_int t.batches);
       })

@@ -1,7 +1,9 @@
-(** Serving counters and latency percentiles.
+(** Serving counters, stage timings and latency percentiles.
 
-    Thread-safe (readers shed from connection threads, the worker records
-    completions). Latencies are kept in a fixed-size ring of the most
+    Thread-safe: every mutation and the snapshot run under one internal
+    mutex, so counters stay consistent when replica-pool batches complete
+    concurrently (readers shed from the reactor, batch completions record
+    from pool threads). Latencies are kept in a fixed-size ring of the most
     recent samples; p50/p99 are computed over that window on demand. *)
 
 type t
@@ -15,6 +17,14 @@ type summary = {
   p50_ms : float;  (** 0 when no samples *)
   p99_ms : float;
   window : int;  (** latency samples currently in the ring *)
+  staged : int;  (** requests that carried stage timings (infer only) *)
+  queue_ms_mean : float;  (** admission → batcher pickup *)
+  batch_ms_mean : float;  (** batcher pickup → forward-pass start *)
+  infer_ms_mean : float;  (** forward pass, amortised share per request *)
+  batches : int;  (** batched forward passes executed *)
+  batched_requests : int;  (** infer requests those batches carried *)
+  max_batch : int;
+  mean_batch : float;  (** batched_requests / batches; 0 with no batches *)
 }
 
 val create : ?window:int -> unit -> t
@@ -23,6 +33,13 @@ val create : ?window:int -> unit -> t
 val record :
   t -> ok:bool -> degraded:bool -> code:Serve_error.code option -> latency_s:float -> unit
 (** One answered request. [code] is set for error answers. *)
+
+val record_stages : t -> queue_s:float -> batch_s:float -> infer_s:float -> unit
+(** Per-stage wall-clock breakdown for one answered infer request (negative
+    inputs clamp to 0). *)
+
+val record_batch : t -> size:int -> unit
+(** One batched forward pass carrying [size] requests. *)
 
 val shed : t -> unit
 (** One request rejected at admission. *)

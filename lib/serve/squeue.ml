@@ -29,6 +29,9 @@ let try_push t x =
         true
       end)
 
+let try_pop t =
+  with_lock t (fun () -> if Queue.is_empty t.q then None else Some (Queue.pop t.q))
+
 let pop t =
   with_lock t (fun () ->
       let rec wait () =

@@ -19,6 +19,10 @@ val pop : 'a t -> 'a option
 (** Blocks until an item arrives; [None] once the queue is closed {e and}
     drained. *)
 
+val try_pop : 'a t -> 'a option
+(** [None] when the queue is currently empty (closed or not). Never blocks —
+    the batcher uses it to drain whatever is ready without waiting. *)
+
 val close : 'a t -> unit
 (** Rejects future pushes and wakes blocked poppers (idempotent). *)
 

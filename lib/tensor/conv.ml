@@ -12,6 +12,26 @@ let tconv_out_size ~size ~kernel ~stride ~pad =
    as Blas.par_flops); thresholding never changes results. *)
 let par_work = 16_384
 
+(* Wide-batch forward mode: lower the whole batch to ONE GEMM over a
+   [k x n*cols] column matrix instead of one small GEMM per sample. At
+   serving shapes the per-call GEMM overhead (packing setup, dispatch)
+   dominates the tiny per-sample matrices, so the wide lowering is the
+   lever that makes batched inference beat batch-1 (2-6x on the U-Net
+   encoder shapes). Values are bit-identical to the per-sample path: each
+   output element's K-accumulation order depends only on the K blocking,
+   which is the same for every N, and im2col/col2im keep their per-sample
+   loop order. Off by default — training backward passes never use it, and
+   the per-sample path remains the reference. *)
+let wide_flag =
+  Atomic.make
+    (match Sys.getenv_opt "CACHEBOX_WIDECONV" with
+    | Some ("0" | "off" | "false") -> false
+    | Some _ -> true
+    | None -> false)
+
+let set_wide_batch b = Atomic.set wide_flag b
+let wide_batch () = Atomic.get wide_flag
+
 (* Unfold sample [n] of [x] into a caller-owned [c*k*k x oh*ow] column
    matrix. Only in-bounds positions are written — a set that depends on the
    geometry alone, never the data — so a workspace buffer zeroed once can be
@@ -54,6 +74,48 @@ let im2col_into x ~n ~kernel ~stride ~pad cols =
   in
   if c * kernel * kernel * ncols < par_work then channels 0 (c - 1)
   else Dpool.parallel_for c channels
+
+(* Unfold EVERY sample of [x] into one wide [c*k*k x n*oh*ow] column matrix,
+   sample ni owning the column band [ni*oh*ow .. (ni+1)*oh*ow). Same zeroing
+   contract as im2col_into (only in-bounds positions are written). Samples
+   write disjoint column bands, so the sample loop parallelises. *)
+let im2col_wide_into x ~kernel ~stride ~pad cols =
+  let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let oh = out_size ~size:h ~kernel ~stride ~pad in
+  let ow = out_size ~size:w ~kernel ~stride ~pad in
+  let ncols = oh * ow in
+  let ld = n * ncols in
+  if Tensor.dim cols 0 <> c * kernel * kernel || Tensor.dim cols 1 <> ld then
+    invalid_arg "Conv.im2col_wide_into: column matrix shape mismatch";
+  let xd = x.Tensor.data and cd = cols.Tensor.data in
+  Dpool.parallel_for n (fun nlo nhi ->
+      for ni = nlo to nhi do
+        let sample_base = ni * c * h * w in
+        let col0 = ni * ncols in
+        for ci = 0 to c - 1 do
+          let chan_base = sample_base + (ci * h * w) in
+          for kh = 0 to kernel - 1 do
+            for kw = 0 to kernel - 1 do
+              let row = (((ci * kernel) + kh) * kernel) + kw in
+              let row_base = (row * ld) + col0 in
+              for ohi = 0 to oh - 1 do
+                let ih = (ohi * stride) - pad + kh in
+                if ih >= 0 && ih < h then begin
+                  let in_row = chan_base + (ih * w) in
+                  let out_row = row_base + (ohi * ow) in
+                  for owi = 0 to ow - 1 do
+                    let iw = (owi * stride) - pad + kw in
+                    if iw >= 0 && iw < w then
+                      Bigarray.Array1.unsafe_set cd (out_row + owi)
+                        (Bigarray.Array1.unsafe_get xd (in_row + iw))
+                  done
+                end
+              done
+            done
+          done
+        done
+      done)
 
 let im2col x ~n ~kernel ~stride ~pad =
   let c = Tensor.dim x 1 and h = Tensor.dim x 2 and w = Tensor.dim x 3 in
@@ -102,6 +164,49 @@ let col2im cols ~dst ~n ~channels:nchan ~height ~width ~kernel ~stride ~pad =
   if nchan * kernel * kernel * ncols < par_work then channels 0 (nchan - 1)
   else Dpool.parallel_for nchan channels
 
+(* Adjoint of im2col_wide_into: scatter-accumulate each sample's column band
+   back into its plane of [dst]. Within a sample the accumulation order per
+   element is exactly col2im's, so results stay bit-identical to per-sample
+   col2im calls; samples touch disjoint planes so the outer loop
+   parallelises. *)
+let col2im_wide cols ~dst ~channels:nchan ~height ~width ~kernel ~stride ~pad =
+  let n = Tensor.dim dst 0 in
+  let oh = out_size ~size:height ~kernel ~stride ~pad in
+  let ow = out_size ~size:width ~kernel ~stride ~pad in
+  let ncols = oh * ow in
+  let ld = n * ncols in
+  if Tensor.dim cols 0 <> nchan * kernel * kernel || Tensor.dim cols 1 <> ld then
+    invalid_arg "Conv.col2im_wide: column matrix shape mismatch";
+  let cd = cols.Tensor.data and dd = dst.Tensor.data in
+  Dpool.parallel_for n (fun nlo nhi ->
+      for ni = nlo to nhi do
+        let sample_base = ni * nchan * height * width in
+        let col0 = ni * ncols in
+        for ci = 0 to nchan - 1 do
+          let chan_base = sample_base + (ci * height * width) in
+          for kh = 0 to kernel - 1 do
+            for kw = 0 to kernel - 1 do
+              let row = (((ci * kernel) + kh) * kernel) + kw in
+              let row_base = (row * ld) + col0 in
+              for ohi = 0 to oh - 1 do
+                let ih = (ohi * stride) - pad + kh in
+                if ih >= 0 && ih < height then begin
+                  let out_row = chan_base + (ih * width) in
+                  let col_row = row_base + (ohi * ow) in
+                  for owi = 0 to ow - 1 do
+                    let iw = (owi * stride) - pad + kw in
+                    if iw >= 0 && iw < width then
+                      Bigarray.Array1.unsafe_set dd (out_row + iw)
+                        (Bigarray.Array1.unsafe_get dd (out_row + iw)
+                        +. Bigarray.Array1.unsafe_get cd (col_row + owi))
+                  done
+                end
+              done
+            done
+          done
+        done
+      done)
+
 let add_bias_nchw y bias =
   match bias with
   | None -> ()
@@ -147,23 +252,47 @@ let conv2d ~x ~weight ~bias ~stride ~pad =
   let ow = out_size ~size:w ~kernel ~stride ~pad in
   let y = Tensor.zeros [| n; oc; oh; ow |] in
   let wm = Tensor.view weight [| oc; ic * kernel * kernel |] in
-  (* Samples are independent and write disjoint planes of y: run them on
-     separate domains. Inner kernels (im2col, gemm) detect the nesting and
-     stay serial inside a lane; with a single sample they parallelise
-     themselves instead. Each lane borrows one column buffer from its
-     domain's workspace arena, zeroes it once and reuses it for every sample
-     it owns (see im2col_into for why no re-zeroing is needed). *)
-  Dpool.parallel_for n (fun nlo nhi ->
-      Workspace.with_buf ~zero:true [| ic * kernel * kernel; oh * ow |] (fun cols ->
-          for ni = nlo to nhi do
-            im2col_into x ~n:ni ~kernel ~stride ~pad cols;
-            (* A view into sample ni of the output, as an [oc x oh*ow]
-               matrix sharing storage with [y]. *)
-            let sample =
-              Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
-            in
-            Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 sample
-          done));
+  if n > 1 && Atomic.get wide_flag then begin
+    (* Wide path: one im2col over the whole batch, ONE GEMM, then a scatter
+       from the [oc x n*cols] result back into y's NCHW layout. *)
+    let ncols = oh * ow in
+    let kk = ic * kernel * kernel in
+    Workspace.with_buf ~zero:true [| kk; n * ncols |] (fun cols ->
+        Workspace.with_buf [| oc; n * ncols |] (fun ywide ->
+            im2col_wide_into x ~kernel ~stride ~pad cols;
+            Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 ywide;
+            let yd = y.Tensor.data and wd = ywide.Tensor.data in
+            let ld = n * ncols in
+            Dpool.parallel_for n (fun nlo nhi ->
+                for ni = nlo to nhi do
+                  for ci = 0 to oc - 1 do
+                    let src = (ci * ld) + (ni * ncols) in
+                    let dst = ((ni * oc) + ci) * ncols in
+                    for i = 0 to ncols - 1 do
+                      Bigarray.Array1.unsafe_set yd (dst + i)
+                        (Bigarray.Array1.unsafe_get wd (src + i))
+                    done
+                  done
+                done)))
+  end
+  else
+    (* Samples are independent and write disjoint planes of y: run them on
+       separate domains. Inner kernels (im2col, gemm) detect the nesting and
+       stay serial inside a lane; with a single sample they parallelise
+       themselves instead. Each lane borrows one column buffer from its
+       domain's workspace arena, zeroes it once and reuses it for every sample
+       it owns (see im2col_into for why no re-zeroing is needed). *)
+    Dpool.parallel_for n (fun nlo nhi ->
+        Workspace.with_buf ~zero:true [| ic * kernel * kernel; oh * ow |] (fun cols ->
+            for ni = nlo to nhi do
+              im2col_into x ~n:ni ~kernel ~stride ~pad cols;
+              (* A view into sample ni of the output, as an [oc x oh*ow]
+                 matrix sharing storage with [y]. *)
+              let sample =
+                Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
+              in
+              Blas.gemm ~alpha:1.0 ~a:wm ~b:cols ~beta:0.0 sample
+            done));
   add_bias_nchw y bias;
   y
 
@@ -212,17 +341,40 @@ let conv_transpose2d ~x ~weight ~bias ~stride ~pad =
   let ow = tconv_out_size ~size:w ~kernel ~stride ~pad in
   let y = Tensor.zeros [| n; oc; oh; ow |] in
   let wm = Tensor.view weight [| ic; oc * kernel * kernel |] in
-  (* Sample-parallel like conv2d: col2im scatters only into sample ni's
-     plane of y, so lanes never share output locations. [cols] is fully
-     overwritten by the beta=0 GEMM each sample, so no zeroing is needed. *)
-  Dpool.parallel_for n (fun nlo nhi ->
-      Workspace.with_buf [| oc * kernel * kernel; h * w |] (fun cols ->
-          for ni = nlo to nhi do
-            let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
-            Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xm ~beta:0.0 cols;
-            col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride
-              ~pad
-          done));
+  if n > 1 && Atomic.get wide_flag then begin
+    (* Wide path: gather x into an [ic x n*hw] matrix (sample column bands),
+       ONE GEMM into a wide column matrix, then per-sample col2im. *)
+    let hw = h * w in
+    let kk = oc * kernel * kernel in
+    Workspace.with_buf2 [| ic; n * hw |] [| kk; n * hw |] (fun xwide cols ->
+        let xd = x.Tensor.data and xwd = xwide.Tensor.data in
+        let ld = n * hw in
+        Dpool.parallel_for n (fun nlo nhi ->
+            for ni = nlo to nhi do
+              for ci = 0 to ic - 1 do
+                let src = ((ni * ic) + ci) * hw in
+                let dst = (ci * ld) + (ni * hw) in
+                for i = 0 to hw - 1 do
+                  Bigarray.Array1.unsafe_set xwd (dst + i)
+                    (Bigarray.Array1.unsafe_get xd (src + i))
+                done
+              done
+            done);
+        Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xwide ~beta:0.0 cols;
+        col2im_wide cols ~dst:y ~channels:oc ~height:oh ~width:ow ~kernel ~stride ~pad)
+  end
+  else
+    (* Sample-parallel like conv2d: col2im scatters only into sample ni's
+       plane of y, so lanes never share output locations. [cols] is fully
+       overwritten by the beta=0 GEMM each sample, so no zeroing is needed. *)
+    Dpool.parallel_for n (fun nlo nhi ->
+        Workspace.with_buf [| oc * kernel * kernel; h * w |] (fun cols ->
+            for ni = nlo to nhi do
+              let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+              Blas.gemm ~trans_a:true ~alpha:1.0 ~a:wm ~b:xm ~beta:0.0 cols;
+              col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride
+                ~pad
+            done));
   add_bias_nchw y bias;
   y
 

@@ -7,6 +7,19 @@
     These functions are pure computation: gradients are composed into the
     autodiff tape by the [nn] library. *)
 
+val set_wide_batch : bool -> unit
+(** Enable/disable the wide-batch forward lowering: with the flag on (and a
+    batch of more than one sample), {!conv2d} and {!conv_transpose2d} unfold
+    the whole batch into one wide column matrix and run a single GEMM instead
+    of one small GEMM per sample. Values are bit-identical to the per-sample
+    path (per-element accumulation order is unchanged); only the speed
+    differs — the wide path amortises per-GEMM overhead and is what makes
+    batched serving beat batch-1. Off by default; also settable via
+    [CACHEBOX_WIDECONV=1]. Backward passes always use the per-sample path. *)
+
+val wide_batch : unit -> bool
+(** Current wide-batch mode. *)
+
 val out_size : size:int -> kernel:int -> stride:int -> pad:int -> int
 (** Spatial output size of a convolution. *)
 

@@ -29,5 +29,6 @@ let () =
       Test_dataset.suite;
       Test_resilience.suite;
       Test_serve.suite;
+      Test_serve_batch.suite;
       Test_integration.suite;
     ]

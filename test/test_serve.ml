@@ -548,6 +548,7 @@ let daemon_config sock =
   {
     Serve_daemon.listen = Serve_daemon.Unix_socket sock;
     queue_depth = 8;
+    batcher = Batcher.default_config;
     engine =
       { (Serve_engine.default_config ~fallback:Cbox_infer.Fallback_hrd ()) with
         Serve_engine.grace_lo = -1e9; grace_hi = 1e9 };
