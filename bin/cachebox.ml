@@ -9,6 +9,7 @@
      baselines  - HRD / STM / TabSynth predictions for comparison
      serve      - hardened line-delimited-JSON inference daemon
      call       - one-shot client for a running serve daemon
+     route      - fault-tolerant shard router over N serve daemons
 
    Every externally-caused failure exits with the stable taxonomy code
    (see Serve_error): bad request/config 2, corrupt input 3, model
@@ -410,8 +411,17 @@ let serve_cmd =
         (if model = None then "UNAVAILABLE" else "loaded")
         (Cbox_infer.fallback_name fallback)
     in
+    (* Hot-swap is always armed: a reload request (or SIGHUP) re-reads the
+       same checkpoint path unless the request names another one. *)
+    let reload =
+      {
+        Serve_engine.reload_seed = 42;
+        reload_model_cfg = Cbgan.default_config ();
+        reload_default_path = Some ckpt;
+      }
+    in
     let serve journal =
-      try Serve_daemon.run ?journal ~ready ~spec ~model config
+      try Serve_daemon.run ?journal ~reload ~ready ~spec ~model config
       with Serve_error.Error e -> die e
     in
     match journal with
@@ -487,6 +497,152 @@ let call_cmd =
     (Cmd.info "call" ~doc:"Send one request line to a running serve daemon and print the reply")
     Term.(const run $ socket_arg $ port_arg $ request_arg)
 
+(* --- route: fault-tolerant shard router over N serve daemons ---
+
+   Backend specs are "unix:PATH", "HOST:PORT" or "NAME=ADDR"; the name (the
+   address string when not given) seeds consistent-hash placement, so keep
+   names stable across router restarts or keys will move shards. *)
+
+let parse_backend_addr s =
+  match String.index_opt s ':' with
+  | Some 4 when String.sub s 0 4 = "unix" ->
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error "empty unix socket path"
+    else Ok (Serve_daemon.Unix_socket path)
+  | Some i -> (
+    let host = String.sub s 0 i
+    and port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Serve_daemon.Tcp (host, p))
+    | _ -> Error (Printf.sprintf "bad HOST:PORT %S" s))
+  | None -> Error (Printf.sprintf "backend %S is neither unix:PATH nor HOST:PORT" s)
+
+let parse_backend_spec s =
+  let named name addr =
+    Result.map (fun a -> (name, a)) (parse_backend_addr addr)
+  in
+  match String.index_opt s '=' with
+  | Some i when i > 0 && String.sub s 0 i <> "unix" ->
+    named (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+  | _ -> named s s
+
+let route_cmd =
+  let renv name = Cmd.Env.info ("CACHEBOX_ROUTER_" ^ name) in
+  let backends_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "backend" ] ~docv:"SPEC" ~env:(renv "BACKENDS")
+          ~doc:
+            "Backend serve daemon, repeatable: $(b,unix:PATH), $(b,HOST:PORT) or \
+             $(b,NAME=ADDR). The env var takes a comma-separated list.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~env:(renv "WORKERS") ~doc:"Concurrent forwarder threads.")
+  in
+  let vnodes_arg =
+    Arg.(value & opt int 128 & info [ "vnodes" ] ~docv:"N" ~env:(renv "VNODES") ~doc:"Consistent-hash virtual nodes per backend.")
+  in
+  let attempts_arg =
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N" ~env:(renv "ATTEMPTS") ~doc:"Total upstream attempts per request before degrading.")
+  in
+  let attempt_timeout_arg =
+    Arg.(value & opt int 2000 & info [ "attempt-timeout-ms" ] ~docv:"MS" ~env:(renv "ATTEMPT_TIMEOUT_MS") ~doc:"Per-attempt (hedge) timeout; always clamped to the request deadline.")
+  in
+  let probe_interval_arg =
+    Arg.(value & opt int 1000 & info [ "probe-interval-ms" ] ~docv:"MS" ~env:(renv "PROBE_INTERVAL_MS") ~doc:"Health-probe cadence per backend.")
+  in
+  let eject_after_arg =
+    Arg.(value & opt int 3 & info [ "eject-after" ] ~docv:"N" ~env:(renv "EJECT_AFTER") ~doc:"Consecutive failures (probe or request) before a backend is ejected.")
+  in
+  let memo_arg =
+    Arg.(value & opt int 256 & info [ "memo-capacity" ] ~docv:"N" ~env:(renv "MEMO") ~doc:"Content-addressed prediction memo entries (0 disables).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 128 & info [ "queue-depth" ] ~docv:"N" ~doc:"Bounded admission queue; overflow is shed with an $(b,overloaded) reply.")
+  in
+  let deadline_arg =
+    Arg.(value & opt int 5000 & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Default per-request deadline.")
+  in
+  let fallback_arg =
+    Arg.(
+      value
+      & opt string "hrd"
+      & info [ "fallback" ] ~docv:"KIND" ~env:(renv "FALLBACK")
+          ~doc:
+            "Router-level degradation baseline when no replica is usable: $(b,hrd), \
+             $(b,stm) or $(b,none) (none turns exhaustion into \
+             $(b,upstream_unavailable) errors).")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc:"Append router events (start/stop, ejections, readmissions, degradations) to a JSONL journal.")
+  in
+  let run socket port backends workers vnodes max_attempts attempt_timeout_ms
+      probe_interval_ms eject_after memo_capacity queue_depth deadline_ms fallback
+      journal =
+    let fallback = parse_fallback fallback in
+    (* The env var carries one comma-separated string; the flag repeats. *)
+    let specs =
+      List.concat_map
+        (fun s -> List.filter (( <> ) "") (String.split_on_char ',' s))
+        backends
+    in
+    if specs = [] then begin
+      Fmt.epr "cachebox route: no backends (repeat --backend or set CACHEBOX_ROUTER_BACKENDS)@.";
+      exit 2
+    end;
+    let backends =
+      List.map
+        (fun s ->
+          match parse_backend_spec s with
+          | Ok b -> b
+          | Error m ->
+            Fmt.epr "cachebox route: %s@." m;
+            exit 2)
+        specs
+    in
+    let listen = listen_of ~socket ~port in
+    let config =
+      {
+        (Router.default_config ~listen ~backends) with
+        Router.workers;
+        vnodes;
+        max_attempts;
+        attempt_timeout_s = float_of_int attempt_timeout_ms /. 1000.0;
+        probe_interval_s = float_of_int probe_interval_ms /. 1000.0;
+        eject_after;
+        memo_capacity;
+        queue_depth;
+        default_deadline_s = float_of_int deadline_ms /. 1000.0;
+        fallback;
+      }
+    in
+    let ready () =
+      Fmt.pr "cachebox route: listening on %s, %d backends (fallback %s)@."
+        (match listen with
+        | Serve_daemon.Unix_socket p -> "unix:" ^ p
+        | Serve_daemon.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+        (List.length backends)
+        (Cbox_infer.fallback_name fallback)
+    in
+    let route journal =
+      try Router.run ?journal ~ready config with Serve_error.Error e -> die e
+    in
+    match journal with
+    | None -> route None
+    | Some path -> Runlog.with_journal path (fun j -> route (Some j))
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Shard requests across serve daemons by cache-config digest (health checks, \
+          retries with backoff, circuit breakers, baseline fallback, zero-downtime \
+          reload broadcast)")
+    Term.(
+      const run $ socket_arg $ port_arg $ backends_arg $ workers_arg $ vnodes_arg
+      $ attempts_arg $ attempt_timeout_arg $ probe_interval_arg $ eject_after_arg
+      $ memo_arg $ queue_arg $ deadline_arg $ fallback_arg $ journal_arg)
+
 (* --- loadgen: concurrency stress against a running daemon ---
 
    N client threads each pipeline R line-delimited requests (a mix of valid
@@ -537,16 +693,24 @@ let loadgen_cmd =
       fd
     in
     let is_valid j = invalid_every <= 0 || (j + 1) mod invalid_every <> 0 in
+    (* Geometry varies per client and per request so the traffic spreads
+       across shards when the target is a router (and exercises several
+       configs when it is a plain daemon) instead of collapsing onto one
+       memoizable key. *)
     let request k j =
       if is_valid j then
         Printf.sprintf
-          "{\"op\": \"infer\", \"id\": \"c%d-%d\", \"sets\": 64, \"ways\": 8, \
+          "{\"op\": \"infer\", \"id\": \"c%d-%d\", \"sets\": %d, \"ways\": %d, \
            \"benchmark\": %S, \"trace_len\": %d}"
-          k j benchmark trace_len
+          k j
+          (16 lsl (j mod 4))
+          (1 + (k mod 8))
+          benchmark trace_len
       else Printf.sprintf "{\"op\": \"infer\", \"id\": \"c%d-%d\"" k j
     in
     let answered = Array.make clients 0
     and ok_replies = Array.make clients 0
+    and degraded_replies = Array.make clients 0
     and shed_replies = Array.make clients 0
     and late_replies = Array.make clients 0
     and invalid_replies = Array.make clients 0
@@ -592,7 +756,15 @@ let loadgen_cmd =
                      | Some got, _ when got <> expect ->
                        fail k "reply %d: id %S, expected %S — reordered or duplicated" j
                          got expect
-                     | Some _, None -> ok_replies.(k) <- ok_replies.(k) + 1
+                     | Some _, None ->
+                       ok_replies.(k) <- ok_replies.(k) + 1;
+                       (* Degraded answers (backend fallback, or the router
+                          covering for dead shards) are successes, counted
+                          separately so smoke tests can gate on them. *)
+                       if
+                         Sjson.(member "degraded" json |> Option.map to_bool)
+                         = Some (Some true)
+                       then degraded_replies.(k) <- degraded_replies.(k) + 1
                      | Some _, Some "deadline_exceeded" ->
                        (* Deadline-aware flushing under overload: an in-order,
                           exactly-once answer, just an unhappy one. *)
@@ -608,18 +780,6 @@ let loadgen_cmd =
                done
              with Exit -> ()))
     in
-    let threads = List.init clients (fun k -> Thread.create (client k) ()) in
-    List.iter Thread.join threads;
-    let sum a = Array.fold_left ( + ) 0 a in
-    let total = clients * requests in
-    let problems = ref (List.concat_map List.rev (Array.to_list failures)) in
-    let shed_total = sum shed_replies in
-    if sum answered <> total then
-      problems :=
-        Printf.sprintf "answered %d of %d requests — replies were dropped" (sum answered)
-          total
-        :: !problems;
-    (* Reconcile against the daemon's own accounting, then optionally drain. *)
     let control op =
       let fd = connect () in
       Fun.protect
@@ -634,26 +794,48 @@ let loadgen_cmd =
           | exception _ -> Error "no reply"
           | line -> ( match Sjson.parse line with Ok j -> Ok j | Error e -> Error e))
     in
-    (match control "{\"op\": \"stats\"}" with
-    | Error e -> problems := Printf.sprintf "stats query failed: %s" e :: !problems
-    | Ok json ->
-      let num name = Option.bind (Sjson.member name json) Sjson.to_int in
-      (match num "shed" with
-      | Some shed when shed <> shed_total ->
+    let stats_counts () =
+      match control "{\"op\": \"stats\"}" with
+      | Error e -> Error e
+      | Ok json ->
+        let num name = Option.bind (Sjson.member name json) Sjson.to_int in
+        Ok (num "shed", num "served")
+    in
+    (* The daemon may be long-lived (e.g. a router shared across several
+       smoke phases), so its counters are reconciled as deltas across this
+       run, not as absolutes. *)
+    let before = stats_counts () in
+    let threads = List.init clients (fun k -> Thread.create (client k) ()) in
+    List.iter Thread.join threads;
+    let sum a = Array.fold_left ( + ) 0 a in
+    let total = clients * requests in
+    let problems = ref (List.concat_map List.rev (Array.to_list failures)) in
+    let shed_total = sum shed_replies in
+    if sum answered <> total then
+      problems :=
+        Printf.sprintf "answered %d of %d requests — replies were dropped" (sum answered)
+          total
+        :: !problems;
+    (match (before, stats_counts ()) with
+    | Error e, _ | _, Error e ->
+      problems := Printf.sprintf "stats query failed: %s" e :: !problems
+    | Ok (shed0, served0), Ok (shed1, served1) ->
+      (match (shed0, shed1) with
+      | Some a, Some b when b - a <> shed_total ->
         problems :=
-          Printf.sprintf "daemon counted %d shed requests, clients observed %d" shed
+          Printf.sprintf "daemon counted %d shed requests, clients observed %d" (b - a)
             shed_total
           :: !problems
-      | Some _ -> ()
-      | None -> problems := "stats reply has no shed count" :: !problems);
-      match num "served" with
-      | Some served when served < total - shed_total ->
+      | Some _, Some _ -> ()
+      | _ -> problems := "stats reply has no shed count" :: !problems);
+      match (served0, served1) with
+      | Some a, Some b when b - a < total - shed_total ->
         problems :=
-          Printf.sprintf "daemon served %d < answered-minus-shed %d" served
+          Printf.sprintf "daemon served %d < answered-minus-shed %d" (b - a)
             (total - shed_total)
           :: !problems
-      | Some _ -> ()
-      | None -> problems := "stats reply has no served count" :: !problems);
+      | Some _, Some _ -> ()
+      | _ -> problems := "stats reply has no served count" :: !problems);
     if shutdown_after then (
       match control "{\"op\": \"shutdown\"}" with
       | Ok json
@@ -664,10 +846,10 @@ let loadgen_cmd =
           Printf.sprintf "shutdown refused: %s" (Sjson.to_string json) :: !problems
       | Error e -> problems := Printf.sprintf "shutdown failed: %s" e :: !problems);
     Fmt.pr
-      "loadgen: %d clients x %d requests: %d answered (%d ok, %d bad_request, %d shed, \
-       %d past deadline)@."
-      clients requests (sum answered) (sum ok_replies) (sum invalid_replies) shed_total
-      (sum late_replies);
+      "loadgen: %d clients x %d requests: %d answered (%d ok of which %d degraded, %d \
+       bad_request, %d shed, %d past deadline)@."
+      clients requests (sum answered) (sum ok_replies) (sum degraded_replies)
+      (sum invalid_replies) shed_total (sum late_replies);
     match !problems with
     | [] -> Fmt.pr "loadgen: OK@."
     | ps ->
@@ -938,4 +1120,4 @@ let bench_cmd =
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in
   let info = Cmd.info "cachebox" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; loadgen_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; route_cmd; loadgen_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))

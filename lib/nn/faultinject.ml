@@ -13,6 +13,8 @@ type fault =
   | Slow of float
   | Nan_output
   | Corrupt_checkpoint
+  | Crash_backend
+  | Hang of float
 
 exception Killed of int
 
@@ -62,6 +64,9 @@ let arm_from_env ?(var = "CACHEBOX_FAULT") () =
       | "slow", None -> Slow 0.05
       | "nan_output", _ -> Nan_output
       | "corrupt_checkpoint", _ -> Corrupt_checkpoint
+      | "crash_backend", _ -> Crash_backend
+      | "hang", Some s -> Hang (float_of_string s)
+      | "hang", None -> Hang 3600.0
       | _ -> invalid_arg (Printf.sprintf "Faultinject.arm_from_env: unknown fault %S" spec)
     in
     arm ~count fault ~at_batch:at;
@@ -96,6 +101,12 @@ let poison_output ~index tensors =
     | (t : Tensor.t) :: _ -> Tensor.set t 0 Float.nan
 
 let checkpoint_fault ~index = fires_if (fun f -> f = Corrupt_checkpoint) index
+
+let crash_now ~index = fires_if (fun f -> f = Crash_backend) index
+
+let hang_delay ~index =
+  let d = ref 0.0 in
+  if fires_if (function Hang s -> d := s; true | _ -> false) index then !d else 0.0
 
 let corrupt_byte path ~offset =
   let ic = open_in_bin path in

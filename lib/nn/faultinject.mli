@@ -16,6 +16,14 @@ type fault =
   | Nan_output  (** overwrite one model-output element with NaN *)
   | Corrupt_checkpoint
       (** make the model path fail as if its checkpoint went unreadable *)
+  | Crash_backend
+      (** die abruptly ([_exit], no cleanup, socket closed mid-response) at
+          the serving crash point — exercises router retry/ejection paths *)
+  | Hang of float
+      (** stall the serving path for the given seconds without answering
+          (accept-then-stall: the process stays alive and connectable, so
+          only hedged timeouts — not connect failures — can route around
+          it) *)
 
 exception Killed of int
 (** Raised by {!kill_point} with the batch index; simulates the process
@@ -34,7 +42,8 @@ val arm_from_env : ?var:string -> unit -> bool
     (override the name with [var]); returns whether anything was armed.
     Syntax ["fault[:param][@at[xcount]]"], e.g. ["slow:0.05@3x2"] arms
     [Slow 0.05] at request 3 for 2 shots; fault names are [kill],
-    [nan_grad], [slow], [nan_output], [corrupt_checkpoint]. Lets the
+    [nan_grad], [slow], [nan_output], [corrupt_checkpoint],
+    [crash_backend], [hang] (optional [:secs], default 3600). Lets the
     concurrency stress script arm a fault inside the daemon process it
     spawns. Raises [Invalid_argument] on an unknown fault name. *)
 
@@ -60,6 +69,18 @@ val poison_output : index:int -> Tensor.t list -> unit
 val checkpoint_fault : index:int -> bool
 (** True iff [Corrupt_checkpoint] is armed and due at this request: the
     caller must fail its model path as if the checkpoint were unreadable. *)
+
+val crash_now : index:int -> bool
+(** True iff [Crash_backend] is armed and due at this request: the caller
+    must terminate the process abruptly (e.g. [Unix._exit]) so peers see
+    the socket close mid-response. The hook stays decision-only so this
+    library needs no unix dependency. *)
+
+val hang_delay : index:int -> float
+(** Seconds to stall the serving path without answering at this request
+    (0 unless [Hang] is armed and due). Unlike {!slow_delay} the default
+    stall is far beyond any deadline — the request is meant to never
+    complete in time. *)
 
 (** {1 File corruption} *)
 

@@ -1,0 +1,28 @@
+(** Per-backend liveness + EWMA latency for the router.
+
+    Thread-safe; probe and request outcomes feed the same failure streak.
+    A backend is ejected after [eject_after] consecutive failures and
+    re-admitted by any success. *)
+
+type t
+
+val create : ?eject_after:int -> unit -> t
+(** [eject_after] defaults to 3; must be [>= 1]. A fresh backend is up. *)
+
+val record_success : t -> latency_s:float -> bool
+(** Resets the failure streak, folds the latency into the EWMA
+    (0.7 old / 0.3 new). Returns [true] iff this re-admitted a
+    previously-ejected backend. *)
+
+val record_failure : t -> bool
+(** Extends the failure streak. Returns [true] iff this ejected the
+    backend (streak just reached the threshold). *)
+
+val up : t -> bool
+val ewma_ms : t -> float  (** 0 before the first success *)
+
+val consecutive_failures : t -> int
+val successes : t -> int
+val failures : t -> int
+val ejections : t -> int
+val readmissions : t -> int

@@ -82,6 +82,23 @@ let batcher_loop engine cfg queue reactor draining =
   let b : (Serve_engine.infer_item * Reactor.ticket) Batcher.t =
     Batcher.create ~now:(fun () -> Serve_engine.now engine) cfg.batcher
   in
+  (* Deferred (reload) work runs on its own threads so a multi-second model
+     load never stalls the batcher; shutdown joins them so every ticket is
+     resolved before the reactor stops. *)
+  let deferred = ref [] in
+  let dm = Mutex.create () in
+  let note_deferred th =
+    Mutex.lock dm;
+    deferred := th :: !deferred;
+    Mutex.unlock dm
+  in
+  let join_deferred () =
+    Mutex.lock dm;
+    let ths = !deferred in
+    deferred := [];
+    Mutex.unlock dm;
+    List.iter Thread.join ths
+  in
   let run_batch ?replica batch =
     let replies = Serve_engine.infer_batch ?replica engine (List.map fst batch) in
     List.iter2
@@ -135,6 +152,16 @@ let batcher_loop engine cfg queue reactor draining =
       Serve_engine.set_item_pickup item (Serve_engine.now engine);
       Batcher.push b ~deadline:(Serve_engine.item_deadline item) (item, job.ticket);
       `Continue
+    | Serve_engine.Deferred thunk ->
+      let ticket = job.ticket in
+      note_deferred
+        (Thread.create
+           (fun () ->
+             match thunk () with
+             | Serve_engine.Reply json | Serve_engine.Shutdown_reply json ->
+               Reactor.resolve ticket (Sjson.to_string json))
+           ());
+      `Continue
   in
   let shutdown ticket json =
     Atomic.set draining true;
@@ -155,13 +182,16 @@ let batcher_loop engine cfg queue reactor draining =
         drain_orphans ()
     in
     drain_orphans ();
+    join_deferred ();
     Reactor.stop reactor
   in
   let rec loop () =
     if Batcher.length b = 0 then
       (* Nothing coalescing: block until the reactor admits a request. *)
       match Squeue.pop queue with
-      | None -> Reactor.stop reactor (* external close: bail out cleanly *)
+      | None ->
+        join_deferred ();
+        Reactor.stop reactor (* external close: bail out cleanly *)
       | Some job -> step job
     else if Batcher.due b then begin
       dispatch (Batcher.take b);
@@ -188,8 +218,12 @@ let batcher_loop engine cfg queue reactor draining =
   in
   loop ()
 
-let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
-  let engine = Serve_engine.create ?journal ~spec ~model config.engine in
+let run ?journal ?reload ?(ready = fun () -> ()) ~spec ~model config =
+  (* A client (or a routing front-end hedging a slow attempt) may close its
+     connection while a reply is in flight; the write must surface as EPIPE
+     for the reactor to clean up, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let engine = Serve_engine.create ?journal ?reload ~spec ~model config.engine in
   let listener = bind_listener config.listen in
   Unix.listen listener 64;
   Unix.set_nonblock listener;
@@ -217,12 +251,34 @@ let run ?journal ?(ready = fun () -> ()) ~spec ~model config =
         if not (Squeue.try_push queue job) then
           Reactor.resolve ticket (Sjson.to_string (Serve_engine.overload_reply engine))
       end);
+  (* SIGHUP = operator-driven zero-downtime reload of the default
+     checkpoint path. The handler only spawns a thread; the load/warm/swap
+     runs entirely off the serving path, and a failed reload is journaled
+     and leaves the old model serving. Restored on exit so in-process test
+     daemons don't leak handlers. *)
+  let restore_sighup =
+    match reload with
+    | None -> fun () -> ()
+    | Some _ ->
+      let prev =
+        Sys.signal Sys.sighup
+          (Sys.Signal_handle
+             (fun _ ->
+               ignore
+                 (Thread.create
+                    (fun () ->
+                      match Serve_engine.reload engine () with Ok () | Error _ -> ())
+                    ())))
+      in
+      fun () -> Sys.set_signal Sys.sighup prev
+  in
   let batcher =
     Thread.create (fun () -> batcher_loop engine config queue reactor draining) ()
   in
   ready ();
   Reactor.run reactor;
   Thread.join batcher;
+  restore_sighup ();
   (try Unix.close listener with Unix.Unix_error _ -> ());
   match config.listen with
   | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())

@@ -19,7 +19,14 @@
     requests already coalescing in the batcher get real (batched) answers,
     requests still in the admission queue are answered with an [overloaded]
     "server shutting down" error, idle connections are woken with EOF, and
-    the Unix socket file is removed. *)
+    the Unix socket file is removed.
+
+    Zero-downtime reload (when [run] is given a reload spec): a
+    [{"op": "reload"}] request — or SIGHUP for the default checkpoint —
+    loads and warms the new model on a dedicated thread, then atomically
+    swaps the engine's replica pool; in-flight batches drain on the old
+    model, and a corrupt checkpoint is rejected while the old model keeps
+    serving. Clients see at most elevated latency, never an error. *)
 
 type listen = Unix_socket of string | Tcp of string * int
 
@@ -34,15 +41,23 @@ val default_config : listen -> config
 (** Queue depth 64, {!Batcher.default_config}, over
     {!Serve_engine.default_config}. *)
 
+val bind_listener : listen -> Unix.file_descr
+(** Bind (but not listen on) a server socket for [listen], with the stale
+    unix-socket reclaim / live-socket refusal policy described above.
+    Shared with the router front-end. Raises {!Serve_error.Error}. *)
+
 val run :
   ?journal:Runlog.t ->
+  ?reload:Serve_engine.reload_spec ->
   ?ready:(unit -> unit) ->
   spec:Heatmap.spec ->
   model:Cbgan.t option ->
   config ->
   unit
 (** Binds, listens and serves until a shutdown request; [ready] fires once
-    the socket is accepting (tests use it to avoid races). Raises
+    the socket is accepting (tests use it to avoid races). [reload] enables
+    the hot-swap path (wire verb + SIGHUP; the SIGHUP handler is installed
+    for the duration of [run] and restored on exit). Raises
     {!Serve_error.Error}: [invalid_config] when the Unix socket path is
     already served by a live daemon (a stale socket file left by a crash is
     reclaimed) or a TCP host does not resolve, [internal] when the socket

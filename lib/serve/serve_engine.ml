@@ -27,6 +27,12 @@ let default_config ?(fallback = Cbox_infer.Fallback_hrd) () =
     replicas = 1;
   }
 
+type reload_spec = {
+  reload_seed : int;
+  reload_model_cfg : Cbgan.config;
+  reload_default_path : string option;
+}
+
 type t = {
   cfg : config;
   spec : Heatmap.spec;
@@ -34,12 +40,16 @@ type t = {
   journal : Runlog.t option;
   jm : Mutex.t;  (* Runlog is not thread-safe; batch completions journal concurrently *)
   mutable model : Cbgan.t option;
-  pool : (Cbgan.t * Mutex.t) array;  (* replica 0 is [model] itself *)
+  mutable pool : (Cbgan.t * Mutex.t) array;  (* replica 0 is [model] itself *)
   breaker : Breaker.t;
   stats : Serve_stats.t;
   em : Mutex.t;  (* guards ewma_model_s and req_count across entrants *)
   mutable ewma_model_s : float;  (* 0 until the first model inference *)
   mutable req_count : int;
+  reload : reload_spec option;
+  rm : Mutex.t;  (* held for the duration of a reload; try_lock rejects overlap *)
+  mutable reloads : int;
+  mutable reload_failures : int;
 }
 
 (* A tiny inference through the real serving pipeline so the first client
@@ -58,7 +68,7 @@ let warmup_model ~spec ~batch_size model =
       ignore (Cbox_infer.synthesize model spec ~batch_size ~cache access)
   with _ -> ()
 
-let create ?now ?journal ~spec ~model cfg =
+let create ?now ?journal ?reload ~spec ~model cfg =
   let now = Option.value now ~default:Unix.gettimeofday in
   if cfg.replicas < 1 then invalid_arg "Serve_engine.create: replicas must be >= 1";
   (* Serving is forward-only, so the wide-batch conv lowering (bit-identical,
@@ -88,6 +98,10 @@ let create ?now ?journal ~spec ~model cfg =
     em = Mutex.create ();
     ewma_model_s = 0.0;
     req_count = 0;
+    reload;
+    rm = Mutex.create ();
+    reloads = 0;
+    reload_failures = 0;
   }
 
 let model_of_checkpoint ~seed model_cfg ~path =
@@ -111,7 +125,60 @@ let stats t = Serve_stats.snapshot t.stats
 let breaker_state t = Breaker.state t.breaker
 let model_loaded t = t.model <> None
 let requests_seen t = t.req_count
+let reloads t = t.reloads
 let now t = t.now ()
+
+(* --- zero-downtime reload ---
+
+   Load and warm the new checkpoint entirely off to the side, then hand it
+   over with two plain field writes. In-flight batches snapshotted [t.pool]
+   at batch start, so they drain on the old model; the next batch picks up
+   the new pool. Nothing below ever blocks the serving path: overlapping
+   reloads are rejected ([try_lock]), and a checkpoint that fails to load
+   leaves the old model serving untouched. *)
+let reload t ?path () =
+  match t.reload with
+  | None ->
+    Error
+      (Serve_error.v Serve_error.Invalid_config
+         "daemon has no reload source (started without a model configuration)")
+  | Some r -> (
+    let resolved =
+      match (path, r.reload_default_path) with
+      | Some p, _ | None, Some p -> Ok p
+      | None, None ->
+        Error
+          (Serve_error.v Serve_error.Bad_request
+             "reload needs a \"checkpoint\" path (daemon has no default)")
+    in
+    match resolved with
+    | Error e -> Error e
+    | Ok path ->
+      if not (Mutex.try_lock t.rm) then
+        Error (Serve_error.v Serve_error.Overloaded "reload already in progress")
+      else
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.rm)
+          (fun () ->
+            journal_event t "reload_start" [ ("path", Runlog.S path) ];
+            match model_of_checkpoint ~seed:r.reload_seed r.reload_model_cfg ~path with
+            | Error e ->
+              t.reload_failures <- t.reload_failures + 1;
+              journal_event t "reload_reject"
+                [ ("path", Runlog.S path); ("why", Runlog.S e.Serve_error.message) ];
+              Error e
+            | Ok m ->
+              if t.cfg.warmup then warmup_model ~spec:t.spec ~batch_size:t.cfg.batch_size m;
+              let pool =
+                Array.init t.cfg.replicas (fun i ->
+                    ((if i = 0 then m else Cbgan.clone m), Mutex.create ()))
+              in
+              t.pool <- pool;
+              t.model <- Some m;
+              t.reloads <- t.reloads + 1;
+              journal_event t "reload_ok"
+                [ ("path", Runlog.S path); ("generation", Runlog.I t.reloads) ];
+              Ok ()))
 
 (* --- reply construction --- *)
 
@@ -171,6 +238,13 @@ let stats_reply t =
           reused (an allocation regression). *)
        ("ws_allocs", Sjson.Num (float_of_int (Workspace.alloc_count ())));
        ("ws_borrows", Sjson.Num (float_of_int (Workspace.borrow_count ())));
+       (* Routing counters are zero on a plain backend; the router fills
+          them in. Present everywhere so the stats schema is uniform. *)
+       ("retries", Sjson.Num (float_of_int s.Serve_stats.retries));
+       ("hedges", Sjson.Num (float_of_int s.Serve_stats.hedges));
+       ("degraded_router", Sjson.Num (float_of_int s.Serve_stats.degraded_router));
+       ("reloads", Sjson.Num (float_of_int t.reloads));
+       ("reload_failures", Sjson.Num (float_of_int t.reload_failures));
      ]
     @ List.map
         (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))
@@ -200,15 +274,18 @@ let resolve_trace t source =
 
 (* One model attempt: returns a validated, clamped hit rate or the reason
    the model cannot be trusted. Fault-injection hooks simulate a stalled
-   model, a NaN output and a checkpoint that rotted under a live server. *)
+   model, a NaN output, a checkpoint that rotted under a live server, a
+   crashing backend (abrupt exit, socket closed mid-response) and a hung
+   backend (alive and connectable, never answers in time). *)
 let model_predict t index cache trace =
   match t.model with
   | None -> Error "model not loaded"
   | Some model -> (
     match
+      if Faultinject.crash_now ~index then Unix._exit 42;
       if Faultinject.checkpoint_fault ~index then
         failwith "checkpoint unreadable (injected fault)";
-      let delay = Faultinject.slow_delay ~index in
+      let delay = Faultinject.slow_delay ~index +. Faultinject.hang_delay ~index in
       if delay > 0.0 then Unix.sleepf delay;
       let access = Heatmap.of_trace t.spec trace in
       let synthetic =
@@ -338,6 +415,29 @@ let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s =
 
 type outcome = Reply of Sjson.t | Shutdown_reply of Sjson.t
 
+(* Perform a reload and build the wire reply. Total: callers may run this
+   on a dedicated thread with nothing above it to catch exceptions. *)
+let do_reload t ~arrival ~id ~checkpoint =
+  match reload t ?path:checkpoint () with
+  | Ok () ->
+    record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
+      (Sjson.Obj
+         (base_fields id
+         @ [
+             ("ok", Sjson.Bool true);
+             ("op", Sjson.Str "reload");
+             ("reloads", Sjson.Num (float_of_int t.reloads));
+             ("latency_ms", Sjson.Num (1000.0 *. (t.now () -. arrival)));
+           ]))
+  | Error e ->
+    record_and_reply t ~arrival ~ok:false ~degraded:false ~code:(Some e.Serve_error.code)
+      (error_reply ?id e)
+  | exception e ->
+    let e = Serve_error.of_exn e in
+    let e = { e with Serve_error.code = Serve_error.Internal } in
+    record_and_reply t ~arrival ~ok:false ~degraded:false ~code:(Some Serve_error.Internal)
+      (error_reply ?id e)
+
 let handle_request t ~arrival req =
   match req with
   | Validate.Health ->
@@ -350,6 +450,7 @@ let handle_request t ~arrival req =
     Shutdown_reply
       (record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
          (Sjson.Obj [ ("ok", Sjson.Bool true); ("op", Sjson.Str "shutdown") ]))
+  | Validate.Reload { id; checkpoint } -> Reply (do_reload t ~arrival ~id ~checkpoint)
   | Validate.Infer { id; sets; ways; source; deadline_s } -> (
     (* Total: a bug below this point is an [internal] reply, not a dead
        worker. *)
@@ -390,7 +491,12 @@ type infer_item = {
   mutable item_pickup : float;  (* when the batcher popped it (stats) *)
 }
 
-type classified = Immediate of outcome | Batchable of infer_item
+type classified =
+  | Immediate of outcome
+  | Batchable of infer_item
+  | Deferred of (unit -> outcome)
+      (* slow control-plane work (reload): run the thunk off the batcher
+         thread so model loading never stalls the serving path *)
 
 let item_deadline it = it.item_deadline
 let set_item_pickup it ts = it.item_pickup <- ts
@@ -437,6 +543,8 @@ let classify_request t ~arrival req =
         (Reply
            (record_and_reply t ~arrival ~ok:false ~degraded:false
               ~code:(Some Serve_error.Internal) (error_reply ?id e))))
+  | Validate.Reload { id; checkpoint } ->
+    Deferred (fun () -> Reply (do_reload t ~arrival ~id ~checkpoint))
   | req -> Immediate (handle_request t ~arrival req)
 
 let classify_line ?arrival t line =
@@ -475,7 +583,11 @@ let infer_batch ?(replica = 0) t items =
   | [] -> []
   | _ ->
     let t0 = t.now () in
-    let have_model = Array.length t.pool > 0 in
+    (* Snapshot the replica pool once: a concurrent reload swaps [t.pool]
+       atomically, and this batch must drain entirely on the model it
+       started with. *)
+    let pool = t.pool in
+    let have_model = Array.length pool > 0 in
     let model_usable = have_model && Breaker.allow t.breaker in
     let est = ewma t in
     let pairs =
@@ -494,19 +606,25 @@ let infer_batch ?(replica = 0) t items =
         items
     in
     let fwd = List.filter (fun (_, p) -> p = P_forward) pairs in
-    (* A slow fault stalls the whole batch (the forward pass is shared);
-       sleeping the summed delay keeps total injected latency equal to the
-       sequential path. *)
+    List.iter
+      (fun (it, _) -> if Faultinject.crash_now ~index:it.item_index then Unix._exit 42)
+      fwd;
+    (* A slow (or hung) fault stalls the whole batch (the forward pass is
+       shared); sleeping the summed delay keeps total injected latency equal
+       to the sequential path. *)
     let slow =
       List.fold_left
-        (fun acc (it, _) -> acc +. Faultinject.slow_delay ~index:it.item_index)
+        (fun acc (it, _) ->
+          acc
+          +. Faultinject.slow_delay ~index:it.item_index
+          +. Faultinject.hang_delay ~index:it.item_index)
         0.0 fwd
     in
     if slow > 0.0 then Unix.sleepf slow;
     let n_fwd = List.length fwd in
     let results : (int, (float, string) result) Hashtbl.t = Hashtbl.create 16 in
     (if n_fwd > 0 then
-       let model, lock = t.pool.(replica mod Array.length t.pool) in
+       let model, lock = pool.(replica mod Array.length pool) in
        let inputs =
          List.map
            (fun (it, _) -> (it.item_cache, Heatmap.of_trace t.spec it.item_trace))

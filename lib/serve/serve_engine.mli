@@ -49,15 +49,27 @@ val default_config : ?fallback:Cbox_infer.fallback -> unit -> config
 
 type t
 
+type reload_spec = {
+  reload_seed : int;  (** seed for the fresh model skeleton *)
+  reload_model_cfg : Cbgan.config;  (** architecture the checkpoint must fit *)
+  reload_default_path : string option;
+      (** used when the reload request names no checkpoint (typically the
+          daemon's startup checkpoint path, re-read on SIGHUP) *)
+}
+
 val create :
   ?now:(unit -> float) ->
   ?journal:Runlog.t ->
+  ?reload:reload_spec ->
   spec:Heatmap.spec ->
   model:Cbgan.t option ->
   config ->
   t
 (** [now] defaults to [Unix.gettimeofday] (inject a fake clock in tests).
-    [model = None] starts in degraded mode (every inference falls back). *)
+    [model = None] starts in degraded mode (every inference falls back).
+    [reload] enables the hot-swap path ({!reload}, the [reload] wire verb
+    and SIGHUP in the daemon); without it reloads are rejected as
+    [invalid_config]. *)
 
 val model_of_checkpoint :
   seed:int -> Cbgan.config -> path:string -> (Cbgan.t, Serve_error.t) result
@@ -96,6 +108,21 @@ val model_loaded : t -> bool
 val requests_seen : t -> int
 (** Count of [infer] requests admitted so far (the fault-injection index). *)
 
+(** {2 Zero-downtime reload} *)
+
+val reload : t -> ?path:string -> unit -> (unit, Serve_error.t) result
+(** Load and warm the checkpoint at [path] (default: the reload spec's
+    default path) on the calling thread, then atomically swap the replica
+    pool; in-flight batches drain on the old model, the next batch uses the
+    new one. The serving path is never blocked. Failure modes leave the old
+    model serving: no reload spec ([Invalid_config]), no path
+    ([Bad_request]), unreadable/corrupt checkpoint ([Model_unavailable]),
+    or a reload already in progress ([Overloaded]). Call from a dedicated
+    thread — loading and warming take seconds. *)
+
+val reloads : t -> int
+(** Completed hot swaps (the model generation; 0 = startup model). *)
+
 (** {2 Batched execution}
 
     The daemon's dynamic micro-batching path: {!classify_line} splits a
@@ -109,13 +136,18 @@ val requests_seen : t -> int
 
 type infer_item
 
-type classified = Immediate of outcome | Batchable of infer_item
+type classified =
+  | Immediate of outcome
+  | Batchable of infer_item
+  | Deferred of (unit -> outcome)
+      (** slow control-plane work (reload): run the (total) thunk off the
+          batcher thread so model loading never stalls serving *)
 
 val classify_line : ?arrival:float -> t -> string -> classified
 (** Parse + validate one protocol line. Validation errors and non-infer ops
     are [Immediate] (already recorded in stats); a valid infer request
     becomes a [Batchable] item stamped with its admission index and absolute
-    deadline. Total, like {!handle_line}. *)
+    deadline; a reload is [Deferred]. Total, like {!handle_line}. *)
 
 val item_deadline : infer_item -> float
 (** Absolute deadline on the engine clock — feed it to {!Batcher.push}. *)

@@ -6,6 +6,7 @@ type code =
   | Deadline_exceeded
   | Overloaded
   | Internal
+  | Upstream_unavailable
 
 type t = { code : code; message : string }
 
@@ -20,6 +21,7 @@ let all_codes =
     Deadline_exceeded;
     Overloaded;
     Internal;
+    Upstream_unavailable;
   ]
 
 let code_string = function
@@ -30,6 +32,7 @@ let code_string = function
   | Deadline_exceeded -> "deadline_exceeded"
   | Overloaded -> "overloaded"
   | Internal -> "internal"
+  | Upstream_unavailable -> "upstream_unavailable"
 
 let code_of_string s = List.find_opt (fun c -> code_string c = s) all_codes
 
@@ -41,6 +44,7 @@ let exit_code = function
   | Deadline_exceeded -> 5
   | Overloaded -> 6
   | Internal -> 7
+  | Upstream_unavailable -> 8
 
 let v code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
 let fail code fmt = Printf.ksprintf (fun message -> raise (Error { code; message })) fmt

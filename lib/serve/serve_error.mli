@@ -1,18 +1,21 @@
 (** The serving error taxonomy.
 
     Every failure an external caller can observe — over the wire or as a CLI
-    exit status — is one of these seven codes. The string codes and exit
-    codes are {e stable}: clients and CI scripts match on them.
+    exit status — is one of these codes. The string codes and exit codes
+    are {e stable}: clients and CI scripts match on them; new codes are
+    only ever appended.
 
     {v
-    code               wire string          exit  meaning
-    Bad_request        "bad_request"         2    malformed/over-limit request
-    Invalid_config     "invalid_config"      2    impossible cache geometry
-    Corrupt_input      "corrupt_input"       3    checksum/parse failure in a file
-    Model_unavailable  "model_unavailable"   4    no loadable/trustworthy model
-    Deadline_exceeded  "deadline_exceeded"   5    request deadline expired
-    Overloaded         "overloaded"          6    bounded queue shed the request
-    Internal           "internal"            7    anything else (a bug)
+    code                 wire string            exit  meaning
+    Bad_request          "bad_request"           2    malformed/over-limit request
+    Invalid_config       "invalid_config"        2    impossible cache geometry
+    Corrupt_input        "corrupt_input"         3    checksum/parse failure in a file
+    Model_unavailable    "model_unavailable"     4    no loadable/trustworthy model
+    Deadline_exceeded    "deadline_exceeded"     5    request deadline expired
+    Overloaded           "overloaded"            6    bounded queue shed the request
+    Internal             "internal"              7    anything else (a bug)
+    Upstream_unavailable "upstream_unavailable"  8    router: no live shard replica
+                                                      and no fallback
     v} *)
 
 type code =
@@ -23,6 +26,7 @@ type code =
   | Deadline_exceeded
   | Overloaded
   | Internal
+  | Upstream_unavailable
 
 type t = { code : code; message : string }
 

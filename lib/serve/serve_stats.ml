@@ -18,6 +18,11 @@ type t = {
   mutable batches : int;
   mutable batched_requests : int;
   mutable max_batch : int;
+  (* Routing: extra upstream attempts behind one client-visible answer.
+     The answer itself still counts exactly once in [served]/[ok]. *)
+  mutable retries : int;
+  mutable hedges : int;
+  mutable degraded_router : int;
 }
 
 type summary = {
@@ -37,6 +42,9 @@ type summary = {
   batched_requests : int;
   max_batch : int;
   mean_batch : float;
+  retries : int;
+  hedges : int;
+  degraded_router : int;
 }
 
 let create ?(window = 1024) () =
@@ -58,6 +66,9 @@ let create ?(window = 1024) () =
     batches = 0;
     batched_requests = 0;
     max_batch = 0;
+    retries = 0;
+    hedges = 0;
+    degraded_router = 0;
   }
 
 let with_lock t f =
@@ -93,6 +104,11 @@ let record_batch t ~size =
       if size > t.max_batch then t.max_batch <- size)
 
 let shed t = with_lock t (fun () -> t.shed_count <- t.shed_count + 1)
+let record_retry t = with_lock t (fun () -> t.retries <- t.retries + 1)
+let record_hedge t = with_lock t (fun () -> t.hedges <- t.hedges + 1)
+
+let record_degraded_router t =
+  with_lock t (fun () -> t.degraded_router <- t.degraded_router + 1)
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -131,4 +147,7 @@ let snapshot t =
         mean_batch =
           (if t.batches = 0 then 0.0
            else float_of_int t.batched_requests /. float_of_int t.batches);
+        retries = t.retries;
+        hedges = t.hedges;
+        degraded_router = t.degraded_router;
       })

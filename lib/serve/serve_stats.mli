@@ -25,6 +25,14 @@ type summary = {
   batched_requests : int;  (** infer requests those batches carried *)
   max_batch : int;
   mean_batch : float;  (** batched_requests / batches; 0 with no batches *)
+  retries : int;
+      (** extra upstream attempts after a failed one (router only; a
+          request shed on one backend and served by another counts once in
+          [served]/[ok] and once here) *)
+  hedges : int;  (** attempts abandoned on a per-attempt timeout *)
+  degraded_router : int;
+      (** requests the router answered from its in-process baseline because
+          every live replica for the key was unusable *)
 }
 
 val create : ?window:int -> unit -> t
@@ -43,5 +51,17 @@ val record_batch : t -> size:int -> unit
 
 val shed : t -> unit
 (** One request rejected at admission. *)
+
+val record_retry : t -> unit
+(** One extra upstream attempt made after a failed one (the eventual answer
+    is still recorded exactly once via {!record}). *)
+
+val record_hedge : t -> unit
+(** One upstream attempt abandoned because its per-attempt timeout fired
+    while the request deadline still had headroom. *)
+
+val record_degraded_router : t -> unit
+(** One request answered by the router's own in-process baseline because no
+    upstream replica was usable. *)
 
 val snapshot : t -> summary

@@ -130,6 +130,7 @@ type request =
   | Health
   | Stats_request
   | Shutdown
+  | Reload of { id : string option; checkpoint : string option }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -215,6 +216,10 @@ let request ?(max_trace_len = default_max_trace_len) json =
       | Some "health" -> Ok Health
       | Some "stats" -> Ok Stats_request
       | Some "shutdown" -> Ok Shutdown
+      | Some "reload" ->
+        let* id = opt_field json "id" Sjson.to_str "a string" in
+        let* checkpoint = opt_field json "checkpoint" Sjson.to_str "a string" in
+        Ok (Reload { id; checkpoint })
       | Some "infer" ->
         let* id = opt_field json "id" Sjson.to_str "a string" in
         let* sets = field_int json "sets" in

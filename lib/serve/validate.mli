@@ -67,11 +67,15 @@ type request =
   | Health
   | Stats_request
   | Shutdown
+  | Reload of { id : string option; checkpoint : string option }
+      (** hot-swap the model; [checkpoint] overrides the daemon's default
+          reload path *)
 
 val request : ?max_trace_len:int -> Sjson.t -> (request, Serve_error.t) result
 (** Schema gate for one parsed protocol line. [op] selects the variant;
     [infer] requires integer [sets]/[ways] and exactly one of [trace]
     (array of addresses), [benchmark] (+ optional [trace_len]) or
     [trace_file]; optional [id] (string) and [deadline_ms] (positive
-    number). Unknown [op]s, wrong types, over-limit traces and out-of-range
+    number); [reload] takes optional [id] and [checkpoint] (string path).
+    Unknown [op]s, wrong types, over-limit traces and out-of-range
     deadlines are {!Serve_error.Bad_request}. *)

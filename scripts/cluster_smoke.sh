@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the fault-tolerant shard router (run from the repo
+# root, after `dune build`): train a tiny checkpoint, start three backend
+# serve daemons and a router in front of them, then
+#   - run loadgen through the router (zero client-visible errors, FIFO
+#     exactly-once replies);
+#   - kill -9 one backend mid-load and check clients still see zero
+#     non-degraded errors, the router ejects the dead shard (journal +
+#     stats), and re-admits it after a restart;
+#   - SIGHUP-reload another backend under load (hot swap, no errors);
+#   - broadcast a reload of a corrupt checkpoint through the router and
+#     check it is rejected without taking anything down;
+#   - gate on the router's stats counters (retries, ejections,
+#     readmissions, memo hits).
+set -euo pipefail
+
+CB=${CB:-./_build/default/bin/cachebox.exe}
+BENCH=600.perlbench_s-734B
+WORK=$(mktemp -d)
+CKPT="$WORK/cluster.ckpt"
+RSOCK="$WORK/router.sock"
+PIDS=()
+
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "cluster_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+wait_sock() { # wait_sock PATH
+  for _ in $(seq 1 100); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  fail "socket $1 never appeared"
+}
+
+# stat_num JSON FIELD -> integer value of a top-level numeric field
+stat_num() {
+  echo "$1" | sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p"
+}
+
+start_backend() { # start_backend N -> pid in $BACKEND_PID
+  "$CB" serve --socket "$WORK/b$1.sock" --checkpoint "$CKPT" \
+    --journal "$WORK/b$1.jsonl" >"$WORK/b$1.log" 2>&1 &
+  BACKEND_PID=$!
+  wait_sock "$WORK/b$1.sock"
+}
+
+echo "== train a tiny checkpoint"
+"$CB" train --benchmarks 1 --epochs 1 --trace-len 4000 --checkpoint "$CKPT" \
+  --snapshot-dir "$WORK/snaps"
+
+echo "== start 3 backends + router"
+start_backend 1; B1=$BACKEND_PID; PIDS+=("$B1")
+start_backend 2; B2=$BACKEND_PID; PIDS+=("$B2")
+start_backend 3; B3=$BACKEND_PID; PIDS+=("$B3")
+"$CB" route --socket "$RSOCK" \
+  --backend "b1=unix:$WORK/b1.sock" \
+  --backend "b2=unix:$WORK/b2.sock" \
+  --backend "b3=unix:$WORK/b3.sock" \
+  --probe-interval-ms 300 --eject-after 2 --memo-capacity 4 \
+  --deadline-ms 20000 --attempt-timeout-ms 10000 \
+  --journal "$WORK/router.jsonl" \
+  >"$WORK/router.log" 2>&1 &
+ROUTER=$!
+PIDS+=("$ROUTER")
+wait_sock "$RSOCK"
+"$CB" call --socket "$RSOCK" '{"op": "health"}' | grep -q '"status": "ok"' \
+  || fail "cluster not healthy at start"
+
+echo "== loadgen through the healthy router (exactly-once FIFO, zero errors)"
+"$CB" loadgen --socket "$RSOCK" -n 6 -r 24 --invalid-every 7 --trace-len 4000 \
+  || fail "loadgen through the healthy router"
+
+echo "== kill one backend mid-load; clients must see zero non-degraded errors"
+( sleep 0.3; kill -9 "$B2" ) &
+KILLER=$!
+"$CB" loadgen --socket "$RSOCK" -n 6 -r 24 --invalid-every 0 --trace-len 4000 \
+  || fail "loadgen across a backend kill"
+wait "$KILLER"
+
+echo "== dead shard ejected within a probe interval"
+EJECTED=0
+for _ in $(seq 1 30); do
+  STATS=$("$CB" call --socket "$RSOCK" '{"op": "stats"}')
+  if [ "$(stat_num "$STATS" backends_up)" = 2 ]; then EJECTED=1; break; fi
+  sleep 0.1
+done
+[ "$EJECTED" = 1 ] || fail "router never ejected the killed backend: $STATS"
+grep -q '"event": "eject", "backend": "b2"' "$WORK/router.jsonl" \
+  || fail "no eject event journaled"
+
+echo "== restart the killed backend; router must re-admit it"
+start_backend 2; B2=$BACKEND_PID; PIDS+=("$B2")
+READMITTED=0
+for _ in $(seq 1 30); do
+  STATS=$("$CB" call --socket "$RSOCK" '{"op": "stats"}')
+  if [ "$(stat_num "$STATS" backends_up)" = 3 ]; then READMITTED=1; break; fi
+  sleep 0.1
+done
+[ "$READMITTED" = 1 ] || fail "router never re-admitted the restarted backend: $STATS"
+grep -q '"event": "readmit", "backend": "b2"' "$WORK/router.jsonl" \
+  || fail "no readmit event journaled"
+
+echo "== SIGHUP-reload a backend under load (zero-downtime hot swap)"
+( sleep 0.2; kill -HUP "$B1" ) &
+HUPPER=$!
+"$CB" loadgen --socket "$RSOCK" -n 4 -r 16 --invalid-every 0 --trace-len 4000 \
+  || fail "loadgen across a SIGHUP reload"
+wait "$HUPPER"
+RELOADED=0
+for _ in $(seq 1 50); do
+  if "$CB" call --socket "$WORK/b1.sock" '{"op": "stats"}' | grep -q '"reloads": 1'; then
+    RELOADED=1; break
+  fi
+  sleep 0.1
+done
+[ "$RELOADED" = 1 ] || fail "SIGHUP reload never landed on b1"
+
+echo "== corrupt-checkpoint reload broadcast is rejected, nothing crashes"
+head -c 1000 "$CKPT" > "$WORK/bad.ckpt"
+OUT=$("$CB" call --socket "$RSOCK" \
+  "{\"op\": \"reload\", \"checkpoint\": \"$WORK/bad.ckpt\"}" || true)
+echo "$OUT" | grep -q '"ok": false' || fail "corrupt reload accepted: $OUT"
+echo "$OUT" | grep -q 'model_unavailable' || fail "corrupt reload not typed: $OUT"
+"$CB" call --socket "$RSOCK" '{"op": "health"}' | grep -q '"status": "ok"' \
+  || fail "cluster unhealthy after a rejected reload"
+
+echo "== memo: identical requests short-circuit at the router"
+REQ="{\"op\": \"infer\", \"sets\": 64, \"ways\": 8, \"benchmark\": \"$BENCH\", \"trace_len\": 4000}"
+"$CB" call --socket "$RSOCK" "$REQ" | grep -q '"ok": true' || fail "memo warm request"
+"$CB" call --socket "$RSOCK" "$REQ" | grep -q '"memo": true' || fail "second identical request not memoized"
+
+echo "== gate on the router's counters"
+STATS=$("$CB" call --socket "$RSOCK" '{"op": "stats"}')
+[ "$(stat_num "$STATS" retries)" -ge 1 ] || fail "no retries counted across the kill: $STATS"
+[ "$(stat_num "$STATS" memo_hits)" -ge 1 ] || fail "no memo hits counted: $STATS"
+echo "$STATS" | grep -q '"ejections": 1' || fail "no ejection in backend stats: $STATS"
+echo "$STATS" | grep -q '"readmissions": 1' || fail "no readmission in backend stats: $STATS"
+
+echo "== clean shutdown"
+"$CB" call --socket "$RSOCK" '{"op": "shutdown"}' >/dev/null
+wait "$ROUTER" || fail "router exited non-zero"
+[ ! -S "$RSOCK" ] || fail "router socket survived shutdown"
+for s in b1 b2 b3; do
+  "$CB" call --socket "$WORK/$s.sock" '{"op": "shutdown"}' >/dev/null || true
+done
+
+echo "cluster_smoke: OK"

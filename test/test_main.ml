@@ -30,5 +30,7 @@ let () =
       Test_resilience.suite;
       Test_serve.suite;
       Test_serve_batch.suite;
+      Test_router.suite;
+      Test_reload.suite;
       Test_integration.suite;
     ]

@@ -356,7 +356,7 @@ let classify_all e lines =
     (fun line ->
       match Serve_engine.classify_line e line with
       | Serve_engine.Batchable item -> item
-      | Serve_engine.Immediate _ -> Alcotest.fail "expected a batchable infer request")
+      | _ -> Alcotest.fail "expected a batchable infer request")
     lines
 
 let hit_rate_bits reply =
@@ -443,13 +443,13 @@ let test_batch_deadline_virtual_clock () =
   let expired =
     match Serve_engine.classify_line e (infer_line ~id:"late" ~deadline_ms:1000 ()) with
     | Serve_engine.Batchable item -> item
-    | Serve_engine.Immediate _ -> Alcotest.fail "expected batchable"
+    | _ -> Alcotest.fail "expected batchable"
   in
   t := 1002.0;
   let fresh =
     match Serve_engine.classify_line e (infer_line ~id:"fresh" ~deadline_ms:1000 ()) with
     | Serve_engine.Batchable item -> item
-    | Serve_engine.Immediate _ -> Alcotest.fail "expected batchable"
+    | _ -> Alcotest.fail "expected batchable"
   in
   match Serve_engine.infer_batch e [ expired; fresh ] with
   | [ r_late; r_fresh ] ->
