@@ -356,8 +356,29 @@ let serve_cmd =
   let replicas_arg =
     Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc:"Model replica pool size; due batches are executed concurrently across replicas.")
   in
+  let senv name = Cmd.Env.info ("CACHEBOX_" ^ name) in
+  let idle_timeout_arg =
+    Arg.(value & opt int 0 & info [ "idle-timeout-ms" ] ~docv:"MS" ~env:(senv "IDLE_TIMEOUT_MS") ~doc:"Close connections idle this long with no reply owed (0 disables). Streaming connections are exempt while their session is live.")
+  in
+  let stream_sessions_arg =
+    Arg.(value & opt int Stream_session.default_config.Stream_session.max_sessions & info [ "stream-sessions" ] ~docv:"N" ~env:(senv "STREAM_SESSIONS") ~doc:"Live streaming sessions admitted before opens shed with $(b,overloaded).")
+  in
+  let stream_credit_arg =
+    Arg.(value & opt int Stream_session.default_config.Stream_session.retain_windows & info [ "stream-credit" ] ~docv:"W" ~env:(senv "STREAM_CREDIT") ~doc:"Per-session credit horizon: un-acknowledged window results retained for replay; feed credit never outruns this ring.")
+  in
+  let stream_pending_arg =
+    Arg.(value & opt int Stream_session.default_config.Stream_session.max_pending_windows & info [ "stream-pending" ] ~docv:"N" ~env:(senv "STREAM_PENDING") ~doc:"Streamed windows in flight across all sessions before further windows degrade to the analytical baseline.")
+  in
+  let stream_bytes_arg =
+    Arg.(value & opt int Stream_session.default_config.Stream_session.max_bytes & info [ "stream-bytes" ] ~docv:"B" ~env:(senv "STREAM_BYTES") ~doc:"Summed session buffer bytes before opens shed with $(b,overloaded).")
+  in
+  let stream_ttl_arg =
+    Arg.(value & opt int 300_000 & info [ "stream-ttl-ms" ] ~docv:"MS" ~env:(senv "STREAM_TTL_MS") ~doc:"Idle streaming sessions older than this are evicted and release their quota.")
+  in
   let run socket port ckpt fallback queue_depth deadline_ms breaker_threshold
-      breaker_cooldown_ms max_trace_len journal batch_max batch_linger_ms replicas domains =
+      breaker_cooldown_ms max_trace_len journal batch_max batch_linger_ms replicas
+      idle_timeout_ms stream_sessions stream_credit stream_pending stream_bytes
+      stream_ttl_ms domains =
     apply_domains domains;
     if Faultinject.arm_from_env () then
       Fmt.epr "cachebox serve: fault armed from CACHEBOX_FAULT@.";
@@ -401,6 +422,17 @@ let serve_cmd =
             max_trace_len;
             replicas;
           };
+        stream =
+          {
+            Stream_session.max_sessions = stream_sessions;
+            retain_windows = stream_credit;
+            max_pending_windows = stream_pending;
+            max_bytes = stream_bytes;
+            session_ttl_s = float_of_int stream_ttl_ms /. 1000.0;
+          };
+        idle_timeout_s =
+          (if idle_timeout_ms > 0 then Some (float_of_int idle_timeout_ms /. 1000.0)
+           else None);
       }
     in
     let ready () =
@@ -442,7 +474,8 @@ let serve_cmd =
               ~doc:"Analytical fallback for degraded answers: $(b,hrd), $(b,stm) or $(b,none).")
       $ queue_arg $ deadline_arg $ breaker_threshold_arg $ breaker_cooldown_arg
       $ max_trace_arg $ journal_serve_arg $ batch_max_arg $ batch_linger_arg
-      $ replicas_arg $ domains_arg)
+      $ replicas_arg $ idle_timeout_arg $ stream_sessions_arg $ stream_credit_arg
+      $ stream_pending_arg $ stream_bytes_arg $ stream_ttl_arg $ domains_arg)
 
 let call_cmd =
   let request_arg =
@@ -496,6 +529,227 @@ let call_cmd =
   Cmd.v
     (Cmd.info "call" ~doc:"Send one request line to a running serve daemon and print the reply")
     Term.(const run $ socket_arg $ port_arg $ request_arg)
+
+(* --- stream: pour a trace into a live daemon over a streaming session ---
+
+   Prints one "window=I hit_rate=H ..." line per window with hex floats,
+   so two runs (say, an uninterrupted one and a kill-then-resume one) can
+   be diffed bit-for-bit. Respects the server's credit grants, and has the
+   failure knobs the robustness smoke test drives: die abruptly after K
+   windows with a feed still in flight, resume from a session token, or
+   corrupt one chunk and expect the typed poison. *)
+
+let stream_cmd =
+  let trace_file_arg =
+    Arg.(value & opt (some string) None & info [ "trace-file" ] ~docv:"FILE" ~doc:"Stream this trace file (text or binary). Default: generate $(b,--benchmark) client-side.")
+  in
+  let stream_benchmark_arg =
+    Arg.(value & opt string "600.perlbench_s-734B" & info [ "benchmark" ] ~docv:"NAME" ~doc:"Benchmark to generate when no $(b,--trace-file) is given.")
+  in
+  let stream_trace_len_arg =
+    Arg.(value & opt int 16_000 & info [ "trace-len" ] ~docv:"N" ~doc:"Length of the generated trace.")
+  in
+  let sets_arg =
+    Arg.(value & opt int 64 & info [ "sets" ] ~docv:"N" ~doc:"Cache sets for the session.")
+  in
+  let ways_arg =
+    Arg.(value & opt int 4 & info [ "ways" ] ~docv:"N" ~doc:"Cache ways for the session.")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 1024 & info [ "chunk" ] ~docv:"N" ~doc:"Accesses per feed chunk (clipped to the server's credit).")
+  in
+  let kill_after_arg =
+    Arg.(value & opt (some int) None & info [ "kill-after-windows" ] ~docv:"K" ~doc:"After K windows, send one more chunk and close the socket without reading — simulates a client dying mid-stream. The session survives for $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"TOKEN" ~doc:"Resume this session instead of opening one; replayed windows are printed, then pouring continues from the server's $(b,consumed) position.")
+  in
+  let resume_from_arg =
+    Arg.(value & opt int (-1) & info [ "resume-from" ] ~docv:"W" ~doc:"With $(b,--resume): acknowledge windows up to this index (they are pruned, not replayed).")
+  in
+  let corrupt_at_arg =
+    Arg.(value & opt (some int) None & info [ "corrupt-at" ] ~docv:"SEQ" ~doc:"Replace chunk SEQ's payload with a non-integer element and expect the typed $(b,corrupt_input) poison (exit 3).")
+  in
+  let run socket port trace_file benchmark trace_len sets ways chunk kill_after resume
+      resume_from corrupt_at =
+    let addr =
+      match (socket, port) with
+      | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+      | Some path, None -> Unix.ADDR_UNIX path
+      | None, None -> Unix.ADDR_UNIX "cachebox.sock"
+    in
+    let fd =
+      Unix.socket
+        (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+        Unix.SOCK_STREAM 0
+    in
+    (match Unix.connect fd addr with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "cannot connect: %s@." (Unix.error_message e);
+      exit 1);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+    let ic = Unix.in_channel_of_descr fd
+    and oc = Unix.out_channel_of_descr fd in
+    let send line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    in
+    let recv () =
+      match input_line ic with
+      | exception End_of_file ->
+        Fmt.epr "connection closed without a reply@.";
+        exit 1
+      | exception Sys_error m ->
+        Fmt.epr "read failed: %s@." m;
+        exit 1
+      | line -> (
+        match Sjson.parse line with
+        | Ok j -> j
+        | Error e ->
+          Fmt.epr "server sent bad JSON: %s@." e;
+          exit (Serve_error.exit_code Serve_error.Internal))
+    in
+    let int_f name j = Option.bind (Sjson.member name j) Sjson.to_int in
+    let str_f name j = Option.bind (Sjson.member name j) Sjson.to_str in
+    let is_ok j = Sjson.(member "ok" j |> Option.map to_bool) = Some (Some true) in
+    let fail_reply j =
+      Fmt.epr "%s@." (Sjson.to_string j);
+      match Option.map Serve_error.code_of_string (str_f "error" j) with
+      | Some (Some c) -> exit (Serve_error.exit_code c)
+      | _ -> exit (Serve_error.exit_code Serve_error.Internal)
+    in
+    let trace =
+      match trace_file with
+      | Some f -> (
+        match Validate.read_trace_file f with Ok t -> t | Error e -> die e)
+      | None -> (find_workload benchmark).Workload.generate trace_len
+    in
+    (* Windows are printed once, on first delivery — a resume may replay
+       un-acked results the dying run already printed. *)
+    let seen = Hashtbl.create 64 in
+    let emit_windows j =
+      match Sjson.member "windows" j with
+      | Some (Sjson.Arr ws) ->
+        List.iter
+          (fun w ->
+            match int_f "window" w with
+            | Some i when not (Hashtbl.mem seen i) ->
+              Hashtbl.replace seen i ();
+              (match Option.bind (Sjson.member "hit_rate" w) Sjson.to_float with
+              | Some h ->
+                Fmt.pr "window=%d hit_rate=%h degraded=%b@." i h
+                  (Sjson.(member "degraded" w |> Option.map to_bool) = Some (Some true))
+              | None ->
+                Fmt.pr "window=%d error=%s@." i
+                  (Option.value (str_f "error" w) ~default:"?"))
+            | _ -> ())
+          ws
+      | _ -> ()
+    in
+    let last_seen () = Hashtbl.fold (fun k () acc -> max k acc) seen (-1) in
+    let session, credit0, start =
+      match resume with
+      | None ->
+        send (Printf.sprintf "{\"op\": \"stream_open\", \"sets\": %d, \"ways\": %d}" sets ways);
+        let j = recv () in
+        if not (is_ok j) then fail_reply j;
+        let tok =
+          match str_f "session" j with
+          | Some t -> t
+          | None ->
+            Fmt.epr "open reply has no session token@.";
+            exit 1
+        in
+        Fmt.pr "session=%s@." tok;
+        (tok, Option.value (int_f "credit" j) ~default:0, 0)
+      | Some tok ->
+        (* Results of windows that were still in the batcher when the old
+           connection died land in the retention ring as they finish; poll
+           until the server reports none pending. *)
+        let rec attach ack =
+          send
+            (Printf.sprintf
+               "{\"op\": \"stream_resume\", \"session\": %S, \"last_window\": %d}" tok ack);
+          let j = recv () in
+          if not (is_ok j) then fail_reply j;
+          emit_windows j;
+          if Option.value (int_f "pending" j) ~default:0 > 0 then begin
+            Thread.delay 0.05;
+            attach (last_seen ())
+          end
+          else j
+        in
+        let j = attach resume_from in
+        let consumed = Option.value (int_f "consumed" j) ~default:0 in
+        Fmt.pr "resumed consumed=%d@." consumed;
+        (tok, Option.value (int_f "credit" j) ~default:0, consumed)
+    in
+    let len = Array.length trace in
+    let pos = ref start
+    and credit = ref credit0
+    and seq = ref 0
+    and killed = ref false in
+    let chunk_json n =
+      if corrupt_at = Some !seq then "[1, \"bogus\"]"
+      else begin
+        let b = Buffer.create ((n * 8) + 2) in
+        Buffer.add_char b '[';
+        for i = 0 to n - 1 do
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int trace.(!pos + i))
+        done;
+        Buffer.add_char b ']';
+        Buffer.contents b
+      end
+    in
+    let feed_line n =
+      Printf.sprintf "{\"op\": \"stream_feed\", \"session\": %S, \"seq\": %d, \"ack\": %d, \"addrs\": %s}"
+        session !seq (last_seen ()) (chunk_json n)
+    in
+    while !pos < len && not !killed do
+      let n = min chunk (min !credit (len - !pos)) in
+      if n = 0 && !credit = 0 then
+        (* Retention full with results still in flight: an empty feed acks
+           what we have seen and fetches a fresh grant. *)
+        Thread.delay 0.02;
+      send (feed_line n);
+      incr seq;
+      let j = recv () in
+      if not (is_ok j) then fail_reply j;
+      emit_windows j;
+      credit := Option.value (int_f "credit" j) ~default:0;
+      pos := Option.value (int_f "consumed" j) ~default:!pos;
+      match kill_after with
+      | Some k when Hashtbl.length seen >= k && not !killed ->
+        (* Die with a feed in flight: pour one more chunk and vanish. *)
+        let extra = min chunk (min !credit (len - !pos)) in
+        if extra > 0 then send (feed_line extra);
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Fmt.pr "killed windows=%d@." (Hashtbl.length seen);
+        killed := true
+      | _ -> ()
+    done;
+    if not !killed then begin
+      send (Printf.sprintf "{\"op\": \"stream_close\", \"session\": %S}" session);
+      let j = recv () in
+      if not (is_ok j) then fail_reply j;
+      Fmt.pr "closed consumed=%d windows=%d@."
+        (Option.value (int_f "consumed" j) ~default:(-1))
+        (Hashtbl.length seen);
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Stream a trace into a running serve daemon over a backpressured session and \
+          print each window's prediction as it closes")
+    Term.(
+      const run $ socket_arg $ port_arg $ trace_file_arg $ stream_benchmark_arg
+      $ stream_trace_len_arg $ sets_arg $ ways_arg $ chunk_arg $ kill_after_arg
+      $ resume_arg $ resume_from_arg $ corrupt_at_arg)
 
 (* --- route: fault-tolerant shard router over N serve daemons ---
 
@@ -655,6 +909,247 @@ let route_cmd =
    drop. Afterwards the shed count every client observed is reconciled
    against the daemon's own stats. Exits non-zero on any violation. *)
 
+(* Streaming load generator: N concurrent sessions pouring deterministic
+   traces, with exactly-once in-order window accounting, deliberate
+   over-credit probes, mid-stream disconnect + resume coverage, and a
+   reconciliation of the daemon's stream counters against what the clients
+   observed. *)
+let loadgen_stream_run ~addr ~clients ~windows ~shutdown_after =
+  let connect () =
+    let fd =
+      Unix.socket
+        (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+        Unix.SOCK_STREAM 0
+    in
+    Unix.connect fd addr;
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+    fd
+  in
+  let int_f name j = Option.bind (Sjson.member name j) Sjson.to_int in
+  let str_f name j = Option.bind (Sjson.member name j) Sjson.to_str in
+  let is_ok j = Sjson.(member "ok" j |> Option.map to_bool) = Some (Some true) in
+  let got_windows = Array.make clients 0
+  and shed_probes = Array.make clients 0
+  and resumes = Array.make clients 0
+  and failures = Array.make clients [] in
+  let fail k fmt = Printf.ksprintf (fun m -> failures.(k) <- m :: failures.(k)) fmt in
+  (* Each client disconnects abruptly halfway and resumes (k mod 3 = 1), or
+     sends one deliberately over-credit chunk and expects the typed shed
+     (k mod 3 = 2), or just streams cleanly. *)
+  let client k () =
+    let exception Fatal in
+    try
+      let fd = ref (connect ()) in
+      let ic = ref (Unix.in_channel_of_descr !fd)
+      and oc = ref (Unix.out_channel_of_descr !fd) in
+      let send line =
+        output_string !oc line;
+        output_char !oc '\n';
+        flush !oc
+      in
+      let recv what =
+        match input_line !ic with
+        | exception (End_of_file | Sys_error _) ->
+          fail k "%s: connection died" what;
+          raise Fatal
+        | line -> (
+          match Sjson.parse line with
+          | Ok j -> j
+          | Error e ->
+            fail k "%s: bad JSON from server (%s)" what e;
+            raise Fatal)
+      in
+      send
+        (Printf.sprintf "{\"op\": \"stream_open\", \"sets\": %d, \"ways\": %d}"
+           (16 lsl (k mod 4))
+           (1 + (k mod 8)));
+      let openr = recv "open" in
+      if not (is_ok openr) then begin
+        fail k "open rejected: %s" (Sjson.to_string openr);
+        raise Fatal
+      end;
+      let session = Option.value (str_f "session" openr) ~default:"" in
+      let apw = Option.value (int_f "accesses_per_image" openr) ~default:0 in
+      let step = Option.value (int_f "step_accesses" openr) ~default:0 in
+      let len = apw + ((windows - 1) * step) in
+      (* Deterministic per-client trace: the resumed half regenerates the
+         same addresses from the server's consumed position. *)
+      let addr_at i = (i * 2654435761) lxor (k * 40503) land 0xFFFFF in
+      let next_expected = ref 0 in
+      let take_windows j =
+        match Sjson.member "windows" j with
+        | Some (Sjson.Arr ws) ->
+          List.iter
+            (fun w ->
+              match int_f "window" w with
+              | Some i ->
+                if i = !next_expected then begin
+                  incr next_expected;
+                  got_windows.(k) <- got_windows.(k) + 1
+                end
+                else if i > !next_expected then begin
+                  fail k "window %d arrived before %d — gap or reorder" i !next_expected;
+                  raise Fatal
+                end
+                (* i < next_expected: an un-acked result replayed by resume;
+                   exactly-once is on first delivery, so it is dropped. *)
+              | None -> fail k "window entry without an index")
+            ws
+        | _ -> ()
+      in
+      let credit = ref (Option.value (int_f "credit" openr) ~default:0) in
+      let pos = ref 0 in
+      let seq = ref 0 in
+      let probe_done = ref false in
+      let disconnected = ref false in
+      while !next_expected < windows do
+        if k mod 3 = 2 && (not !probe_done) && !seq = 1 then begin
+          (* Over-credit probe: must shed with a typed overloaded reply and
+             apply nothing. *)
+          probe_done := true;
+          let n = !credit + step + 1 in
+          let b = Buffer.create (n * 4) in
+          for i = 0 to n - 1 do
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b "1"
+          done;
+          send
+            (Printf.sprintf "{\"op\": \"stream_feed\", \"session\": %S, \"seq\": -1, \"addrs\": [%s]}"
+               session (Buffer.contents b));
+          let j = recv "probe" in
+          (match str_f "error" j with
+          | Some "overloaded" -> shed_probes.(k) <- shed_probes.(k) + 1
+          | _ -> fail k "over-credit chunk was not shed: %s" (Sjson.to_string j))
+        end
+        else if k mod 3 = 1 && (not !disconnected) && !next_expected >= windows / 2
+        then begin
+          (* Abrupt mid-stream death, then resume on a fresh connection. *)
+          disconnected := true;
+          (try Unix.close !fd with Unix.Unix_error _ -> ());
+          fd := connect ();
+          ic := Unix.in_channel_of_descr !fd;
+          oc := Unix.out_channel_of_descr !fd;
+          let rec attach () =
+            send
+              (Printf.sprintf
+                 "{\"op\": \"stream_resume\", \"session\": %S, \"last_window\": %d}"
+                 session (!next_expected - 1));
+            let j = recv "resume" in
+            if not (is_ok j) then begin
+              fail k "resume rejected: %s" (Sjson.to_string j);
+              raise Fatal
+            end;
+            take_windows j;
+            if Option.value (int_f "pending" j) ~default:0 > 0 then begin
+              Thread.delay 0.02;
+              attach ()
+            end
+            else j
+          in
+          let j = attach () in
+          resumes.(k) <- resumes.(k) + 1;
+          credit := Option.value (int_f "credit" j) ~default:0;
+          pos := Option.value (int_f "consumed" j) ~default:!pos
+        end
+        else begin
+          let n = min 512 (min !credit (len - !pos)) in
+          if n = 0 && !credit = 0 then Thread.delay 0.01;
+          let b = Buffer.create ((n * 8) + 2) in
+          for i = 0 to n - 1 do
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b (string_of_int (addr_at (!pos + i)))
+          done;
+          send
+            (Printf.sprintf
+               "{\"op\": \"stream_feed\", \"session\": %S, \"seq\": %d, \"ack\": %d, \"addrs\": [%s]}"
+               session !seq (!next_expected - 1) (Buffer.contents b));
+          incr seq;
+          let j = recv "feed" in
+          if not (is_ok j) then begin
+            fail k "feed rejected: %s" (Sjson.to_string j);
+            raise Fatal
+          end;
+          take_windows j;
+          credit := Option.value (int_f "credit" j) ~default:0;
+          pos := Option.value (int_f "consumed" j) ~default:!pos
+        end
+      done;
+      send (Printf.sprintf "{\"op\": \"stream_close\", \"session\": %S}" session);
+      let j = recv "close" in
+      if not (is_ok j) then fail k "close rejected: %s" (Sjson.to_string j);
+      try Unix.close !fd with Unix.Unix_error _ -> ()
+    with
+    | Fatal -> ()
+    | Unix.Unix_error (e, _, _) -> fail k "socket error: %s" (Unix.error_message e)
+  in
+  let control op =
+    match connect () with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd
+          and oc = Unix.out_channel_of_descr fd in
+          output_string oc op;
+          output_char oc '\n';
+          flush oc;
+          match input_line ic with
+          | exception _ -> Error "no reply"
+          | line -> ( match Sjson.parse line with Ok j -> Ok j | Error e -> Error e))
+  in
+  let stream_counts () =
+    match control "{\"op\": \"stats\"}" with
+    | Error e -> Error e
+    | Ok json -> (
+      match Sjson.member "stream" json with
+      | None -> Error "stats reply has no stream section"
+      | Some s ->
+        let g name = Option.value (int_f name s) ~default:0 in
+        Ok (g "opened", g "closed", g "windows", g "shed_credit", g "resumed"))
+  in
+  let before = stream_counts () in
+  let threads = List.init clients (fun k -> Thread.create (client k) ()) in
+  List.iter Thread.join threads;
+  let sum a = Array.fold_left ( + ) 0 a in
+  let problems = ref (List.concat_map List.rev (Array.to_list failures)) in
+  if sum got_windows <> clients * windows then
+    problems :=
+      Printf.sprintf "received %d windows, expected %d" (sum got_windows)
+        (clients * windows)
+      :: !problems;
+  (match (before, stream_counts ()) with
+  | Error e, _ | _, Error e ->
+    problems := Printf.sprintf "stats query failed: %s" e :: !problems
+  | Ok (o0, c0, w0, s0, r0), Ok (o1, c1, w1, s1, r1) ->
+    let check name delta expect =
+      if delta <> expect then
+        problems :=
+          Printf.sprintf "daemon counted %d %s, clients observed %d" delta name expect
+          :: !problems
+    in
+    check "stream opens" (o1 - o0) clients;
+    check "stream closes" (c1 - c0) clients;
+    check "streamed windows" (w1 - w0) (sum got_windows);
+    check "credit sheds" (s1 - s0) (sum shed_probes);
+    check "resumes" (r1 - r0) (sum resumes));
+  if shutdown_after then (
+    match control "{\"op\": \"shutdown\"}" with
+    | Ok json when Sjson.(member "ok" json |> Option.map to_bool) = Some (Some true) ->
+      ()
+    | Ok json ->
+      problems := Printf.sprintf "shutdown refused: %s" (Sjson.to_string json) :: !problems
+    | Error e -> problems := Printf.sprintf "shutdown failed: %s" e :: !problems);
+  Fmt.pr
+    "loadgen --stream: %d sessions x %d windows: %d windows delivered in order (%d \
+     resumes, %d credit sheds)@."
+    clients windows (sum got_windows) (sum resumes) (sum shed_probes);
+  match !problems with
+  | [] -> Fmt.pr "loadgen: OK@."
+  | ps ->
+    List.iter (fun p -> Fmt.epr "loadgen: FAIL: %s@." p) (List.rev ps);
+    exit 1
+
 let loadgen_cmd =
   let clients_arg =
     Arg.(value & opt int 8 & info [ "n"; "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
@@ -674,13 +1169,23 @@ let loadgen_cmd =
   let shutdown_after_arg =
     Arg.(value & flag & info [ "shutdown-after" ] ~doc:"After the run and the stats reconciliation, ask the daemon to shut down and expect a clean drain.")
   in
-  let run socket port clients requests invalid_every benchmark trace_len shutdown_after =
+  let stream_flag =
+    Arg.(value & flag & info [ "stream" ] ~doc:"Streaming mode: each client opens a session, pours a deterministic trace under credit, and checks exactly-once in-order window delivery; a third of the clients die mid-stream and resume, another third probe the credit limit.")
+  in
+  let stream_windows_arg =
+    Arg.(value & opt int 6 & info [ "stream-windows" ] ~docv:"W" ~doc:"With $(b,--stream): windows each client's trace closes.")
+  in
+  let run socket port clients requests invalid_every benchmark trace_len shutdown_after
+      stream stream_windows =
     let addr =
       match (socket, port) with
       | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
       | Some path, None -> Unix.ADDR_UNIX path
       | None, None -> Unix.ADDR_UNIX "cachebox.sock"
     in
+    if stream then
+      loadgen_stream_run ~addr ~clients ~windows:stream_windows ~shutdown_after
+    else
     let connect () =
       let fd =
         Unix.socket
@@ -863,7 +1368,8 @@ let loadgen_cmd =
           every reply for drops, duplicates and reorders")
     Term.(
       const run $ socket_arg $ port_arg $ clients_arg $ requests_arg $ invalid_every_arg
-      $ loadgen_benchmark_arg $ loadgen_trace_arg $ shutdown_after_arg)
+      $ loadgen_benchmark_arg $ loadgen_trace_arg $ shutdown_after_arg $ stream_flag
+      $ stream_windows_arg)
 
 (* --- export / import traces --- *)
 
@@ -1120,4 +1626,4 @@ let bench_cmd =
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in
   let info = Cmd.info "cachebox" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; route_cmd; loadgen_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; stream_cmd; route_cmd; loadgen_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))

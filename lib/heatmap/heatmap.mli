@@ -81,8 +81,34 @@ module Accum : sig
   (** Images fully accumulated so far (equals {!image_count} once the
       stream ends, or 0 for short streams). *)
 
+  val fed : t -> int
+  (** Accesses fed so far ({!add} calls), counting masked-out ones — the
+      stream position, from which window/image boundaries are derivable. *)
+
+  val snapshot : t -> string
+  (** Serialize the full mid-stream state (open-window histograms, column
+      ring, de-overlap counters, pending images) as a checksummed binary
+      blob: magic + payload + CRC-32 trailer, the same container
+      discipline as model checkpoints and binary traces. Completed images
+      are not serialized — only their count, so image indices stay
+      consistent after {!restore}. *)
+
+  val restore : t -> string -> (unit, string) result
+  (** Overwrite the accumulator's state from a {!snapshot} blob. Feeding
+      the same suffix of the stream afterwards produces images
+      bit-identical to an uninterrupted run. Held completed images are
+      dropped ({!images} returns [] until the next completion);
+      {!completed} reflects the snapshot. [Error] (bad magic, CRC
+      mismatch, truncation, or a spec/plane mismatch with this
+      accumulator) leaves the accumulator unchanged. *)
+
   val images : t -> plane:int -> Tensor.t list
   (** Completed [\[height; width\]] images of one plane, oldest first. *)
+
+  val take_completed : t -> Tensor.t array list
+  (** Drain the held completed images (oldest first, one per-plane array
+      each) and forget them, so an unbounded stream runs in constant
+      memory; {!completed} keeps counting. *)
 
   val deoverlapped_mass : t -> plane:int -> float
   (** Exactly [deoverlapped_sum spec (images t ~plane)], tracked as integer

@@ -650,6 +650,17 @@ let process t rng queue job =
           (Sjson.Obj [ ("ok", Sjson.Bool true); ("op", Sjson.Str "shutdown") ]);
         Squeue.close queue
       | Ok (Validate.Reload { id; checkpoint }) -> broadcast_reload t job ~id ~checkpoint
+      | Ok
+          ( Validate.Stream_open { id; _ }
+          | Validate.Stream_feed { id; _ }
+          | Validate.Stream_resume { id; _ }
+          | Validate.Stream_close { id; _ } ) ->
+        (* Streaming sessions are stateful and bound to one backend's
+           session registry; a hit-rate-hashing forwarder cannot carry
+           them. Clients stream against a shard daemon directly. *)
+        answer_error t job ~arrival ?id
+          (Serve_error.v Serve_error.Bad_request
+             "stream ops are not routable; connect to a backend daemon directly")
       | Ok (Validate.Infer { id; sets; ways; source; deadline_s }) ->
         route_infer t rng job ~id ~sets ~ways ~source ~deadline_s)
 

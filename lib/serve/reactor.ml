@@ -61,23 +61,29 @@ type t = {
   max_conns : int;
   max_line : int;
   overflow_reply : string;
+  idle_timeout : float option;  (* reap quiet connections after this long *)
   mutable on_line : ticket -> string -> unit;
   m : Mutex.t;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable woken : bool;  (* a wake byte is already in flight *)
   mutable conns : conn list;
+  mutable next_cid : int;
+  mutable reap_count : int;
   mutable stopping : bool;
 }
 
 and conn = {
   owner : t;
+  cid : int;  (* stable per-connection id (session binding) *)
   fd : Unix.file_descr;
   lbuf : Linebuf.t;
   out : Buffer.t;
   mutable out_off : int;  (* bytes of [out] already written *)
   tickets : ticket Queue.t;  (* unanswered requests, FIFO *)
   mutable closing : bool;  (* read side done; close once flushed *)
+  mutable last_activity : float;  (* last byte read or written *)
+  mutable idle_exempt : bool;  (* streaming sessions opt out of the reaper *)
 }
 
 and ticket = { tk_conn : conn; mutable tk_reply : string option }
@@ -94,8 +100,11 @@ let wake_locked t =
 
 let create ?(max_conns = 512) ?(max_line = 1 lsl 20)
     ?(overflow_reply =
-      {|{"ok": false, "error": "bad_request", "message": "line too long"}|}) ~listener ()
-    =
+      {|{"ok": false, "error": "bad_request", "message": "line too long"}|})
+    ?idle_timeout_s ~listener () =
+  (match idle_timeout_s with
+  | Some s when s <= 0.0 -> invalid_arg "Reactor.create: idle_timeout_s must be > 0"
+  | _ -> ());
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   {
@@ -103,12 +112,15 @@ let create ?(max_conns = 512) ?(max_line = 1 lsl 20)
     max_conns;
     max_line;
     overflow_reply;
+    idle_timeout = idle_timeout_s;
     on_line = (fun _ _ -> ());
     m = Mutex.create ();
     wake_r;
     wake_w;
     woken = false;
     conns = [];
+    next_cid = 0;
+    reap_count = 0;
     stopping = false;
   }
 
@@ -126,6 +138,13 @@ let stop t =
       wake_locked t)
 
 let connections t = with_lock t (fun () -> List.length t.conns)
+let reaped t = with_lock t (fun () -> t.reap_count)
+let ticket_conn_id ticket = ticket.tk_conn.cid
+
+(* Exempting is a plain boolean store: the reaper only ever reads it on the
+   loop thread, and a stale read merely delays the exemption by one loop
+   iteration (the connection just carried a request, so it is not idle). *)
+let exempt_idle ticket = ticket.tk_conn.idle_exempt <- true
 
 (* --- loop internals (reactor thread only, except where noted) --- *)
 
@@ -171,6 +190,7 @@ let handle_readable t conn =
     conn.closing <- true;
     maybe_close t conn
   | n ->
+    conn.last_activity <- Unix.gettimeofday ();
     let lines, overflowed = Linebuf.feed conn.lbuf (Bytes.sub_string chunk 0 n) in
     List.iter
       (fun line ->
@@ -201,6 +221,7 @@ let handle_writable t conn =
     let data = Buffer.to_bytes conn.out in
     match Unix.write conn.fd data conn.out_off len with
     | n ->
+      if n > 0 then conn.last_activity <- Unix.gettimeofday ();
       conn.out_off <- conn.out_off + n;
       if conn_flushed conn then begin
         Buffer.clear conn.out;
@@ -221,12 +242,15 @@ let handle_accept t =
     let conn =
       {
         owner = t;
+        cid = with_lock t (fun () -> t.next_cid <- t.next_cid + 1; t.next_cid);
         fd;
         lbuf = Linebuf.create ~max_line:t.max_line;
         out = Buffer.create 256;
         out_off = 0;
         tickets = Queue.create ();
         closing = false;
+        last_activity = Unix.gettimeofday ();
+        idle_exempt = false;
       }
     in
     with_lock t (fun () -> t.conns <- conn :: t.conns)
@@ -263,6 +287,26 @@ let run t =
           if conn_flushed c && not (has_pending t c) then close_conn t c)
         conns
     end;
+    (* Idle reaper: a connection that owes nothing (no unanswered tickets,
+       output flushed) and has been quiet past the timeout is closed, so
+       slow-loris connections cannot pin [max_conns] slots forever.
+       Streaming sessions opt out via {!exempt_idle}; their lifetime is
+       governed by the session TTL instead. *)
+    let idle_candidate c =
+      (not c.idle_exempt) && (not c.closing) && conn_flushed c
+      && not (has_pending t c)
+    in
+    (match t.idle_timeout with
+    | Some it when not stopping ->
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun c ->
+          if idle_candidate c && now -. c.last_activity > it then begin
+            with_lock t (fun () -> t.reap_count <- t.reap_count + 1);
+            close_conn t c
+          end)
+        conns
+    | _ -> ());
     let conns = with_lock t (fun () -> t.conns) in
     if stopping && conns = [] then finished := true
     else begin
@@ -273,7 +317,27 @@ let run t =
         @ List.filter_map (fun c -> if c.closing then None else Some c.fd) conns
       in
       let writes = List.filter_map (fun c -> if conn_flushed c then None else Some c.fd) conns in
-      match Unix.select reads writes [] (-1.0) with
+      (* With the reaper armed, sleep only until the earliest candidate
+         would expire; with no candidates (or no reaper) block — every
+         other state change wakes the loop via fd readiness or the
+         self-pipe. *)
+      let timeout =
+        match t.idle_timeout with
+        | None -> -1.0
+        | Some it -> (
+          let now = Unix.gettimeofday () in
+          let next =
+            List.fold_left
+              (fun acc c ->
+                if idle_candidate c then
+                  let d = c.last_activity +. it -. now in
+                  Some (match acc with None -> d | Some a -> Float.min a d)
+                else acc)
+              None conns
+          in
+          match next with None -> -1.0 | Some d -> Float.max 0.01 d)
+      in
+      match Unix.select reads writes [] timeout with
       | rs, ws, _ ->
         if List.mem t.wake_r rs then drain_wake t;
         (* Ticket resolutions arrive from the batcher thread at any time;

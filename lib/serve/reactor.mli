@@ -41,13 +41,18 @@ val create :
   ?max_conns:int ->
   ?max_line:int ->
   ?overflow_reply:string ->
+  ?idle_timeout_s:float ->
   listener:Unix.file_descr ->
   unit ->
   t
 (** The listener must already be bound and listening. [max_conns] (default
     512, kept below the [select] FD_SETSIZE cap) pauses accepting when
     reached — further clients queue in the kernel backlog. [max_line]
-    defaults to 1 MiB. *)
+    defaults to 1 MiB. [idle_timeout_s] (default: no reaping) arms the idle
+    reaper: a connection with no unanswered tickets and a flushed output
+    buffer that has neither read nor written a byte for that long is
+    closed, so slow-loris connections cannot pin [max_conns] slots forever.
+    Connections marked with {!exempt_idle} are never reaped. *)
 
 val set_on_line : t -> (ticket -> string -> unit) -> unit
 (** The per-line callback, invoked on the reactor thread with the line's
@@ -69,3 +74,16 @@ val stop : t -> unit
 
 val connections : t -> int
 (** Live connection count (diagnostics). *)
+
+val reaped : t -> int
+(** Connections closed by the idle reaper so far (diagnostics/stats). *)
+
+val ticket_conn_id : ticket -> int
+(** Stable id of the connection that carried this ticket's request, unique
+    for the reactor's lifetime — streaming sessions bind to it so feeds
+    from a different connection can be rejected. *)
+
+val exempt_idle : ticket -> unit
+(** Mark the ticket's connection exempt from the idle reaper (streaming
+    sessions stay open between chunks while holding credit). Lasts until
+    the connection closes. Callable from any thread. *)

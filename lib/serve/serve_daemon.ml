@@ -5,6 +5,8 @@ type config = {
   queue_depth : int;
   batcher : Batcher.config;
   engine : Serve_engine.config;
+  stream : Stream_session.config;
+  idle_timeout_s : float option;
 }
 
 let default_config listen =
@@ -13,6 +15,8 @@ let default_config listen =
     queue_depth = 64;
     batcher = Batcher.default_config;
     engine = Serve_engine.default_config ();
+    stream = Stream_session.default_config;
+    idle_timeout_s = None;
   }
 
 (* A queued request: the raw line, its admission timestamp (deadlines count
@@ -78,8 +82,12 @@ let bind_listener = function
      queue entries as shed;
    + stop the reactor, which flushes every reply and closes connections —
      idle clients see EOF. *)
-let batcher_loop engine cfg queue reactor draining =
-  let b : (Serve_engine.infer_item * Reactor.ticket) Batcher.t =
+let batcher_loop engine sessions cfg queue reactor draining =
+  (* Each batched item carries its own completion callback: a plain infer
+     resolves its reactor ticket, a streamed window reports into its feed's
+     completion group (which resolves the feed's ticket once every window
+     the chunk closed has landed). *)
+  let b : (Serve_engine.infer_item * (Sjson.t -> unit)) Batcher.t =
     Batcher.create ~now:(fun () -> Serve_engine.now engine) cfg.batcher
   in
   (* Deferred (reload) work runs on its own threads so a multi-second model
@@ -101,9 +109,7 @@ let batcher_loop engine cfg queue reactor draining =
   in
   let run_batch ?replica batch =
     let replies = Serve_engine.infer_batch ?replica engine (List.map fst batch) in
-    List.iter2
-      (fun (_, tk) json -> Reactor.resolve tk (Sjson.to_string json))
-      batch replies
+    List.iter2 (fun (_, complete) json -> complete json) batch replies
   in
   let replicas = Serve_engine.replica_count engine in
   let exec_q =
@@ -149,8 +155,23 @@ let batcher_loop engine cfg queue reactor draining =
     | Serve_engine.Immediate (Serve_engine.Shutdown_reply json) ->
       `Shutdown (job.ticket, json)
     | Serve_engine.Batchable item ->
+      let ticket = job.ticket in
       Serve_engine.set_item_pickup item (Serve_engine.now engine);
-      Batcher.push b ~deadline:(Serve_engine.item_deadline item) (item, job.ticket);
+      Batcher.push b
+        ~deadline:(Serve_engine.item_deadline item)
+        (item, fun json -> Reactor.resolve ticket (Sjson.to_string json));
+      `Continue
+    | Serve_engine.Stream req ->
+      let ticket = job.ticket in
+      Stream_session.handle sessions
+        ~conn:(Reactor.ticket_conn_id ticket)
+        ~arrival:job.arrival
+        ~submit:(fun item complete ->
+          Serve_engine.set_item_pickup item (Serve_engine.now engine);
+          Batcher.push b ~deadline:(Serve_engine.item_deadline item) (item, complete))
+        ~resolve:(fun json -> Reactor.resolve ticket (Sjson.to_string json))
+        ~exempt:(fun () -> Reactor.exempt_idle ticket)
+        req;
       `Continue
     | Serve_engine.Deferred thunk ->
       let ticket = job.ticket in
@@ -185,7 +206,20 @@ let batcher_loop engine cfg queue reactor draining =
     join_deferred ();
     Reactor.stop reactor
   in
+  (* Abandoned sessions release their quota without waiting for the next
+     open: sweep at most once a second, from whichever branch of the loop
+     is active. (A fully idle daemon sweeps on the next request — opens
+     also sweep, so quota admission never sees stale sessions.) *)
+  let last_sweep = ref (Serve_engine.now engine) in
+  let maybe_sweep () =
+    let now = Serve_engine.now engine in
+    if now -. !last_sweep > 1.0 then begin
+      last_sweep := now;
+      Stream_session.sweep sessions
+    end
+  in
   let rec loop () =
+    maybe_sweep ();
     if Batcher.length b = 0 then
       (* Nothing coalescing: block until the reactor admits a request. *)
       match Squeue.pop queue with
@@ -241,7 +275,9 @@ let run ?journal ?reload ?(ready = fun () -> ()) ~spec ~model config =
         ("replicas", Runlog.I (Serve_engine.replica_count engine));
       ]);
   let queue : job Squeue.t = Squeue.create ~capacity:config.queue_depth in
-  let reactor = Reactor.create ~listener () in
+  let reactor = Reactor.create ?idle_timeout_s:config.idle_timeout_s ~listener () in
+  let sessions = Stream_session.create ~config:config.stream engine in
+  Serve_engine.set_extra_stats engine (Stream_session.stats_fields sessions);
   let draining = Atomic.make false in
   Reactor.set_on_line reactor (fun ticket line ->
       if Atomic.get draining then
@@ -273,7 +309,7 @@ let run ?journal ?reload ?(ready = fun () -> ()) ~spec ~model config =
       fun () -> Sys.set_signal Sys.sighup prev
   in
   let batcher =
-    Thread.create (fun () -> batcher_loop engine config queue reactor draining) ()
+    Thread.create (fun () -> batcher_loop engine sessions config queue reactor draining) ()
   in
   ready ();
   Reactor.run reactor;

@@ -35,11 +35,16 @@ type config = {
   queue_depth : int;  (** bounded admission queue capacity *)
   batcher : Batcher.config;  (** micro-batching policy (size/linger) *)
   engine : Serve_engine.config;
+  stream : Stream_session.config;  (** streaming-session quotas *)
+  idle_timeout_s : float option;
+      (** arm the reactor's idle-connection reaper (streaming connections
+          are exempt while their session is live); [None] = no reaping *)
 }
 
 val default_config : listen -> config
 (** Queue depth 64, {!Batcher.default_config}, over
-    {!Serve_engine.default_config}. *)
+    {!Serve_engine.default_config}; {!Stream_session.default_config}
+    quotas, no idle reaping. *)
 
 val bind_listener : listen -> Unix.file_descr
 (** Bind (but not listen on) a server socket for [listen], with the stale

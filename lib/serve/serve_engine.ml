@@ -50,6 +50,9 @@ type t = {
   rm : Mutex.t;  (* held for the duration of a reload; try_lock rejects overlap *)
   mutable reloads : int;
   mutable reload_failures : int;
+  mutable extra_stats : unit -> (string * Sjson.t) list;
+      (* extension point: the stream-session manager contributes its gauges
+         to the stats reply without the engine depending on it *)
 }
 
 (* A tiny inference through the real serving pipeline so the first client
@@ -102,6 +105,7 @@ let create ?now ?journal ?reload ~spec ~model cfg =
     rm = Mutex.create ();
     reloads = 0;
     reload_failures = 0;
+    extra_stats = (fun () -> []);
   }
 
 let model_of_checkpoint ~seed model_cfg ~path =
@@ -127,6 +131,8 @@ let model_loaded t = t.model <> None
 let requests_seen t = t.req_count
 let reloads t = t.reloads
 let now t = t.now ()
+let spec t = t.spec
+let set_extra_stats t f = t.extra_stats <- f
 
 (* --- zero-downtime reload ---
 
@@ -246,6 +252,7 @@ let stats_reply t =
        ("reloads", Sjson.Num (float_of_int t.reloads));
        ("reload_failures", Sjson.Num (float_of_int t.reload_failures));
      ]
+    @ t.extra_stats ()
     @ List.map
         (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))
         s.Serve_stats.errors)
@@ -323,6 +330,29 @@ let baseline t ~arrival ~id ~reason cache trace =
     let e = Serve_error.of_exn e in
     record_and_reply t ~arrival ~ok:false ~degraded:false
       ~code:(Some e.Serve_error.code) (error_reply ?id e)
+
+(* --- hooks for the stream-session layer (Stream_session) ---
+
+   The session manager answers on its own (quota sheds, poisoned sessions,
+   protocol misuse, per-window degradation) but must keep the engine's
+   counters and journal truthful, so its replies route through these. *)
+
+let shed_reply ?id ?(why = "stream") t e =
+  Serve_stats.shed t.stats;
+  journal_event t "shed" [ ("why", Runlog.S why) ];
+  error_reply ?id e
+
+let error_reply_counted ?id t ~arrival (e : Serve_error.t) =
+  record_and_reply t ~arrival ~ok:false ~degraded:false ~code:(Some e.Serve_error.code)
+    (error_reply ?id e)
+
+let ok_counted t ~arrival json =
+  record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None json
+
+let degraded_reply ?id t ~arrival ~reason cache trace =
+  baseline t ~arrival ~id ~reason cache trace
+
+let journal t kind fields = journal_event t kind fields
 
 let journal_breaker_transition t before =
   let after = Breaker.state t.breaker in
@@ -451,6 +481,16 @@ let handle_request t ~arrival req =
       (record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
          (Sjson.Obj [ ("ok", Sjson.Bool true); ("op", Sjson.Str "shutdown") ]))
   | Validate.Reload { id; checkpoint } -> Reply (do_reload t ~arrival ~id ~checkpoint)
+  | Validate.Stream_open { id; _ }
+  | Validate.Stream_feed { id; _ }
+  | Validate.Stream_resume { id; _ }
+  | Validate.Stream_close { id; _ } ->
+    (* Streaming needs the reactor's connection identity and the batcher's
+       completion callbacks; the sequential entry points have neither. *)
+    Reply
+      (error_reply_counted ?id t ~arrival
+         (Serve_error.v Serve_error.Bad_request
+            "stream ops are only served by the streaming daemon path"))
   | Validate.Infer { id; sets; ways; source; deadline_s } -> (
     (* Total: a bug below this point is an [internal] reply, not a dead
        worker. *)
@@ -487,6 +527,10 @@ type infer_item = {
   item_index : int;  (* admission order; the fault-injection index *)
   item_cache : Cache.config;
   item_trace : int array;
+  item_access : Tensor.t option;
+      (* prebuilt access heatmap (a streamed window blitted out of
+         Heatmap.Accum); None = build from item_trace as usual. The trace
+         is still carried for the analytical-baseline degradation path. *)
   item_deadline : float;  (* absolute, on the engine clock *)
   mutable item_pickup : float;  (* when the batcher popped it (stats) *)
 }
@@ -497,9 +541,30 @@ type classified =
   | Deferred of (unit -> outcome)
       (* slow control-plane work (reload): run the thunk off the batcher
          thread so model loading never stalls the serving path *)
+  | Stream of Validate.request
+      (* a stream_* op: the daemon hands it to the session manager with
+         its connection identity and completion callbacks *)
 
 let item_deadline it = it.item_deadline
 let set_item_pickup it ts = it.item_pickup <- ts
+
+(* One streamed window as a batchable item: the access heatmap was already
+   blitted out of the session's accumulator (bit-identical to of_trace on
+   the window's trace), and the window's trace tail rides along so the
+   degradation ladder (HRD/STM per window) and fault containment work
+   exactly as they do for offline requests. Stamped with the engine's
+   admission index, so CACHEBOX_FAULT indices reach streamed windows. *)
+let stream_item t ~arrival ~cache ~trace ~access =
+  {
+    item_id = None;
+    item_arrival = arrival;
+    item_index = next_index t;
+    item_cache = cache;
+    item_trace = trace;
+    item_access = Some access;
+    item_deadline = arrival +. t.cfg.default_deadline_s;
+    item_pickup = arrival;
+  }
 
 let classify_request t ~arrival req =
   match req with
@@ -531,6 +596,7 @@ let classify_request t ~arrival req =
                 item_index = next_index t;
                 item_cache = cache;
                 item_trace = trace;
+                item_access = None;
                 item_deadline = arrival +. budget;
                 item_pickup = arrival;
               }))
@@ -545,6 +611,9 @@ let classify_request t ~arrival req =
               ~code:(Some Serve_error.Internal) (error_reply ?id e))))
   | Validate.Reload { id; checkpoint } ->
     Deferred (fun () -> Reply (do_reload t ~arrival ~id ~checkpoint))
+  | ( Validate.Stream_open _ | Validate.Stream_feed _ | Validate.Stream_resume _
+    | Validate.Stream_close _ ) as req ->
+    Stream req
   | req -> Immediate (handle_request t ~arrival req)
 
 let classify_line ?arrival t line =
@@ -627,7 +696,11 @@ let infer_batch ?(replica = 0) t items =
        let model, lock = pool.(replica mod Array.length pool) in
        let inputs =
          List.map
-           (fun (it, _) -> (it.item_cache, Heatmap.of_trace t.spec it.item_trace))
+           (fun (it, _) ->
+             ( it.item_cache,
+               match it.item_access with
+               | Some img -> [ img ]
+               | None -> Heatmap.of_trace t.spec it.item_trace ))
            fwd
        in
        let t_f0 = t.now () in

@@ -102,6 +102,10 @@ val now : t -> float
 (** The engine's clock — use it to stamp request arrival at admission so
     deadlines include queue wait. *)
 
+val spec : t -> Heatmap.spec
+(** The heatmap geometry this engine serves (streaming sessions window
+    their input with it). *)
+
 val stats : t -> Serve_stats.summary
 val breaker_state : t -> Breaker.state
 val model_loaded : t -> bool
@@ -142,12 +146,32 @@ type classified =
   | Deferred of (unit -> outcome)
       (** slow control-plane work (reload): run the (total) thunk off the
           batcher thread so model loading never stalls serving *)
+  | Stream of Validate.request
+      (** a [stream_*] op — the daemon routes it to {!Stream_session} with
+          the request's connection identity and completion callbacks; the
+          sequential {!handle_line} path answers it [bad_request] *)
 
 val classify_line : ?arrival:float -> t -> string -> classified
 (** Parse + validate one protocol line. Validation errors and non-infer ops
     are [Immediate] (already recorded in stats); a valid infer request
     becomes a [Batchable] item stamped with its admission index and absolute
-    deadline; a reload is [Deferred]. Total, like {!handle_line}. *)
+    deadline; a reload is [Deferred]; stream ops are [Stream]. Total, like
+    {!handle_line}. *)
+
+val stream_item :
+  t ->
+  arrival:float ->
+  cache:Cache.config ->
+  trace:int array ->
+  access:Tensor.t ->
+  infer_item
+(** One streamed window as a batchable item: [access] is the window's
+    heatmap already blitted out of the session's {!Heatmap.Accum}
+    (bit-identical to [of_trace] over [trace], the window's own accesses,
+    which rides along for the HRD/STM degradation path). The item gets the
+    next admission index — armed faults hit streamed windows exactly like
+    offline requests — and the engine's default deadline from [arrival]
+    (the moment the window closed). *)
 
 val item_deadline : infer_item -> float
 (** Absolute deadline on the engine clock — feed it to {!Batcher.push}. *)
@@ -167,3 +191,43 @@ val infer_batch : ?replica:int -> t -> infer_item list -> Sjson.t list
 
 val replica_count : t -> int
 (** Size of the replica pool (1 when no model is loaded). *)
+
+(** {2 Stream-session hooks}
+
+    {!Stream_session} answers many requests on its own (quota sheds,
+    poisoned sessions, protocol misuse, per-window degradation) but must
+    keep the engine's counters and journal truthful; its replies route
+    through these. *)
+
+val shed_reply : ?id:string -> ?why:string -> t -> Serve_error.t -> Sjson.t
+(** Typed error reply counted as a shed (and journaled with [why],
+    default ["stream"]). *)
+
+val error_reply_counted :
+  ?id:string -> t -> arrival:float -> Serve_error.t -> Sjson.t
+(** Typed error reply recorded in stats (served, error code, latency). *)
+
+val ok_counted : t -> arrival:float -> Sjson.t -> Sjson.t
+(** Record a successful non-degraded answer (latency from [arrival]) and
+    pass the reply through. *)
+
+val degraded_reply :
+  ?id:string ->
+  t ->
+  arrival:float ->
+  reason:string ->
+  Cache.config ->
+  int array ->
+  Sjson.t
+(** Analytical-baseline answer for one trace (a quota-degraded streamed
+    window), tagged [degraded:true] with [reason] and recorded in stats —
+    the same ladder rung {!infer_batch} uses, callable directly. *)
+
+val journal : t -> string -> (string * Runlog.value) list -> unit
+(** Append an event to the engine's journal (thread-safe; no-op without a
+    journal). *)
+
+val set_extra_stats : t -> (unit -> (string * Sjson.t) list) -> unit
+(** Register extra top-level fields for the [stats] reply (the session
+    manager's gauges/counters). Called on every stats request; must be
+    thread-safe and fast. *)

@@ -119,6 +119,13 @@ type trace_source =
   | Benchmark of { name : string; length : int }
   | File of string
 
+(* A stream chunk's payload survives validation even when it is broken:
+   the session layer must see the fault (to poison that one session with a
+   typed [corrupt_input]) rather than have the whole line bounce as a
+   sessionless [bad_request]. Address range checks are likewise deferred to
+   the session so a bad address mid-chunk can roll the session back. *)
+type feed_payload = Addrs of int array | Corrupt of string
+
 type request =
   | Infer of {
       id : string option;
@@ -131,6 +138,16 @@ type request =
   | Stats_request
   | Shutdown
   | Reload of { id : string option; checkpoint : string option }
+  | Stream_open of { id : string option; sets : int; ways : int }
+  | Stream_feed of {
+      id : string option;
+      session : string;
+      seq : int option;
+      ack : int option;
+      payload : feed_payload;
+    }
+  | Stream_resume of { id : string option; session : string; last_window : int option }
+  | Stream_close of { id : string option; session : string }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -149,6 +166,35 @@ let opt_field json key conv kind =
     match conv v with
     | Some x -> Ok (Some x)
     | None -> err Serve_error.Bad_request "field %S must be %s" key kind)
+
+let req_str json key =
+  match Sjson.member key json with
+  | None -> err Serve_error.Bad_request "missing required field %S" key
+  | Some v -> (
+    match Sjson.to_str v with
+    | Some s when s <> "" -> Ok s
+    | Some _ -> err Serve_error.Bad_request "field %S must be non-empty" key
+    | None -> err Serve_error.Bad_request "field %S must be a string" key)
+
+let feed_payload json =
+  match Sjson.member "addrs" json with
+  | None -> Corrupt "missing required field \"addrs\""
+  | Some v -> (
+    match Sjson.to_list v with
+    | None -> Corrupt "field \"addrs\" must be an array of addresses"
+    | Some items -> (
+      let n = List.length items in
+      let arr = Array.make n 0 in
+      let bad = ref None in
+      List.iteri
+        (fun i v ->
+          match Sjson.to_int v with
+          | Some a -> arr.(i) <- a
+          | None -> if !bad = None then bad := Some i)
+        items;
+      match !bad with
+      | Some i -> Corrupt (Printf.sprintf "\"addrs\" element %d is not an integer" i)
+      | None -> Addrs arr))
 
 let inline_trace ~max_trace_len items =
   let n = List.length items in
@@ -239,5 +285,25 @@ let request ?(max_trace_len = default_max_trace_len) json =
             | None -> err Serve_error.Bad_request "field \"deadline_ms\" must be a number")
         in
         Ok (Infer { id; sets; ways; source; deadline_s })
+      | Some "stream_open" ->
+        let* id = opt_field json "id" Sjson.to_str "a string" in
+        let* sets = field_int json "sets" in
+        let* ways = field_int json "ways" in
+        Ok (Stream_open { id; sets; ways })
+      | Some "stream_feed" ->
+        let* id = opt_field json "id" Sjson.to_str "a string" in
+        let* session = req_str json "session" in
+        let* seq = opt_field json "seq" Sjson.to_int "an integer" in
+        let* ack = opt_field json "ack" Sjson.to_int "an integer" in
+        Ok (Stream_feed { id; session; seq; ack; payload = feed_payload json })
+      | Some "stream_resume" ->
+        let* id = opt_field json "id" Sjson.to_str "a string" in
+        let* session = req_str json "session" in
+        let* last_window = opt_field json "last_window" Sjson.to_int "an integer" in
+        Ok (Stream_resume { id; session; last_window })
+      | Some "stream_close" ->
+        let* id = opt_field json "id" Sjson.to_str "a string" in
+        let* session = req_str json "session" in
+        Ok (Stream_close { id; session })
       | Some other -> err Serve_error.Bad_request "unknown op %S" other))
   | _ -> err Serve_error.Bad_request "request must be a JSON object"

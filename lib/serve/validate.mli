@@ -56,6 +56,16 @@ type trace_source =
   | Benchmark of { name : string; length : int }  (** generate on the server *)
   | File of string  (** read a trace file server-side *)
 
+type feed_payload =
+  | Addrs of int array
+  | Corrupt of string
+      (** the chunk parsed as a request but its address payload is broken
+          (missing, not an array, non-integer element). Deliberately NOT a
+          validation error: the session layer must see the fault so it can
+          poison that one session with a typed [corrupt_input] instead of
+          the line bouncing as a sessionless [bad_request]. Address range
+          checks are likewise deferred to the session. *)
+
 type request =
   | Infer of {
       id : string option;
@@ -70,12 +80,28 @@ type request =
   | Reload of { id : string option; checkpoint : string option }
       (** hot-swap the model; [checkpoint] overrides the daemon's default
           reload path *)
+  | Stream_open of { id : string option; sets : int; ways : int }
+      (** open a streaming session for this cache geometry; the reply
+          carries the session token, the window geometry and the initial
+          credit *)
+  | Stream_feed of {
+      id : string option;
+      session : string;
+      seq : int option;  (** client-side chunk ordinal, echoed back *)
+      ack : int option;  (** windows up to this index may be pruned *)
+      payload : feed_payload;
+    }
+  | Stream_resume of { id : string option; session : string; last_window : int option }
+      (** re-attach to a session from a new connection; retained window
+          results past [last_window] are replayed in the reply *)
+  | Stream_close of { id : string option; session : string }
 
 val request : ?max_trace_len:int -> Sjson.t -> (request, Serve_error.t) result
 (** Schema gate for one parsed protocol line. [op] selects the variant;
     [infer] requires integer [sets]/[ways] and exactly one of [trace]
     (array of addresses), [benchmark] (+ optional [trace_len]) or
     [trace_file]; optional [id] (string) and [deadline_ms] (positive
-    number); [reload] takes optional [id] and [checkpoint] (string path).
-    Unknown [op]s, wrong types, over-limit traces and out-of-range
-    deadlines are {!Serve_error.Bad_request}. *)
+    number); [reload] takes optional [id] and [checkpoint] (string path);
+    the [stream_*] ops require a non-empty [session] (except [stream_open],
+    which requires [sets]/[ways]). Unknown [op]s, wrong types, over-limit
+    traces and out-of-range deadlines are {!Serve_error.Bad_request}. *)

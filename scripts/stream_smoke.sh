@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the live streaming path (run from the repo root,
+# after `dune build`): train a tiny checkpoint, serve it, stream a real
+# benchmark trace over a backpressured session and record every window
+# prediction, then re-run the same trace with a client that dies
+# mid-stream (daemon must stay healthy), resume its session and check
+# the kill+resume window set is bit-identical to the uninterrupted run
+# (hex-printed hit rates, so "identical" means identical bits). A chunk
+# with a non-integer address must poison only its own session with the
+# typed corrupt_input error (exit 3) while a neighbouring stream still
+# matches the reference, and the daemon's stream counters must
+# reconcile exactly. Finishes with concurrent streaming loadgen clients
+# and a clean drain.
+set -euo pipefail
+
+CB=${CB:-./_build/default/bin/cachebox.exe}
+BENCH=600.perlbench_s-734B
+WORK=$(mktemp -d)
+SOCK="$WORK/cachebox.sock"
+CKPT="$WORK/stream.ckpt"
+SERVE_PID=
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "stream_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "daemon socket $SOCK never appeared"
+}
+
+echo "== train a tiny checkpoint and serve it"
+"$CB" train --benchmarks 1 --epochs 1 --trace-len 4000 --checkpoint "$CKPT"
+# The idle reaper is armed through the environment on purpose: a broken
+# CACHEBOX_IDLE_TIMEOUT_MS parse would kill the daemon at startup, and a
+# reaper that fails to exempt streams would sever the sessions below.
+CACHEBOX_IDLE_TIMEOUT_MS=60000 "$CB" serve --socket "$SOCK" --checkpoint "$CKPT" &
+SERVE_PID=$!
+wait_ready
+
+STREAM=("$CB" stream --socket "$SOCK" --benchmark "$BENCH" --trace-len 16000 \
+  --sets 64 --ways 4 --chunk 1024)
+
+echo "== reference: uninterrupted stream"
+"${STREAM[@]}" >"$WORK/ref.out"
+grep '^window=' "$WORK/ref.out" | sort >"$WORK/ref.windows"
+REF_N=$(wc -l <"$WORK/ref.windows")
+[ "$REF_N" -ge 3 ] || fail "reference stream closed only $REF_N windows"
+grep -q '^closed ' "$WORK/ref.out" || fail "reference stream did not close cleanly"
+
+echo "== client dies mid-stream with a feed in flight; daemon must stay healthy"
+"${STREAM[@]}" --kill-after-windows 2 >"$WORK/kill.out"
+grep -q '^killed ' "$WORK/kill.out" || fail "kill run did not die mid-stream"
+TOK=$(sed -n 's/^session=//p' "$WORK/kill.out")
+[ -n "$TOK" ] || fail "kill run printed no session token"
+"$CB" call --socket "$SOCK" '{"op": "health"}' | grep -q '"ok": true' \
+  || fail "daemon unhealthy after a client died mid-stream"
+
+echo "== resume the dead client's session; kill+resume windows == reference, bit for bit"
+"${STREAM[@]}" --resume "$TOK" >"$WORK/resume.out"
+grep -q '^resumed consumed=' "$WORK/resume.out" || fail "resume reported no replay point"
+grep -q '^closed ' "$WORK/resume.out" || fail "resumed stream did not close cleanly"
+# The dying run acked the windows it saw, so the resume replays nothing
+# it printed; sort -u still collapses any replayed duplicates (a window
+# delivered twice with different bits would survive as two lines and
+# break the diff).
+cat "$WORK/kill.out" "$WORK/resume.out" | grep '^window=' | sort -u >"$WORK/merged.windows"
+diff -u "$WORK/ref.windows" "$WORK/merged.windows" >&2 \
+  || fail "kill+resume windows differ from the uninterrupted stream"
+
+echo "== corrupt chunk -> typed corrupt_input (exit 3), only that session poisoned"
+rc=0
+"${STREAM[@]}" --corrupt-at 1 >"$WORK/corrupt.out" 2>"$WORK/corrupt.err" || rc=$?
+[ "$rc" -eq 3 ] || fail "corrupt chunk exited $rc, want 3 (corrupt_input)"
+grep -q 'corrupt_input' "$WORK/corrupt.err" || fail "poison was not the typed corrupt_input"
+
+echo "== neighbour unaffected: a clean stream after the poison still matches the reference"
+"${STREAM[@]}" >"$WORK/after.out"
+grep '^window=' "$WORK/after.out" | sort >"$WORK/after.windows"
+diff -u "$WORK/ref.windows" "$WORK/after.windows" >&2 \
+  || fail "clean stream diverged after a neighbouring session was poisoned"
+
+echo "== stream counters reconcile exactly"
+STATS=$("$CB" call --socket "$SOCK" '{"op": "stats"}')
+echo "$STATS" | grep -q '"stream":' || fail "stats reply has no stream object"
+# 4 opens (ref, kill, corrupt, after; resume re-attaches), 3 clean
+# closes (the corrupt session is poisoned, not closed), one resume, one
+# poison, and every session's windows counted exactly once: the killed
+# session's in-flight windows land server-side and are not re-counted on
+# replay, and the poisoned run never reaches a window boundary.
+for want in "\"opened\": 4," "\"closed\": 3," "\"resumed\": 1," \
+  "\"poisoned\": 1," "\"windows\": $((3 * REF_N)),"; do
+  echo "$STATS" | grep -qF "$want" || fail "stats missing $want in: $STATS"
+done
+
+echo "== concurrent streaming clients (deaths, resumes, credit probes), then a clean drain"
+"$CB" loadgen --socket "$SOCK" --stream -n 6 --stream-windows 4 --shutdown-after
+wait "$SERVE_PID"
+SERVE_PID=
+[ ! -S "$SOCK" ] || fail "socket file survived shutdown"
+
+echo "stream_smoke: OK"

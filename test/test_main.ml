@@ -32,5 +32,6 @@ let () =
       Test_serve_batch.suite;
       Test_router.suite;
       Test_reload.suite;
+      Test_stream.suite;
       Test_integration.suite;
     ]

@@ -223,6 +223,8 @@ let backend_config sock =
     engine =
       { (Serve_engine.default_config ~fallback:Cbox_infer.Fallback_hrd ()) with
         Serve_engine.grace_lo = -1e9; grace_hi = 1e9 };
+    stream = Stream_session.default_config;
+    idle_timeout_s = None;
   }
 
 let start_backend ?(model = None) sock =
