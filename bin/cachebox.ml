@@ -260,53 +260,116 @@ let parse_fallback s =
   | None ->
     die (Serve_error.v Serve_error.Bad_request "unknown fallback %S (hrd|stm|none)" s)
 
+let backend_arg =
+  Arg.(
+    value
+    & opt string "float32"
+    & info [ "backend" ] ~docv:"KIND"
+        ~env:(Cmd.Env.info "CACHEBOX_BACKEND")
+        ~doc:
+          "Serving backend: $(b,float32) (the learned model), $(b,int8) (its \
+           post-training quantization; answers degrade to float32 when the quantized \
+           model is unavailable or faults), or the analytical $(b,hrd)/$(b,stm) \
+           predictors.")
+
+let parse_backend s =
+  match Cbox_infer.backend_of_string s with
+  | Some b -> b
+  | None ->
+    die
+      (Serve_error.v Serve_error.Invalid_config "unknown backend %S (float32|int8|hrd|stm)"
+         s)
+
 let infer_cmd =
-  let run name sets ways trace_len ckpt domains fallback =
+  let run name sets ways trace_len ckpt domains fallback backend =
     apply_domains domains;
     let fallback = parse_fallback fallback in
+    let backend = parse_backend backend in
     let spec = Heatmap.spec () in
     let cfg = cache_config ~sets ~ways in
     let w = find_workload name in
-    let model =
-      match
-        Serve_engine.model_of_checkpoint ~seed:42 (Cbgan.default_config ()) ~path:ckpt
-      with
-      | Ok model -> Some model
-      | Error e ->
-        Fmt.epr "%a@." Serve_error.pp e;
-        if fallback = Cbox_infer.No_fallback then begin
-          Fmt.epr "no fallback enabled; rerun with --fallback hrd|stm or `cachebox train`@.";
-          exit (Serve_error.exit_code e.Serve_error.code)
-        end;
-        Fmt.epr "degrading to the %s analytical baseline@."
-          (Cbox_infer.fallback_name fallback);
-        None
-    in
     let data = Cbox_dataset.build_l1 spec ~configs:[ cfg ] ~trace_len [ w ] in
-    List.iter
-      (fun (d : Cbox_dataset.benchmark_data) ->
-        match model with
-        | Some model ->
-          let p = Cbox_infer.predict model spec d in
-          Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%%@." p.Cbox_infer.benchmark
-            (Cache.config_name cfg) p.Cbox_infer.true_hit_rate p.Cbox_infer.predicted_hit_rate
-            (Cbox_infer.abs_pct_diff p)
-        | None ->
+    match backend with
+    | Cbox_infer.Backend_hrd | Cbox_infer.Backend_stm ->
+      (* Explicitly requested analytical backends are first-class answers,
+         not degradations: no checkpoint is loaded at all. *)
+      let fb =
+        if backend = Cbox_infer.Backend_hrd then Cbox_infer.Fallback_hrd
+        else Cbox_infer.Fallback_stm
+      in
+      List.iter
+        (fun (d : Cbox_dataset.benchmark_data) ->
           let trace = d.Cbox_dataset.workload.Workload.generate trace_len in
           let predicted =
-            Option.get (Cbox_infer.baseline_hit_rate fallback d.Cbox_dataset.cache trace)
+            Option.get (Cbox_infer.baseline_hit_rate fb d.Cbox_dataset.cache trace)
           in
-          Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%% (degraded: %s fallback)@."
+          Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%% (backend %s)@."
             d.Cbox_dataset.workload.Workload.name (Cache.config_name cfg)
             d.Cbox_dataset.true_hit_rate predicted
             (Metrics.abs_pct_diff ~truth:d.Cbox_dataset.true_hit_rate ~predicted)
-            (Cbox_infer.fallback_name fallback))
-      data
+            (Cbox_infer.backend_name backend))
+        data
+    | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
+      let model =
+        match
+          Serve_engine.model_of_checkpoint ~seed:42 (Cbgan.default_config ()) ~path:ckpt
+        with
+        | Ok model -> Some model
+        | Error e ->
+          Fmt.epr "%a@." Serve_error.pp e;
+          if fallback = Cbox_infer.No_fallback then begin
+            Fmt.epr
+              "no fallback enabled; rerun with --fallback hrd|stm or `cachebox train`@.";
+            exit (Serve_error.exit_code e.Serve_error.code)
+          end;
+          Fmt.epr "degrading to the %s analytical baseline@."
+            (Cbox_infer.fallback_name fallback);
+          None
+      in
+      (* The int8 rung degrades to float32, never the other way round. *)
+      let qmodel =
+        match (backend, model) with
+        | Cbox_infer.Backend_int8, Some m -> (
+          match Qgen.of_model ~spec m with
+          | q -> Some q
+          | exception _ ->
+            Fmt.epr "int8 quantization failed; degrading to float32@.";
+            None)
+        | _ -> None
+      in
+      List.iter
+        (fun (d : Cbox_dataset.benchmark_data) ->
+          match model with
+          | Some model ->
+            let p, tag =
+              match qmodel with
+              | Some q -> (Cbox_infer.qpredict q spec d, " (backend int8)")
+              | None ->
+                ( Cbox_infer.predict model spec d,
+                  if backend = Cbox_infer.Backend_int8 then
+                    " (backend float32, degraded: int8_unavailable)"
+                  else "" )
+            in
+            Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%%%s@."
+              p.Cbox_infer.benchmark (Cache.config_name cfg) p.Cbox_infer.true_hit_rate
+              p.Cbox_infer.predicted_hit_rate (Cbox_infer.abs_pct_diff p) tag
+          | None ->
+            let trace = d.Cbox_dataset.workload.Workload.generate trace_len in
+            let predicted =
+              Option.get (Cbox_infer.baseline_hit_rate fallback d.Cbox_dataset.cache trace)
+            in
+            Fmt.pr
+              "%-24s %s: true %.4f predicted %.4f |diff| %.2f%% (degraded: %s fallback)@."
+              d.Cbox_dataset.workload.Workload.name (Cache.config_name cfg)
+              d.Cbox_dataset.true_hit_rate predicted
+              (Metrics.abs_pct_diff ~truth:d.Cbox_dataset.true_hit_rate ~predicted)
+              (Cbox_infer.fallback_name fallback))
+        data
   in
   Cmd.v (Cmd.info "infer" ~doc:"Predict a benchmark's hit rate with a trained checkpoint")
     Term.(
       const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ checkpoint_arg
-      $ domains_arg $ fallback_arg)
+      $ domains_arg $ fallback_arg $ backend_arg)
 
 (* --- serve / call --- *)
 
@@ -375,7 +438,7 @@ let serve_cmd =
   let stream_ttl_arg =
     Arg.(value & opt int 300_000 & info [ "stream-ttl-ms" ] ~docv:"MS" ~env:(senv "STREAM_TTL_MS") ~doc:"Idle streaming sessions older than this are evicted and release their quota.")
   in
-  let run socket port ckpt fallback queue_depth deadline_ms breaker_threshold
+  let run socket port ckpt fallback backend queue_depth deadline_ms breaker_threshold
       breaker_cooldown_ms max_trace_len journal batch_max batch_linger_ms replicas
       idle_timeout_ms stream_sessions stream_credit stream_pending stream_bytes
       stream_ttl_ms domains =
@@ -383,6 +446,7 @@ let serve_cmd =
     if Faultinject.arm_from_env () then
       Fmt.epr "cachebox serve: fault armed from CACHEBOX_FAULT@.";
     let fallback = parse_fallback fallback in
+    let default_backend = parse_backend backend in
     let spec = Heatmap.spec () in
     let model =
       match
@@ -415,7 +479,7 @@ let serve_cmd =
           };
         engine =
           {
-            (Serve_engine.default_config ~fallback ()) with
+            (Serve_engine.default_config ~fallback ~default_backend ()) with
             Serve_engine.default_deadline_s = float_of_int deadline_ms /. 1000.0;
             breaker_threshold;
             breaker_cooldown_s = float_of_int breaker_cooldown_ms /. 1000.0;
@@ -436,12 +500,13 @@ let serve_cmd =
       }
     in
     let ready () =
-      Fmt.pr "cachebox serve: listening on %s (model %s, fallback %s)@."
+      Fmt.pr "cachebox serve: listening on %s (model %s, fallback %s, default backend %s)@."
         (match listen with
         | Serve_daemon.Unix_socket p -> "unix:" ^ p
         | Serve_daemon.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
         (if model = None then "UNAVAILABLE" else "loaded")
         (Cbox_infer.fallback_name fallback)
+        (Cbox_infer.backend_name default_backend)
     in
     (* Hot-swap is always armed: a reload request (or SIGHUP) re-reads the
        same checkpoint path unless the request names another one. *)
@@ -472,7 +537,7 @@ let serve_cmd =
           & opt string "hrd"
           & info [ "fallback" ] ~docv:"KIND"
               ~doc:"Analytical fallback for degraded answers: $(b,hrd), $(b,stm) or $(b,none).")
-      $ queue_arg $ deadline_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+      $ backend_arg $ queue_arg $ deadline_arg $ breaker_threshold_arg $ breaker_cooldown_arg
       $ max_trace_arg $ journal_serve_arg $ batch_max_arg $ batch_linger_arg
       $ replicas_arg $ idle_timeout_arg $ stream_sessions_arg $ stream_credit_arg
       $ stream_pending_arg $ stream_bytes_arg $ stream_ttl_arg $ domains_arg)
@@ -484,7 +549,33 @@ let call_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"JSON" ~doc:"One request object, e.g. '{\"op\": \"health\"}'.")
   in
-  let run socket port request =
+  let call_backend_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend" ] ~docv:"KIND"
+          ~env:(Cmd.Env.info "CACHEBOX_BACKEND")
+          ~doc:
+            "Inject $(docv) as the $(b,backend) field of an infer request that doesn't \
+             already carry one: $(b,float32), $(b,int8), $(b,hrd) or $(b,stm).")
+  in
+  let run socket port backend request =
+    (* The request line is normally forwarded verbatim; --backend decorates
+       an infer request with the backend field (an explicit field in the
+       JSON wins, and non-infer ops are never touched). *)
+    let request =
+      match backend with
+      | None -> request
+      | Some s -> (
+        let b = parse_backend s in
+        match Sjson.parse request with
+        | Ok (Sjson.Obj fields)
+          when List.assoc_opt "op" fields = Some (Sjson.Str "infer")
+               && not (List.mem_assoc "backend" fields) ->
+          Sjson.to_string
+            (Sjson.Obj (fields @ [ ("backend", Sjson.Str (Cbox_infer.backend_name b)) ]))
+        | _ -> request)
+    in
     let addr =
       match (socket, port) with
       | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
@@ -528,7 +619,7 @@ let call_cmd =
   in
   Cmd.v
     (Cmd.info "call" ~doc:"Send one request line to a running serve daemon and print the reply")
-    Term.(const run $ socket_arg $ port_arg $ request_arg)
+    Term.(const run $ socket_arg $ port_arg $ call_backend_arg $ request_arg)
 
 (* --- stream: pour a trace into a live daemon over a streaming session ---
 
@@ -1175,8 +1266,21 @@ let loadgen_cmd =
   let stream_windows_arg =
     Arg.(value & opt int 6 & info [ "stream-windows" ] ~docv:"W" ~doc:"With $(b,--stream): windows each client's trace closes.")
   in
-  let run socket port clients requests invalid_every benchmark trace_len shutdown_after
-      stream stream_windows =
+  let loadgen_backend_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend" ] ~docv:"KIND"
+          ~env:(Cmd.Env.info "CACHEBOX_BACKEND")
+          ~doc:
+            "Valid infer requests carry this $(b,backend) field ($(b,float32), \
+             $(b,int8), $(b,hrd) or $(b,stm)); the per-backend counters in the \
+             daemon's stats are then required to reconcile with the replies the \
+             clients observed.")
+  in
+  let run socket port clients requests invalid_every benchmark trace_len backend
+      shutdown_after stream stream_windows =
+    let backend = Option.map (fun s -> parse_backend s) backend in
     let addr =
       match (socket, port) with
       | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
@@ -1202,23 +1306,32 @@ let loadgen_cmd =
        across shards when the target is a router (and exercises several
        configs when it is a plain daemon) instead of collapsing onto one
        memoizable key. *)
+    let backend_field =
+      match backend with
+      | None -> ""
+      | Some b -> Printf.sprintf ", \"backend\": %S" (Cbox_infer.backend_name b)
+    in
     let request k j =
       if is_valid j then
         Printf.sprintf
           "{\"op\": \"infer\", \"id\": \"c%d-%d\", \"sets\": %d, \"ways\": %d, \
-           \"benchmark\": %S, \"trace_len\": %d}"
+           \"benchmark\": %S, \"trace_len\": %d%s}"
           k j
           (16 lsl (j mod 4))
           (1 + (k mod 8))
-          benchmark trace_len
+          benchmark trace_len backend_field
       else Printf.sprintf "{\"op\": \"infer\", \"id\": \"c%d-%d\"" k j
     in
+    let backend_names = [ "float32"; "int8"; "hrd"; "stm" ] in
     let answered = Array.make clients 0
     and ok_replies = Array.make clients 0
     and degraded_replies = Array.make clients 0
     and shed_replies = Array.make clients 0
     and late_replies = Array.make clients 0
     and invalid_replies = Array.make clients 0
+    (* Per-client count of ok replies naming each backend, reconciled after
+       the run against the daemon's backend_* counter deltas. *)
+    and backend_replies = Array.make_matrix clients (List.length backend_names) 0
     and failures = Array.make clients [] in
     let fail k fmt = Printf.ksprintf (fun m -> failures.(k) <- m :: failures.(k)) fmt in
     let str_field name json = Option.bind (Sjson.member name json) Sjson.to_str in
@@ -1263,6 +1376,13 @@ let loadgen_cmd =
                          got expect
                      | Some _, None ->
                        ok_replies.(k) <- ok_replies.(k) + 1;
+                       (match str_field "backend" json with
+                       | Some b -> (
+                         match List.find_index (String.equal b) backend_names with
+                         | Some i ->
+                           backend_replies.(k).(i) <- backend_replies.(k).(i) + 1
+                         | None -> fail k "reply %d: unknown backend %S" j b)
+                       | None -> ());
                        (* Degraded answers (backend fallback, or the router
                           covering for dead shards) are successes, counted
                           separately so smoke tests can gate on them. *)
@@ -1304,7 +1424,7 @@ let loadgen_cmd =
       | Error e -> Error e
       | Ok json ->
         let num name = Option.bind (Sjson.member name json) Sjson.to_int in
-        Ok (num "shed", num "served")
+        Ok (num "shed", num "served", List.map (fun b -> num ("backend_" ^ b)) backend_names)
     in
     (* The daemon may be long-lived (e.g. a router shared across several
        smoke phases), so its counters are reconciled as deltas across this
@@ -1321,10 +1441,13 @@ let loadgen_cmd =
         Printf.sprintf "answered %d of %d requests — replies were dropped" (sum answered)
           total
         :: !problems;
+    let observed_backend i =
+      Array.fold_left (fun acc row -> acc + row.(i)) 0 backend_replies
+    in
     (match (before, stats_counts ()) with
     | Error e, _ | _, Error e ->
       problems := Printf.sprintf "stats query failed: %s" e :: !problems
-    | Ok (shed0, served0), Ok (shed1, served1) ->
+    | Ok (shed0, served0, backends0), Ok (shed1, served1, backends1) ->
       (match (shed0, shed1) with
       | Some a, Some b when b - a <> shed_total ->
         problems :=
@@ -1333,7 +1456,7 @@ let loadgen_cmd =
           :: !problems
       | Some _, Some _ -> ()
       | _ -> problems := "stats reply has no shed count" :: !problems);
-      match (served0, served1) with
+      (match (served0, served1) with
       | Some a, Some b when b - a < total - shed_total ->
         problems :=
           Printf.sprintf "daemon served %d < answered-minus-shed %d" (b - a)
@@ -1341,6 +1464,25 @@ let loadgen_cmd =
           :: !problems
       | Some _, Some _ -> ()
       | _ -> problems := "stats reply has no served count" :: !problems);
+      (* Per-backend reconciliation: every successful answer credits exactly
+         one backend counter, so each counter's delta must equal the ok
+         replies the clients saw naming that backend. Absent counters only
+         fail the run when a backend was explicitly requested (an old
+         daemon without the registry is otherwise tolerated). *)
+      List.iteri
+        (fun i name ->
+          match (List.nth backends0 i, List.nth backends1 i) with
+          | Some a, Some b when b - a <> observed_backend i ->
+            problems :=
+              Printf.sprintf "daemon counted %d %s answers, clients observed %d"
+                (b - a) name (observed_backend i)
+              :: !problems
+          | Some _, Some _ -> ()
+          | _ ->
+            if backend <> None then
+              problems :=
+                Printf.sprintf "stats reply has no backend_%s counter" name :: !problems)
+        backend_names);
     if shutdown_after then (
       match control "{\"op\": \"shutdown\"}" with
       | Ok json
@@ -1355,6 +1497,11 @@ let loadgen_cmd =
        bad_request, %d shed, %d past deadline)@."
       clients requests (sum answered) (sum ok_replies) (sum degraded_replies)
       (sum invalid_replies) shed_total (sum late_replies);
+    Fmt.pr "loadgen: backends: %s@."
+      (String.concat ", "
+         (List.mapi
+            (fun i name -> Printf.sprintf "%s %d" name (observed_backend i))
+            backend_names));
     match !problems with
     | [] -> Fmt.pr "loadgen: OK@."
     | ps ->
@@ -1368,8 +1515,8 @@ let loadgen_cmd =
           every reply for drops, duplicates and reorders")
     Term.(
       const run $ socket_arg $ port_arg $ clients_arg $ requests_arg $ invalid_every_arg
-      $ loadgen_benchmark_arg $ loadgen_trace_arg $ shutdown_after_arg $ stream_flag
-      $ stream_windows_arg)
+      $ loadgen_benchmark_arg $ loadgen_trace_arg $ loadgen_backend_arg
+      $ shutdown_after_arg $ stream_flag $ stream_windows_arg)
 
 (* --- export / import traces --- *)
 
@@ -1461,14 +1608,21 @@ let bench_cmd =
   let suite_arg =
     Arg.(
       value
-      & opt (enum [ ("kernels", `Kernels); ("dataset", `Dataset); ("serve", `Serve) ]) `Kernels
+      & opt
+          (enum
+             [
+               ("kernels", `Kernels); ("dataset", `Dataset); ("serve", `Serve); ("all", `All);
+             ])
+          `Kernels
       & info [ "suite" ] ~docv:"SUITE"
         ~doc:
           "Benchmark suite to run: $(b,kernels) (reference vs tiled dense \
-           path), $(b,dataset) (recorded-trace vs streaming/parallel/cached \
-           dataset builders) or $(b,serve) (per-request inference vs dynamic \
-           micro-batching, with closed-loop latency percentiles). All share \
-           the JSON schema and the baseline gate.")
+           path, including the int8 quantized rows), $(b,dataset) \
+           (recorded-trace vs streaming/parallel/cached dataset builders), \
+           $(b,serve) (per-request inference vs dynamic micro-batching, with \
+           closed-loop latency percentiles) or $(b,all) (every suite, merged \
+           into one result set). All share the JSON schema and the baseline \
+           gate.")
   in
   let json_arg =
     Arg.(
@@ -1480,11 +1634,33 @@ let bench_cmd =
   let baseline_arg =
     Arg.(
       value
-      & opt (some string) None
+      & opt_all string []
       & info [ "baseline" ] ~docv:"PATH"
         ~doc:
           "Committed BENCH_KERNELS.json to compare against; exits 1 when any \
-           benchmark's speedup regressed by more than $(b,--max-slowdown).")
+           benchmark's speedup regressed by more than $(b,--max-slowdown). \
+           Repeatable, so $(b,--suite all) can be gated against the three \
+           per-suite baselines at once.")
+  in
+  let require_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "require" ] ~docv:"NAME=MINX"
+        ~doc:
+          "Absolute speedup floor: fail when benchmark $(b,NAME)'s measured \
+           speedup is below $(b,MINX), at every domain count the row was \
+           measured at. Repeatable. Unlike $(b,--baseline), this gates \
+           against a fixed number, not a committed run.")
+  in
+  let max_err_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "max-err" ] ~docv:"NAME=BOUND"
+        ~doc:
+          "Accuracy bound: fail when benchmark $(b,NAME)'s max_rel_err \
+           exceeds $(b,BOUND) (or was not recorded). Repeatable.")
   in
   let max_slowdown_arg =
     Arg.(
@@ -1533,7 +1709,21 @@ let bench_cmd =
           | _ -> None)
         results
   in
-  let run domains suite json baseline max_slowdown fast =
+  (* "NAME=1.5" -> ("NAME", 1.5), with a loud exit on anything else. *)
+  let parse_floor flag s =
+    let bad () =
+      Fmt.epr "--%s expects NAME=FLOAT (got %S)@." flag s;
+      exit 2
+    in
+    match String.index_opt s '=' with
+    | None -> bad ()
+    | Some i -> (
+      let name = String.sub s 0 i in
+      match float_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some f when name <> "" -> (name, f)
+      | _ -> bad ())
+  in
+  let run domains suite json baselines requires max_errs max_slowdown fast =
     apply_domains domains;
     if max_slowdown < 1.0 then begin
       Fmt.epr "--max-slowdown must be at least 1.0 (got %g)@." max_slowdown;
@@ -1548,58 +1738,107 @@ let bench_cmd =
       | `Serve ->
         let rs = Sbench.run ~fast ~log () in
         (Sbench.to_kbench rs, Some rs)
+      | `All ->
+        let k = Kbench.run ~fast ~log () in
+        let d = Dbench.run ~fast ~log () in
+        let s = Sbench.run ~fast ~log () in
+        (k @ d @ Sbench.to_kbench s, Some s)
     in
-    (match serve_results with
-    | Some rs -> Sbench.pp_table Format.std_formatter rs
-    | None -> Kbench.pp_table Format.std_formatter results);
+    (match (suite, serve_results) with
+    | `Serve, Some rs -> Sbench.pp_table Format.std_formatter rs
+    | _, Some rs ->
+      Kbench.pp_table Format.std_formatter results;
+      Sbench.pp_table Format.std_formatter rs
+    | _, None -> Kbench.pp_table Format.std_formatter results);
     Option.iter
       (fun path ->
-        (match serve_results with
-        | Some rs -> Sbench.write_json ~path rs
-        | None -> Kbench.write_json ~path results);
+        (* --suite serve keeps its richer schema (per-mode rps and latency
+           percentiles); the merged --suite all artifact uses the shared
+           kernel schema every row projects onto. *)
+        (match (suite, serve_results) with
+        | `Serve, Some rs -> Sbench.write_json ~path rs
+        | _ -> Kbench.write_json ~path results);
         Fmt.pr "wrote %s@." path)
       json;
-    match baseline with
-    | None -> ()
-    | Some path ->
-      let committed = read_baseline path in
-      let matched =
-        List.exists
-          (fun (r : Kbench.result) ->
-            List.mem_assoc (r.Kbench.name, r.Kbench.domains) committed)
-          results
-      in
-      (* Benchmark names embed their shapes, so a --fast run gated against a
-         full-scale baseline would compare nothing and "pass"; make that
-         mistake loud instead. *)
-      if not matched then begin
-        Fmt.epr
-          "baseline %s shares no benchmarks with this run (fast vs full \
-           scale mismatch?)@."
-          path;
+    let failures = ref 0 in
+    let rows_named flag spec name =
+      match List.filter (fun (r : Kbench.result) -> r.Kbench.name = name) results with
+      | [] ->
+        Fmt.epr "--%s %s: no benchmark named %S in this run@." flag spec name;
         exit 2
-      end;
-      let regressions =
-        List.filter_map
+      | rows -> rows
+    in
+    List.iter
+      (fun spec ->
+        let name, floor = parse_floor "require" spec in
+        List.iter
           (fun (r : Kbench.result) ->
-            match List.assoc_opt (r.Kbench.name, r.Kbench.domains) committed with
-            | None -> None
-            | Some committed_speedup ->
-              let floor = committed_speedup /. max_slowdown in
-              if r.Kbench.speedup < floor then Some (r, committed_speedup, floor)
-              else None)
-          results
-      in
-      List.iter
-        (fun ((r : Kbench.result), committed_speedup, floor) ->
+            if r.Kbench.speedup < floor then begin
+              incr failures;
+              Fmt.epr "REQUIREMENT %s (domains %d): speedup %.2fx < required %.2fx@."
+                r.Kbench.name r.Kbench.domains r.Kbench.speedup floor
+            end)
+          (rows_named "require" spec name))
+      requires;
+    List.iter
+      (fun spec ->
+        let name, bound = parse_floor "max-err" spec in
+        List.iter
+          (fun (r : Kbench.result) ->
+            match r.Kbench.max_rel_err with
+            | Some e when e <= bound -> ()
+            | Some e ->
+              incr failures;
+              Fmt.epr "ACCURACY %s (domains %d): max_rel_err %g > bound %g@."
+                r.Kbench.name r.Kbench.domains e bound
+            | None ->
+              incr failures;
+              Fmt.epr "ACCURACY %s (domains %d): no max_rel_err recorded@."
+                r.Kbench.name r.Kbench.domains)
+          (rows_named "max-err" spec name))
+      max_errs;
+    List.iter
+      (fun path ->
+        let committed = read_baseline path in
+        let matched =
+          List.exists
+            (fun (r : Kbench.result) ->
+              List.mem_assoc (r.Kbench.name, r.Kbench.domains) committed)
+            results
+        in
+        (* Benchmark names embed their shapes, so a --fast run gated against a
+           full-scale baseline would compare nothing and "pass"; make that
+           mistake loud instead. *)
+        if not matched then begin
           Fmt.epr
-            "REGRESSION %s (domains %d): speedup %.2fx < floor %.2fx (baseline \
-             %.2fx / %g)@."
-            r.Kbench.name r.Kbench.domains r.Kbench.speedup floor committed_speedup
-            max_slowdown)
-        regressions;
-      if regressions <> [] then exit 1
-      else Fmt.pr "no perf regressions vs %s (max slowdown %gx)@." path max_slowdown
+            "baseline %s shares no benchmarks with this run (fast vs full \
+             scale mismatch?)@."
+            path;
+          exit 2
+        end;
+        let regressions =
+          List.filter_map
+            (fun (r : Kbench.result) ->
+              match List.assoc_opt (r.Kbench.name, r.Kbench.domains) committed with
+              | None -> None
+              | Some committed_speedup ->
+                let floor = committed_speedup /. max_slowdown in
+                if r.Kbench.speedup < floor then Some (r, committed_speedup, floor)
+                else None)
+            results
+        in
+        List.iter
+          (fun ((r : Kbench.result), committed_speedup, floor) ->
+            Fmt.epr
+              "REGRESSION %s (domains %d): speedup %.2fx < floor %.2fx (baseline \
+               %.2fx / %g)@."
+              r.Kbench.name r.Kbench.domains r.Kbench.speedup floor committed_speedup
+              max_slowdown)
+          regressions;
+        if regressions <> [] then failures := !failures + List.length regressions
+        else Fmt.pr "no perf regressions vs %s (max slowdown %gx)@." path max_slowdown)
+      baselines;
+    if !failures > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "bench"
@@ -1620,8 +1859,8 @@ let bench_cmd =
               perf-regression jobs).";
          ])
     Term.(
-      const run $ domains_arg $ suite_arg $ json_arg $ baseline_arg $ max_slowdown_arg
-      $ fast_arg)
+      const run $ domains_arg $ suite_arg $ json_arg $ baseline_arg $ require_arg
+      $ max_err_arg $ max_slowdown_arg $ fast_arg)
 
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in

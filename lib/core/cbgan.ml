@@ -143,6 +143,13 @@ let create ~seed cfg =
 
 let model_config t = t.cfg
 
+(* Read-only structure views for the quantized-inference compiler (Qgen):
+   it walks the generator's layers to fold batch norms and quantize weights
+   without this module having to know about quantization. *)
+let generator_downs t = Array.map (fun b -> (b.d_conv, b.d_bn)) t.gen.downs
+let generator_ups t = Array.map (fun b -> (b.u_conv, b.u_bn, b.u_dropout)) t.gen.ups
+let generator_cond t = t.gen.cond
+
 let normalize_cache_params (c : Cache.config) =
   (float_of_int (log2 c.sets) /. 12.0, float_of_int c.ways /. 16.0)
 

@@ -59,6 +59,17 @@ val discriminator_forward :
     sample) or a live generator output (fake sample, letting gradients flow
     back into the generator). *)
 
+val generator_downs : t -> (Layers.conv2d * Layers.batch_norm option) array
+(** Encoder blocks in order — a read-only structure view for the quantized
+    inference compiler ({!Qgen} folds each block's batch norm into the
+    convolution and quantizes the result). *)
+
+val generator_ups : t -> (Layers.conv_transpose2d * Layers.batch_norm option * bool) array
+(** Decoder blocks in order: (transposed conv, batch norm, dropout flag). *)
+
+val generator_cond : t -> (Layers.linear * Layers.linear * Layers.linear) option
+(** The cache-parameter conditioning MLP, when the model has one. *)
+
 val generator_params : t -> Param.t list
 val discriminator_params : t -> Param.t list
 

@@ -40,32 +40,23 @@ let synthesize model spec ?(batch_size = 8) ?domains ~cache access_heatmaps =
   Dpool.parallel_map_array ?domains run_batch batch_list
   |> Array.to_list |> List.concat
 
-let synthesize_group model spec ?(batch_size = 8) ?domains items =
+(* Shared flatten/batch/unflatten plumbing for the cross-request group
+   paths: [forward ~caches x] runs one batch ([x] stacked from that batch's
+   images, [caches] one geometry per sample) and returns the [n; 1; h; h]
+   output tensor. Inference outputs are per-sample independent (running-stats
+   batch norm in the float model, stateless GEMMs in the quantized one), so
+   results are bit-identical to scoring each request alone. *)
+let group_run ~image_size:h ~forward spec ~batch_size ?domains items =
   if batch_size <= 0 then
     invalid_arg "Cbox_infer.synthesize_group: batch_size must be positive";
-  let h = (Cbgan.model_config model).Cbgan.image_size in
-  (* Flatten every request's windows into one (cache, image) stream; the
-     conditioning tensor carries one row per sample, so windows of requests
-     with different cache geometries share a forward pass. Inference
-     batch-norm uses running statistics, so each sample's output is
-     independent of its batch mates — results are bit-identical to scoring
-     each request alone (the serve-batch suite asserts this). *)
   let flat =
     List.concat_map (fun (cache, imgs) -> List.map (fun img -> (cache, img)) imgs) items
   in
   let run_batch batch =
-    let rng = Prng.create 0 in
     let imgs = List.map snd batch in
     let x = Cbox_dataset.batch_images spec imgs in
     let n = List.length batch in
-    let cp =
-      if (Cbgan.model_config model).Cbgan.use_cache_params then
-        Some (Cbgan.cache_params_tensor (List.map fst batch))
-      else None
-    in
-    let out =
-      Value.value (Cbgan.generator_forward model ~rng ~training:false ?cache_params:cp x)
-    in
+    let out = forward ~caches:(List.map fst batch) x in
     List.init n (fun i ->
         let img = Tensor.slice_batch out i 1 in
         Cbox_dataset.denormalize spec (Tensor.view img [| h; h |]))
@@ -92,6 +83,40 @@ let synthesize_group model spec ?(batch_size = 8) ?domains items =
   in
   split outputs items
 
+let synthesize_group model spec ?(batch_size = 8) ?domains items =
+  (* Flatten every request's windows into one (cache, image) stream; the
+     conditioning tensor carries one row per sample, so windows of requests
+     with different cache geometries share a forward pass. Inference
+     batch-norm uses running statistics, so each sample's output is
+     independent of its batch mates — results are bit-identical to scoring
+     each request alone (the serve-batch suite asserts this). *)
+  let cfg = Cbgan.model_config model in
+  let forward ~caches x =
+    let rng = Prng.create 0 in
+    let cp =
+      if cfg.Cbgan.use_cache_params then Some (Cbgan.cache_params_tensor caches) else None
+    in
+    Value.value (Cbgan.generator_forward model ~rng ~training:false ?cache_params:cp x)
+  in
+  group_run ~image_size:cfg.Cbgan.image_size ~forward spec ~batch_size ?domains items
+
+(* Quantized counterparts: identical batching and unflattening with the
+   Value-graph forward swapped for the direct int8 tensor program. *)
+let qsynthesize_group qmodel spec ?(batch_size = 8) ?domains items =
+  let forward ~caches x =
+    let cp =
+      if Qgen.uses_cache_params qmodel then Some (Cbgan.cache_params_tensor caches)
+      else None
+    in
+    Qgen.forward qmodel ?cache_params:cp x
+  in
+  group_run ~image_size:(Qgen.image_size qmodel) ~forward spec ~batch_size ?domains items
+
+let qsynthesize qmodel spec ?(batch_size = 8) ?domains ~cache access_heatmaps =
+  match qsynthesize_group qmodel spec ~batch_size ?domains [ (cache, access_heatmaps) ] with
+  | [ out ] -> out
+  | _ -> assert false
+
 let predict_hit_rate model spec ?batch_size ?domains ~cache access =
   let synthetic = synthesize model spec ?batch_size ?domains ~cache access in
   Heatmap.hit_rate spec ~access ~miss:synthetic
@@ -103,6 +128,21 @@ let validate_hit_rate ?(lo = -0.25) ?(hi = 1.25) raw =
   else if raw < lo || raw > hi then
     Error (Printf.sprintf "hit rate %g outside plausible range [%g, %g]" raw lo hi)
   else Ok (Float.max 0.0 (Float.min 1.0 raw))
+
+type backend = Backend_float32 | Backend_int8 | Backend_hrd | Backend_stm
+
+let backend_name = function
+  | Backend_float32 -> "float32"
+  | Backend_int8 -> "int8"
+  | Backend_hrd -> "hrd"
+  | Backend_stm -> "stm"
+
+let backend_of_string = function
+  | "float32" -> Some Backend_float32
+  | "int8" -> Some Backend_int8
+  | "hrd" -> Some Backend_hrd
+  | "stm" -> Some Backend_stm
+  | _ -> None
 
 type fallback = No_fallback | Fallback_hrd | Fallback_stm
 
@@ -137,6 +177,19 @@ let predict model spec ?batch_size (data : Cbox_dataset.benchmark_data) =
   }
 
 let predict_all model spec ?batch_size data = List.map (predict model spec ?batch_size) data
+
+let qpredict qmodel spec ?batch_size (data : Cbox_dataset.benchmark_data) =
+  let access = List.map fst data.pairs in
+  let synthetic = qsynthesize qmodel spec ?batch_size ~cache:data.cache access in
+  let predicted = Heatmap.hit_rate spec ~access ~miss:synthetic in
+  {
+    benchmark = data.workload.Workload.name;
+    cache = data.cache;
+    level = data.level;
+    true_hit_rate = data.true_hit_rate;
+    predicted_hit_rate = Float.max 0.0 (Float.min 1.0 predicted);
+    synthetic;
+  }
 
 let abs_pct_diff p =
   Metrics.abs_pct_diff ~truth:p.true_hit_rate ~predicted:p.predicted_hit_rate

@@ -44,6 +44,28 @@ val synthesize_group :
     statistics, outputs are bit-identical to calling {!synthesize} per item
     (asserted by the serve-batch suite); only the speed differs. *)
 
+val qsynthesize :
+  Qgen.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  ?domains:int ->
+  cache:Cache.config ->
+  Tensor.t list ->
+  Tensor.t list
+(** {!synthesize} on the int8-quantized generator: same batching, same
+    output shape, deterministic and bit-identical at any domain count. *)
+
+val qsynthesize_group :
+  Qgen.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  ?domains:int ->
+  (Cache.config * Tensor.t list) list ->
+  Tensor.t list list
+(** {!synthesize_group} on the int8-quantized generator. Quantized GEMMs are
+    stateless per sample, so cross-request batching is again bit-identical to
+    per-item scoring. *)
+
 val predict_hit_rate :
   Cbgan.t ->
   Heatmap.spec ->
@@ -63,6 +85,20 @@ val validate_hit_rate : ?lo:float -> ?hi:float -> float -> (float, string) resul
     overshoot is normal for a regression-through-GAN, gross excursions mean
     the model can't be trusted) are rejected with a reason; accepted values
     are clamped to [\[0, 1\]]. *)
+
+(** {1 Backend registry}
+
+    Serving can answer one request on any of four interchangeable backends:
+    the float32 learned model (reference), its int8 quantization (fast,
+    bounded error), or the two analytical baselines. Requests select one via
+    the wire-level ["backend"] field; the server falls from int8 back to
+    float32 when the quantized model is unavailable or faults. *)
+
+type backend = Backend_float32 | Backend_int8 | Backend_hrd | Backend_stm
+
+val backend_name : backend -> string
+val backend_of_string : string -> backend option
+(** ["float32" | "int8" | "hrd" | "stm"]. *)
 
 (** {1 Analytical fallbacks}
 
@@ -92,6 +128,11 @@ val predict_all :
   ?batch_size:int ->
   Cbox_dataset.benchmark_data list ->
   prediction list
+
+val qpredict :
+  Qgen.t -> Heatmap.spec -> ?batch_size:int -> Cbox_dataset.benchmark_data -> prediction
+(** {!predict} on the int8-quantized generator (same de-overlapped hit-rate
+    computation, quantized forward). *)
 
 val abs_pct_diff : prediction -> float
 (** |true - predicted| hit rate, in percentage points. *)

@@ -151,6 +151,136 @@ let train_step_bench ~fast ~domains =
       ignore (Cbox_train.train model spec options samples);
       None)
 
+(* --- int8 quantized-path benchmarks ---
+
+   Unlike compare_modes (old float path vs new float path), these compare
+   the BEST float configuration (tiled kernel + workspace arena) against the
+   int8 quantized path, so the reported speedup is the marginal win of
+   quantization over the production float32 setup — never against a
+   strawman. [ref_s] holds the float32 tiled time, [tiled_s] the int8 time,
+   and [max_rel_err] the float-vs-int8 output divergence. *)
+let compare_int8 ~name ~domains ~reps ~fref ~fq =
+  Dpool.with_domains domains (fun () ->
+      with_mode Blas.Tiled true (fun () ->
+          let run f =
+            let out = ref None in
+            let thunk () = out := f () in
+            thunk ();
+            let t = time ~reps thunk in
+            (t, !out)
+          in
+          let ref_s, ref_out = run fref in
+          let q_s, q_out = run fq in
+          let max_rel_err =
+            match (ref_out, q_out) with
+            | Some a, Some b -> Some (rel_err ~ref_out:a ~tiled_out:b)
+            | _ -> None
+          in
+          { name; domains; ref_s; tiled_s = q_s; speedup = ref_s /. Float.max 1e-9 q_s;
+            max_rel_err }))
+
+let int8_gemm_bench ~name ~m ~k ~n ~domains ~reps =
+  let rng = Prng.create 45 in
+  let a = Tensor.randn rng [| m; k |] and b = Tensor.randn rng [| k; n |] in
+  let c = Tensor.zeros [| m; n |] in
+  let qa = Blas.Int8.quantize a in
+  let act = Quant.scale_of_amax (Quant.amax b) in
+  compare_int8 ~name ~domains ~reps
+    ~fref:(fun () ->
+      Blas.gemm ~alpha:1.0 ~a ~b ~beta:0.0 c;
+      Some (Tensor.copy c))
+    ~fq:(fun () ->
+      Blas.Int8.gemm ~a:qa ~act_scale:act ~b c;
+      Some (Tensor.copy c))
+
+let int8_conv_bench ~fast ~domains ~reps =
+  let batch = 4 and ic = (if fast then 8 else 16) and oc = if fast then 16 else 32 in
+  let size = if fast then 16 else 32 in
+  let rng = Prng.create 46 in
+  let x = Tensor.randn rng [| batch; ic; size; size |] in
+  let weight = Tensor.randn rng [| oc; ic; 4; 4 |] in
+  let bias_arr = Array.init oc (fun _ -> Prng.uniform rng ~lo:(-0.5) ~hi:0.5) in
+  let bias = Tensor.create [| oc |] in
+  Array.iteri (Tensor.set bias) bias_arr;
+  let qw = Blas.Int8.quantize ~bias:bias_arr (Tensor.view weight [| oc; ic * 4 * 4 |]) in
+  let act = Quant.scale_of_amax (Quant.amax x) in
+  compare_int8
+    ~name:(Printf.sprintf "int8_conv_fwd_b%d_%dc%d_%d" batch ic oc size)
+    ~domains ~reps
+    ~fref:(fun () -> Some (Conv.conv2d ~x ~weight ~bias:(Some bias) ~stride:2 ~pad:1))
+    ~fq:(fun () -> Some (Conv.conv2d_q ~x ~weight:qw ~act_scale:act ~kernel:4 ~stride:2 ~pad:1))
+
+(* Whole-generator forward at serving shape: float32 Value-graph forward
+   (wide-batch conv on, its best configuration) vs the quantized direct
+   tensor program. This is the row the CI perf gate holds at >= 1.5x: it
+   bundles the int8 GEMM win with what quantized serving actually ships —
+   no autodiff tape, batch norms folded away. *)
+let int8_unet_parts ~fast =
+  let spec = Heatmap.spec () in
+  let cfg = Cbgan.default_config ~ngf:(if fast then 8 else 16) () in
+  let model = Cbgan.create ~seed:9 cfg in
+  let q = Qgen.of_model ~spec model in
+  let imgs = List.filteri (fun i _ -> i < 8) (Qgen.default_calib spec) in
+  let x = Cbox_dataset.batch_images spec imgs in
+  let n = Tensor.dim x 0 in
+  let caches = Array.of_list Qgen.default_calib_caches in
+  let cp =
+    Cbgan.cache_params_tensor (List.init n (fun i -> caches.(i mod Array.length caches)))
+  in
+  (spec, cfg, model, q, imgs, x, cp)
+
+let with_wide f =
+  let w0 = Conv.wide_batch () in
+  Conv.set_wide_batch true;
+  Fun.protect ~finally:(fun () -> Conv.set_wide_batch w0) f
+
+let int8_unet_bench ~fast ~domains ~reps =
+  let _, _, model, q, _, x, cp = int8_unet_parts ~fast in
+  with_wide (fun () ->
+      compare_int8 ~name:"int8_unet_fwd" ~domains ~reps
+        ~fref:(fun () ->
+          let rng = Prng.create 0 in
+          Some
+            (Value.value
+               (Cbgan.generator_forward model ~rng ~training:false ~cache_params:cp x)))
+        ~fq:(fun () -> Some (Qgen.forward q ~cache_params:cp x)))
+
+(* Fig-14 accuracy row: the same forward pair scored as hit rates, with
+   [max_rel_err] carrying the absolute float-vs-int8 hit-rate delta. CI
+   holds this under a committed bound so a quantization accuracy regression
+   fails the same gate as a performance one. *)
+let int8_fig14_bench ~fast ~domains =
+  let spec, cfg, model, q, imgs, x, cp = int8_unet_parts ~fast in
+  let h = cfg.Cbgan.image_size in
+  let n = Tensor.dim x 0 in
+  let split y =
+    List.init n (fun i ->
+        Cbox_dataset.denormalize spec (Tensor.view (Tensor.slice_batch y i 1) [| h; h |]))
+  in
+  with_wide (fun () ->
+      Dpool.with_domains domains (fun () ->
+          with_mode Blas.Tiled true (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let yf =
+                let rng = Prng.create 0 in
+                Value.value
+                  (Cbgan.generator_forward model ~rng ~training:false ~cache_params:cp x)
+              in
+              let tf = Unix.gettimeofday () -. t0 in
+              let t1 = Unix.gettimeofday () in
+              let yq = Qgen.forward q ~cache_params:cp x in
+              let tq = Unix.gettimeofday () -. t1 in
+              let hr_f = Heatmap.hit_rate spec ~access:imgs ~miss:(split yf) in
+              let hr_q = Heatmap.hit_rate spec ~access:imgs ~miss:(split yq) in
+              {
+                name = "int8_fig14_delta";
+                domains;
+                ref_s = tf;
+                tiled_s = tq;
+                speedup = tf /. Float.max 1e-9 tq;
+                max_rel_err = Some (Float.abs (hr_f -. hr_q));
+              })))
+
 let run ?(fast = Sys.getenv_opt "CACHEBOX_FAST" <> None) ?(log = fun _ -> ()) () =
   let reps = if fast then 2 else 3 in
   let dim = if fast then 96 else 256 in
@@ -191,6 +321,19 @@ let run ?(fast = Sys.getenv_opt "CACHEBOX_FAST" <> None) ?(log = fun _ -> ()) ()
           ( Printf.sprintf "cbgan_train_step at %d domains" d,
             fun () -> train_step_bench ~fast ~domains:d ))
         [ 1; 2; 4 ]
+    @ [
+        ( "int8_gemm_unet_down",
+          fun () ->
+            int8_gemm_bench ~name:"int8_gemm_unet_down"
+              ~m:(if fast then 16 else 64)
+              ~k:(if fast then 128 else 1024)
+              ~n:(if fast then 256 else 1024)
+              ~domains:1 ~reps );
+        ("int8_conv_fwd d1", fun () -> int8_conv_bench ~fast ~domains:1 ~reps);
+        ("int8_unet_fwd d1", fun () -> int8_unet_bench ~fast ~domains:1 ~reps);
+        ("int8_unet_fwd d4", fun () -> int8_unet_bench ~fast ~domains:4 ~reps);
+        ("int8_fig14_delta", fun () -> int8_fig14_bench ~fast ~domains:1);
+      ]
   in
   List.map
     (fun (name, f) ->

@@ -1,0 +1,517 @@
+(* Int8 quantized generator for inference.
+
+   This is a post-training compilation of a trained {!Cbgan} generator into
+   a direct tensor program:
+
+   - every batch norm is folded into the preceding (transposed) convolution
+     using its running statistics — exact at inference, where batch norm is
+     an affine per-channel map — so the quantized network has only GEMMs and
+     pointwise activations;
+   - each folded weight matrix is quantized symmetrically with per-output-row
+     scales and packed for {!Blas.Int8.gemm};
+   - one per-tensor activation scale per GEMM is calibrated by running the
+     folded float network over a calibration batch and recording the largest
+     absolute input each GEMM sees ({!Quant.observer});
+   - the Value-graph machinery is bypassed entirely: [forward] calls the
+     quantized {!Conv} lowerings directly, which both removes the tape
+     overhead and lets the int8 kernels run on the wide-batch path.
+
+   The compiled model serializes to a v3 checkpoint carrying int8 bytes and
+   exact float64 scales/biases, so a quantized artifact loads without the
+   float originals and round-trips scales bit-identically. *)
+
+type qconv = {
+  qc_w : Blas.Int8.qweight;  (* [oc; ic*k*k], bias fused *)
+  qc_act : float;
+  qc_kernel : int;
+  qc_stride : int;
+  qc_pad : int;
+}
+
+type qtconv = {
+  qt_w : Blas.Int8.qweight;  (* [oc*k*k; ic] (transposed at quantize time) *)
+  qt_act : float;
+  qt_bias : Tensor.t;  (* [oc], applied after col2im *)
+  qt_kernel : int;
+  qt_stride : int;
+  qt_pad : int;
+}
+
+type qlinear = { ql_w : Blas.Int8.qweight; (* [out; in], bias fused *) ql_act : float }
+
+type t = {
+  q_image_size : int;
+  q_levels : int;
+  q_cond_dim : int;
+  q_downs : qconv array;
+  q_ups : qtconv array;
+  q_cond : (qlinear * qlinear * qlinear) option;
+}
+
+let image_size t = t.q_image_size
+let uses_cache_params t = t.q_cond <> None
+
+(* --- batch-norm folding --- *)
+
+(* BN(y)_o = (y_o - mu_o) * g_o + beta_o with g_o = gamma_o / sqrt(var_o + eps),
+   so conv-then-BN folds to a conv with W'[o,:] = W[o,:] * g_o and
+   b'_o = (b_o - mu_o) * g_o + beta_o. Without a BN, g = 1 and b' = b. *)
+let bn_gains bn oc =
+  match bn with
+  | None -> (Array.make oc 1.0, fun _ b -> b)
+  | Some (bn : Layers.batch_norm) ->
+    let g =
+      Array.init oc (fun o ->
+          Tensor.get bn.Layers.gamma.Param.value o
+          /. Float.sqrt (bn.Layers.running_var.(o) +. bn.Layers.eps))
+    in
+    ( g,
+      fun o b ->
+        ((b -. bn.Layers.running_mean.(o)) *. g.(o))
+        +. Tensor.get bn.Layers.beta.Param.value o )
+
+let param_bias bias oc =
+  match bias with
+  | Some (p : Param.t) -> Array.init oc (fun o -> Tensor.get p.value o)
+  | None -> Array.make oc 0.0
+
+(* Folded float weights, materialized so the calibration pass can run the
+   plain float Conv kernels over exactly the network that will be quantized. *)
+type fconv = { f_w : Tensor.t; f_b : Tensor.t; f_stride : int; f_pad : int }
+
+let fold_conv (cv : Layers.conv2d) bn =
+  let w = cv.Layers.weight.Param.value in
+  let oc = Tensor.dim w 0 in
+  let per_row = Tensor.numel w / oc in
+  let g, fold_b = bn_gains bn oc in
+  let wf = Tensor.copy w in
+  let d = wf.Tensor.data in
+  for o = 0 to oc - 1 do
+    let base = o * per_row in
+    for p = 0 to per_row - 1 do
+      Bigarray.Array1.unsafe_set d (base + p)
+        (Bigarray.Array1.unsafe_get d (base + p) *. g.(o))
+    done
+  done;
+  let b0 = param_bias cv.Layers.bias oc in
+  let bf = Tensor.create [| oc |] in
+  Array.iteri (fun o b -> Tensor.set bf o (fold_b o b)) b0;
+  { f_w = wf; f_b = bf; f_stride = cv.Layers.stride; f_pad = cv.Layers.pad }
+
+(* Transposed convolutions carry their weight as [ic; oc; k; k]: the output
+   channel is dim 1, so folding scales the slice W[:, o, :, :]. *)
+let fold_tconv (tc : Layers.conv_transpose2d) bn =
+  let w = tc.Layers.tweight.Param.value in
+  let ic = Tensor.dim w 0 and oc = Tensor.dim w 1 in
+  let khw = Tensor.dim w 2 * Tensor.dim w 3 in
+  let g, fold_b = bn_gains bn oc in
+  let wf = Tensor.copy w in
+  let d = wf.Tensor.data in
+  for i = 0 to ic - 1 do
+    for o = 0 to oc - 1 do
+      let base = ((i * oc) + o) * khw in
+      for p = 0 to khw - 1 do
+        Bigarray.Array1.unsafe_set d (base + p)
+          (Bigarray.Array1.unsafe_get d (base + p) *. g.(o))
+      done
+    done
+  done;
+  let b0 = param_bias tc.Layers.tbias oc in
+  let bf = Tensor.create [| oc |] in
+  Array.iteri (fun o b -> Tensor.set bf o (fold_b o b)) b0;
+  { f_w = wf; f_b = bf; f_stride = tc.Layers.tstride; f_pad = tc.Layers.tpad }
+
+(* --- pointwise helpers shared by the calibration and quantized forwards --- *)
+
+let leaky_copy x =
+  let y = Tensor.copy x in
+  Tensor.map_ (fun v -> if v > 0.0 then v else 0.2 *. v) y;
+  y
+
+let relu_copy x =
+  let y = Tensor.copy x in
+  Tensor.map_ (fun v -> if v > 0.0 then v else 0.0) y;
+  y
+
+let relu_ x = Tensor.map_ (fun v -> if v > 0.0 then v else 0.0) x
+let tanh_ x = Tensor.map_ Float.tanh x
+
+(* y[n; out] = x[n; in] * W^T + b: the float reference for the cond MLP. *)
+let linear_fwd (f : fconv) x =
+  let n = Tensor.dim x 0 and out = Tensor.dim f.f_w 0 in
+  let y = Tensor.create [| n; out |] in
+  Blas.gemm ~trans_b:true ~alpha:1.0 ~a:x ~b:f.f_w ~beta:0.0 y;
+  for i = 0 to n - 1 do
+    for o = 0 to out - 1 do
+      Tensor.set2 y i o (Tensor.get2 y i o +. Tensor.get f.f_b o)
+    done
+  done;
+  y
+
+(* --- calibration: float forward over the folded network ---
+
+   Mirrors Cbgan.generator_forward at inference (dropout off, batch norm
+   folded away) on plain tensors; [observe] receives every GEMM input so
+   the pass records exactly the activation ranges the quantized GEMMs will
+   see. Observation keys: [("down", i)], [("up", i)], [("cond", j)]. *)
+let forward_folded ~levels ~cond_dim ~downs ~ups ~cond ~observe ?cache_params x =
+  let n = Tensor.dim x 0 in
+  let enc = Array.make levels x in
+  for i = 0 to levels - 1 do
+    let input = if i = 0 then x else leaky_copy enc.(i - 1) in
+    observe ("down", i) input;
+    let f = (downs.(i) : fconv) in
+    enc.(i) <- Conv.conv2d ~x:input ~weight:f.f_w ~bias:(Some f.f_b) ~stride:f.f_stride ~pad:f.f_pad
+  done;
+  let bottleneck =
+    match (cond, cache_params) with
+    | None, _ -> enc.(levels - 1)
+    | Some _, None -> invalid_arg "Qgen: cache parameters required"
+    | Some (fc0, fc1, fc2), Some cp ->
+      if Tensor.dim cp 0 <> n || Tensor.dim cp 1 <> 2 then
+        invalid_arg "Qgen: cache_params must be [n; 2]";
+      observe ("cond", 0) cp;
+      let h = linear_fwd fc0 cp in
+      relu_ h;
+      observe ("cond", 1) h;
+      let h = linear_fwd fc1 h in
+      relu_ h;
+      observe ("cond", 2) h;
+      let h = linear_fwd fc2 h in
+      Tensor.concat_channels enc.(levels - 1) (Tensor.view h [| n; cond_dim; 1; 1 |])
+  in
+  let d = ref bottleneck in
+  for i = 0 to levels - 1 do
+    let input = relu_copy !d in
+    observe ("up", i) input;
+    let f = (ups.(i) : fconv) in
+    let y =
+      Conv.conv_transpose2d ~x:input ~weight:f.f_w ~bias:(Some f.f_b) ~stride:f.f_stride
+        ~pad:f.f_pad
+    in
+    if i = levels - 1 then begin
+      tanh_ y;
+      d := y
+    end
+    else d := Tensor.concat_channels y enc.(levels - 2 - i)
+  done;
+  !d
+
+(* --- quantized forward --- *)
+
+(* The quantized cond MLP chains GEMMs in [features; n] orientation: the
+   first layer consumes cp^T via trans_b, after which each activation is
+   already the next GEMM's B operand — no transposes inside the chain. The
+   fused per-row bias is per-feature, which is correct for every column. *)
+let qlinear_chain (q0, q1, q2) cp n cond_dim =
+  let hid = Blas.Int8.rows q0.ql_w in
+  let h1 = Tensor.create [| hid; n |] in
+  Blas.Int8.gemm ~trans_b:true ~a:q0.ql_w ~act_scale:q0.ql_act ~b:cp h1;
+  relu_ h1;
+  let h2 = Tensor.create [| Blas.Int8.rows q1.ql_w; n |] in
+  Blas.Int8.gemm ~a:q1.ql_w ~act_scale:q1.ql_act ~b:h1 h2;
+  relu_ h2;
+  let h3 = Tensor.create [| cond_dim; n |] in
+  Blas.Int8.gemm ~a:q2.ql_w ~act_scale:q2.ql_act ~b:h2 h3;
+  (* Transpose [cond_dim; n] -> [n; cond_dim; 1; 1] for the bottleneck
+     concat. *)
+  let out = Tensor.create [| n; cond_dim; 1; 1 |] in
+  for i = 0 to n - 1 do
+    for c = 0 to cond_dim - 1 do
+      Tensor.set out ((i * cond_dim) + c) (Tensor.get2 h3 c i)
+    done
+  done;
+  out
+
+let forward t ?cache_params x =
+  let levels = t.q_levels in
+  let n = Tensor.dim x 0 in
+  if Tensor.dim x 2 <> t.q_image_size || Tensor.dim x 3 <> t.q_image_size then
+    invalid_arg "Qgen.forward: image size mismatch";
+  let enc = Array.make levels x in
+  for i = 0 to levels - 1 do
+    let input = if i = 0 then x else leaky_copy enc.(i - 1) in
+    let q = t.q_downs.(i) in
+    enc.(i) <-
+      Conv.conv2d_q ~x:input ~weight:q.qc_w ~act_scale:q.qc_act ~kernel:q.qc_kernel
+        ~stride:q.qc_stride ~pad:q.qc_pad
+  done;
+  let bottleneck =
+    match (t.q_cond, cache_params) with
+    | None, _ -> enc.(levels - 1)
+    | Some _, None -> invalid_arg "Qgen.forward: cache parameters required"
+    | Some chain, Some cp ->
+      if Tensor.dim cp 0 <> n || Tensor.dim cp 1 <> 2 then
+        invalid_arg "Qgen.forward: cache_params must be [n; 2]";
+      Tensor.concat_channels enc.(levels - 1) (qlinear_chain chain cp n t.q_cond_dim)
+  in
+  let d = ref bottleneck in
+  for i = 0 to levels - 1 do
+    let input = relu_copy !d in
+    let q = t.q_ups.(i) in
+    let y =
+      Conv.conv_transpose2d_q ~x:input ~weight:q.qt_w ~act_scale:q.qt_act
+        ~bias:(Some q.qt_bias) ~kernel:q.qt_kernel ~stride:q.qt_stride ~pad:q.qt_pad
+    in
+    if i = levels - 1 then begin
+      tanh_ y;
+      d := y
+    end
+    else d := Tensor.concat_channels y enc.(levels - 2 - i)
+  done;
+  !d
+
+(* --- calibration batch --- *)
+
+(* Deterministic default calibration inputs: a mix of strided and
+   pseudo-random (LCG) traces whose heatmaps span sparse and dense access
+   patterns, plus a spread of cache geometries for the conditioning MLP.
+   Two images per trace keep the batch small enough to calibrate in
+   milliseconds. *)
+let default_calib spec =
+  let len = 2 * Heatmap.accesses_per_image spec in
+  let strided stride = Array.init len (fun i -> i * stride) in
+  let lcg seed =
+    let s = ref seed in
+    Array.init len (fun _ ->
+        s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+        (!s land 0xFFFF) * 64)
+  in
+  let traces = [ strided 64; strided 320; strided 4096; lcg 1; lcg 7 ] in
+  List.concat_map (fun tr -> Heatmap.of_trace spec tr) traces
+
+let default_calib_caches =
+  [
+    Cache.config ~sets:64 ~ways:8 ();
+    Cache.config ~sets:16 ~ways:16 ();
+    Cache.config ~sets:256 ~ways:4 ();
+    Cache.config ~sets:1024 ~ways:2 ();
+  ]
+
+(* --- compilation --- *)
+
+let of_model ?(pow2 = false) ~spec ?calib ?calib_caches model =
+  let cfg = Cbgan.model_config model in
+  let levels = cfg.Cbgan.levels in
+  let downs = Array.map (fun (cv, bn) -> fold_conv cv bn) (Cbgan.generator_downs model) in
+  let ups =
+    Array.map (fun (tc, bn, _dropout) -> fold_tconv tc bn) (Cbgan.generator_ups model)
+  in
+  let cond =
+    Option.map
+      (fun (l0, l1, l2) ->
+        let of_linear (ln : Layers.linear) =
+          let w = ln.Layers.lweight.Param.value in
+          {
+            f_w = Tensor.copy w;
+            f_b =
+              (let out = Tensor.dim w 0 in
+               let b = Tensor.create [| out |] in
+               Array.iteri (Tensor.set b) (param_bias ln.Layers.lbias out);
+               b);
+            f_stride = 1;
+            f_pad = 0;
+          }
+        in
+        (of_linear l0, of_linear l1, of_linear l2))
+      (Cbgan.generator_cond model)
+  in
+  (* Calibrate: run the folded float network over the calibration batch and
+     record each GEMM input's range. *)
+  let images = match calib with Some l -> l | None -> default_calib spec in
+  if images = [] then invalid_arg "Qgen.of_model: empty calibration batch";
+  let x = Cbox_dataset.batch_images spec images in
+  let n = Tensor.dim x 0 in
+  let cp =
+    if cfg.Cbgan.use_cache_params then
+      let caches =
+        match calib_caches with Some l when l <> [] -> l | _ -> default_calib_caches
+      in
+      let arr = Array.of_list caches in
+      Some
+        (Cbgan.cache_params_tensor
+           (List.init n (fun i -> arr.(i mod Array.length arr))))
+    else None
+  in
+  let observers = Hashtbl.create 32 in
+  let obs key =
+    match Hashtbl.find_opt observers key with
+    | Some o -> o
+    | None ->
+      let o = Quant.observer () in
+      Hashtbl.add observers key o;
+      o
+  in
+  let observe key tensor = Quant.observe (obs key) tensor in
+  ignore
+    (forward_folded ~levels ~cond_dim:cfg.Cbgan.cond_dim ~downs ~ups ~cond ~observe
+       ?cache_params:cp x);
+  let act key = Quant.observed_scale ~pow2 (obs key) in
+  (* Quantize the folded weights. *)
+  let q_downs =
+    Array.mapi
+      (fun i (f : fconv) ->
+        let oc = Tensor.dim f.f_w 0 in
+        let kernel = Tensor.dim f.f_w 2 in
+        let kk = Tensor.numel f.f_w / oc in
+        let wm = Tensor.view f.f_w [| oc; kk |] in
+        let bias = Array.init oc (Tensor.get f.f_b) in
+        {
+          qc_w = Blas.Int8.quantize ~pow2 ~bias wm;
+          qc_act = act ("down", i);
+          qc_kernel = kernel;
+          qc_stride = f.f_stride;
+          qc_pad = f.f_pad;
+        })
+      downs
+  in
+  let q_ups =
+    Array.mapi
+      (fun i (f : fconv) ->
+        let ic = Tensor.dim f.f_w 0 in
+        let kernel = Tensor.dim f.f_w 2 in
+        let okk = Tensor.numel f.f_w / ic in
+        let wm = Tensor.view f.f_w [| ic; okk |] in
+        {
+          qt_w = Blas.Int8.quantize ~trans:true ~pow2 wm;
+          qt_act = act ("up", i);
+          qt_bias = f.f_b;
+          qt_kernel = kernel;
+          qt_stride = f.f_stride;
+          qt_pad = f.f_pad;
+        })
+      ups
+  in
+  let q_cond =
+    Option.map
+      (fun ((f0 : fconv), (f1 : fconv), (f2 : fconv)) ->
+        let ql j (f : fconv) =
+          let out = Tensor.dim f.f_w 0 in
+          let bias = Array.init out (Tensor.get f.f_b) in
+          { ql_w = Blas.Int8.quantize ~pow2 ~bias f.f_w; ql_act = act ("cond", j) }
+        in
+        (ql 0 f0, ql 1 f1, ql 2 f2))
+      cond
+  in
+  {
+    q_image_size = cfg.Cbgan.image_size;
+    q_levels = levels;
+    q_cond_dim = cfg.Cbgan.cond_dim;
+    q_downs;
+    q_ups;
+    q_cond;
+  }
+
+(* --- serialization (v3 checkpoint) --- *)
+
+let geom_meta k s p = Printf.sprintf "%d,%d,%d" k s p
+
+let parse_geom s =
+  match String.split_on_char ',' s with
+  | [ k; s'; p ] -> (int_of_string k, int_of_string s', int_of_string p)
+  | _ -> failwith "Qgen.load: malformed geometry"
+
+let save t path =
+  let meta =
+    [
+      ("qgen.image_size", string_of_int t.q_image_size);
+      ("qgen.levels", string_of_int t.q_levels);
+      ("qgen.cond_dim", string_of_int t.q_cond_dim);
+      ("qgen.cond", if t.q_cond = None then "0" else "1");
+    ]
+    @ List.concat
+        (List.init t.q_levels (fun i ->
+             let qd = t.q_downs.(i) and qu = t.q_ups.(i) in
+             [
+               ( Printf.sprintf "qgen.down%d.geom" i,
+                 geom_meta qd.qc_kernel qd.qc_stride qd.qc_pad );
+               ( Printf.sprintf "qgen.up%d.geom" i,
+                 geom_meta qu.qt_kernel qu.qt_stride qu.qt_pad );
+             ]))
+  in
+  let down_entries =
+    List.concat
+      (List.init t.q_levels (fun i ->
+           let q = t.q_downs.(i) in
+           Quant.entries_of_qweight
+             ~prefix:(Printf.sprintf "qgen.down%d" i)
+             ~act_scale:q.qc_act q.qc_w))
+  in
+  let up_entries =
+    List.concat
+      (List.init t.q_levels (fun i ->
+           let q = t.q_ups.(i) in
+           let prefix = Printf.sprintf "qgen.up%d" i in
+           Quant.entries_of_qweight ~prefix ~act_scale:q.qt_act q.qt_w
+           @ [
+               ( prefix ^ ".tbias",
+                 [| Tensor.numel q.qt_bias |],
+                 Checkpoint.F64 (Array.init (Tensor.numel q.qt_bias) (Tensor.get q.qt_bias))
+               );
+             ]))
+  in
+  let cond_entries =
+    match t.q_cond with
+    | None -> []
+    | Some (q0, q1, q2) ->
+      List.concat
+        (List.mapi
+           (fun j q ->
+             Quant.entries_of_qweight
+               ~prefix:(Printf.sprintf "qgen.cond%d" j)
+               ~act_scale:q.ql_act q.ql_w)
+           [ q0; q1; q2 ])
+  in
+  Checkpoint.save_packed ~meta path (down_entries @ up_entries @ cond_entries)
+
+let load path =
+  let c = Checkpoint.read path in
+  let meta = Checkpoint.meta c in
+  let meta_int name =
+    match List.assoc_opt name meta with
+    | Some v -> int_of_string v
+    | None -> failwith ("Qgen.load: missing meta " ^ name)
+  in
+  let image_size = meta_int "qgen.image_size" in
+  let levels = meta_int "qgen.levels" in
+  let cond_dim = meta_int "qgen.cond_dim" in
+  let has_cond = meta_int "qgen.cond" <> 0 in
+  let geom name =
+    match List.assoc_opt name meta with
+    | Some v -> parse_geom v
+    | None -> failwith ("Qgen.load: missing meta " ^ name)
+  in
+  let q_downs =
+    Array.init levels (fun i ->
+        let prefix = Printf.sprintf "qgen.down%d" i in
+        let qw, act = Quant.qweight_of_container c ~prefix in
+        let k, s, p = geom (prefix ^ ".geom") in
+        { qc_w = qw; qc_act = act; qc_kernel = k; qc_stride = s; qc_pad = p })
+  in
+  let q_ups =
+    Array.init levels (fun i ->
+        let prefix = Printf.sprintf "qgen.up%d" i in
+        let qw, act = Quant.qweight_of_container c ~prefix in
+        let k, s, p = geom (prefix ^ ".geom") in
+        let bias =
+          match Checkpoint.find_array c (prefix ^ ".tbias") with
+          | Some b ->
+            let bt = Tensor.create [| Array.length b |] in
+            Array.iteri (Tensor.set bt) b;
+            bt
+          | None -> failwith ("Qgen.load: missing " ^ prefix ^ ".tbias")
+        in
+        { qt_w = qw; qt_act = act; qt_bias = bias; qt_kernel = k; qt_stride = s; qt_pad = p })
+  in
+  let q_cond =
+    if not has_cond then None
+    else
+      let ql j =
+        let qw, act =
+          Quant.qweight_of_container c ~prefix:(Printf.sprintf "qgen.cond%d" j)
+        in
+        { ql_w = qw; ql_act = act }
+      in
+      Some (ql 0, ql 1, ql 2)
+  in
+  { q_image_size = image_size; q_levels = levels; q_cond_dim = cond_dim; q_downs; q_ups; q_cond }

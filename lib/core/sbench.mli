@@ -2,8 +2,10 @@
     micro-batching through the wide-batch conv lowering.
 
     Measures the {e real} service time of single requests and coalesced
-    batches on the serving model hot path ({!Cbox_infer.synthesize_group}),
-    then replays a deterministic closed-loop simulation — C logical
+    batches on the serving model hot path ({!Cbox_infer.synthesize_group})
+    — keeping every repetition's sample, so the replayed latency
+    distribution has genuine spread (p50 and p99 differ) — then replays a
+    deterministic closed-loop simulation — C logical
     clients, each reissuing on completion, a server flushing batches of up
     to 64 with a 5 ms linger — to report throughput and p50/p99 latency
     per concurrency level (1, 64 and 1024 clients, no real sockets

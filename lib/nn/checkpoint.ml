@@ -19,6 +19,13 @@
 let magic_v1 = "CBOXCKPT1"
 let magic_v2 = "CBOXCKPT2"
 
+(* v3 ("CBOXCKPT3") is v2 plus a u32 dtype tag per entry (0 = float64,
+   1 = signed int8 bytes), so quantized models ship their weights as raw
+   bytes — a quarter the size of v2's float64 payload for the same data —
+   while scales and biases stay exact float64. Only [save_packed] writes
+   v3; plain [save] stays v2 so training checkpoints are unchanged. *)
+let magic_v3 = "CBOXCKPT3"
+
 (* CRC-32 lives in the shared [Crc32] module (lib/tensor) so the trace
    container uses the identical, identically-tested implementation. *)
 let crc32 = Crc32.digest
@@ -78,9 +85,53 @@ let save ?(meta = []) path ~params ~state =
       output_bytes oc hdr;
       output_string oc payload)
 
+type payload = F64 of float array | I8 of string
+
+let save_packed ?(meta = []) path entries =
+  let payload = Buffer.create (1 lsl 16) in
+  write_u32 payload (List.length meta);
+  List.iter
+    (fun (k, v) ->
+      write_string payload k;
+      write_string payload v)
+    meta;
+  write_u32 payload (List.length entries);
+  List.iter
+    (fun (name, dims, pay) ->
+      let n = Array.fold_left ( * ) 1 dims in
+      write_string payload name;
+      (match pay with
+      | F64 data ->
+        if Array.length data <> n then
+          invalid_arg ("Checkpoint.save_packed: size mismatch for " ^ name);
+        write_u32 payload 0
+      | I8 bytes ->
+        if String.length bytes <> n then
+          invalid_arg ("Checkpoint.save_packed: size mismatch for " ^ name);
+        write_u32 payload 1);
+      write_u32 payload (Array.length dims);
+      Array.iter (fun d -> write_u32 payload d) dims;
+      match pay with
+      | F64 data ->
+        Array.iter (fun v -> Buffer.add_int64_le payload (Int64.bits_of_float v)) data
+      | I8 bytes -> Buffer.add_string payload bytes)
+    entries;
+  let payload = Buffer.contents payload in
+  atomic_write path (fun oc ->
+      output_string oc magic_v3;
+      let hdr = Bytes.create 12 in
+      Bytes.set_int64_le hdr 0 (Int64.of_int (String.length payload));
+      Bytes.set_int32_le hdr 8 (Int32.of_int (crc32 payload));
+      output_bytes oc hdr;
+      output_string oc payload)
+
 (* --- reading --- *)
 
-type entry = { dims : int array; data : float array }
+(* Payloads are decoded uniformly to float arrays for the name-indexed
+   accessors ([find_array]/[restore]); signed bytes are exactly
+   representable, so the decode is lossless. [find_payload] exposes the
+   raw dtyped payload for the quantized-model loader. *)
+type entry = { dims : int array; data : float array; pay : payload }
 
 type container = {
   version : int;
@@ -123,20 +174,42 @@ let cursor path raw start =
     pos := !pos + 8;
     v
   in
-  (u32, str, f32, f64)
+  let bytes n =
+    need n;
+    let s = String.sub raw !pos n in
+    pos := !pos + n;
+    s
+  in
+  (u32, str, f32, f64, bytes)
 
-let read_entries path ~float_size (u32, str, f32, f64) =
+let i8_decode bytes =
+  Array.init (String.length bytes) (fun i ->
+      let v = Char.code (String.unsafe_get bytes i) in
+      float_of_int (if v > 127 then v - 256 else v))
+
+let read_entries path ~float_size ~dtyped (u32, str, f32, f64, bytes) =
   let count = u32 () in
   let table = Hashtbl.create (2 * count) in
   let read_float = if float_size = 4 then f32 else f64 in
   for _ = 1 to count do
     let name = str () in
+    let dtype = if dtyped then u32 () else 0 in
+    if dtype > 1 then failwith ("Checkpoint.load: unknown dtype in " ^ path);
     let ndims = u32 () in
     if ndims > 8 then failwith ("Checkpoint.load: implausible rank in " ^ path);
     let dims = Array.init ndims (fun _ -> u32 ()) in
     let n = Array.fold_left ( * ) 1 dims in
-    let data = Array.init n (fun _ -> read_float ()) in
-    Hashtbl.replace table name { dims; data }
+    let entry =
+      if dtype = 1 then begin
+        let raw = bytes n in
+        { dims; data = i8_decode raw; pay = I8 raw }
+      end
+      else begin
+        let data = Array.init n (fun _ -> read_float ()) in
+        { dims; data; pay = F64 data }
+      end
+    in
+    Hashtbl.replace table name entry
   done;
   table
 
@@ -149,8 +222,7 @@ let read path =
   in
   let mlen = String.length magic_v2 in
   if String.length raw < mlen then failwith ("Checkpoint.load: bad magic in " ^ path);
-  match String.sub raw 0 mlen with
-  | m when m = magic_v2 ->
+  let checksummed version =
     if String.length raw < mlen + 12 then
       failwith ("Checkpoint.load: truncated header in " ^ path);
     let plen = Int64.to_int (String.get_int64_le raw mlen) in
@@ -160,7 +232,7 @@ let read path =
     let payload = String.sub raw (mlen + 12) plen in
     if crc32 payload <> stored_crc then
       failwith ("Checkpoint.load: checksum mismatch in " ^ path ^ " (corrupt file)");
-    let ((u32, str, _, _) as cur) = cursor path payload 0 in
+    let ((u32, str, _, _, _) as cur) = cursor path payload 0 in
     let meta_count = u32 () in
     if meta_count > 10_000 then
       failwith ("Checkpoint.load: implausible meta count in " ^ path);
@@ -170,10 +242,18 @@ let read path =
           let v = str () in
           (k, v))
     in
-    { version = 2; meta; table = read_entries path ~float_size:8 cur }
+    {
+      version;
+      meta;
+      table = read_entries path ~float_size:8 ~dtyped:(version >= 3) cur;
+    }
+  in
+  match String.sub raw 0 mlen with
+  | m when m = magic_v3 -> checksummed 3
+  | m when m = magic_v2 -> checksummed 2
   | m when m = magic_v1 ->
     let cur = cursor path raw mlen in
-    { version = 1; meta = []; table = read_entries path ~float_size:4 cur }
+    { version = 1; meta = []; table = read_entries path ~float_size:4 ~dtyped:false cur }
   | _ -> failwith ("Checkpoint.load: bad magic in " ^ path)
 
 let version c = c.version
@@ -181,6 +261,9 @@ let meta c = c.meta
 
 let find_array c name =
   Option.map (fun e -> e.data) (Hashtbl.find_opt c.table name)
+
+let find_payload c name =
+  Option.map (fun e -> (e.dims, e.pay)) (Hashtbl.find_opt c.table name)
 
 let restore c ~params ~state =
   let find name =

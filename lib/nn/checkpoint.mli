@@ -41,7 +41,7 @@ val read : string -> container
     malformed or corrupt input, never any other exception. *)
 
 val version : container -> int
-(** 1 or 2. *)
+(** 1, 2 or 3. *)
 
 val meta : container -> (string * string) list
 (** Metadata pairs ([[]] for v1 files). *)
@@ -55,3 +55,24 @@ val restore :
 
 val entries : string -> (string * int array) list
 (** Names and shapes stored in a checkpoint (diagnostic). *)
+
+(** {1 Dtype-tagged containers (v3)}
+
+    Quantized models store int8 weight bytes next to exact float64 scales
+    and biases. [save_packed] writes a v3 file (same CRC-32 + atomic-write
+    discipline); {!read} accepts all versions. Through {!find_array} an
+    [I8] payload decodes to a float array of the signed byte values
+    (lossless), while {!find_payload} returns the raw bytes. *)
+
+type payload =
+  | F64 of float array  (** exact float64 round-trip *)
+  | I8 of string  (** signed int8 bytes, one per element *)
+
+val save_packed :
+  ?meta:(string * string) list -> string -> (string * int array * payload) list -> unit
+(** Writes a v3 checkpoint atomically: [(name, dims, payload)] entries whose
+    payload size must match the product of [dims]. *)
+
+val find_payload : container -> string -> (int array * payload) option
+(** Dims and raw payload of the named entry ([F64] for every entry of a
+    v1/v2 file). *)

@@ -1,0 +1,120 @@
+(* Post-training int8 quantization helpers.
+
+   The scheme is symmetric (zero-point 0) everywhere: weights carry one
+   scale per output row (per-channel for convolutions, whose im2col-lowered
+   weight matrix has one row per output channel), activations one scale per
+   tensor, observed on a calibration batch. Scales can optionally be
+   rounded up to the next power of two — a power-of-two scale makes the
+   dequant multiplier exactly representable, which keeps serialized models
+   bit-identical across platforms at a worst-case cost of one extra bit of
+   quantization error.
+
+   The actual packing and integer kernel live in {!Blas.Int8}; this module
+   owns the policy (scales, observers) and the canonical serialized form
+   (row-major signed bytes + float64 scales, stored through the v3
+   checkpoint container so quantized models load without float originals). *)
+
+let amax t =
+  let d = t.Tensor.data in
+  let n = Tensor.numel t in
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    let v = Float.abs (Bigarray.Array1.unsafe_get d i) in
+    if v > !m then m := v
+  done;
+  !m
+
+let scale_of_amax ?(pow2 = false) a =
+  let s = if a <= 0.0 || not (Float.is_finite a) then 1.0 else a /. 127.0 in
+  if pow2 then Blas.Int8.pow2_up s else s
+
+(* A running per-tensor range observer: feed it every calibration activation
+   that will flow into one quantized GEMM, then read the scale once. *)
+type observer = { mutable obs_amax : float }
+
+let observer () = { obs_amax = 0.0 }
+
+let observe o t =
+  let a = amax t in
+  if a > o.obs_amax then o.obs_amax <- a
+
+let observe_array o arr =
+  Array.iter
+    (fun v ->
+      let a = Float.abs v in
+      if a > o.obs_amax then o.obs_amax <- a)
+    arr
+
+let observed_scale ?pow2 o = scale_of_amax ?pow2 o.obs_amax
+
+(* --- canonical serialized form --- *)
+
+(* Row-major signed bytes of a packed weight, read back through the panel
+   layout: the quantized artifact stores these bytes (not floats), and
+   [of_bytes] repacks them on load. *)
+let bytes_of_qweight qw =
+  let m = Blas.Int8.rows qw and k = Blas.Int8.cols qw in
+  String.init (m * k) (fun idx ->
+      let q = Blas.Int8.get_q qw ~i:(idx / k) ~p:(idx mod k) in
+      Char.chr (q land 0xFF))
+
+let qweight_of_bytes ~m ~k ~scales ?bias bytes =
+  if String.length bytes <> m * k then invalid_arg "Quant.qweight_of_bytes: size";
+  Blas.Int8.pack ~m ~k ~scales ?bias
+    ~get:(fun i p ->
+      let v = Char.code (String.unsafe_get bytes ((i * k) + p)) in
+      if v > 127 then v - 256 else v)
+    ()
+
+(* Checkpoint-section naming convention for one quantized GEMM operand:
+   <prefix>.q (I8 bytes, dims [m; k]), <prefix>.scales (F64 [m]),
+   <prefix>.bias (F64 [m], optional), <prefix>.act (F64 [1]). *)
+let entries_of_qweight ~prefix ~act_scale qw =
+  let m = Blas.Int8.rows qw and k = Blas.Int8.cols qw in
+  let base =
+    [
+      (prefix ^ ".q", [| m; k |], Checkpoint.I8 (bytes_of_qweight qw));
+      (prefix ^ ".scales", [| m |], Checkpoint.F64 (Blas.Int8.scales qw));
+      (prefix ^ ".act", [| 1 |], Checkpoint.F64 [| act_scale |]);
+    ]
+  in
+  match Blas.Int8.bias qw with
+  | None -> base
+  | Some b -> base @ [ (prefix ^ ".bias", [| m |], Checkpoint.F64 (Array.copy b)) ]
+
+let qweight_of_container c ~prefix =
+  let miss what = failwith ("Quant.load: missing " ^ prefix ^ "." ^ what) in
+  let q_dims, q_pay =
+    match Checkpoint.find_payload c (prefix ^ ".q") with
+    | Some e -> e
+    | None -> miss "q"
+  in
+  let bytes =
+    match q_pay with
+    | Checkpoint.I8 b -> b
+    | Checkpoint.F64 _ -> failwith ("Quant.load: " ^ prefix ^ ".q is not int8")
+  in
+  let m, k =
+    match q_dims with
+    | [| m; k |] -> (m, k)
+    | _ -> failwith ("Quant.load: " ^ prefix ^ ".q is not 2-D")
+  in
+  let scales =
+    match Checkpoint.find_array c (prefix ^ ".scales") with
+    | Some s when Array.length s = m -> s
+    | Some _ -> failwith ("Quant.load: scale length mismatch for " ^ prefix)
+    | None -> miss "scales"
+  in
+  let act_scale =
+    match Checkpoint.find_array c (prefix ^ ".act") with
+    | Some [| s |] -> s
+    | Some _ -> failwith ("Quant.load: bad act scale for " ^ prefix)
+    | None -> miss "act"
+  in
+  let bias =
+    match Checkpoint.find_array c (prefix ^ ".bias") with
+    | Some b when Array.length b = m -> Some b
+    | Some _ -> failwith ("Quant.load: bias length mismatch for " ^ prefix)
+    | None -> None
+  in
+  (qweight_of_bytes ~m ~k ~scales ?bias bytes, act_scale)

@@ -1,0 +1,43 @@
+(** Post-training int8 quantization: scale policy, calibration observers,
+    and the canonical serialized form of quantized weights.
+
+    Symmetric scheme throughout — per-output-row (per-channel) weight
+    scales, one per-tensor activation scale observed on a calibration
+    batch, optionally rounded up to powers of two. Packing and the integer
+    kernel live in {!Blas.Int8}; serialization goes through the v3
+    dtype-tagged {!Checkpoint} container so quantized models load without
+    the float originals. *)
+
+val amax : Tensor.t -> float
+(** Largest absolute element (0 for all-zero tensors). *)
+
+val scale_of_amax : ?pow2:bool -> float -> float
+(** [amax/127], defaulting to 1.0 for degenerate ranges; [pow2] rounds up
+    to the next power of two. *)
+
+type observer
+
+val observer : unit -> observer
+val observe : observer -> Tensor.t -> unit
+val observe_array : observer -> float array -> unit
+
+val observed_scale : ?pow2:bool -> observer -> float
+(** Activation scale from everything observed so far. *)
+
+val bytes_of_qweight : Blas.Int8.qweight -> string
+(** Canonical row-major signed bytes of a packed weight. *)
+
+val qweight_of_bytes :
+  m:int -> k:int -> scales:float array -> ?bias:float array -> string -> Blas.Int8.qweight
+(** Repack canonical bytes (the load path — no float weights involved). *)
+
+val entries_of_qweight :
+  prefix:string -> act_scale:float -> Blas.Int8.qweight -> (string * int array * Checkpoint.payload) list
+(** Checkpoint entries for one quantized GEMM operand: [<prefix>.q] (int8
+    bytes), [.scales], [.act] and, when fused, [.bias]. *)
+
+val qweight_of_container :
+  Checkpoint.container -> prefix:string -> Blas.Int8.qweight * float
+(** Rebuild a packed weight (plus its activation scale) from the entries
+    written by {!entries_of_qweight}. Raises [Failure] on missing or
+    malformed sections. *)

@@ -121,7 +121,7 @@ let error_reply ?id (e : Serve_error.t) =
         ("message", Sjson.Str e.Serve_error.message);
       ])
 
-let hit_rate_reply ?id ~degraded ~source ~reason ~latency_ms hit_rate =
+let hit_rate_reply ?id ~degraded ~source ~backend ~reason ~latency_ms hit_rate =
   Sjson.Obj
     (base_fields id
     @ [
@@ -130,15 +130,17 @@ let hit_rate_reply ?id ~degraded ~source ~reason ~latency_ms hit_rate =
         ("hit_rate", Sjson.Num hit_rate);
         ("degraded", Sjson.Bool degraded);
         ("source", Sjson.Str source);
+        ("backend", Sjson.Str backend);
       ]
     @ (match reason with None -> [] | Some r -> [ ("reason", Sjson.Str r) ])
     @ [ ("latency_ms", Sjson.Num latency_ms) ])
 
-let record t ~arrival ~ok ~degraded ~code =
-  Serve_stats.record t.stats ~ok ~degraded ~code ~latency_s:(t.now () -. arrival)
+let record ?backend t ~arrival ~ok ~degraded ~code =
+  Serve_stats.record ?backend t.stats ~ok ~degraded ~code
+    ~latency_s:(t.now () -. arrival)
 
-let answer t job ~arrival ~ok ~degraded ~code reply =
-  record t ~arrival ~ok ~degraded ~code;
+let answer ?backend t job ~arrival ~ok ~degraded ~code reply =
+  record ?backend t ~arrival ~ok ~degraded ~code;
   Reactor.resolve job.ticket (Sjson.to_string reply)
 
 let answer_error t job ?id ~arrival e =
@@ -337,9 +339,9 @@ let degrade t job ~id ~arrival ~cache ~source reason =
     match Cbox_infer.baseline_hit_rate t.cfg.fallback cache trace with
     | Some hit_rate ->
       Serve_stats.record_degraded_router t.stats;
-      answer t job ~arrival ~ok:true ~degraded:true ~code:None
-        (hit_rate_reply ?id ~degraded:true
-           ~source:("router-" ^ Cbox_infer.fallback_name t.cfg.fallback)
+      let fb = Cbox_infer.fallback_name t.cfg.fallback in
+      answer ~backend:fb t job ~arrival ~ok:true ~degraded:true ~code:None
+        (hit_rate_reply ?id ~degraded:true ~source:("router-" ^ fb) ~backend:fb
            ~reason:(Some reason)
            ~latency_ms:(1000.0 *. (t.now () -. arrival))
            hit_rate)
@@ -372,7 +374,10 @@ let finalize t job ~arrival ~memo_key json line =
       (Option.bind (Sjson.member "error" json) Sjson.to_str)
       Serve_error.code_of_string
   in
-  record t ~arrival ~ok ~degraded ~code;
+  let backend =
+    if ok then Option.bind (Sjson.member "backend" json) Sjson.to_str else None
+  in
+  record ?backend t ~arrival ~ok ~degraded ~code;
   (match memo_key with
   | Some key
     when ok && (not degraded)
@@ -383,7 +388,8 @@ let finalize t job ~arrival ~memo_key json line =
 
 let answer_from_memo t job ~id ~arrival cached =
   let fields = match cached with Sjson.Obj l -> l | j -> [ ("value", j) ] in
-  answer t job ~arrival ~ok:true ~degraded:false ~code:None
+  let backend = Option.bind (Sjson.member "backend" cached) Sjson.to_str in
+  answer ?backend t job ~arrival ~ok:true ~degraded:false ~code:None
     (Sjson.Obj
        (base_fields id @ fields
        @ [
@@ -391,7 +397,7 @@ let answer_from_memo t job ~id ~arrival cached =
            ("memo", Sjson.Bool true);
          ]))
 
-let route_infer t rng job ~id ~sets ~ways ~source ~deadline_s =
+let route_infer t rng job ~id ~sets ~ways ~source ~deadline_s ~backend =
   let arrival = job.arrival in
   match Validate.cache_config ~sets ~ways () with
   | Error e -> answer_error t job ?id ~arrival e
@@ -399,7 +405,17 @@ let route_infer t rng job ~id ~sets ~ways ~source ~deadline_s =
     let budget = Option.value deadline_s ~default:t.cfg.default_deadline_s in
     let deadline = arrival +. budget in
     let tag = config_tag cache in
-    let mkey = memo_key tag source in
+    (* The raw line (and its "backend" field) is forwarded verbatim, so the
+       memo key must be backend-scoped: an int8 answer may not satisfy a
+       float32 request for the same config/trace. An absent field stays
+       distinct from an explicit "float32" — the daemon's default backend is
+       its own business. *)
+    let mtag =
+      match backend with
+      | None -> tag
+      | Some b -> tag ^ "+" ^ Cbox_infer.backend_name b
+    in
+    let mkey = memo_key mtag source in
     match Option.bind mkey (Predmemo.find t.memo) with
     | Some cached -> answer_from_memo t job ~id ~arrival cached
     | None ->
@@ -550,6 +566,18 @@ let stats_reply t =
        ("backends_up", Sjson.Num (float_of_int (backends_up t)));
        ("backends", Sjson.Arr (Array.to_list (Array.map backend_json t.backends)));
      ]
+    (* Per-serving-backend success counters, mirroring the daemon's stats
+       reply (the router credits whichever backend the upstream reply
+       names), always all four so clients can reconcile deltas. *)
+    @ List.map
+        (fun b ->
+          let n =
+            match List.assoc_opt b s.Serve_stats.backends with
+            | Some n -> n
+            | None -> 0
+          in
+          ("backend_" ^ b, Sjson.Num (float_of_int n)))
+        [ "float32"; "int8"; "hrd"; "stm" ]
     @ List.map
         (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))
         s.Serve_stats.errors)
@@ -661,8 +689,8 @@ let process t rng queue job =
         answer_error t job ~arrival ?id
           (Serve_error.v Serve_error.Bad_request
              "stream ops are not routable; connect to a backend daemon directly")
-      | Ok (Validate.Infer { id; sets; ways; source; deadline_s }) ->
-        route_infer t rng job ~id ~sets ~ways ~source ~deadline_s)
+      | Ok (Validate.Infer { id; sets; ways; source; deadline_s; backend }) ->
+        route_infer t rng job ~id ~sets ~ways ~source ~deadline_s ~backend)
 
 (* Total: a forwarder that dies would strand its ticket and hang the
    client's FIFO; any escaped exception becomes an internal reply. *)

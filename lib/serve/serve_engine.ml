@@ -1,5 +1,6 @@
 type config = {
   fallback : Cbox_infer.fallback;
+  default_backend : Cbox_infer.backend;
   default_deadline_s : float;
   max_deadline_s : float;
   max_trace_len : int;
@@ -12,9 +13,11 @@ type config = {
   replicas : int;
 }
 
-let default_config ?(fallback = Cbox_infer.Fallback_hrd) () =
+let default_config ?(fallback = Cbox_infer.Fallback_hrd)
+    ?(default_backend = Cbox_infer.Backend_float32) () =
   {
     fallback;
+    default_backend;
     default_deadline_s = 5.0;
     max_deadline_s = 60.0;
     max_trace_len = Validate.default_max_trace_len;
@@ -40,6 +43,10 @@ type t = {
   journal : Runlog.t option;
   jm : Mutex.t;  (* Runlog is not thread-safe; batch completions journal concurrently *)
   mutable model : Cbgan.t option;
+  mutable qmodel : Qgen.t option;
+      (* int8 quantization of [model], rebuilt on reload; None when the
+         model is missing or quantization failed (the int8 backend then
+         degrades to float32 per request) *)
   mutable pool : (Cbgan.t * Mutex.t) array;  (* replica 0 is [model] itself *)
   breaker : Breaker.t;
   stats : Serve_stats.t;
@@ -79,6 +86,11 @@ let create ?now ?journal ?reload ~spec ~model cfg =
   Conv.set_wide_batch true;
   if cfg.warmup then
     Option.iter (warmup_model ~spec ~batch_size:cfg.batch_size) model;
+  (* Quantize eagerly so the int8 backend never pays calibration on the
+     serving path; a model that cannot quantize leaves [qmodel] at None and
+     int8 requests degrade to float32 (flagged) instead of failing. *)
+  let quantize m = try Some (Qgen.of_model ~spec m) with _ -> None in
+  let qmodel = Option.bind model quantize in
   let pool =
     match model with
     | None -> [||]
@@ -93,6 +105,7 @@ let create ?now ?journal ?reload ~spec ~model cfg =
     journal;
     jm = Mutex.create ();
     model;
+    qmodel;
     pool;
     breaker =
       Breaker.create ~threshold:cfg.breaker_threshold ~cooldown:cfg.breaker_cooldown_s ~now
@@ -175,12 +188,14 @@ let reload t ?path () =
               Error e
             | Ok m ->
               if t.cfg.warmup then warmup_model ~spec:t.spec ~batch_size:t.cfg.batch_size m;
+              let q = try Some (Qgen.of_model ~spec:t.spec m) with _ -> None in
               let pool =
                 Array.init t.cfg.replicas (fun i ->
                     ((if i = 0 then m else Cbgan.clone m), Mutex.create ()))
               in
               t.pool <- pool;
               t.model <- Some m;
+              t.qmodel <- q;
               t.reloads <- t.reloads + 1;
               journal_event t "reload_ok"
                 [ ("path", Runlog.S path); ("generation", Runlog.I t.reloads) ];
@@ -199,7 +214,7 @@ let error_reply ?id (e : Serve_error.t) =
         ("message", Sjson.Str e.Serve_error.message);
       ])
 
-let hit_rate_reply ?id ~degraded ~source ~reason ~latency_ms hit_rate =
+let hit_rate_reply ?id ~degraded ~source ~backend ~reason ~latency_ms hit_rate =
   Sjson.Obj
     (base_fields id
     @ [
@@ -208,6 +223,7 @@ let hit_rate_reply ?id ~degraded ~source ~reason ~latency_ms hit_rate =
         ("hit_rate", Sjson.Num hit_rate);
         ("degraded", Sjson.Bool degraded);
         ("source", Sjson.Str source);
+        ("backend", Sjson.Str backend);
       ]
     @ (match reason with None -> [] | Some r -> [ ("reason", Sjson.Str r) ])
     @ [ ("latency_ms", Sjson.Num latency_ms) ])
@@ -252,6 +268,15 @@ let stats_reply t =
        ("reloads", Sjson.Num (float_of_int t.reloads));
        ("reload_failures", Sjson.Num (float_of_int t.reload_failures));
      ]
+    (* Per-backend serve counts: all four registry entries are always
+       present so clients can compute deltas without existence checks. *)
+    @ List.map
+        (fun b ->
+          let n =
+            match List.assoc_opt b s.Serve_stats.backends with Some n -> n | None -> 0
+          in
+          ("backend_" ^ b, Sjson.Num (float_of_int n)))
+        [ "float32"; "int8"; "hrd"; "stm" ]
     @ t.extra_stats ()
     @ List.map
         (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))
@@ -279,44 +304,58 @@ let resolve_trace t source =
       Error (Serve_error.v Serve_error.Bad_request "unknown benchmark %S" name))
   | Validate.File path -> Validate.read_trace_file ~max_len:t.cfg.max_trace_len path
 
-(* One model attempt: returns a validated, clamped hit rate or the reason
-   the model cannot be trusted. Fault-injection hooks simulate a stalled
-   model, a NaN output, a checkpoint that rotted under a live server, a
-   crashing backend (abrupt exit, socket closed mid-response) and a hung
-   backend (alive and connectable, never answers in time). *)
+(* Shared per-request prediction body: fault-injection hooks, heatmap
+   construction, one forward through [synth], the validity gate. [synth] is
+   the backend-specific scorer (float32 or int8). The hooks simulate a
+   stalled model, a NaN output, a checkpoint that rotted under a live
+   server, a crashing backend (abrupt exit, socket closed mid-response) and
+   a hung backend (alive and connectable, never answers in time). *)
+let predict_with t ~index ~synth trace =
+  match
+    if Faultinject.crash_now ~index then Unix._exit 42;
+    if Faultinject.checkpoint_fault ~index then
+      failwith "checkpoint unreadable (injected fault)";
+    let delay = Faultinject.slow_delay ~index +. Faultinject.hang_delay ~index in
+    if delay > 0.0 then Unix.sleepf delay;
+    let access = Heatmap.of_trace t.spec trace in
+    let synthetic = synth access in
+    Faultinject.poison_output ~index synthetic;
+    Heatmap.hit_rate t.spec ~access ~miss:synthetic
+  with
+  | raw -> Cbox_infer.validate_hit_rate ~lo:t.cfg.grace_lo ~hi:t.cfg.grace_hi raw
+  | exception e -> Error (Printexc.to_string e)
+
+(* One model attempt: a validated, clamped hit rate or the reason the model
+   cannot be trusted. *)
 let model_predict t index cache trace =
   match t.model with
   | None -> Error "model not loaded"
-  | Some model -> (
-    match
-      if Faultinject.crash_now ~index then Unix._exit 42;
-      if Faultinject.checkpoint_fault ~index then
-        failwith "checkpoint unreadable (injected fault)";
-      let delay = Faultinject.slow_delay ~index +. Faultinject.hang_delay ~index in
-      if delay > 0.0 then Unix.sleepf delay;
-      let access = Heatmap.of_trace t.spec trace in
-      let synthetic =
-        Cbox_infer.synthesize model t.spec ~batch_size:t.cfg.batch_size ~cache access
-      in
-      Faultinject.poison_output ~index synthetic;
-      Heatmap.hit_rate t.spec ~access ~miss:synthetic
-    with
-    | raw -> Cbox_infer.validate_hit_rate ~lo:t.cfg.grace_lo ~hi:t.cfg.grace_hi raw
-    | exception e -> Error (Printexc.to_string e))
+  | Some model ->
+    predict_with t ~index
+      ~synth:(fun access ->
+        Cbox_infer.synthesize model t.spec ~batch_size:t.cfg.batch_size ~cache access)
+      trace
 
-let record_and_reply t ~arrival ~ok ~degraded ~code reply =
-  Serve_stats.record t.stats ~ok ~degraded ~code ~latency_s:(t.now () -. arrival);
+let qmodel_predict t index q cache trace =
+  predict_with t ~index
+    ~synth:(fun access ->
+      Cbox_infer.qsynthesize q t.spec ~batch_size:t.cfg.batch_size ~cache access)
+    trace
+
+let record_and_reply ?backend t ~arrival ~ok ~degraded ~code reply =
+  Serve_stats.record ?backend t.stats ~ok ~degraded ~code
+    ~latency_s:(t.now () -. arrival);
   reply
 
 let baseline t ~arrival ~id ~reason cache trace =
   match Cbox_infer.baseline_hit_rate t.cfg.fallback cache trace with
   | Some hit_rate ->
+    let name = Cbox_infer.fallback_name t.cfg.fallback in
     journal_event t "degraded"
-      [ ("reason", Runlog.S reason); ("source", Runlog.S (Cbox_infer.fallback_name t.cfg.fallback)) ];
+      [ ("reason", Runlog.S reason); ("source", Runlog.S name) ];
     let latency_ms = 1000.0 *. (t.now () -. arrival) in
-    record_and_reply t ~arrival ~ok:true ~degraded:true ~code:None
-      (hit_rate_reply ?id ~degraded:true
-         ~source:(Cbox_infer.fallback_name t.cfg.fallback)
+    record_and_reply t ~backend:name ~arrival ~ok:true ~degraded:true ~code:None
+      (hit_rate_reply ?id ~degraded:true ~source:name ~backend:name
          ~reason:(Some reason) ~latency_ms hit_rate)
   | None ->
     let code =
@@ -326,6 +365,31 @@ let baseline t ~arrival ~id ~reason cache trace =
     let e = Serve_error.v code "learned model unusable (%s) and fallback is off" reason in
     record_and_reply t ~arrival ~ok:false ~degraded:false ~code:(Some code)
       (error_reply ?id e)
+  | exception e ->
+    let e = Serve_error.of_exn e in
+    record_and_reply t ~arrival ~ok:false ~degraded:false
+      ~code:(Some e.Serve_error.code) (error_reply ?id e)
+
+(* An explicitly requested analytical backend (hrd/stm) is a first-class
+   answer, not a degradation: ok, non-degraded, no breaker involvement, and
+   it works with no model loaded. Distinct from [baseline], which serves the
+   same predictors as the bottom rung of the ladder, flagged. *)
+let analytic t ~arrival ~id ~backend cache trace =
+  let fb =
+    match backend with
+    | Cbox_infer.Backend_hrd -> Cbox_infer.Fallback_hrd
+    | Cbox_infer.Backend_stm -> Cbox_infer.Fallback_stm
+    | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
+      invalid_arg "Serve_engine.analytic: model backend"
+  in
+  let name = Cbox_infer.backend_name backend in
+  match Cbox_infer.baseline_hit_rate fb cache trace with
+  | Some hit_rate ->
+    record_and_reply t ~backend:name ~arrival ~ok:true ~degraded:false ~code:None
+      (hit_rate_reply ?id ~degraded:false ~source:name ~backend:name ~reason:None
+         ~latency_ms:(1000.0 *. (t.now () -. arrival))
+         hit_rate)
+  | None -> assert false (* hrd/stm always produce an answer *)
   | exception e ->
     let e = Serve_error.of_exn e in
     record_and_reply t ~arrival ~ok:false ~degraded:false
@@ -382,8 +446,9 @@ let ewma t =
   Mutex.unlock t.em;
   v
 
-let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s =
+let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s ~backend =
   let index = next_index t in
+  let backend = Option.value backend ~default:t.cfg.default_backend in
   let fail_with e =
     record_and_reply t ~arrival ~ok:false ~degraded:false
       ~code:(Some e.Serve_error.code) (error_reply ?id e)
@@ -408,39 +473,75 @@ let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s =
             (Serve_error.v Serve_error.Deadline_exceeded
                "deadline (%.0f ms) expired before processing started" (1000.0 *. budget))
         else begin
-          let model_usable = t.model <> None && Breaker.allow t.breaker in
-          let headroom = t.now () +. ewma t <= deadline in
-          if model_usable && headroom then begin
-            let before = Breaker.state t.breaker in
-            let t0 = t.now () in
-            match model_predict t index cache trace with
-            | Ok hit_rate ->
-              let dur = t.now () -. t0 in
-              update_ewma t dur;
-              Breaker.record_success t.breaker;
-              journal_breaker_transition t before;
-              if t.now () > deadline then
-                (* The answer arrived too late to trust the time budget;
-                   serve the (cheap) analytical answer, flagged. *)
-                baseline t ~arrival ~id ~reason:"deadline" cache trace
-              else
-                record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
-                  (hit_rate_reply ?id ~degraded:false ~source:"model" ~reason:None
-                     ~latency_ms:(1000.0 *. (t.now () -. arrival))
-                     hit_rate)
-            | Error why ->
-              Breaker.record_failure t.breaker;
-              journal_breaker_transition t before;
-              journal_event t "model_fault" [ ("why", Runlog.S why) ];
-              baseline t ~arrival ~id ~reason:("model_fault: " ^ why) cache trace
-          end
-          else
-            let reason =
-              if t.model = None then "model_unavailable"
-              else if not (Breaker.allow t.breaker) then "breaker_open"
-              else "deadline"
-            in
-            baseline t ~arrival ~id ~reason cache trace
+          match backend with
+          | Cbox_infer.Backend_hrd | Cbox_infer.Backend_stm ->
+            analytic t ~arrival ~id ~backend cache trace
+          | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
+            let model_usable = t.model <> None && Breaker.allow t.breaker in
+            let headroom = t.now () +. ewma t <= deadline in
+            if model_usable && headroom then begin
+              let before = Breaker.state t.breaker in
+              let t0 = t.now () in
+              (* The int8 rung: score on the quantized model when requested;
+                 a missing or faulting quantized model re-runs the request on
+                 float32, flagged [degraded] with a reason, WITHOUT touching
+                 the breaker — int8 trouble says nothing about the float
+                 model's health. *)
+              let attempt, served_backend, degrade_reason =
+                match (backend, t.qmodel) with
+                | Cbox_infer.Backend_int8, Some q -> (
+                  match qmodel_predict t index q cache trace with
+                  | Ok hr -> (Some (Ok hr), "int8", None)
+                  | Error why ->
+                    journal_event t "int8_fault" [ ("why", Runlog.S why) ];
+                    (None, "float32", Some "int8_fault"))
+                | Cbox_infer.Backend_int8, None ->
+                  (None, "float32", Some "int8_unavailable")
+                | _ -> (None, "float32", None)
+              in
+              let result =
+                match attempt with
+                | Some r -> r
+                | None -> model_predict t index cache trace
+              in
+              match result with
+              | Ok hit_rate ->
+                let dur = t.now () -. t0 in
+                update_ewma t dur;
+                Breaker.record_success t.breaker;
+                journal_breaker_transition t before;
+                if t.now () > deadline then
+                  (* The answer arrived too late to trust the time budget;
+                     serve the (cheap) analytical answer, flagged. *)
+                  baseline t ~arrival ~id ~reason:"deadline" cache trace
+                else begin
+                  let degraded = degrade_reason <> None in
+                  if degraded then
+                    journal_event t "degraded"
+                      [
+                        ("reason", Runlog.S (Option.get degrade_reason));
+                        ("source", Runlog.S "model");
+                      ];
+                  record_and_reply t ~backend:served_backend ~arrival ~ok:true
+                    ~degraded ~code:None
+                    (hit_rate_reply ?id ~degraded ~source:"model"
+                       ~backend:served_backend ~reason:degrade_reason
+                       ~latency_ms:(1000.0 *. (t.now () -. arrival))
+                       hit_rate)
+                end
+              | Error why ->
+                Breaker.record_failure t.breaker;
+                journal_breaker_transition t before;
+                journal_event t "model_fault" [ ("why", Runlog.S why) ];
+                baseline t ~arrival ~id ~reason:("model_fault: " ^ why) cache trace
+            end
+            else
+              let reason =
+                if t.model = None then "model_unavailable"
+                else if not (Breaker.allow t.breaker) then "breaker_open"
+                else "deadline"
+              in
+              baseline t ~arrival ~id ~reason cache trace
         end))
 
 type outcome = Reply of Sjson.t | Shutdown_reply of Sjson.t
@@ -491,10 +592,10 @@ let handle_request t ~arrival req =
       (error_reply_counted ?id t ~arrival
          (Serve_error.v Serve_error.Bad_request
             "stream ops are only served by the streaming daemon path"))
-  | Validate.Infer { id; sets; ways; source; deadline_s } -> (
+  | Validate.Infer { id; sets; ways; source; deadline_s; backend } -> (
     (* Total: a bug below this point is an [internal] reply, not a dead
        worker. *)
-    match infer t ~arrival ~id ~sets ~ways ~source ~deadline_s with
+    match infer t ~arrival ~id ~sets ~ways ~source ~deadline_s ~backend with
     | reply -> Reply reply
     | exception e ->
       let e = Serve_error.of_exn e in
@@ -532,6 +633,7 @@ type infer_item = {
          Heatmap.Accum); None = build from item_trace as usual. The trace
          is still carried for the analytical-baseline degradation path. *)
   item_deadline : float;  (* absolute, on the engine clock *)
+  item_backend : Cbox_infer.backend;  (* resolved (request or daemon default) *)
   mutable item_pickup : float;  (* when the batcher popped it (stats) *)
 }
 
@@ -563,12 +665,13 @@ let stream_item t ~arrival ~cache ~trace ~access =
     item_trace = trace;
     item_access = Some access;
     item_deadline = arrival +. t.cfg.default_deadline_s;
+    item_backend = t.cfg.default_backend;
     item_pickup = arrival;
   }
 
 let classify_request t ~arrival req =
   match req with
-  | Validate.Infer { id; sets; ways; source; deadline_s } -> (
+  | Validate.Infer { id; sets; ways; source; deadline_s; backend } -> (
     let fail_with e =
       Immediate
         (Reply
@@ -598,6 +701,7 @@ let classify_request t ~arrival req =
                 item_trace = trace;
                 item_access = None;
                 item_deadline = arrival +. budget;
+                item_backend = Option.value backend ~default:t.cfg.default_backend;
                 item_pickup = arrival;
               }))
     with
@@ -643,6 +747,7 @@ let replica_count t = max 1 (Array.length t.pool)
    the shared forward pass. *)
 type plan =
   | P_expired
+  | P_analytic  (* explicitly requested hrd/stm: first-class, needs no model *)
   | P_baseline of string  (* degradation reason *)
   | P_fault of string  (* model fault raised before the forward *)
   | P_forward
@@ -652,10 +757,11 @@ let infer_batch ?(replica = 0) t items =
   | [] -> []
   | _ ->
     let t0 = t.now () in
-    (* Snapshot the replica pool once: a concurrent reload swaps [t.pool]
-       atomically, and this batch must drain entirely on the model it
-       started with. *)
+    (* Snapshot the replica pool (and its quantization) once: a concurrent
+       reload swaps [t.pool] atomically, and this batch must drain entirely
+       on the model it started with. *)
     let pool = t.pool in
+    let qmodel = t.qmodel in
     let have_model = Array.length pool > 0 in
     let model_usable = have_model && Breaker.allow t.breaker in
     let est = ewma t in
@@ -664,12 +770,16 @@ let infer_batch ?(replica = 0) t items =
         (fun it ->
           let plan =
             if t0 > it.item_deadline then P_expired
-            else if not model_usable then
-              P_baseline (if have_model then "breaker_open" else "model_unavailable")
-            else if t0 +. est > it.item_deadline then P_baseline "deadline"
-            else if Faultinject.checkpoint_fault ~index:it.item_index then
-              P_fault "checkpoint unreadable (injected fault)"
-            else P_forward
+            else
+              match it.item_backend with
+              | Cbox_infer.Backend_hrd | Cbox_infer.Backend_stm -> P_analytic
+              | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
+                if not model_usable then
+                  P_baseline (if have_model then "breaker_open" else "model_unavailable")
+                else if t0 +. est > it.item_deadline then P_baseline "deadline"
+                else if Faultinject.checkpoint_fault ~index:it.item_index then
+                  P_fault "checkpoint unreadable (injected fault)"
+                else P_forward
           in
           (it, plan))
         items
@@ -691,46 +801,112 @@ let infer_batch ?(replica = 0) t items =
     in
     if slow > 0.0 then Unix.sleepf slow;
     let n_fwd = List.length fwd in
-    let results : (int, (float, string) result) Hashtbl.t = Hashtbl.create 16 in
-    (if n_fwd > 0 then
+    (* item_index -> Ok (hit rate, serving backend, degradation reason) or
+       the fault that stops this item trusting the model family at all. *)
+    let results : (int, (float * string * string option, string) result) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    (if n_fwd > 0 then begin
        let model, lock = pool.(replica mod Array.length pool) in
-       let inputs =
-         List.map
-           (fun (it, _) ->
-             ( it.item_cache,
-               match it.item_access with
-               | Some img -> [ img ]
-               | None -> Heatmap.of_trace t.spec it.item_trace ))
-           fwd
+       let input_of it =
+         ( it.item_cache,
+           match it.item_access with
+           | Some img -> [ img ]
+           | None -> Heatmap.of_trace t.spec it.item_trace )
+       in
+       (* Score one backend's sub-group through [synth_group] under the
+          replica lock. Each element carries its degradation reason (None =
+          a clean answer on the requested backend). A raised group failure
+          is returned so the caller decides: retry on float32 (int8 rung) or
+          fail every batch mate (float32 rung). *)
+       let score ~backend synth_group group =
+         match group with
+         | [] -> Ok ()
+         | _ -> (
+           let inputs = List.map (fun ((it, _), _) -> input_of it) group in
+           match
+             Mutex.lock lock;
+             Fun.protect
+               ~finally:(fun () -> Mutex.unlock lock)
+               (fun () -> synth_group inputs)
+           with
+           | synth ->
+             List.iter2
+               (fun ((it, _), reason) ((_, access), syn) ->
+                 Faultinject.poison_output ~index:it.item_index syn;
+                 let r =
+                   match Heatmap.hit_rate t.spec ~access ~miss:syn with
+                   | raw ->
+                     Cbox_infer.validate_hit_rate ~lo:t.cfg.grace_lo ~hi:t.cfg.grace_hi
+                       raw
+                   | exception e -> Error (Printexc.to_string e)
+                 in
+                 Hashtbl.replace results it.item_index
+                   (match r with
+                   | Ok hr -> Ok (hr, backend, reason)
+                   | Error w -> Error w))
+               group
+               (List.combine inputs synth);
+             Ok ()
+           | exception e -> Error (Printexc.to_string e))
        in
        let t_f0 = t.now () in
-       match
-         Mutex.lock lock;
-         Fun.protect
-           ~finally:(fun () -> Mutex.unlock lock)
-           (fun () ->
-             Cbox_infer.synthesize_group model t.spec ~batch_size:t.cfg.batch_size
-               inputs)
-       with
-       | synth ->
+       let qitems, fitems =
+         List.partition (fun (it, _) -> it.item_backend = Cbox_infer.Backend_int8) fwd
+       in
+       (* int8 sub-group first; any trouble (no quantized model, a raised
+          group failure, a per-item validity failure) drops the affected
+          items into the float32 pass, flagged — the int8 rung never trips
+          the breaker. *)
+       let refloat =
+         match (qitems, qmodel) with
+         | [], _ -> []
+         | _, None -> List.map (fun p -> (p, Some "int8_unavailable")) qitems
+         | _, Some q -> (
+           match
+             score ~backend:"int8"
+               (fun inputs ->
+                 Cbox_infer.qsynthesize_group q t.spec ~batch_size:t.cfg.batch_size
+                   inputs)
+               (List.map (fun p -> (p, None)) qitems)
+           with
+           | Ok () ->
+             List.filter_map
+               (fun ((it, _) as p) ->
+                 match Hashtbl.find_opt results it.item_index with
+                 | Some (Error why) ->
+                   journal_event t "int8_fault" [ ("why", Runlog.S why) ];
+                   Some (p, Some "int8_fault")
+                 | _ -> None)
+               qitems
+           | Error why ->
+             journal_event t "int8_fault" [ ("why", Runlog.S why) ];
+             List.map (fun p -> (p, Some "int8_fault")) qitems)
+       in
+       let fgroup = List.map (fun p -> (p, None)) fitems @ refloat in
+       let failed =
+         match
+           score ~backend:"float32"
+             (fun inputs ->
+               Cbox_infer.synthesize_group model t.spec ~batch_size:t.cfg.batch_size
+                 inputs)
+             fgroup
+         with
+         | Ok () -> false
+         | Error why ->
+           (* The shared float32 forward died: every batch mate records the
+              fault. *)
+           List.iter
+             (fun ((it, _), _) -> Hashtbl.replace results it.item_index (Error why))
+             fgroup;
+           true
+       in
+       if not failed then begin
          let dur = t.now () -. t_f0 in
          update_ewma t (dur /. float_of_int n_fwd);
-         Serve_stats.record_batch t.stats ~size:n_fwd;
-         List.iter2
-           (fun ((it, _), (_, access)) syn ->
-             Faultinject.poison_output ~index:it.item_index syn;
-             let r =
-               match Heatmap.hit_rate t.spec ~access ~miss:syn with
-               | raw ->
-                 Cbox_infer.validate_hit_rate ~lo:t.cfg.grace_lo ~hi:t.cfg.grace_hi raw
-               | exception e -> Error (Printexc.to_string e)
-             in
-             Hashtbl.replace results it.item_index r)
-           (List.combine fwd inputs) synth
-       | exception e ->
-         (* The shared forward died: every batch mate records the fault. *)
-         let why = Printexc.to_string e in
-         List.iter (fun (it, _) -> Hashtbl.replace results it.item_index (Error why)) fwd);
+         Serve_stats.record_batch t.stats ~size:n_fwd
+       end
+     end);
     (* Replies, breaker bookkeeping and stage accounting, in item order. *)
     List.map
       (fun (it, plan) ->
@@ -760,21 +936,33 @@ let infer_batch ?(replica = 0) t items =
           in
           record_and_reply t ~arrival ~ok:false ~degraded:false
             ~code:(Some e.Serve_error.code) (error_reply ?id e)
+        | P_analytic ->
+          analytic t ~arrival ~id ~backend:it.item_backend it.item_cache it.item_trace
         | P_baseline reason -> baseline t ~arrival ~id ~reason it.item_cache it.item_trace
         | P_fault why -> fault why
         | P_forward -> (
           match Hashtbl.find_opt results it.item_index with
-          | Some (Ok hit_rate) ->
+          | Some (Ok (hit_rate, served_backend, degrade_reason)) ->
             let before = Breaker.state t.breaker in
             Breaker.record_success t.breaker;
             journal_breaker_transition t before;
             if t.now () > it.item_deadline then
               baseline t ~arrival ~id ~reason:"deadline" it.item_cache it.item_trace
-            else
-              record_and_reply t ~arrival ~ok:true ~degraded:false ~code:None
-                (hit_rate_reply ?id ~degraded:false ~source:"model" ~reason:None
+            else begin
+              let degraded = degrade_reason <> None in
+              if degraded then
+                journal_event t "degraded"
+                  [
+                    ("reason", Runlog.S (Option.get degrade_reason));
+                    ("source", Runlog.S "model");
+                  ];
+              record_and_reply t ~backend:served_backend ~arrival ~ok:true ~degraded
+                ~code:None
+                (hit_rate_reply ?id ~degraded ~source:"model" ~backend:served_backend
+                   ~reason:degrade_reason
                    ~latency_ms:(1000.0 *. (t.now () -. arrival))
                    hit_rate)
+            end
           | Some (Error why) -> fault why
           | None ->
             (* Unreachable: every P_forward item was given a result above. *)

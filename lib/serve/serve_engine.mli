@@ -7,6 +7,10 @@
     escaped exception.
 
     The degradation ladder for [infer] (TAO-style hybrid):
+    + the int8-quantized model, when the request selects the [int8] backend
+      and a quantized model is available; a missing or faulting quantization
+      re-runs the request on float32, tagged [degraded:true] with reason
+      [int8_unavailable]/[int8_fault], without touching the breaker;
     + learned model, if loaded, the breaker allows it and the deadline has
       headroom for it;
     + the analytical baseline (HRD or STM per {!config.fallback}), tagged
@@ -15,6 +19,12 @@
       hit rate), or the model finished past the deadline;
     + a typed error ([model_unavailable] / [deadline_exceeded]) when
       fallback is off.
+
+    A request that explicitly selects the [hrd] or [stm] backend is served
+    by that predictor as a first-class, non-degraded answer (it needs no
+    model and ignores the breaker). Every successful infer reply carries a
+    ["backend"] field naming the backend that produced it, and the stats
+    reply counts answers per backend.
 
     Concurrency: the engine is multi-entrant across {e replicas}. Each
     replica is an independent deep copy of the model guarded by its own
@@ -26,6 +36,9 @@
 
 type config = {
   fallback : Cbox_infer.fallback;
+  default_backend : Cbox_infer.backend;
+      (** backend for requests that name none ([float32] unless overridden
+          at daemon start) *)
   default_deadline_s : float;  (** when the request names none *)
   max_deadline_s : float;  (** requested deadlines are clamped to this *)
   max_trace_len : int;
@@ -42,10 +55,11 @@ type config = {
           replicas run concurrently *)
 }
 
-val default_config : ?fallback:Cbox_infer.fallback -> unit -> config
-(** HRD fallback, 5 s default / 60 s max deadline, 2M-access trace cap,
-    breaker 3 faults / 5 s cooldown, batch 8, grace [\[-0.25, 1.25\]],
-    warmup on, 1 replica. *)
+val default_config :
+  ?fallback:Cbox_infer.fallback -> ?default_backend:Cbox_infer.backend -> unit -> config
+(** HRD fallback, float32 default backend, 5 s default / 60 s max deadline,
+    2M-access trace cap, breaker 3 faults / 5 s cooldown, batch 8, grace
+    [\[-0.25, 1.25\]], warmup on, 1 replica. *)
 
 type t
 

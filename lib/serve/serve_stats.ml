@@ -23,6 +23,8 @@ type t = {
   mutable retries : int;
   mutable hedges : int;
   mutable degraded_router : int;
+  (* Per-backend serve counts, keyed by the reply's "backend" field. *)
+  backends : (string, int ref) Hashtbl.t;
 }
 
 type summary = {
@@ -45,6 +47,7 @@ type summary = {
   retries : int;
   hedges : int;
   degraded_router : int;
+  backends : (string * int) list;
 }
 
 let create ?(window = 1024) () =
@@ -69,17 +72,24 @@ let create ?(window = 1024) () =
     retries = 0;
     hedges = 0;
     degraded_router = 0;
+    backends = Hashtbl.create 4;
   }
 
 let with_lock t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
-let record t ~ok ~degraded ~code ~latency_s =
+let record ?backend t ~ok ~degraded ~code ~latency_s =
   with_lock t (fun () ->
       t.served <- t.served + 1;
       if ok then t.ok <- t.ok + 1;
       if degraded then t.degraded <- t.degraded + 1;
+      (match backend with
+      | None -> ()
+      | Some b -> (
+        match Hashtbl.find_opt t.backends b with
+        | Some r -> incr r
+        | None -> Hashtbl.add t.backends b (ref 1)));
       (match code with
       | None -> ()
       | Some c -> (
@@ -150,4 +160,7 @@ let snapshot t =
         retries = t.retries;
         hedges = t.hedges;
         degraded_router = t.degraded_router;
+        backends =
+          Hashtbl.fold (fun b r acc -> (b, !r) :: acc) t.backends []
+          |> List.sort (fun (a, _) (b, _) -> compare a b);
       })

@@ -33,14 +33,25 @@ type summary = {
   degraded_router : int;
       (** requests the router answered from its in-process baseline because
           every live replica for the key was unusable *)
+  backends : (string * int) list;
+      (** successful answers per serving backend (["float32" | "int8" |
+          "hrd" | "stm"]), sorted by name; a backend absent from the list
+          has served nothing *)
 }
 
 val create : ?window:int -> unit -> t
 (** [window] is the latency-ring size (default 1024). *)
 
 val record :
-  t -> ok:bool -> degraded:bool -> code:Serve_error.code option -> latency_s:float -> unit
-(** One answered request. [code] is set for error answers. *)
+  ?backend:string ->
+  t ->
+  ok:bool ->
+  degraded:bool ->
+  code:Serve_error.code option ->
+  latency_s:float ->
+  unit
+(** One answered request. [code] is set for error answers; [backend] names
+    the backend that produced a successful answer. *)
 
 val record_stages : t -> queue_s:float -> batch_s:float -> infer_s:float -> unit
 (** Per-stage wall-clock breakdown for one answered infer request (negative

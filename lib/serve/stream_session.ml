@@ -124,7 +124,7 @@ let with_fields json extra =
 (* Strip a per-window engine reply down to the fields a window entry
    carries: the prediction and its provenance, not the transport framing. *)
 let window_json ~index reply =
-  let keep = [ "hit_rate"; "degraded"; "source"; "reason"; "error"; "message" ] in
+  let keep = [ "hit_rate"; "degraded"; "source"; "backend"; "reason"; "error"; "message" ] in
   let fields =
     match reply with
     | Sjson.Obj fs -> List.filter (fun (k, _) -> List.mem k keep) fs

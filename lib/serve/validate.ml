@@ -133,6 +133,7 @@ type request =
       ways : int;
       source : trace_source;
       deadline_s : float option;
+      backend : Cbox_infer.backend option;
     }
   | Health
   | Stats_request
@@ -284,7 +285,20 @@ let request ?(max_trace_len = default_max_trace_len) json =
                 (max_deadline_s *. 1000.0) ms
             | None -> err Serve_error.Bad_request "field \"deadline_ms\" must be a number")
         in
-        Ok (Infer { id; sets; ways; source; deadline_s })
+        let* backend =
+          match Sjson.member "backend" json with
+          | None -> Ok None
+          | Some v -> (
+            match Sjson.to_str v with
+            | None -> err Serve_error.Bad_request "field \"backend\" must be a string"
+            | Some s -> (
+              match Cbox_infer.backend_of_string s with
+              | Some b -> Ok (Some b)
+              | None ->
+                err Serve_error.Invalid_config
+                  "unknown backend %S (expected float32, int8, hrd or stm)" s))
+        in
+        Ok (Infer { id; sets; ways; source; deadline_s; backend })
       | Some "stream_open" ->
         let* id = opt_field json "id" Sjson.to_str "a string" in
         let* sets = field_int json "sets" in

@@ -73,6 +73,8 @@ type request =
       ways : int;
       source : trace_source;
       deadline_s : float option;  (** requested budget, seconds *)
+      backend : Cbox_infer.backend option;
+          (** requested scoring backend; [None] means the daemon default *)
     }
   | Health
   | Stats_request
@@ -100,8 +102,10 @@ val request : ?max_trace_len:int -> Sjson.t -> (request, Serve_error.t) result
 (** Schema gate for one parsed protocol line. [op] selects the variant;
     [infer] requires integer [sets]/[ways] and exactly one of [trace]
     (array of addresses), [benchmark] (+ optional [trace_len]) or
-    [trace_file]; optional [id] (string) and [deadline_ms] (positive
-    number); [reload] takes optional [id] and [checkpoint] (string path);
+    [trace_file]; optional [id] (string), [deadline_ms] (positive number)
+    and [backend] (["float32" | "int8" | "hrd" | "stm"] — an unknown value
+    is a typed {!Serve_error.Invalid_config});
+    [reload] takes optional [id] and [checkpoint] (string path);
     the [stream_*] ops require a non-empty [session] (except [stream_open],
     which requires [sets]/[ways]). Unknown [op]s, wrong types, over-limit
     traces and out-of-range deadlines are {!Serve_error.Bad_request}. *)

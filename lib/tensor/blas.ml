@@ -357,3 +357,339 @@ let gemv ~a ~x =
      to the serial loop. *)
   if m * n < par_flops then rows 0 (m - 1) else Dpool.parallel_for m rows;
   r
+
+(* --- int8 quantized GEMM micro-path ---
+
+   Same MC/KC/NC grid and MR=NR=4 panel discipline as the float32 kernel,
+   but the weight side is quantized once (symmetric per-output-row scales,
+   q in [-127, 127]) and prepacked at load time into MR-tall k-major byte
+   panels, and the activation side is quantized per call (one symmetric
+   per-tensor scale) while packing.
+
+   Arithmetic: values are stored offset-encoded as ua = q + 128 in
+   [1, 255], and each packed-B word carries TWO adjacent columns in 32-bit
+   lanes of one 63-bit native int (col j in bits 0-31, col j+1 in bits
+   32-62). A k-step of the microkernel is then 4 byte loads + 2 word loads
+   + 8 integer multiply-adds covering the full 4x4 tile — half the
+   multiplies of the float kernel, on smaller operands. Per KC block the
+   low lane is bounded by 256*255*255 < 2^25 (so it never carries into the
+   high lane) and the whole word by ~2^57 < 2^62, so the accumulation is
+   exact. The epilogue recovers the signed dot product per lane as
+
+     sum(qa*qb) = lane - 128*(sum(qa) + sum(qb)) - 128*128*kcur
+
+   using row sums recorded at quantize time and column sums recorded while
+   packing, then dequantizes with scale_w[i] * act_scale and adds the
+   (optional) fused bias on the first KC block.
+
+   Determinism: identical to the float kernel — lanes own MR-aligned row
+   panels, every output element accumulates one float contribution per KC
+   block in pc order, and the integer part is exact, so results are
+   bit-identical at every domain count. *)
+
+module Int8 = struct
+  type qweight = {
+    qm : int;
+    qk : int;
+    qpack : (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t;
+        (* ua bytes; KC-major blocks of MR-tall k-major panels, padded rows = 128 *)
+    qscales : float array;  (* per-output-row dequant scale, length qm *)
+    qrow_sums : int array;  (* signed q row sums, one per (KC block, row) *)
+    qbias : float array option;
+  }
+
+  let rows t = t.qm
+  let cols t = t.qk
+  let scales t = t.qscales
+  let bias t = t.qbias
+
+  (* Round-to-nearest (ties away from zero), clamped to the symmetric int8
+     range. [inv] is the reciprocal scale. Truncation after a signed 0.5
+     bump is round-half-away and compiles to the cvttsd2si intrinsic —
+     packing runs on every call, so no C call here. *)
+  let[@inline] q8 x inv =
+    let v = x *. inv in
+    let r =
+      if v >= 0.0 then int_of_float (v +. 0.5) else -int_of_float (0.5 -. v)
+    in
+    if r > 127 then 127 else if r < -127 then -127 else r
+
+  (* Smallest power of two >= s (exact for finite positive s). Power-of-two
+     scales keep dequantization multipliers exactly representable, which is
+     friendly to cross-platform bit-identity of serialized models. *)
+  let pow2_up s =
+    if s <= 0.0 then 1.0
+    else
+      let m, e = Float.frexp s in
+      if m = 0.5 then s else Float.ldexp 1.0 e
+
+  let nblocks k = (k + kc_blk - 1) / kc_blk
+  let npanels m = (m + mr - 1) / mr
+
+  (* Offset of (row i, depth p) in the packed byte layout. *)
+  let pack_index ~m ~k ~i ~p =
+    let npan = npanels m in
+    let b = p / kc_blk in
+    let p0 = b * kc_blk in
+    let kcur = min kc_blk (k - p0) in
+    (npan * mr * p0) + (i / mr * mr * kcur) + ((p - p0) * mr) + (i mod mr)
+
+  let pack ~m ~k ~scales ?bias ~get () =
+    if m <= 0 || k <= 0 then invalid_arg "Blas.Int8.pack: dims must be positive";
+    if Array.length scales <> m then invalid_arg "Blas.Int8.pack: scales length";
+    (match bias with
+    | Some b when Array.length b <> m -> invalid_arg "Blas.Int8.pack: bias length"
+    | _ -> ());
+    let npan = npanels m and nblk = nblocks k in
+    let qpack =
+      Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout (npan * mr * k)
+    in
+    let qrow_sums = Array.make (nblk * m) 0 in
+    for b = 0 to nblk - 1 do
+      let p0 = b * kc_blk in
+      let kcur = min kc_blk (k - p0) in
+      let base = npan * mr * p0 in
+      for pi = 0 to npan - 1 do
+        let pbase = base + (pi * mr * kcur) in
+        for p = 0 to kcur - 1 do
+          let o = pbase + (p * mr) in
+          for r = 0 to mr - 1 do
+            let i = (pi * mr) + r in
+            if i < m then begin
+              let q = get i (p0 + p) in
+              let q = if q > 127 then 127 else if q < -127 then -127 else q in
+              Bigarray.Array1.unsafe_set qpack (o + r) (q + 128);
+              qrow_sums.((b * m) + i) <- qrow_sums.((b * m) + i) + q
+            end
+            else Bigarray.Array1.unsafe_set qpack (o + r) 128
+          done
+        done
+      done
+    done;
+    { qm = m; qk = k; qpack; qscales = scales; qrow_sums; qbias = bias }
+
+  let get_q t ~i ~p =
+    if i < 0 || i >= t.qm || p < 0 || p >= t.qk then invalid_arg "Blas.Int8.get_q";
+    Bigarray.Array1.get t.qpack (pack_index ~m:t.qm ~k:t.qk ~i ~p) - 128
+
+  let quantize ?(trans = false) ?(pow2 = false) ?bias w =
+    check_2d "Blas.Int8.quantize" w;
+    let m = Tensor.dim w (if trans then 1 else 0) in
+    let k = Tensor.dim w (if trans then 0 else 1) in
+    let wd = w.Tensor.data in
+    let wc = Tensor.dim w 1 in
+    let at i p =
+      if trans then Bigarray.Array1.unsafe_get wd ((p * wc) + i)
+      else Bigarray.Array1.unsafe_get wd ((i * wc) + p)
+    in
+    let scales = Array.make m 1.0 in
+    let invs = Array.make m 1.0 in
+    for i = 0 to m - 1 do
+      let amax = ref 0.0 in
+      for p = 0 to k - 1 do
+        let v = Float.abs (at i p) in
+        if v > !amax then amax := v
+      done;
+      let s = if !amax = 0.0 then 1.0 else !amax /. 127.0 in
+      let s = if pow2 then pow2_up s else s in
+      scales.(i) <- s;
+      invs.(i) <- 1.0 /. s
+    done;
+    pack ~m ~k ~scales ?bias ~get:(fun i p -> q8 (at i p) invs.(i)) ()
+
+  (* Quantize and pack op(B)[p0 .. p0+kcur-1, j0 .. j0+ncur-1] as column-PAIR
+     words (two 32-bit ua lanes per native int), recording signed per-column
+     q sums. Columns past [ncur] pack as ua = 128 (q = 0). *)
+  let pack_qb ~trans bd ~bc ~p0 ~kcur ~j0 ~ncur ~inv_act bw bsums =
+    let panels = (ncur + nr - 1) / nr in
+    for pj = 0 to panels - 1 do
+      let wbase = pj * 2 * kcur in
+      let col0 = j0 + (pj * nr) in
+      let jend = j0 + ncur in
+      let s0 = ref 0 and s1 = ref 0 and s2 = ref 0 and s3 = ref 0 in
+      if col0 + nr <= jend && not trans then begin
+        (* fast path: full panel, natural B layout *)
+        for p = 0 to kcur - 1 do
+          let row = ((p0 + p) * bc) + col0 in
+          let q0 = q8 (Bigarray.Array1.unsafe_get bd row) inv_act in
+          let q1 = q8 (Bigarray.Array1.unsafe_get bd (row + 1)) inv_act in
+          let q2 = q8 (Bigarray.Array1.unsafe_get bd (row + 2)) inv_act in
+          let q3 = q8 (Bigarray.Array1.unsafe_get bd (row + 3)) inv_act in
+          s0 := !s0 + q0;
+          s1 := !s1 + q1;
+          s2 := !s2 + q2;
+          s3 := !s3 + q3;
+          let o = wbase + (2 * p) in
+          Bigarray.Array1.unsafe_set bw o ((q0 + 128) lor ((q1 + 128) lsl 32));
+          Bigarray.Array1.unsafe_set bw (o + 1) ((q2 + 128) lor ((q3 + 128) lsl 32))
+        done
+      end
+      else
+        for p = 0 to kcur - 1 do
+          let kp = p0 + p in
+          let qat cc =
+            let j = col0 + cc in
+            if j < jend then
+              q8
+                (if trans then Bigarray.Array1.unsafe_get bd ((j * bc) + kp)
+                 else Bigarray.Array1.unsafe_get bd ((kp * bc) + j))
+                inv_act
+            else 0
+          in
+          let q0 = qat 0 and q1 = qat 1 and q2 = qat 2 and q3 = qat 3 in
+          s0 := !s0 + q0;
+          s1 := !s1 + q1;
+          s2 := !s2 + q2;
+          s3 := !s3 + q3;
+          let o = wbase + (2 * p) in
+          Bigarray.Array1.unsafe_set bw o ((q0 + 128) lor ((q1 + 128) lsl 32));
+          Bigarray.Array1.unsafe_set bw (o + 1) ((q2 + 128) lor ((q3 + 128) lsl 32))
+        done;
+      let sb = pj * nr in
+      Bigarray.Array1.unsafe_set bsums sb !s0;
+      Bigarray.Array1.unsafe_set bsums (sb + 1) !s1;
+      Bigarray.Array1.unsafe_set bsums (sb + 2) !s2;
+      Bigarray.Array1.unsafe_set bsums (sb + 3) !s3
+    done
+
+  (* 4-row x 2-word microkernel over one KC block: 8 packed-pair integer
+     accumulators, written into [accs] (length 8, row-major by word). *)
+  let kern4x2w ap abase bw bbase ~kcur accs =
+    let acc00 = ref 0 and acc01 = ref 0 in
+    let acc10 = ref 0 and acc11 = ref 0 in
+    let acc20 = ref 0 and acc21 = ref 0 in
+    let acc30 = ref 0 and acc31 = ref 0 in
+    let ai = ref abase and bi = ref bbase in
+    (* k unrolled by two: halves the pointer/branch overhead per 16 MACs. *)
+    for _p = 1 to kcur / 2 do
+      let x0 = Bigarray.Array1.unsafe_get ap !ai
+      and x1 = Bigarray.Array1.unsafe_get ap (!ai + 1)
+      and x2 = Bigarray.Array1.unsafe_get ap (!ai + 2)
+      and x3 = Bigarray.Array1.unsafe_get ap (!ai + 3) in
+      let w0 = Bigarray.Array1.unsafe_get bw !bi
+      and w1 = Bigarray.Array1.unsafe_get bw (!bi + 1) in
+      acc00 := !acc00 + (x0 * w0);
+      acc01 := !acc01 + (x0 * w1);
+      acc10 := !acc10 + (x1 * w0);
+      acc11 := !acc11 + (x1 * w1);
+      acc20 := !acc20 + (x2 * w0);
+      acc21 := !acc21 + (x2 * w1);
+      acc30 := !acc30 + (x3 * w0);
+      acc31 := !acc31 + (x3 * w1);
+      let x0 = Bigarray.Array1.unsafe_get ap (!ai + 4)
+      and x1 = Bigarray.Array1.unsafe_get ap (!ai + 5)
+      and x2 = Bigarray.Array1.unsafe_get ap (!ai + 6)
+      and x3 = Bigarray.Array1.unsafe_get ap (!ai + 7) in
+      let w0 = Bigarray.Array1.unsafe_get bw (!bi + 2)
+      and w1 = Bigarray.Array1.unsafe_get bw (!bi + 3) in
+      acc00 := !acc00 + (x0 * w0);
+      acc01 := !acc01 + (x0 * w1);
+      acc10 := !acc10 + (x1 * w0);
+      acc11 := !acc11 + (x1 * w1);
+      acc20 := !acc20 + (x2 * w0);
+      acc21 := !acc21 + (x2 * w1);
+      acc30 := !acc30 + (x3 * w0);
+      acc31 := !acc31 + (x3 * w1);
+      ai := !ai + 8;
+      bi := !bi + 4
+    done;
+    if kcur land 1 = 1 then begin
+      let x0 = Bigarray.Array1.unsafe_get ap !ai
+      and x1 = Bigarray.Array1.unsafe_get ap (!ai + 1)
+      and x2 = Bigarray.Array1.unsafe_get ap (!ai + 2)
+      and x3 = Bigarray.Array1.unsafe_get ap (!ai + 3) in
+      let w0 = Bigarray.Array1.unsafe_get bw !bi
+      and w1 = Bigarray.Array1.unsafe_get bw (!bi + 1) in
+      acc00 := !acc00 + (x0 * w0);
+      acc01 := !acc01 + (x0 * w1);
+      acc10 := !acc10 + (x1 * w0);
+      acc11 := !acc11 + (x1 * w1);
+      acc20 := !acc20 + (x2 * w0);
+      acc21 := !acc21 + (x2 * w1);
+      acc30 := !acc30 + (x3 * w0);
+      acc31 := !acc31 + (x3 * w1)
+    end;
+    accs.(0) <- !acc00;
+    accs.(1) <- !acc01;
+    accs.(2) <- !acc10;
+    accs.(3) <- !acc11;
+    accs.(4) <- !acc20;
+    accs.(5) <- !acc21;
+    accs.(6) <- !acc30;
+    accs.(7) <- !acc31
+
+  (* One lane's share: MR panels [pan_lo .. pan_hi] of C, full jc -> pc
+     sweep. A is prepacked so there is no per-lane A packing (and no MC
+     loop: a lane's whole byte block per KC step is a few KB). *)
+  let gemm_lane ~qw ~act_scale ~trans_b ~bd ~bc ~cd ~n ~pan_lo ~pan_hi ~bw ~bsums =
+    let m = qw.qm and k = qw.qk in
+    let npan = npanels m in
+    let ap = qw.qpack in
+    let inv_act = 1.0 /. act_scale in
+    let accs = Array.make 8 0 in
+    let jc = ref 0 in
+    while !jc < n do
+      let ncur = min nc_blk (n - !jc) in
+      let pc = ref 0 in
+      while !pc < k do
+        let kcur = min kc_blk (k - !pc) in
+        let blk = !pc / kc_blk in
+        let first = !pc = 0 in
+        pack_qb ~trans:trans_b bd ~bc ~p0:!pc ~kcur ~j0:!jc ~ncur ~inv_act bw bsums;
+        let ablock = npan * mr * !pc in
+        let npanb = (ncur + nr - 1) / nr in
+        for pj = 0 to npanb - 1 do
+          let cols = min nr (ncur - (pj * nr)) in
+          let bbase = pj * 2 * kcur and jcol = !jc + (pj * nr) in
+          for pi = pan_lo to pan_hi do
+            let row0 = pi * mr in
+            let rows = min mr (m - row0) in
+            kern4x2w ap (ablock + (pi * mr * kcur)) bw bbase ~kcur accs;
+            for r = 0 to rows - 1 do
+              let i = row0 + r in
+              let sw = qw.qscales.(i) *. act_scale in
+              let rsum = qw.qrow_sums.((blk * m) + i) in
+              let cbase = (i * n) + jcol in
+              let badd =
+                if first then match qw.qbias with Some bs -> bs.(i) | None -> 0.0
+                else 0.0
+              in
+              for cc = 0 to cols - 1 do
+                let w = accs.((r * 2) + (cc lsr 1)) in
+                let lane =
+                  if cc land 1 = 0 then w land 0xFFFFFFFF else w lsr 32
+                in
+                let csum = Bigarray.Array1.unsafe_get bsums ((pj * nr) + cc) in
+                let dot = lane - (128 * (rsum + csum)) - (16384 * kcur) in
+                let o = cbase + cc in
+                Bigarray.Array1.unsafe_set cd o
+                  (Bigarray.Array1.unsafe_get cd o +. (sw *. float_of_int dot) +. badd)
+              done
+            done
+          done
+        done;
+        pc := !pc + kcur
+      done;
+      jc := !jc + ncur
+    done
+
+  let gemm ?(trans_b = false) ~a:qw ~act_scale ~b c =
+    check_2d "Blas.Int8.gemm b" b;
+    check_2d "Blas.Int8.gemm c" c;
+    if not (Float.is_finite act_scale) || act_scale <= 0.0 then
+      invalid_arg "Blas.Int8.gemm: act_scale must be positive";
+    let k = Tensor.dim b (if trans_b then 1 else 0) in
+    let n = Tensor.dim b (if trans_b then 0 else 1) in
+    if k <> qw.qk then invalid_arg "Blas.Int8.gemm: inner dimension mismatch";
+    if Tensor.dim c 0 <> qw.qm || Tensor.dim c 1 <> n then
+      invalid_arg "Blas.Int8.gemm: output dimension mismatch";
+    Tensor.fill c 0.0;
+    let bd = b.Tensor.data and cd = c.Tensor.data in
+    let bc = Tensor.dim b 1 in
+    let npan = npanels qw.qm in
+    let words = 2 * kc_blk * ((nc_blk + nr - 1) / nr) in
+    Dpool.parallel_for npan (fun plo phi ->
+        Workspace.with_ibuf2 words nc_blk (fun bw bsums ->
+            gemm_lane ~qw ~act_scale ~trans_b ~bd ~bc ~cd ~n ~pan_lo:plo ~pan_hi:phi
+              ~bw ~bsums))
+end

@@ -56,3 +56,61 @@ val transpose_into : src:Tensor.t -> dst:Tensor.t -> unit
 
 val gemv : a:Tensor.t -> x:Tensor.t -> Tensor.t
 (** [gemv ~a ~x] is the matrix-vector product for 2-D [a] and 1-D [x]. *)
+
+(** Int8 quantized GEMM micro-path.
+
+    Same blocking grid and MR=NR=4 panel discipline as the float32 kernel,
+    but the weight operand is quantized symmetrically (per-output-row
+    scales, q in [-127, 127]) and prepacked ONCE into byte micro-panels,
+    while the activation operand is quantized per call with a single
+    per-tensor scale during packing. Packed activation columns travel in
+    pairs — two offset-encoded 32-bit lanes per native int — so a k-step
+    of the microkernel does 8 integer multiply-adds for a full 4x4 tile.
+    Integer accumulation over a KC block is exact (no lane can overflow or
+    carry); the epilogue recovers the signed dot products, dequantizes
+    with [weight_scale * act_scale] and fuses the optional per-row bias.
+
+    Determinism contract: identical to the float kernel — bit-identical
+    results at every domain count. *)
+module Int8 : sig
+  type qweight
+  (** A quantized, prepacked weight matrix (plus scales, per-block row
+      sums, and an optional fused bias). *)
+
+  val quantize : ?trans:bool -> ?pow2:bool -> ?bias:float array -> Tensor.t -> qweight
+  (** [quantize w] quantizes op(w) (2-D; [trans] selects the transpose)
+      with symmetric per-output-row scales [maxabs/127] ([pow2] rounds each
+      scale up to the next power of two) and packs it. [bias] (length =
+      output rows) is fused into the {!gemm} epilogue. *)
+
+  val pack :
+    m:int ->
+    k:int ->
+    scales:float array ->
+    ?bias:float array ->
+    get:(int -> int -> int) ->
+    unit ->
+    qweight
+  (** Rebuild a [qweight] from already-quantized values: [get i p] must
+      return the signed int8 value of row [i], depth [p] (clamped to
+      [-127, 127]). This is the deserialization path — a quantized
+      checkpoint stores canonical bytes + scales and repacks on load
+      without ever materializing float weights. *)
+
+  val gemm : ?trans_b:bool -> a:qweight -> act_scale:float -> b:Tensor.t -> Tensor.t -> unit
+  (** [gemm ~a ~act_scale ~b c] overwrites [c] with
+      [dequant(a * quant(op(b))) + bias]: op(b) is quantized on the fly at
+      the symmetric per-tensor scale [act_scale] while packing. [c] must be
+      [rows a] x [cols op(b)]. *)
+
+  val rows : qweight -> int
+  val cols : qweight -> int
+  val scales : qweight -> float array
+  val bias : qweight -> float array option
+
+  val get_q : qweight -> i:int -> p:int -> int
+  (** Signed quantized value at (row, depth) — the serialization readback. *)
+
+  val pow2_up : float -> float
+  (** Smallest power of two >= the argument (exact; 1.0 for non-positive). *)
+end

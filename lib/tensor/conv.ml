@@ -407,3 +407,99 @@ let conv_transpose2d_backward ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_b
   conv_transpose2d_backward_into ~x ~weight ~gout ~stride ~pad ~grad_weight ~grad_bias
     ~gx;
   gx
+
+(* --- int8 quantized forwards --- *)
+
+(* Identical dataflow to conv2d/conv_transpose2d with the float GEMM swapped
+   for Blas.Int8.gemm: the unfold/scatter plumbing, blocking and per-element
+   accumulation orders are shared, so the only numerical difference between
+   the float and quantized paths is the quantization itself. The int8
+   epilogue fuses dequantization and (for conv2d_q) the per-channel bias;
+   a transposed convolution accumulates many GEMM outputs into one output
+   pixel through col2im, so its bias cannot ride in the epilogue and is
+   applied after the scatter. Both quantized paths are bit-identical across
+   the wide/per-sample split and any domain count for the same reason the
+   float paths are: integer accumulation is exact and the dequant epilogue
+   runs in a fixed per-element K-block order. *)
+let conv2d_q ~x ~weight ~act_scale ~kernel ~stride ~pad =
+  let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let oc = Blas.Int8.rows weight in
+  if Blas.Int8.cols weight <> ic * kernel * kernel then
+    invalid_arg "Conv.conv2d_q: shape mismatch";
+  let oh = out_size ~size:h ~kernel ~stride ~pad in
+  let ow = out_size ~size:w ~kernel ~stride ~pad in
+  let y = Tensor.zeros [| n; oc; oh; ow |] in
+  if n > 1 && Atomic.get wide_flag then begin
+    let ncols = oh * ow in
+    let kk = ic * kernel * kernel in
+    Workspace.with_buf ~zero:true [| kk; n * ncols |] (fun cols ->
+        Workspace.with_buf [| oc; n * ncols |] (fun ywide ->
+            im2col_wide_into x ~kernel ~stride ~pad cols;
+            Blas.Int8.gemm ~a:weight ~act_scale ~b:cols ywide;
+            let yd = y.Tensor.data and wd = ywide.Tensor.data in
+            let ld = n * ncols in
+            Dpool.parallel_for n (fun nlo nhi ->
+                for ni = nlo to nhi do
+                  for ci = 0 to oc - 1 do
+                    let src = (ci * ld) + (ni * ncols) in
+                    let dst = ((ni * oc) + ci) * ncols in
+                    for i = 0 to ncols - 1 do
+                      Bigarray.Array1.unsafe_set yd (dst + i)
+                        (Bigarray.Array1.unsafe_get wd (src + i))
+                    done
+                  done
+                done)))
+  end
+  else
+    Dpool.parallel_for n (fun nlo nhi ->
+        Workspace.with_buf ~zero:true [| ic * kernel * kernel; oh * ow |] (fun cols ->
+            for ni = nlo to nhi do
+              im2col_into x ~n:ni ~kernel ~stride ~pad cols;
+              let sample =
+                Tensor.sub_view y ~off:(ni * oc * oh * ow) ~shape:[| oc; oh * ow |]
+              in
+              Blas.Int8.gemm ~a:weight ~act_scale ~b:cols sample
+            done));
+  y
+
+let conv_transpose2d_q ~x ~weight ~act_scale ~bias ~kernel ~stride ~pad =
+  let n = Tensor.dim x 0 and ic = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let kk = Blas.Int8.rows weight in
+  if Blas.Int8.cols weight <> ic || kk mod (kernel * kernel) <> 0 then
+    invalid_arg "Conv.conv_transpose2d_q: shape mismatch";
+  let oc = kk / (kernel * kernel) in
+  let oh = tconv_out_size ~size:h ~kernel ~stride ~pad in
+  let ow = tconv_out_size ~size:w ~kernel ~stride ~pad in
+  let y = Tensor.zeros [| n; oc; oh; ow |] in
+  if n > 1 && Atomic.get wide_flag then begin
+    let hw = h * w in
+    Workspace.with_buf2 [| ic; n * hw |] [| kk; n * hw |] (fun xwide cols ->
+        let xd = x.Tensor.data and xwd = xwide.Tensor.data in
+        let ld = n * hw in
+        Dpool.parallel_for n (fun nlo nhi ->
+            for ni = nlo to nhi do
+              for ci = 0 to ic - 1 do
+                let src = ((ni * ic) + ci) * hw in
+                let dst = (ci * ld) + (ni * hw) in
+                for i = 0 to hw - 1 do
+                  Bigarray.Array1.unsafe_set xwd (dst + i)
+                    (Bigarray.Array1.unsafe_get xd (src + i))
+                done
+              done
+            done);
+        Blas.Int8.gemm ~a:weight ~act_scale ~b:xwide cols;
+        col2im_wide cols ~dst:y ~channels:oc ~height:oh ~width:ow ~kernel ~stride ~pad)
+  end
+  else
+    Dpool.parallel_for n (fun nlo nhi ->
+        Workspace.with_buf [| kk; h * w |] (fun cols ->
+            for ni = nlo to nhi do
+              let xm = Tensor.sub_view x ~off:(ni * ic * h * w) ~shape:[| ic; h * w |] in
+              Blas.Int8.gemm ~a:weight ~act_scale ~b:xm cols;
+              col2im cols ~dst:y ~n:ni ~channels:oc ~height:oh ~width:ow ~kernel ~stride
+                ~pad
+            done));
+  add_bias_nchw y bias;
+  y

@@ -121,3 +121,37 @@ val conv_transpose2d_backward_into :
 (** Allocation-free variant of {!conv_transpose2d_backward}. [gx] is fully
     overwritten (unlike {!conv2d_backward_into} it does not accumulate), so
     pre-zeroing is permitted but not required. *)
+
+(** {1 Int8 quantized forwards}
+
+    Same lowering (im2col/col2im, wide-batch split, blocking) as the float
+    forwards with the GEMM swapped for {!Blas.Int8.gemm}; activations are
+    quantized on the fly at [act_scale]. Results are bit-identical across
+    the wide/per-sample paths and any domain count. *)
+
+val conv2d_q :
+  x:Tensor.t ->
+  weight:Blas.Int8.qweight ->
+  act_scale:float ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  Tensor.t
+(** Quantized forward convolution. [weight] is the quantized
+    [\[oc; ic*kernel*kernel\]] im2col weight matrix with per-output-channel
+    scales; its fused bias (if any) rides in the GEMM epilogue. *)
+
+val conv_transpose2d_q :
+  x:Tensor.t ->
+  weight:Blas.Int8.qweight ->
+  act_scale:float ->
+  bias:Tensor.t option ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  Tensor.t
+(** Quantized forward transposed convolution. [weight] is the quantized
+    [\[oc*kernel*kernel; ic\]] matrix (the float path's [W^T] view, i.e.
+    [quantize ~trans:true] of [\[ic; oc*k*k\]]); col2im accumulates many
+    GEMM outputs per pixel, so [bias] is applied after the scatter rather
+    than fused. *)

@@ -26,6 +26,7 @@ let () =
       Test_characterize.suite;
       Test_metrics.suite;
       Test_core.suite;
+      Test_quant.suite;
       Test_dataset.suite;
       Test_resilience.suite;
       Test_serve.suite;

@@ -158,11 +158,12 @@ let parse_request s =
 
 let test_validate_request () =
   (match parse_request {|{"op": "infer", "id": "r", "sets": 8, "ways": 2, "trace": [0, 64, 128], "deadline_ms": 250}|} with
-  | Ok (Validate.Infer { id; sets; ways; source; deadline_s }) ->
+  | Ok (Validate.Infer { id; sets; ways; source; deadline_s; backend }) ->
     Alcotest.(check (option string)) "id" (Some "r") id;
     Alcotest.(check int) "sets" 8 sets;
     Alcotest.(check int) "ways" 2 ways;
     Alcotest.(check (option (float 1e-9))) "deadline" (Some 0.25) deadline_s;
+    Alcotest.(check bool) "no backend" true (backend = None);
     (match source with
     | Validate.Inline arr -> Alcotest.(check int) "trace len" 3 (Array.length arr)
     | _ -> Alcotest.fail "expected inline source")
@@ -184,7 +185,17 @@ let test_validate_request () =
   expect_code "zero deadline" Serve_error.Bad_request
     (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "deadline_ms": 0}|});
   expect_code "huge deadline" Serve_error.Bad_request
-    (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "deadline_ms": 900000}|})
+    (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "deadline_ms": 900000}|});
+  (match
+     parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "backend": "int8"}|}
+   with
+  | Ok (Validate.Infer { backend; _ }) ->
+    Alcotest.(check bool) "int8 backend" true (backend = Some Cbox_infer.Backend_int8)
+  | _ -> Alcotest.fail "backend request rejected");
+  expect_code "unknown backend" Serve_error.Invalid_config
+    (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "backend": "fp16"}|});
+  expect_code "non-string backend" Serve_error.Bad_request
+    (parse_request {|{"op": "infer", "sets": 8, "ways": 2, "trace": [0], "backend": 8}|})
 
 (* --- circuit breaker (fake clock) --- *)
 
@@ -342,6 +353,7 @@ let test_engine_deadline_expired_in_queue () =
         ways = 2;
         source = Validate.Inline (Lazy.force tiny_trace);
         deadline_s = Some 1.0;
+        backend = None;
       }
   in
   (* Arrived 10 s ago with a 1 s budget: dead before the worker saw it. *)

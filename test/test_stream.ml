@@ -248,7 +248,14 @@ let offline_entries eng trace =
       match
         Serve_engine.handle_request eng ~arrival:(Serve_engine.now eng)
           (Validate.Infer
-             { id = None; sets = 4; ways = 2; source = Validate.Inline slice; deadline_s = None })
+             {
+               id = None;
+               sets = 4;
+               ways = 2;
+               source = Validate.Inline slice;
+               deadline_s = None;
+               backend = None;
+             })
       with
       | Serve_engine.Reply r ->
         Printf.sprintf "%d:%Lx:%b" c
