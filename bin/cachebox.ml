@@ -242,6 +242,120 @@ let train_cmd =
       $ domains_arg $ simcache_arg $ snapshot_every_arg $ snapshot_dir_arg $ resume_arg
       $ journal_arg)
 
+(* --- distill --- *)
+
+let distill_cmd =
+  let count_arg =
+    Arg.(value & opt int 10 & info [ "benchmarks" ] ~docv:"N" ~doc:"Distillation benchmarks (from the train split).")
+  in
+  let out_arg =
+    Arg.(value & opt string "student.ckpt" & info [ "out" ] ~docv:"FILE" ~doc:"Student checkpoint path to write.")
+  in
+  let temperature_arg =
+    Arg.(value & opt float 1.0 & info [ "temperature" ] ~docv:"T" ~doc:"Teacher-imitation weight in [0, 1]: 0 trains purely against ground truth (the teacher is never evaluated), 1 purely against the teacher's heatmaps.")
+  in
+  let feat_weight_arg =
+    Arg.(value & opt float 0.0 & info [ "feat-weight" ] ~docv:"W" ~doc:"Bottleneck feature-matching weight; 0 disables the term (and its training-time adapter).")
+  in
+  let depth_div_arg =
+    Arg.(value & opt int 2 & info [ "depth-div" ] ~docv:"D" ~doc:"Student depth = teacher levels / D (floor 2).")
+  in
+  let width_div_arg =
+    Arg.(value & opt int 2 & info [ "width-div" ] ~docv:"D" ~doc:"Student width = teacher channels / D.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Write a distillation snapshot every N batches (atomic, checksummed; the last \
+             3 are kept). Required for $(b,--resume).")
+  in
+  let snapshot_dir_arg =
+    Arg.(
+      value
+      & opt string "_snapshots"
+      & info [ "snapshot-dir" ] ~docv:"DIR" ~doc:"Directory for rotating distillation snapshots.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the newest loadable snapshot in $(b,--snapshot-dir); the continued \
+             run is bit-identical to one that was never interrupted.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Append run events (snapshots, divergence rollbacks, resumes) to a JSONL journal.")
+  in
+  let run sets ways trace_len epochs ckpt out count temperature feat_weight depth_div
+      width_div domains simcache snapshot_every snapshot_dir resume journal =
+    apply_domains domains;
+    apply_simcache simcache;
+    let spec = Heatmap.spec () in
+    let cfg = cache_config ~sets ~ways in
+    let teacher =
+      match
+        Serve_engine.model_of_checkpoint ~seed:42 (Cbgan.default_config ()) ~path:ckpt
+      with
+      | Ok model -> model
+      | Error e ->
+        Fmt.epr "%a@." Serve_error.pp e;
+        Fmt.epr "distillation needs a trained teacher; run `cachebox train` first@.";
+        exit (Serve_error.exit_code e.Serve_error.code)
+    in
+    let split = Suite.split (Suite.all ()) in
+    let train_ws = List.filteri (fun i _ -> i < count) split.Suite.train in
+    Fmt.pr "building dataset: %d benchmarks, %s, %d-access traces@." (List.length train_ws)
+      (Cache.config_name cfg) trace_len;
+    let data = Cbox_dataset.build_l1 spec ~configs:[ cfg ] ~trace_len train_ws in
+    let scfg =
+      Distill.student_config ~depth_div ~width_div (Cbgan.model_config teacher)
+    in
+    let student = Student.create ~seed:7 scfg in
+    Fmt.pr "student: %d levels, ngf %d — %d parameters (teacher %d)@."
+      scfg.Student.st_levels scfg.Student.st_ngf
+      (Student.parameter_count student)
+      (Cbgan.parameter_count teacher);
+    let snapshots_on = snapshot_every <> None || resume in
+    let options =
+      {
+        (Distill.default_options ~epochs ~temperature ~feat_weight ?snapshot_every
+           ?snapshot_dir:(if snapshots_on then Some snapshot_dir else None)
+           ?journal ())
+        with
+        Distill.batch_size = 4;
+      }
+    in
+    let stats =
+      Distill.train ~log:print_endline ~resume ~teacher student spec options
+        (Cbox_dataset.to_samples data)
+    in
+    (match List.rev stats with
+    | last :: _ ->
+      Fmt.pr "final epoch %d: pixel loss %.6f, feature loss %.6f over %d batches@."
+        last.Distill.epoch last.Distill.pixel last.Distill.feat last.Distill.batches
+    | [] -> ());
+    Student.save student out;
+    Fmt.pr "student checkpoint written to %s (%d parameters)@." out
+      (Student.parameter_count student)
+  in
+  Cmd.v
+    (Cmd.info "distill"
+       ~doc:
+         "Distill a trained CB-GAN teacher into a half-depth/half-width student \
+          checkpoint for the student/student-int8 serving backends")
+    Term.(
+      const run $ sets_arg $ ways_arg $ trace_len_arg $ epochs_arg $ checkpoint_arg
+      $ out_arg $ count_arg $ temperature_arg $ feat_weight_arg $ depth_div_arg
+      $ width_div_arg $ domains_arg $ simcache_arg $ snapshot_every_arg $ snapshot_dir_arg
+      $ resume_arg $ journal_arg)
+
 (* --- infer --- *)
 
 let fallback_arg =
@@ -268,20 +382,32 @@ let backend_arg =
         ~env:(Cmd.Env.info "CACHEBOX_BACKEND")
         ~doc:
           "Serving backend: $(b,float32) (the learned model), $(b,int8) (its \
-           post-training quantization; answers degrade to float32 when the quantized \
-           model is unavailable or faults), or the analytical $(b,hrd)/$(b,stm) \
-           predictors.")
+           post-training quantization), $(b,student) (the distilled half-depth/\
+           half-width generator), $(b,student-int8) (the student's int8 \
+           quantization; the two speedups compose), or the analytical \
+           $(b,hrd)/$(b,stm) predictors. Every derived backend degrades to \
+           float32 when its model is unavailable or faults.")
 
 let parse_backend s =
   match Cbox_infer.backend_of_string s with
   | Some b -> b
   | None ->
     die
-      (Serve_error.v Serve_error.Invalid_config "unknown backend %S (float32|int8|hrd|stm)"
-         s)
+      (Serve_error.v Serve_error.Invalid_config
+         "unknown backend %S (float32|int8|student|student-int8|hrd|stm)" s)
+
+let student_checkpoint_arg =
+  Arg.(
+    value
+    & opt string "student.ckpt"
+    & info [ "student" ] ~docv:"FILE"
+        ~env:(Cmd.Env.info "CACHEBOX_STUDENT")
+        ~doc:
+          "Distilled student checkpoint, used by the $(b,student) and \
+           $(b,student-int8) backends (written by $(b,cachebox distill)).")
 
 let infer_cmd =
-  let run name sets ways trace_len ckpt domains fallback backend =
+  let run name sets ways trace_len ckpt student_ckpt domains fallback backend =
     apply_domains domains;
     let fallback = parse_fallback fallback in
     let backend = parse_backend backend in
@@ -309,6 +435,81 @@ let infer_cmd =
             (Metrics.abs_pct_diff ~truth:d.Cbox_dataset.true_hit_rate ~predicted)
             (Cbox_infer.backend_name backend))
         data
+    | Cbox_infer.Backend_student | Cbox_infer.Backend_student_int8 ->
+      (* The student ladder mirrors the daemon's: a missing/corrupt student
+         checkpoint (or a failed int8 compilation of it) re-runs the request
+         on the float32 teacher, flagged, never silently. *)
+      let want_int8 = backend = Cbox_infer.Backend_student_int8 in
+      let served =
+        match Student.load student_ckpt with
+        | exception Failure why ->
+          Error
+            ( why,
+              if want_int8 then "student_int8_unavailable" else "student_unavailable" )
+        | exception e ->
+          Error
+            ( Printexc.to_string e,
+              if want_int8 then "student_int8_unavailable" else "student_unavailable" )
+        | s ->
+          if not want_int8 then Ok (`Student s)
+          else (
+            match Qgen.of_student ~spec s with
+            | q -> Ok (`Qstudent q)
+            | exception _ ->
+              Error ("int8 compilation failed", "student_int8_unavailable"))
+      in
+      (match served with
+      | Ok m ->
+        List.iter
+          (fun (d : Cbox_dataset.benchmark_data) ->
+            let p =
+              match m with
+              | `Student s -> Cbox_infer.spredict s spec d
+              | `Qstudent q -> Cbox_infer.qpredict q spec d
+            in
+            Fmt.pr "%-24s %s: true %.4f predicted %.4f |diff| %.2f%% (backend %s)@."
+              p.Cbox_infer.benchmark (Cache.config_name cfg) p.Cbox_infer.true_hit_rate
+              p.Cbox_infer.predicted_hit_rate (Cbox_infer.abs_pct_diff p)
+              (Cbox_infer.backend_name backend))
+          data
+      | Error (why, reason) -> (
+        Fmt.epr "student backend unusable (%s: %s); degrading to float32@." student_ckpt
+          why;
+        match
+          Serve_engine.model_of_checkpoint ~seed:42 (Cbgan.default_config ()) ~path:ckpt
+        with
+        | Ok model ->
+          List.iter
+            (fun (d : Cbox_dataset.benchmark_data) ->
+              let p = Cbox_infer.predict model spec d in
+              Fmt.pr
+                "%-24s %s: true %.4f predicted %.4f |diff| %.2f%% (backend float32, \
+                 degraded: %s)@."
+                p.Cbox_infer.benchmark (Cache.config_name cfg) p.Cbox_infer.true_hit_rate
+                p.Cbox_infer.predicted_hit_rate (Cbox_infer.abs_pct_diff p) reason)
+            data
+        | Error e ->
+          Fmt.epr "%a@." Serve_error.pp e;
+          if fallback = Cbox_infer.No_fallback then begin
+            Fmt.epr
+              "no fallback enabled; rerun with --fallback hrd|stm or `cachebox train`@.";
+            exit (Serve_error.exit_code e.Serve_error.code)
+          end;
+          List.iter
+            (fun (d : Cbox_dataset.benchmark_data) ->
+              let trace = d.Cbox_dataset.workload.Workload.generate trace_len in
+              let predicted =
+                Option.get
+                  (Cbox_infer.baseline_hit_rate fallback d.Cbox_dataset.cache trace)
+              in
+              Fmt.pr
+                "%-24s %s: true %.4f predicted %.4f |diff| %.2f%% (degraded: %s \
+                 fallback)@."
+                d.Cbox_dataset.workload.Workload.name (Cache.config_name cfg)
+                d.Cbox_dataset.true_hit_rate predicted
+                (Metrics.abs_pct_diff ~truth:d.Cbox_dataset.true_hit_rate ~predicted)
+                (Cbox_infer.fallback_name fallback))
+            data))
     | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
       let model =
         match
@@ -369,7 +570,7 @@ let infer_cmd =
   Cmd.v (Cmd.info "infer" ~doc:"Predict a benchmark's hit rate with a trained checkpoint")
     Term.(
       const run $ workload_arg 0 $ sets_arg $ ways_arg $ trace_len_arg $ checkpoint_arg
-      $ domains_arg $ fallback_arg $ backend_arg)
+      $ student_checkpoint_arg $ domains_arg $ fallback_arg $ backend_arg)
 
 (* --- serve / call --- *)
 
@@ -438,10 +639,13 @@ let serve_cmd =
   let stream_ttl_arg =
     Arg.(value & opt int 300_000 & info [ "stream-ttl-ms" ] ~docv:"MS" ~env:(senv "STREAM_TTL_MS") ~doc:"Idle streaming sessions older than this are evicted and release their quota.")
   in
-  let run socket port ckpt fallback backend queue_depth deadline_ms breaker_threshold
-      breaker_cooldown_ms max_trace_len journal batch_max batch_linger_ms replicas
-      idle_timeout_ms stream_sessions stream_credit stream_pending stream_bytes
-      stream_ttl_ms domains =
+  let student_arg =
+    Arg.(value & opt (some string) None & info [ "student" ] ~docv:"FILE" ~env:(senv "STUDENT") ~doc:"Distilled student checkpoint for the $(b,student)/$(b,student-int8) backends; re-read on every reload/SIGHUP so the student hot-swaps with the teacher. A checkpoint that fails to load is rejected (journalled $(b,student_reject)) while float32 keeps serving.")
+  in
+  let run socket port ckpt student fallback backend queue_depth deadline_ms
+      breaker_threshold breaker_cooldown_ms max_trace_len journal batch_max
+      batch_linger_ms replicas idle_timeout_ms stream_sessions stream_credit
+      stream_pending stream_bytes stream_ttl_ms domains =
     apply_domains domains;
     if Faultinject.arm_from_env () then
       Fmt.epr "cachebox serve: fault armed from CACHEBOX_FAULT@.";
@@ -500,25 +704,30 @@ let serve_cmd =
       }
     in
     let ready () =
-      Fmt.pr "cachebox serve: listening on %s (model %s, fallback %s, default backend %s)@."
+      Fmt.pr
+        "cachebox serve: listening on %s (model %s, student %s, fallback %s, default \
+         backend %s)@."
         (match listen with
         | Serve_daemon.Unix_socket p -> "unix:" ^ p
         | Serve_daemon.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
         (if model = None then "UNAVAILABLE" else "loaded")
+        (match student with None -> "none" | Some p -> p)
         (Cbox_infer.fallback_name fallback)
         (Cbox_infer.backend_name default_backend)
     in
     (* Hot-swap is always armed: a reload request (or SIGHUP) re-reads the
-       same checkpoint path unless the request names another one. *)
+       same checkpoint path unless the request names another one; the
+       student checkpoint rides along on every swap. *)
     let reload =
       {
         Serve_engine.reload_seed = 42;
         reload_model_cfg = Cbgan.default_config ();
         reload_default_path = Some ckpt;
+        reload_student_path = student;
       }
     in
     let serve journal =
-      try Serve_daemon.run ?journal ~reload ~ready ~spec ~model config
+      try Serve_daemon.run ?journal ~reload ?student_path:student ~ready ~spec ~model config
       with Serve_error.Error e -> die e
     in
     match journal with
@@ -531,7 +740,7 @@ let serve_cmd =
          "Serve hit-rate predictions over line-delimited JSON (hardened: validated \
           ingestion, deadlines, bounded queue, circuit breaker, analytical fallback)")
     Term.(
-      const run $ socket_arg $ port_arg $ checkpoint_arg
+      const run $ socket_arg $ port_arg $ checkpoint_arg $ student_arg
       $ Arg.(
           value
           & opt string "hrd"
@@ -557,7 +766,8 @@ let call_cmd =
           ~env:(Cmd.Env.info "CACHEBOX_BACKEND")
           ~doc:
             "Inject $(docv) as the $(b,backend) field of an infer request that doesn't \
-             already carry one: $(b,float32), $(b,int8), $(b,hrd) or $(b,stm).")
+             already carry one: $(b,float32), $(b,int8), $(b,student), \
+             $(b,student-int8), $(b,hrd) or $(b,stm).")
   in
   let run socket port backend request =
     (* The request line is normally forwarded verbatim; --backend decorates
@@ -1274,13 +1484,58 @@ let loadgen_cmd =
           ~env:(Cmd.Env.info "CACHEBOX_BACKEND")
           ~doc:
             "Valid infer requests carry this $(b,backend) field ($(b,float32), \
-             $(b,int8), $(b,hrd) or $(b,stm)); the per-backend counters in the \
-             daemon's stats are then required to reconcile with the replies the \
-             clients observed.")
+             $(b,int8), $(b,student), $(b,student-int8), $(b,hrd) or $(b,stm)); \
+             the per-backend counters in the daemon's stats are then required to \
+             reconcile with the replies the clients observed.")
+  in
+  let backend_mix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend-mix" ] ~docv:"NAME:W,..."
+          ~doc:
+            "Weighted backend mix, e.g. $(b,float32:2,int8:1,student:1): each valid \
+             infer request deterministically draws its $(b,backend) field from the \
+             expanded weight list, so one closed-loop run exercises heterogeneous \
+             batches (the daemon's batcher must still keep every wide-batch forward \
+             single-backend). Mutually exclusive with $(b,--backend); the per-backend \
+             reconciliation applies to every backend in the mix.")
   in
   let run socket port clients requests invalid_every benchmark trace_len backend
-      shutdown_after stream stream_windows =
+      backend_mix shutdown_after stream stream_windows =
     let backend = Option.map (fun s -> parse_backend s) backend in
+    let mix =
+      match backend_mix with
+      | None -> None
+      | Some s ->
+        let bad why =
+          Fmt.epr "--backend-mix: %s (expected NAME:W,... e.g. float32:2,int8:1)@." why;
+          exit 2
+        in
+        let entries = String.split_on_char ',' s in
+        let expanded =
+          List.concat_map
+            (fun entry ->
+              match String.index_opt entry ':' with
+              | None -> bad (Printf.sprintf "entry %S has no :WEIGHT" entry)
+              | Some i -> (
+                let name = String.sub entry 0 i in
+                let b = parse_backend name in
+                match
+                  int_of_string_opt (String.sub entry (i + 1) (String.length entry - i - 1))
+                with
+                | Some w when w > 0 ->
+                  List.init w (fun _ -> Cbox_infer.backend_name b)
+                | _ -> bad (Printf.sprintf "entry %S has a non-positive weight" entry)))
+            entries
+        in
+        if expanded = [] then bad "empty mix";
+        Some (Array.of_list expanded)
+    in
+    if backend <> None && mix <> None then begin
+      Fmt.epr "--backend and --backend-mix are mutually exclusive@.";
+      exit 2
+    end;
     let addr =
       match (socket, port) with
       | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
@@ -1306,10 +1561,17 @@ let loadgen_cmd =
        across shards when the target is a router (and exercises several
        configs when it is a plain daemon) instead of collapsing onto one
        memoizable key. *)
-    let backend_field =
-      match backend with
-      | None -> ""
-      | Some b -> Printf.sprintf ", \"backend\": %S" (Cbox_infer.backend_name b)
+    (* With a mix, each request deterministically draws its backend by
+       position, so the same invocation always generates the same
+       heterogeneous interleaving and the reconciliation is exact. *)
+    let backend_field k j =
+      match mix with
+      | Some names ->
+        Printf.sprintf ", \"backend\": %S" names.((k + j) mod Array.length names)
+      | None -> (
+        match backend with
+        | None -> ""
+        | Some b -> Printf.sprintf ", \"backend\": %S" (Cbox_infer.backend_name b))
     in
     let request k j =
       if is_valid j then
@@ -1319,10 +1581,10 @@ let loadgen_cmd =
           k j
           (16 lsl (j mod 4))
           (1 + (k mod 8))
-          benchmark trace_len backend_field
+          benchmark trace_len (backend_field k j)
       else Printf.sprintf "{\"op\": \"infer\", \"id\": \"c%d-%d\"" k j
     in
-    let backend_names = [ "float32"; "int8"; "hrd"; "stm" ] in
+    let backend_names = [ "float32"; "int8"; "student"; "student-int8"; "hrd"; "stm" ] in
     let answered = Array.make clients 0
     and ok_replies = Array.make clients 0
     and degraded_replies = Array.make clients 0
@@ -1424,7 +1686,9 @@ let loadgen_cmd =
       | Error e -> Error e
       | Ok json ->
         let num name = Option.bind (Sjson.member name json) Sjson.to_int in
-        Ok (num "shed", num "served", List.map (fun b -> num ("backend_" ^ b)) backend_names)
+        (* Counter keys are JSON identifiers: "student-int8" -> backend_student_int8. *)
+        let key b = "backend_" ^ String.map (fun c -> if c = '-' then '_' else c) b in
+        Ok (num "shed", num "served", List.map (fun b -> num (key b)) backend_names)
     in
     (* The daemon may be long-lived (e.g. a router shared across several
        smoke phases), so its counters are reconciled as deltas across this
@@ -1479,7 +1743,7 @@ let loadgen_cmd =
               :: !problems
           | Some _, Some _ -> ()
           | _ ->
-            if backend <> None then
+            if backend <> None || mix <> None then
               problems :=
                 Printf.sprintf "stats reply has no backend_%s counter" name :: !problems)
         backend_names);
@@ -1515,7 +1779,7 @@ let loadgen_cmd =
           every reply for drops, duplicates and reorders")
     Term.(
       const run $ socket_arg $ port_arg $ clients_arg $ requests_arg $ invalid_every_arg
-      $ loadgen_benchmark_arg $ loadgen_trace_arg $ loadgen_backend_arg
+      $ loadgen_benchmark_arg $ loadgen_trace_arg $ loadgen_backend_arg $ backend_mix_arg
       $ shutdown_after_arg $ stream_flag $ stream_windows_arg)
 
 (* --- export / import traces --- *)
@@ -1865,4 +2129,4 @@ let bench_cmd =
 let () =
   let doc = "CacheBox: learning architectural cache simulator behaviour" in
   let info = Cmd.info "cachebox" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; infer_cmd; serve_cmd; call_cmd; stream_cmd; route_cmd; loadgen_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; simulate_cmd; heatmap_cmd; train_cmd; distill_cmd; infer_cmd; serve_cmd; call_cmd; stream_cmd; route_cmd; loadgen_cmd; baselines_cmd; bench_cmd; export_cmd; replay_cmd; characterize_cmd ]))

@@ -222,6 +222,29 @@ let generator_forward t ~rng ~training ?cache_params x =
   done;
   !d
 
+(* Eval-mode encoder tap: the bottleneck activations (pre-conditioning)
+   the feature-matching distillation loss compares against. Running-stats
+   batch norm makes each sample's features independent of its batch mates,
+   so precomputed teacher features are bit-identical at any batching. *)
+let generator_encode t x =
+  let cfg = t.cfg in
+  let gen = t.gen in
+  let levels = cfg.levels in
+  if Tensor.dim x 2 <> cfg.image_size || Tensor.dim x 3 <> cfg.image_size then
+    invalid_arg "Cbgan.generator_encode: image size mismatch";
+  let y = ref (Value.const x) in
+  for i = 0 to levels - 1 do
+    let input = if i = 0 then !y else Value.leaky_relu 0.2 !y in
+    let z = Layers.apply_conv2d gen.downs.(i).d_conv input in
+    let z =
+      match gen.downs.(i).d_bn with
+      | Some bn -> Layers.apply_batch_norm bn ~training:false z
+      | None -> z
+    in
+    y := z
+  done;
+  Value.value !y
+
 let discriminator_forward t ~training ~access ~miss =
   let pair = Value.concat_channels (Value.const access) miss in
   let y = ref pair in

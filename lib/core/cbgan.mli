@@ -53,6 +53,12 @@ val generator_forward :
     iff the model was built with [use_cache_params]. [rng] drives decoder
     dropout. *)
 
+val generator_encode : t -> Tensor.t -> Tensor.t
+(** Eval-mode encoder only: the bottleneck activations
+    [\[n; ch; 1; 1\]] before conditioning, for feature-matching
+    distillation. Running-stats batch norm makes each sample's features
+    independent of its batch mates. *)
+
 val discriminator_forward :
   t -> training:bool -> access:Tensor.t -> miss:Value.t -> Value.t
 (** Patch logits for the (access, miss) pair; [miss] may be a constant (real

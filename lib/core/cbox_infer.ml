@@ -117,6 +117,25 @@ let qsynthesize qmodel spec ?(batch_size = 8) ?domains ~cache access_heatmaps =
   | [ out ] -> out
   | _ -> assert false
 
+(* Distilled-student counterparts: the student's forward is deterministic
+   (no dropout, running-stats batch norm at eval), so cross-request batching
+   is again bit-identical to per-item scoring. *)
+let ssynthesize_group student spec ?(batch_size = 8) ?domains items =
+  let forward ~caches x =
+    let cp =
+      if Student.uses_cache_params student then Some (Cbgan.cache_params_tensor caches)
+      else None
+    in
+    Value.value (Student.forward student ~training:false ?cache_params:cp x)
+  in
+  group_run ~image_size:(Student.image_size student) ~forward spec ~batch_size ?domains
+    items
+
+let ssynthesize student spec ?(batch_size = 8) ?domains ~cache access_heatmaps =
+  match ssynthesize_group student spec ~batch_size ?domains [ (cache, access_heatmaps) ] with
+  | [ out ] -> out
+  | _ -> assert false
+
 let predict_hit_rate model spec ?batch_size ?domains ~cache access =
   let synthetic = synthesize model spec ?batch_size ?domains ~cache access in
   Heatmap.hit_rate spec ~access ~miss:synthetic
@@ -129,17 +148,27 @@ let validate_hit_rate ?(lo = -0.25) ?(hi = 1.25) raw =
     Error (Printf.sprintf "hit rate %g outside plausible range [%g, %g]" raw lo hi)
   else Ok (Float.max 0.0 (Float.min 1.0 raw))
 
-type backend = Backend_float32 | Backend_int8 | Backend_hrd | Backend_stm
+type backend =
+  | Backend_float32
+  | Backend_int8
+  | Backend_student
+  | Backend_student_int8
+  | Backend_hrd
+  | Backend_stm
 
 let backend_name = function
   | Backend_float32 -> "float32"
   | Backend_int8 -> "int8"
+  | Backend_student -> "student"
+  | Backend_student_int8 -> "student-int8"
   | Backend_hrd -> "hrd"
   | Backend_stm -> "stm"
 
 let backend_of_string = function
   | "float32" -> Some Backend_float32
   | "int8" -> Some Backend_int8
+  | "student" -> Some Backend_student
+  | "student-int8" -> Some Backend_student_int8
   | "hrd" -> Some Backend_hrd
   | "stm" -> Some Backend_stm
   | _ -> None
@@ -181,6 +210,19 @@ let predict_all model spec ?batch_size data = List.map (predict model spec ?batc
 let qpredict qmodel spec ?batch_size (data : Cbox_dataset.benchmark_data) =
   let access = List.map fst data.pairs in
   let synthetic = qsynthesize qmodel spec ?batch_size ~cache:data.cache access in
+  let predicted = Heatmap.hit_rate spec ~access ~miss:synthetic in
+  {
+    benchmark = data.workload.Workload.name;
+    cache = data.cache;
+    level = data.level;
+    true_hit_rate = data.true_hit_rate;
+    predicted_hit_rate = Float.max 0.0 (Float.min 1.0 predicted);
+    synthetic;
+  }
+
+let spredict student spec ?batch_size (data : Cbox_dataset.benchmark_data) =
+  let access = List.map fst data.pairs in
+  let synthetic = ssynthesize student spec ?batch_size ~cache:data.cache access in
   let predicted = Heatmap.hit_rate spec ~access ~miss:synthetic in
   {
     benchmark = data.workload.Workload.name;

@@ -66,6 +66,26 @@ val qsynthesize_group :
     stateless per sample, so cross-request batching is again bit-identical to
     per-item scoring. *)
 
+val ssynthesize :
+  Student.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  ?domains:int ->
+  cache:Cache.config ->
+  Tensor.t list ->
+  Tensor.t list
+(** {!synthesize} on a distilled {!Student} generator: deterministic (no
+    dropout), bit-identical at any domain count. *)
+
+val ssynthesize_group :
+  Student.t ->
+  Heatmap.spec ->
+  ?batch_size:int ->
+  ?domains:int ->
+  (Cache.config * Tensor.t list) list ->
+  Tensor.t list list
+(** {!synthesize_group} on a distilled {!Student} generator. *)
+
 val predict_hit_rate :
   Cbgan.t ->
   Heatmap.spec ->
@@ -88,17 +108,25 @@ val validate_hit_rate : ?lo:float -> ?hi:float -> float -> (float, string) resul
 
 (** {1 Backend registry}
 
-    Serving can answer one request on any of four interchangeable backends:
+    Serving can answer one request on any of six interchangeable backends:
     the float32 learned model (reference), its int8 quantization (fast,
-    bounded error), or the two analytical baselines. Requests select one via
-    the wire-level ["backend"] field; the server falls from int8 back to
-    float32 when the quantized model is unavailable or faults. *)
+    bounded error), the distilled student (smaller U-Net, faster still),
+    the student's int8 quantization (the two wins compose), or the two
+    analytical baselines. Requests select one via the wire-level ["backend"]
+    field; the server falls from each learned variant back to float32 when
+    the underlying model is unavailable or faults. *)
 
-type backend = Backend_float32 | Backend_int8 | Backend_hrd | Backend_stm
+type backend =
+  | Backend_float32
+  | Backend_int8
+  | Backend_student
+  | Backend_student_int8
+  | Backend_hrd
+  | Backend_stm
 
 val backend_name : backend -> string
 val backend_of_string : string -> backend option
-(** ["float32" | "int8" | "hrd" | "stm"]. *)
+(** ["float32" | "int8" | "student" | "student-int8" | "hrd" | "stm"]. *)
 
 (** {1 Analytical fallbacks}
 
@@ -133,6 +161,10 @@ val qpredict :
   Qgen.t -> Heatmap.spec -> ?batch_size:int -> Cbox_dataset.benchmark_data -> prediction
 (** {!predict} on the int8-quantized generator (same de-overlapped hit-rate
     computation, quantized forward). *)
+
+val spredict :
+  Student.t -> Heatmap.spec -> ?batch_size:int -> Cbox_dataset.benchmark_data -> prediction
+(** {!predict} on a distilled student generator. *)
 
 val abs_pct_diff : prediction -> float
 (** |true - predicted| hit rate, in percentage points. *)

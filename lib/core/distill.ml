@@ -1,0 +1,526 @@
+(* Knowledge distillation: fits a half-depth/half-width Student generator
+   against a frozen CB-GAN teacher's miss heatmaps. The teacher runs in eval
+   mode only (running-stats batch norm, no dropout), so its targets are
+   deterministic and per-sample independent — computed per batch on the fly
+   with no stored target table, and bit-identical at any Dpool domain count.
+
+   The loss blends plain supervision against the ground-truth heatmap with
+   imitation of the teacher's output, controlled by [temperature]:
+
+     temperature = 0   pure supervised regression (the teacher is never
+                       evaluated; the loss is bitwise the supervised one)
+     temperature = 1   pure distillation against the teacher
+     in between        (1 - t) * supervised + t * distillation
+
+   Both terms are pixel losses (weighted L1 + L2); an optional
+   feature-matching term pulls the student's bottleneck activations towards
+   the teacher's through a learned linear adapter (the two bottlenecks have
+   different widths), trained jointly with the student.
+
+   The resilience layer — in-memory rollback points, on-disk snapshots with
+   exact resume, the NaN/Inf divergence sentinel with LR-halving retries and
+   the JSONL journal — mirrors Cbox_train batch for batch. *)
+
+type options = {
+  epochs : int;
+  batch_size : int;
+  lr : float;
+  beta1 : float;
+  temperature : float;
+  l1_weight : float;
+  l2_weight : float;
+  feat_weight : float;
+  seed : int;
+  domains : int option;
+  snapshot_every : int option;
+  snapshot_dir : string option;
+  keep_snapshots : int;
+  max_retries : int;
+  journal : string option;
+}
+
+let default_options ?(epochs = 2) ?(batch_size = 4) ?(temperature = 1.0)
+    ?(l1_weight = 1.0) ?(l2_weight = 0.5) ?(feat_weight = 0.0) ?domains
+    ?snapshot_every ?snapshot_dir ?journal () =
+  {
+    epochs;
+    batch_size;
+    lr = 2e-4;
+    beta1 = 0.5;
+    temperature;
+    l1_weight;
+    l2_weight;
+    feat_weight;
+    seed = 1234;
+    domains;
+    snapshot_every;
+    snapshot_dir;
+    keep_snapshots = 3;
+    max_retries = 3;
+    journal;
+  }
+
+type epoch_stats = {
+  epoch : int;
+  pixel : float;  (* mean blended pixel loss *)
+  feat : float;  (* mean feature-matching loss (0 when disabled) *)
+  batches : int;
+}
+
+(* Shared channel progression (ngf, 2ngf, 4ngf, 8ngf capped) — the same
+   formula as Cbgan/Student's channel plans; used to size the bottleneck
+   feature adapter without exposing either module's internals. *)
+let bottleneck_channels ~ngf ~levels = ngf * min 8 (1 lsl min (levels - 1) 3)
+
+let student_config ?(depth_div = 2) ?(width_div = 2) (t : Cbgan.config) =
+  if depth_div < 1 || width_div < 1 then
+    invalid_arg "Distill.student_config: divisors must be >= 1";
+  {
+    Student.st_image_size = t.Cbgan.image_size;
+    st_levels = max 2 (t.Cbgan.levels / depth_div);
+    st_ngf = max 1 (t.Cbgan.ngf / width_div);
+    st_use_cond = t.Cbgan.use_cache_params;
+    st_cond_hidden = max 2 (t.Cbgan.cond_hidden / width_div);
+    st_cond_dim = max 1 (t.Cbgan.cond_dim / width_div);
+  }
+
+(* The supervised/distillation pixel term: weighted L1 + L2 against a fixed
+   target image. Kept as a tiny named combinator so the zero-temperature
+   path of [step_loss] is, by construction, exactly this expression — the
+   qcheck bitwise-equivalence property depends on it. *)
+let pixel_loss ~l1_weight ~l2_weight out target =
+  Value.add
+    (Value.scale (Value.l1_loss out target) l1_weight)
+    (Value.scale (Value.mse_loss out target) l2_weight)
+
+let step_loss ~temperature ~l1_weight ~l2_weight ~out ~truth ~teacher =
+  if not (Float.is_finite temperature) || temperature < 0.0 || temperature > 1.0
+  then invalid_arg "Distill.step_loss: temperature must be in [0, 1]";
+  if temperature = 0.0 then pixel_loss ~l1_weight ~l2_weight out truth
+  else begin
+    let teacher_out =
+      match teacher with
+      | Some t -> t
+      | None -> invalid_arg "Distill.step_loss: temperature > 0 requires a teacher output"
+    in
+    let dist = pixel_loss ~l1_weight ~l2_weight out teacher_out in
+    if temperature = 1.0 then dist
+    else
+      Value.add
+        (Value.scale (pixel_loss ~l1_weight ~l2_weight out truth) (1.0 -. temperature))
+        (Value.scale dist temperature)
+  end
+
+exception Diverged of string * float
+
+let chunks size xs =
+  let rec go acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if count = size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 xs
+
+let batch_tensors spec ~use_cond (samples : Cbox_dataset.sample list) =
+  let access = Cbox_dataset.batch_images spec (List.map (fun (s : Cbox_dataset.sample) -> s.access) samples) in
+  let target = Cbox_dataset.batch_images spec (List.map (fun (s : Cbox_dataset.sample) -> s.target) samples) in
+  let cp =
+    if use_cond then
+      Some (Cbgan.cache_params_tensor (List.map (fun (s : Cbox_dataset.sample) -> s.cache) samples))
+    else None
+  in
+  (access, target, cp)
+
+let scalar v = Tensor.get (Value.value v) 0
+
+(* --- resilience layer (mirrors Cbox_train) ---------------------------- *)
+
+type run_state = {
+  mutable epoch : int;
+  mutable done_in_epoch : int;
+  mutable global_batch : int;
+  mutable retries : int;
+  mutable sum_pixel : float;
+  mutable sum_feat : float;
+  mutable order : int array;
+  mutable history : epoch_stats list;
+}
+
+type mem_snapshot = {
+  s_params : float array array;
+  s_bn : float array array;
+  s_opt : (string * float array) list;
+  s_prng : int64;
+  s_epoch : int;
+  s_done : int;
+  s_global : int;
+  s_sums : float * float;
+  s_order : int array;
+  s_history : epoch_stats list;
+}
+
+let snapshot_name global = Printf.sprintf "snap-%09d.ckpt" global
+
+let list_snapshots dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if
+             String.length f = 19
+             && String.sub f 0 5 = "snap-"
+             && Filename.check_suffix f ".ckpt"
+           then
+             Option.map (fun b -> (b, Filename.concat dir f)) (int_of_string_opt (String.sub f 5 9))
+           else None)
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let flatten_history history =
+  let per (s : epoch_stats) =
+    [ float_of_int s.epoch; s.pixel; s.feat; float_of_int s.batches ]
+  in
+  Array.of_list (List.concat_map per (List.rev history))
+
+let unflatten_history a =
+  if Array.length a mod 4 <> 0 then
+    failwith "Distill: malformed distill.history in snapshot";
+  let n = Array.length a / 4 in
+  List.init n (fun i ->
+      {
+        epoch = int_of_float a.((i * 4) + 0);
+        pixel = a.((i * 4) + 1);
+        feat = a.((i * 4) + 2);
+        batches = int_of_float a.((i * 4) + 3);
+      })
+  |> List.rev
+
+let fingerprint options ~samples =
+  Printf.sprintf "v1|%d|%d|%h|%h|%h|%h|%h|%h|%d|%d" options.epochs
+    options.batch_size options.lr options.beta1 options.temperature
+    options.l1_weight options.l2_weight options.feat_weight options.seed samples
+
+let train_loop ~log ~resume ~teacher student spec options samples =
+  let samples_arr = Array.of_list samples in
+  let n = Array.length samples_arr in
+  let rng = Prng.create options.seed in
+  let scfg = Student.model_config student in
+  let tcfg = Cbgan.model_config teacher in
+  if scfg.Student.st_image_size <> tcfg.Cbgan.image_size then
+    invalid_arg "Distill.train: student and teacher image sizes differ";
+  if scfg.Student.st_use_cond <> tcfg.Cbgan.use_cache_params then
+    invalid_arg "Distill.train: student and teacher conditioning disagree";
+  (* The bottleneck adapter projects the student's pooled bottleneck
+     features onto the teacher's channel width; it trains with the student
+     and is discarded afterwards (the student checkpoint stands alone). *)
+  let adapter =
+    if options.feat_weight > 0.0 then
+      Some
+        (Layers.linear rng ~name:"distill.adapter"
+           ~in_dim:(bottleneck_channels ~ngf:scfg.Student.st_ngf ~levels:scfg.Student.st_levels)
+           ~out_dim:(bottleneck_channels ~ngf:tcfg.Cbgan.ngf ~levels:tcfg.Cbgan.levels)
+           ~bias:true)
+    else None
+  in
+  let all_params =
+    Student.params student
+    @ (match adapter with Some a -> Layers.linear_params a | None -> [])
+  in
+  let opt = Optimizer.adam ~lr:options.lr ~beta1:options.beta1 all_params in
+  let bn = Student.state student in
+  let journal = Option.map Runlog.create options.journal in
+  let jevent kind fields = Option.iter (fun j -> Runlog.event j kind fields) journal in
+  let fp = fingerprint options ~samples:n in
+  let st =
+    {
+      epoch = 1;
+      done_in_epoch = 0;
+      global_batch = 0;
+      retries = 0;
+      sum_pixel = 0.0;
+      sum_feat = 0.0;
+      order = [||];
+      history = [];
+    }
+  in
+
+  (* --- in-memory snapshots (divergence rollback) --- *)
+  let capture () =
+    {
+      s_params = Array.of_list (List.map (fun p -> Tensor.to_array p.Param.value) all_params);
+      s_bn = Array.of_list (List.map (fun (_, a) -> Array.copy a) bn);
+      s_opt = Optimizer.state opt;
+      s_prng = Prng.state rng;
+      s_epoch = st.epoch;
+      s_done = st.done_in_epoch;
+      s_global = st.global_batch;
+      s_sums = (st.sum_pixel, st.sum_feat);
+      s_order = Array.copy st.order;
+      s_history = st.history;
+    }
+  in
+  let restore_mem s =
+    List.iteri
+      (fun i p -> Array.iteri (fun j v -> Tensor.set p.Param.value j v) s.s_params.(i))
+      all_params;
+    List.iteri (fun i (_, live) -> Array.blit s.s_bn.(i) 0 live 0 (Array.length live)) bn;
+    Optimizer.set_state opt s.s_opt;
+    Prng.set_state rng s.s_prng;
+    st.epoch <- s.s_epoch;
+    st.done_in_epoch <- s.s_done;
+    st.global_batch <- s.s_global;
+    let a, b = s.s_sums in
+    st.sum_pixel <- a;
+    st.sum_feat <- b;
+    st.order <- Array.copy s.s_order;
+    st.history <- s.s_history
+  in
+
+  (* --- on-disk snapshots (crash resume) --- *)
+  let snapshot_state () =
+    bn
+    @ List.map (fun (k, v) -> ("opt.s." ^ k, v)) (Optimizer.state opt)
+    @ [
+        ( "distill.pos",
+          [|
+            float_of_int st.epoch;
+            float_of_int st.done_in_epoch;
+            float_of_int st.global_batch;
+          |] );
+        ("distill.sums", [| st.sum_pixel; st.sum_feat |]);
+        ("distill.order", Array.map float_of_int st.order);
+        ("distill.history", flatten_history st.history);
+      ]
+  in
+  let write_snapshot dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (snapshot_name st.global_batch) in
+    Checkpoint.save path
+      ~meta:
+        [
+          ("schema", "cachebox-distill-snapshot/1");
+          ("options", fp);
+          ("prng", Int64.to_string (Prng.state rng));
+        ]
+      ~params:all_params ~state:(snapshot_state ());
+    jevent "snapshot"
+      [ ("path", Runlog.S path); ("epoch", Runlog.I st.epoch); ("batch", Runlog.I st.global_batch) ];
+    list_snapshots dir
+    |> List.iteri (fun i (_, p) ->
+           if i >= max 1 options.keep_snapshots then try Sys.remove p with Sys_error _ -> ())
+  in
+  let restore_disk (c : Checkpoint.container) =
+    (match List.assoc_opt "options" (Checkpoint.meta c) with
+    | Some fp' when fp' = fp -> ()
+    | Some _ ->
+      failwith
+        "Distill.train: snapshot was written with different distillation options or dataset; \
+         refusing to resume"
+    | None -> failwith "Distill.train: snapshot has no options fingerprint");
+    let req name =
+      match Checkpoint.find_array c name with
+      | Some a -> a
+      | None -> failwith ("Distill.train: snapshot missing " ^ name)
+    in
+    let pos = req "distill.pos" in
+    let sums = req "distill.sums" in
+    if Array.length pos <> 3 || Array.length sums <> 2 then
+      failwith "Distill.train: malformed snapshot position";
+    let order = Array.map int_of_float (req "distill.order") in
+    if Array.length order <> n then
+      failwith "Distill.train: snapshot permutation does not match the dataset";
+    let history = unflatten_history (req "distill.history") in
+    let opt_state = Optimizer.state opt in
+    Checkpoint.restore c ~params:all_params
+      ~state:(bn @ List.map (fun (k, v) -> ("opt.s." ^ k, v)) opt_state);
+    Optimizer.set_state opt opt_state;
+    (match List.assoc_opt "prng" (Checkpoint.meta c) with
+    | Some s -> Prng.set_state rng (Int64.of_string s)
+    | None -> failwith "Distill.train: snapshot has no PRNG state");
+    st.epoch <- int_of_float pos.(0);
+    st.done_in_epoch <- int_of_float pos.(1);
+    st.global_batch <- int_of_float pos.(2);
+    st.sum_pixel <- sums.(0);
+    st.sum_feat <- sums.(1);
+    st.order <- order;
+    st.history <- history
+  in
+  let try_resume dir =
+    let rec attempt = function
+      | [] -> jevent "resume_fresh" [ ("dir", Runlog.S dir) ]
+      | (_, path) :: rest -> (
+        match Checkpoint.read path with
+        | exception Failure msg ->
+          jevent "snapshot_corrupt" [ ("path", Runlog.S path); ("error", Runlog.S msg) ];
+          attempt rest
+        | c ->
+          restore_disk c;
+          jevent "resume"
+            [
+              ("path", Runlog.S path);
+              ("epoch", Runlog.I st.epoch);
+              ("batch", Runlog.I st.global_batch);
+            ];
+          log
+            (Printf.sprintf "resumed from %s (epoch %d, batch %d)" path st.epoch st.global_batch))
+    in
+    attempt (list_snapshots dir)
+  in
+
+  (* --- per-batch work with the divergence sentinel --- *)
+  let check who v = if not (Float.is_finite v) then raise (Diverged (who, v)) in
+  (* The teacher never trains: eval-mode forward, no dropout, no gradient
+     flow (its output enters the loss as a constant tensor). *)
+  let teacher_rng = Prng.create 0 in
+  let process_batch batch ~bidx =
+    let access, target, cp =
+      batch_tensors spec ~use_cond:scfg.Student.st_use_cond batch
+    in
+    let teacher_out =
+      if options.temperature > 0.0 then
+        Some
+          (Value.value
+             (Cbgan.generator_forward teacher ~rng:teacher_rng ~training:false
+                ?cache_params:cp access))
+      else None
+    in
+    Optimizer.zero_grad opt;
+    let out, s_bneck =
+      Student.forward_with_bottleneck student ~training:true ?cache_params:cp access
+    in
+    let loss_pixel =
+      step_loss ~temperature:options.temperature ~l1_weight:options.l1_weight
+        ~l2_weight:options.l2_weight ~out ~truth:target ~teacher:teacher_out
+    in
+    let loss, feat_value =
+      match adapter with
+      | Some ad ->
+        let t_feat = Tensor.spatial_mean (Cbgan.generator_encode teacher access) in
+        let s_feat = Value.spatial_mean s_bneck in
+        let feat = Value.mse_loss (Layers.apply_linear ad s_feat) t_feat in
+        (Value.add loss_pixel (Value.scale feat options.feat_weight), scalar feat)
+      | None -> (loss_pixel, 0.0)
+    in
+    Value.backward loss;
+    Faultinject.poison_grads ~batch:bidx all_params;
+    check "distill_pixel" (scalar loss_pixel);
+    check "distill_feat" feat_value;
+    check "distill_grad_norm" (Optimizer.grad_norm opt);
+    Optimizer.step opt;
+    st.sum_pixel <- st.sum_pixel +. scalar loss_pixel;
+    st.sum_feat <- st.sum_feat +. feat_value
+  in
+
+  (* --- driver --- *)
+  let run () =
+    jevent "run_start"
+      [
+        ("epochs", Runlog.I options.epochs);
+        ("batch_size", Runlog.I options.batch_size);
+        ("samples", Runlog.I n);
+        ("temperature", Runlog.F options.temperature);
+        ("resume", Runlog.B resume);
+      ];
+    (match (resume, options.snapshot_dir) with
+    | true, Some dir -> try_resume dir
+    | true, None -> invalid_arg "Distill.train: ~resume:true requires snapshot_dir"
+    | false, _ -> ());
+    let good = ref (capture ()) in
+    let take_snapshot () =
+      good := capture ();
+      Option.iter write_snapshot options.snapshot_dir
+    in
+    while st.epoch <= options.epochs do
+      if st.done_in_epoch = 0 then begin
+        st.order <- Array.init n Fun.id;
+        Prng.shuffle rng st.order;
+        st.sum_pixel <- 0.0;
+        st.sum_feat <- 0.0
+      end;
+      let shuffled = List.map (fun i -> samples_arr.(i)) (Array.to_list st.order) in
+      let batches = Array.of_list (chunks options.batch_size shuffled) in
+      let nb = Array.length batches in
+      match
+        while st.done_in_epoch < nb do
+          let bidx = st.global_batch + 1 in
+          process_batch batches.(st.done_in_epoch) ~bidx;
+          st.done_in_epoch <- st.done_in_epoch + 1;
+          st.global_batch <- bidx;
+          (match options.snapshot_every with
+          | Some k when k > 0 && st.global_batch mod k = 0 -> take_snapshot ()
+          | _ -> ());
+          Faultinject.kill_point ~batch:st.global_batch
+        done
+      with
+      | () ->
+        let nf = float_of_int (max 1 nb) in
+        let stats =
+          {
+            epoch = st.epoch;
+            pixel = st.sum_pixel /. nf;
+            feat = st.sum_feat /. nf;
+            batches = nb;
+          }
+        in
+        log
+          (Printf.sprintf "epoch %d/%d: pixel %.4f feat %.4f (%d batches)" st.epoch
+             options.epochs stats.pixel stats.feat stats.batches);
+        jevent "epoch_end"
+          [
+            ("epoch", Runlog.I st.epoch);
+            ("pixel", Runlog.F stats.pixel);
+            ("feat", Runlog.F stats.feat);
+            ("batches", Runlog.I nb);
+          ];
+        st.history <- stats :: st.history;
+        st.epoch <- st.epoch + 1;
+        st.done_in_epoch <- 0;
+        good := capture ()
+      | exception Diverged (who, v) ->
+        jevent "divergence"
+          [
+            ("source", Runlog.S who);
+            ("value", Runlog.F v);
+            ("epoch", Runlog.I st.epoch);
+            ("batch", Runlog.I (st.global_batch + 1));
+            ("retries", Runlog.I st.retries);
+          ];
+        if st.retries >= options.max_retries then begin
+          jevent "abort" [ ("reason", Runlog.S "divergence retries exhausted") ];
+          failwith
+            (Printf.sprintf
+               "Distill.train: %s diverged (%g) at batch %d; %d rollbacks exhausted" who v
+               (st.global_batch + 1) st.retries)
+        end;
+        let r = st.retries + 1 in
+        restore_mem !good;
+        st.retries <- r;
+        let new_lr = Optimizer.lr opt /. 2.0 in
+        Optimizer.set_lr opt new_lr;
+        jevent "rollback"
+          [
+            ("epoch", Runlog.I st.epoch);
+            ("batch", Runlog.I st.global_batch);
+            ("lr", Runlog.F new_lr);
+            ("retries", Runlog.I r);
+          ]
+    done;
+    jevent "run_end" [ ("epochs", Runlog.I options.epochs); ("batches", Runlog.I st.global_batch) ];
+    List.rev st.history
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Runlog.close journal) run
+
+let train ?(log = fun _ -> ()) ?(resume = false) ~teacher student spec options samples =
+  if samples = [] then invalid_arg "Distill.train: empty dataset";
+  if
+    (not (Float.is_finite options.temperature))
+    || options.temperature < 0.0
+    || options.temperature > 1.0
+  then invalid_arg "Distill.train: temperature must be in [0, 1]";
+  if options.l1_weight < 0.0 || options.l2_weight < 0.0 || options.feat_weight < 0.0
+  then invalid_arg "Distill.train: loss weights must be non-negative";
+  match options.domains with
+  | Some d ->
+    Dpool.with_domains d (fun () ->
+        train_loop ~log ~resume ~teacher student spec options samples)
+  | None -> train_loop ~log ~resume ~teacher student spec options samples

@@ -281,6 +281,83 @@ let int8_fig14_bench ~fast ~domains =
                 max_rel_err = Some (Float.abs (hr_f -. hr_q));
               })))
 
+(* --- distilled-student benchmarks ---
+
+   Same honest-reference discipline as the int8 rows: the reference side is
+   the float32 TEACHER forward in its best configuration (tiled kernels,
+   workspace arena, wide-batch conv), the measured side the half-depth/
+   half-width student — float32 or through its int8 compilation, so the
+   student and quantization wins compose multiplicatively in one row. *)
+let student_parts ~fast =
+  let spec = Heatmap.spec () in
+  let cfg = Cbgan.default_config ~ngf:(if fast then 8 else 16) () in
+  let teacher = Cbgan.create ~seed:9 cfg in
+  let student = Student.create ~seed:7 (Distill.student_config cfg) in
+  let sq = Qgen.of_student ~spec student in
+  let imgs = List.filteri (fun i _ -> i < 8) (Qgen.default_calib spec) in
+  let x = Cbox_dataset.batch_images spec imgs in
+  let n = Tensor.dim x 0 in
+  let caches = Array.of_list Qgen.default_calib_caches in
+  let cp =
+    Cbgan.cache_params_tensor (List.init n (fun i -> caches.(i mod Array.length caches)))
+  in
+  (spec, cfg, teacher, student, sq, imgs, x, cp)
+
+let teacher_fwd teacher ~cache_params x () =
+  let rng = Prng.create 0 in
+  Some
+    (Value.value (Cbgan.generator_forward teacher ~rng ~training:false ~cache_params x))
+
+let student_unet_bench ~fast ~domains ~reps =
+  let _, _, teacher, student, _, _, x, cp = student_parts ~fast in
+  with_wide (fun () ->
+      compare_int8 ~name:"student_unet_fwd" ~domains ~reps
+        ~fref:(teacher_fwd teacher ~cache_params:cp x)
+        ~fq:(fun () ->
+          Some (Value.value (Student.forward student ~training:false ~cache_params:cp x))))
+
+let student_int8_bench ~fast ~domains ~reps =
+  let _, _, teacher, _, sq, _, x, cp = student_parts ~fast in
+  with_wide (fun () ->
+      compare_int8 ~name:"student_int8_fwd" ~domains ~reps
+        ~fref:(teacher_fwd teacher ~cache_params:cp x)
+        ~fq:(fun () -> Some (Qgen.forward sq ~cache_params:cp x)))
+
+(* Fig-14 accuracy row for the student: teacher-vs-student absolute
+   hit-rate delta in [max_rel_err], held under a committed bound by the
+   same CI gate as the int8 row. Both nets share the "empty heatmap"
+   output-bias prior, so the delta is small by construction at init and
+   only tightens with distillation. *)
+let student_fig14_bench ~fast ~domains =
+  let spec, cfg, teacher, student, _, imgs, x, cp = student_parts ~fast in
+  let h = cfg.Cbgan.image_size in
+  let n = Tensor.dim x 0 in
+  let split y =
+    List.init n (fun i ->
+        Cbox_dataset.denormalize spec (Tensor.view (Tensor.slice_batch y i 1) [| h; h |]))
+  in
+  with_wide (fun () ->
+      Dpool.with_domains domains (fun () ->
+          with_mode Blas.Tiled true (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let yt = Option.get (teacher_fwd teacher ~cache_params:cp x ()) in
+              let tf = Unix.gettimeofday () -. t0 in
+              let t1 = Unix.gettimeofday () in
+              let ys =
+                Value.value (Student.forward student ~training:false ~cache_params:cp x)
+              in
+              let ts = Unix.gettimeofday () -. t1 in
+              let hr_t = Heatmap.hit_rate spec ~access:imgs ~miss:(split yt) in
+              let hr_s = Heatmap.hit_rate spec ~access:imgs ~miss:(split ys) in
+              {
+                name = "student_fig14_delta";
+                domains;
+                ref_s = tf;
+                tiled_s = ts;
+                speedup = tf /. Float.max 1e-9 ts;
+                max_rel_err = Some (Float.abs (hr_t -. hr_s));
+              })))
+
 let run ?(fast = Sys.getenv_opt "CACHEBOX_FAST" <> None) ?(log = fun _ -> ()) () =
   let reps = if fast then 2 else 3 in
   let dim = if fast then 96 else 256 in
@@ -333,6 +410,10 @@ let run ?(fast = Sys.getenv_opt "CACHEBOX_FAST" <> None) ?(log = fun _ -> ()) ()
         ("int8_unet_fwd d1", fun () -> int8_unet_bench ~fast ~domains:1 ~reps);
         ("int8_unet_fwd d4", fun () -> int8_unet_bench ~fast ~domains:4 ~reps);
         ("int8_fig14_delta", fun () -> int8_fig14_bench ~fast ~domains:1);
+        ("student_unet_fwd d1", fun () -> student_unet_bench ~fast ~domains:1 ~reps);
+        ("student_unet_fwd d4", fun () -> student_unet_bench ~fast ~domains:4 ~reps);
+        ("student_int8_fwd d1", fun () -> student_int8_bench ~fast ~domains:1 ~reps);
+        ("student_fig14_delta", fun () -> student_fig14_bench ~fast ~domains:1);
       ]
   in
   List.map
@@ -357,8 +438,27 @@ let json_of_result r =
      \"speedup\": %.4f%s}"
     r.name r.domains r.ref_s r.tiled_s r.speedup err
 
+(* Provenance for a committed baseline: which commit produced it and how
+   parallel the host was. Informational only — the baseline reader keys on
+   "results" and ignores the rest — but it turns "why did this baseline
+   move?" from archaeology into a diff. *)
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> None
+  | ic -> (
+    let line = try Some (input_line ic) with End_of_file | Sys_error _ -> None in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> None
+    | exception _ -> None)
+
+let meta_json () =
+  Printf.sprintf "  \"meta\": {\"git\": %s, \"host_cores\": %d},\n"
+    (match git_describe () with Some g -> Printf.sprintf "%S" g | None -> "null")
+    (Domain.recommended_domain_count ())
+
 let to_json results =
-  Printf.sprintf "{\n  \"version\": 1,\n  \"results\": [\n%s\n  ]\n}\n"
+  Printf.sprintf "{\n  \"version\": 1,\n%s  \"results\": [\n%s\n  ]\n}\n" (meta_json ())
     (String.concat ",\n" (List.map json_of_result results))
 
 let write_json ~path results =

@@ -20,13 +20,20 @@ type result = {
 
 val run : ?fast:bool -> ?log:(string -> unit) -> unit -> result list
 (** Runs the full suite: U-Net-shaped and square GEMMs (1/2/4 domains),
-    convolution forward (1/4 domains) and backward, and a one-epoch CB-GAN
-    training step (1/2/4 domains). [fast] (default: [CACHEBOX_FAST] set)
-    shrinks shapes for smoke runs; [log] receives a progress line per
-    benchmark. *)
+    convolution forward (1/4 domains) and backward, a one-epoch CB-GAN
+    training step (1/2/4 domains), the int8 quantized rows, and the
+    distilled-student rows ([student_unet_fwd], [student_int8_fwd] — both
+    against the float32 teacher forward — and the [student_fig14_delta]
+    accuracy row). [fast] (default: [CACHEBOX_FAST] set) shrinks shapes for
+    smoke runs; [log] receives a progress line per benchmark. *)
+
+val meta_json : unit -> string
+(** The provenance block shared by every bench writer: [git describe] of
+    the producing tree (null outside a repo) and the host's core count. *)
 
 val to_json : result list -> string
-(** The [BENCH_KERNELS.json] document: [{"version": 1, "results": [...]}]. *)
+(** The [BENCH_KERNELS.json] document:
+    [{"version": 1, "meta": {...}, "results": [...]}]. *)
 
 val write_json : path:string -> result list -> unit
 val pp_table : Format.formatter -> result list -> unit

@@ -43,6 +43,8 @@ type t = {
   q_image_size : int;
   q_levels : int;
   q_cond_dim : int;
+  q_bneck : int;  (* bottleneck spatial side: 1 for the full-depth teacher,
+                     image_size / 2^levels for a half-depth student *)
   q_downs : qconv array;
   q_ups : qtconv array;
   q_cond : (qlinear * qlinear * qlinear) option;
@@ -154,7 +156,10 @@ let linear_fwd (f : fconv) x =
    folded away) on plain tensors; [observe] receives every GEMM input so
    the pass records exactly the activation ranges the quantized GEMMs will
    see. Observation keys: [("down", i)], [("up", i)], [("cond", j)]. *)
-let forward_folded ~levels ~cond_dim ~downs ~ups ~cond ~observe ?cache_params x =
+let broadcast_cond h ~bneck =
+  if bneck > 1 then Tensor.broadcast_spatial h ~h:bneck ~w:bneck else h
+
+let forward_folded ~levels ~cond_dim ~bneck ~downs ~ups ~cond ~observe ?cache_params x =
   let n = Tensor.dim x 0 in
   let enc = Array.make levels x in
   for i = 0 to levels - 1 do
@@ -178,7 +183,8 @@ let forward_folded ~levels ~cond_dim ~downs ~ups ~cond ~observe ?cache_params x 
       relu_ h;
       observe ("cond", 2) h;
       let h = linear_fwd fc2 h in
-      Tensor.concat_channels enc.(levels - 1) (Tensor.view h [| n; cond_dim; 1; 1 |])
+      Tensor.concat_channels enc.(levels - 1)
+        (broadcast_cond (Tensor.view h [| n; cond_dim; 1; 1 |]) ~bneck)
   in
   let d = ref bottleneck in
   for i = 0 to levels - 1 do
@@ -243,7 +249,8 @@ let forward t ?cache_params x =
     | Some chain, Some cp ->
       if Tensor.dim cp 0 <> n || Tensor.dim cp 1 <> 2 then
         invalid_arg "Qgen.forward: cache_params must be [n; 2]";
-      Tensor.concat_channels enc.(levels - 1) (qlinear_chain chain cp n t.q_cond_dim)
+      Tensor.concat_channels enc.(levels - 1)
+        (broadcast_cond (qlinear_chain chain cp n t.q_cond_dim) ~bneck:t.q_bneck)
   in
   let d = ref bottleneck in
   for i = 0 to levels - 1 do
@@ -290,13 +297,14 @@ let default_calib_caches =
 
 (* --- compilation --- *)
 
-let of_model ?(pow2 = false) ~spec ?calib ?calib_caches model =
-  let cfg = Cbgan.model_config model in
-  let levels = cfg.Cbgan.levels in
-  let downs = Array.map (fun (cv, bn) -> fold_conv cv bn) (Cbgan.generator_downs model) in
-  let ups =
-    Array.map (fun (tc, bn, _dropout) -> fold_tconv tc bn) (Cbgan.generator_ups model)
-  in
+(* Shared compile body: folds the layer views, calibrates over the folded
+   float network and quantizes — identical for the teacher and the student,
+   which differ only in their dimensions (the student's bottleneck may be
+   wider than 1x1). *)
+let compile ~pow2 ~spec ~calib ~calib_caches ~image_size ~levels ~cond_dim ~bneck
+    ~use_cond ~downs_v ~ups_v ~cond_v =
+  let downs = Array.map (fun (cv, bn) -> fold_conv cv bn) downs_v in
+  let ups = Array.map (fun (tc, bn, _dropout) -> fold_tconv tc bn) ups_v in
   let cond =
     Option.map
       (fun (l0, l1, l2) ->
@@ -314,7 +322,7 @@ let of_model ?(pow2 = false) ~spec ?calib ?calib_caches model =
           }
         in
         (of_linear l0, of_linear l1, of_linear l2))
-      (Cbgan.generator_cond model)
+      cond_v
   in
   (* Calibrate: run the folded float network over the calibration batch and
      record each GEMM input's range. *)
@@ -323,7 +331,7 @@ let of_model ?(pow2 = false) ~spec ?calib ?calib_caches model =
   let x = Cbox_dataset.batch_images spec images in
   let n = Tensor.dim x 0 in
   let cp =
-    if cfg.Cbgan.use_cache_params then
+    if use_cond then
       let caches =
         match calib_caches with Some l when l <> [] -> l | _ -> default_calib_caches
       in
@@ -344,8 +352,8 @@ let of_model ?(pow2 = false) ~spec ?calib ?calib_caches model =
   in
   let observe key tensor = Quant.observe (obs key) tensor in
   ignore
-    (forward_folded ~levels ~cond_dim:cfg.Cbgan.cond_dim ~downs ~ups ~cond ~observe
-       ?cache_params:cp x);
+    (forward_folded ~levels ~cond_dim ~bneck ~downs ~ups ~cond ~observe ?cache_params:cp
+       x);
   let act key = Quant.observed_scale ~pow2 (obs key) in
   (* Quantize the folded weights. *)
   let q_downs =
@@ -394,13 +402,30 @@ let of_model ?(pow2 = false) ~spec ?calib ?calib_caches model =
       cond
   in
   {
-    q_image_size = cfg.Cbgan.image_size;
+    q_image_size = image_size;
     q_levels = levels;
-    q_cond_dim = cfg.Cbgan.cond_dim;
+    q_cond_dim = cond_dim;
+    q_bneck = bneck;
     q_downs;
     q_ups;
     q_cond;
   }
+
+let of_model ?(pow2 = false) ~spec ?calib ?calib_caches model =
+  let cfg = Cbgan.model_config model in
+  compile ~pow2 ~spec ~calib ~calib_caches ~image_size:cfg.Cbgan.image_size
+    ~levels:cfg.Cbgan.levels ~cond_dim:cfg.Cbgan.cond_dim
+    ~bneck:(cfg.Cbgan.image_size lsr cfg.Cbgan.levels)
+    ~use_cond:cfg.Cbgan.use_cache_params ~downs_v:(Cbgan.generator_downs model)
+    ~ups_v:(Cbgan.generator_ups model) ~cond_v:(Cbgan.generator_cond model)
+
+let of_student ?(pow2 = false) ~spec ?calib ?calib_caches student =
+  let cfg = Student.model_config student in
+  compile ~pow2 ~spec ~calib ~calib_caches ~image_size:cfg.Student.st_image_size
+    ~levels:cfg.Student.st_levels ~cond_dim:cfg.Student.st_cond_dim
+    ~bneck:(Student.bottleneck_size cfg) ~use_cond:cfg.Student.st_use_cond
+    ~downs_v:(Student.student_downs student) ~ups_v:(Student.student_ups student)
+    ~cond_v:(Student.student_cond student)
 
 (* --- serialization (v3 checkpoint) --- *)
 
@@ -417,6 +442,7 @@ let save t path =
       ("qgen.image_size", string_of_int t.q_image_size);
       ("qgen.levels", string_of_int t.q_levels);
       ("qgen.cond_dim", string_of_int t.q_cond_dim);
+      ("qgen.bneck", string_of_int t.q_bneck);
       ("qgen.cond", if t.q_cond = None then "0" else "1");
     ]
     @ List.concat
@@ -475,6 +501,11 @@ let load path =
   let image_size = meta_int "qgen.image_size" in
   let levels = meta_int "qgen.levels" in
   let cond_dim = meta_int "qgen.cond_dim" in
+  (* Artifacts from before the student backend carry no bneck; they are all
+     full-depth, where the bottleneck is 1x1. *)
+  let bneck =
+    match List.assoc_opt "qgen.bneck" meta with Some v -> int_of_string v | None -> 1
+  in
   let has_cond = meta_int "qgen.cond" <> 0 in
   let geom name =
     match List.assoc_opt name meta with
@@ -514,4 +545,12 @@ let load path =
       in
       Some (ql 0, ql 1, ql 2)
   in
-  { q_image_size = image_size; q_levels = levels; q_cond_dim = cond_dim; q_downs; q_ups; q_cond }
+  {
+    q_image_size = image_size;
+    q_levels = levels;
+    q_cond_dim = cond_dim;
+    q_bneck = bneck;
+    q_downs;
+    q_ups;
+    q_cond;
+  }

@@ -29,6 +29,19 @@ val of_model :
     defaults to a spread of cache geometries. [pow2] rounds every scale up
     to a power of two. *)
 
+val of_student :
+  ?pow2:bool ->
+  spec:Heatmap.spec ->
+  ?calib:Tensor.t list ->
+  ?calib_caches:Cache.config list ->
+  Student.t ->
+  t
+(** As {!of_model}, for a distilled {!Student} generator: the same fold /
+    calibrate / quantize pipeline over the student's structure views. A
+    half-depth student's bottleneck is wider than 1x1, so the quantized
+    conditioning vector is broadcast over it exactly as in the float
+    forward — the composed "student-int8" backend. *)
+
 val forward : t -> ?cache_params:Tensor.t -> Tensor.t -> Tensor.t
 (** [forward t ?cache_params x] maps normalised access heatmaps
     [x : \[n; 1; s; s\]] to synthetic miss heatmaps in [\[-1, 1\]] — the

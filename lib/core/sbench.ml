@@ -271,7 +271,8 @@ let json_of_result r =
     r.max_abs_diff (mode "batch1" r.batch1) (mode "dynamic" r.dynamic)
 
 let to_json rs =
-  Printf.sprintf "{\n  \"version\": 1,\n  \"results\": [\n%s\n  ]\n}\n"
+  Printf.sprintf "{\n  \"version\": 1,\n%s  \"results\": [\n%s\n  ]\n}\n"
+    (Kbench.meta_json ())
     (String.concat ",\n" (List.map json_of_result rs))
 
 let write_json ~path rs =

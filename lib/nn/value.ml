@@ -121,6 +121,22 @@ let concat_channels a b =
   in
   node ~parents:[| a; b |] ~push (Tensor.concat_channels a.v b.v)
 
+let broadcast_spatial a ~h ~w =
+  let push self = accum a (Tensor.spatial_sum (the_grad self)) in
+  node ~parents:[| a |] ~push (Tensor.broadcast_spatial a.v ~h ~w)
+
+let spatial_mean a =
+  let shp = Tensor.shape a.v in
+  if Array.length shp <> 4 then invalid_arg "Value.spatial_mean: need NCHW";
+  let n = shp.(0) and c = shp.(1) and h = shp.(2) and w = shp.(3) in
+  let push self =
+    let g = the_grad self in
+    let inv = 1.0 /. float_of_int (h * w) in
+    let gb = Tensor.view (Tensor.scale g inv) [| n; c; 1; 1 |] in
+    accum a (Tensor.broadcast_spatial gb ~h ~w)
+  in
+  node ~parents:[| a |] ~push (Tensor.spatial_mean a.v)
+
 (* --- layers --- *)
 
 let conv2d ~weight ~bias ~stride ~pad x =

@@ -52,6 +52,16 @@ val dropout : Prng.t -> rate:float -> training:bool -> t -> t
 val reshape : t -> int array -> t
 val concat_channels : t -> t -> t
 
+val broadcast_spatial : t -> h:int -> w:int -> t
+(** Tile an [n; c; 1; 1] node to [n; c; h; w]; the backward pass sums the
+    incoming gradient over the spatial axes. Lets a conditioning vector join
+    a bottleneck whose spatial extent exceeds 1x1 (the half-depth student). *)
+
+val spatial_mean : t -> t
+(** Global average pooling: [n; c; h; w] -> [n; c]; the backward pass
+    spreads the gradient uniformly over H and W. Used for feature matching
+    between bottlenecks of different spatial sizes. *)
+
 (** {1 Layers} *)
 
 val conv2d : weight:t -> bias:t option -> stride:int -> pad:int -> t -> t

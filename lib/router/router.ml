@@ -568,7 +568,8 @@ let stats_reply t =
      ]
     (* Per-serving-backend success counters, mirroring the daemon's stats
        reply (the router credits whichever backend the upstream reply
-       names), always all four so clients can reconcile deltas. *)
+       names), always all six so clients can reconcile deltas. JSON keys
+       map '-' to '_' exactly like the daemon's (backend_student_int8). *)
     @ List.map
         (fun b ->
           let n =
@@ -576,8 +577,9 @@ let stats_reply t =
             | Some n -> n
             | None -> 0
           in
-          ("backend_" ^ b, Sjson.Num (float_of_int n)))
-        [ "float32"; "int8"; "hrd"; "stm" ]
+          let key = String.map (fun c -> if c = '-' then '_' else c) b in
+          ("backend_" ^ key, Sjson.Num (float_of_int n)))
+        [ "float32"; "int8"; "student"; "student-int8"; "hrd"; "stm" ]
     @ List.map
         (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))
         s.Serve_stats.errors)

@@ -252,12 +252,14 @@ let batcher_loop engine sessions cfg queue reactor draining =
   in
   loop ()
 
-let run ?journal ?reload ?(ready = fun () -> ()) ~spec ~model config =
+let run ?journal ?reload ?student_path ?(ready = fun () -> ()) ~spec ~model config =
   (* A client (or a routing front-end hedging a slow attempt) may close its
      connection while a reply is in flight; the write must surface as EPIPE
      for the reactor to clean up, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let engine = Serve_engine.create ?journal ?reload ~spec ~model config.engine in
+  let engine =
+    Serve_engine.create ?journal ?reload ?student_path ~spec ~model config.engine
+  in
   let listener = bind_listener config.listen in
   Unix.listen listener 64;
   Unix.set_nonblock listener;

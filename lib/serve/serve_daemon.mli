@@ -54,6 +54,7 @@ val bind_listener : listen -> Unix.file_descr
 val run :
   ?journal:Runlog.t ->
   ?reload:Serve_engine.reload_spec ->
+  ?student_path:string ->
   ?ready:(unit -> unit) ->
   spec:Heatmap.spec ->
   model:Cbgan.t option ->
@@ -62,7 +63,9 @@ val run :
 (** Binds, listens and serves until a shutdown request; [ready] fires once
     the socket is accepting (tests use it to avoid races). [reload] enables
     the hot-swap path (wire verb + SIGHUP; the SIGHUP handler is installed
-    for the duration of [run] and restored on exit). Raises
+    for the duration of [run] and restored on exit). [student_path] loads a
+    distilled student checkpoint for the [student]/[student-int8] backends
+    (see {!Serve_engine.create}). Raises
     {!Serve_error.Error}: [invalid_config] when the Unix socket path is
     already served by a live daemon (a stale socket file left by a crash is
     reclaimed) or a TCP host does not resolve, [internal] when the socket

@@ -34,6 +34,9 @@ type reload_spec = {
   reload_seed : int;
   reload_model_cfg : Cbgan.config;
   reload_default_path : string option;
+  reload_student_path : string option;
+      (* student checkpoint re-read on every reload so SIGHUP hot-swaps the
+         distilled backend along with the teacher *)
 }
 
 type t = {
@@ -48,6 +51,12 @@ type t = {
          model is missing or quantization failed (the int8 backend then
          degrades to float32 per request) *)
   mutable pool : (Cbgan.t * Mutex.t) array;  (* replica 0 is [model] itself *)
+  mutable student : Student.t option;
+      (* distilled student, loaded from its own checkpoint; None when no
+         student was configured or its checkpoint was rejected — student
+         requests then degrade to float32, flagged, breaker untouched *)
+  mutable sqmodel : Qgen.t option;  (* int8 quantization of [student] *)
+  mutable spool : (Student.t * Mutex.t) array;  (* replica 0 is [student] *)
   breaker : Breaker.t;
   stats : Serve_stats.t;
   em : Mutex.t;  (* guards ewma_model_s and req_count across entrants *)
@@ -78,7 +87,30 @@ let warmup_model ~spec ~batch_size model =
       ignore (Cbox_infer.synthesize model spec ~batch_size ~cache access)
   with _ -> ()
 
-let create ?now ?journal ?reload ~spec ~model cfg =
+(* Load, warm, quantize and replicate a student checkpoint entirely off to
+   the side. Total: any failure (missing file, corrupt bytes, wrong schema)
+   is an [Error reason] — callers journal it and keep float32 serving. *)
+let student_of_checkpoint ~spec ~warmup ~batch_size ~replicas path =
+  match Student.load path with
+  | exception e -> Error (Printexc.to_string e)
+  | s ->
+    (if warmup then
+       try
+         match Validate.cache_config ~sets:64 ~ways:12 () with
+         | Error _ -> ()
+         | Ok cache ->
+           let trace = Array.init 256 (fun i -> i * 64) in
+           let access = Heatmap.of_trace spec trace in
+           ignore (Cbox_infer.ssynthesize s spec ~batch_size ~cache access)
+       with _ -> ());
+    let sq = try Some (Qgen.of_student ~spec s) with _ -> None in
+    let spool =
+      Array.init replicas (fun i ->
+          ((if i = 0 then s else Student.clone s), Mutex.create ()))
+    in
+    Ok (s, sq, spool)
+
+let create ?now ?journal ?reload ?student_path ~spec ~model cfg =
   let now = Option.value now ~default:Unix.gettimeofday in
   if cfg.replicas < 1 then invalid_arg "Serve_engine.create: replicas must be >= 1";
   (* Serving is forward-only, so the wide-batch conv lowering (bit-identical,
@@ -98,6 +130,26 @@ let create ?now ?journal ?reload ~spec ~model cfg =
       Array.init cfg.replicas (fun i ->
           ((if i = 0 then m else Cbgan.clone m), Mutex.create ()))
   in
+  (* The student is optional and independent: a checkpoint that fails to
+     load (corrupt bytes, wrong schema) is journalled and dropped, leaving
+     float32 (and int8) serving untouched. *)
+  let student, sqmodel, spool =
+    match student_path with
+    | None -> (None, None, [||])
+    | Some p -> (
+      match
+        student_of_checkpoint ~spec ~warmup:cfg.warmup ~batch_size:cfg.batch_size
+          ~replicas:cfg.replicas p
+      with
+      | Ok (s, sq, sp) -> (Some s, sq, sp)
+      | Error why ->
+        Option.iter
+          (fun j ->
+            Runlog.event j "student_reject"
+              [ ("path", Runlog.S p); ("why", Runlog.S why) ])
+          journal;
+        (None, None, [||]))
+  in
   {
     cfg;
     spec;
@@ -107,6 +159,9 @@ let create ?now ?journal ?reload ~spec ~model cfg =
     model;
     qmodel;
     pool;
+    student;
+    sqmodel;
+    spool;
     breaker =
       Breaker.create ~threshold:cfg.breaker_threshold ~cooldown:cfg.breaker_cooldown_s ~now
         ();
@@ -141,6 +196,7 @@ let journal_event t kind fields =
 let stats t = Serve_stats.snapshot t.stats
 let breaker_state t = Breaker.state t.breaker
 let model_loaded t = t.model <> None
+let student_loaded t = t.student <> None
 let requests_seen t = t.req_count
 let reloads t = t.reloads
 let now t = t.now ()
@@ -193,9 +249,31 @@ let reload t ?path () =
                 Array.init t.cfg.replicas (fun i ->
                     ((if i = 0 then m else Cbgan.clone m), Mutex.create ()))
               in
+              (* The student checkpoint is re-read off to the side too, so a
+                 reload hot-swaps both generations together. A student that
+                 fails to load keeps the PREVIOUS student serving (the swap
+                 below is all-or-nothing per family): a bad student artifact
+                 must never degrade a fleet that was serving fine. *)
+              let student_next =
+                Option.map
+                  (fun p ->
+                    ( p,
+                      student_of_checkpoint ~spec:t.spec ~warmup:t.cfg.warmup
+                        ~batch_size:t.cfg.batch_size ~replicas:t.cfg.replicas p ))
+                  r.reload_student_path
+              in
               t.pool <- pool;
               t.model <- Some m;
               t.qmodel <- q;
+              (match student_next with
+              | None -> ()
+              | Some (_, Ok (s, sq, sp)) ->
+                t.spool <- sp;
+                t.student <- Some s;
+                t.sqmodel <- sq
+              | Some (p, Error why) ->
+                journal_event t "student_reject"
+                  [ ("path", Runlog.S p); ("why", Runlog.S why) ]);
               t.reloads <- t.reloads + 1;
               journal_event t "reload_ok"
                 [ ("path", Runlog.S path); ("generation", Runlog.I t.reloads) ];
@@ -237,6 +315,7 @@ let health_reply t =
       ("op", Sjson.Str "health");
       ("status", Sjson.Str (if healthy then "ok" else "degraded"));
       ("model_loaded", Sjson.Bool (model_loaded t));
+      ("student_loaded", Sjson.Bool (student_loaded t));
       ("breaker", Sjson.Str (Breaker.state_name breaker));
       ("fallback", Sjson.Str (Cbox_infer.fallback_name t.cfg.fallback));
     ]
@@ -268,15 +347,18 @@ let stats_reply t =
        ("reloads", Sjson.Num (float_of_int t.reloads));
        ("reload_failures", Sjson.Num (float_of_int t.reload_failures));
      ]
-    (* Per-backend serve counts: all four registry entries are always
-       present so clients can compute deltas without existence checks. *)
+    (* Per-backend serve counts: all six registry entries are always
+       present so clients can compute deltas without existence checks. The
+       JSON key is the backend name with '-' mapped to '_' (field names
+       stay identifier-shaped: backend_student_int8). *)
     @ List.map
         (fun b ->
           let n =
             match List.assoc_opt b s.Serve_stats.backends with Some n -> n | None -> 0
           in
-          ("backend_" ^ b, Sjson.Num (float_of_int n)))
-        [ "float32"; "int8"; "hrd"; "stm" ]
+          let key = String.map (fun c -> if c = '-' then '_' else c) b in
+          ("backend_" ^ key, Sjson.Num (float_of_int n)))
+        [ "float32"; "int8"; "student"; "student-int8"; "hrd"; "stm" ]
     @ t.extra_stats ()
     @ List.map
         (fun (code, n) -> ("err_" ^ code, Sjson.Num (float_of_int n)))
@@ -342,6 +424,12 @@ let qmodel_predict t index q cache trace =
       Cbox_infer.qsynthesize q t.spec ~batch_size:t.cfg.batch_size ~cache access)
     trace
 
+let smodel_predict t index s cache trace =
+  predict_with t ~index
+    ~synth:(fun access ->
+      Cbox_infer.ssynthesize s t.spec ~batch_size:t.cfg.batch_size ~cache access)
+    trace
+
 let record_and_reply ?backend t ~arrival ~ok ~degraded ~code reply =
   Serve_stats.record ?backend t.stats ~ok ~degraded ~code
     ~latency_s:(t.now () -. arrival);
@@ -379,7 +467,8 @@ let analytic t ~arrival ~id ~backend cache trace =
     match backend with
     | Cbox_infer.Backend_hrd -> Cbox_infer.Fallback_hrd
     | Cbox_infer.Backend_stm -> Cbox_infer.Fallback_stm
-    | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
+    | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 | Cbox_infer.Backend_student
+    | Cbox_infer.Backend_student_int8 ->
       invalid_arg "Serve_engine.analytic: model backend"
   in
   let name = Cbox_infer.backend_name backend in
@@ -476,27 +565,47 @@ let infer t ~arrival ~id ~sets ~ways ~source ~deadline_s ~backend =
           match backend with
           | Cbox_infer.Backend_hrd | Cbox_infer.Backend_stm ->
             analytic t ~arrival ~id ~backend cache trace
-          | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
+          | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8
+          | Cbox_infer.Backend_student | Cbox_infer.Backend_student_int8 ->
             let model_usable = t.model <> None && Breaker.allow t.breaker in
             let headroom = t.now () +. ewma t <= deadline in
             if model_usable && headroom then begin
               let before = Breaker.state t.breaker in
               let t0 = t.now () in
-              (* The int8 rung: score on the quantized model when requested;
-                 a missing or faulting quantized model re-runs the request on
-                 float32, flagged [degraded] with a reason, WITHOUT touching
-                 the breaker — int8 trouble says nothing about the float
-                 model's health. *)
+              (* The int8/student rungs: score on the requested variant when
+                 it is loaded; a missing or faulting variant re-runs the
+                 request on float32, flagged [degraded] with a reason,
+                 WITHOUT touching the breaker — trouble in a derived model
+                 says nothing about the float reference's health. *)
               let attempt, served_backend, degrade_reason =
-                match (backend, t.qmodel) with
-                | Cbox_infer.Backend_int8, Some q -> (
-                  match qmodel_predict t index q cache trace with
-                  | Ok hr -> (Some (Ok hr), "int8", None)
-                  | Error why ->
-                    journal_event t "int8_fault" [ ("why", Runlog.S why) ];
-                    (None, "float32", Some "int8_fault"))
-                | Cbox_infer.Backend_int8, None ->
-                  (None, "float32", Some "int8_unavailable")
+                match backend with
+                | Cbox_infer.Backend_int8 -> (
+                  match t.qmodel with
+                  | Some q -> (
+                    match qmodel_predict t index q cache trace with
+                    | Ok hr -> (Some (Ok hr), "int8", None)
+                    | Error why ->
+                      journal_event t "int8_fault" [ ("why", Runlog.S why) ];
+                      (None, "float32", Some "int8_fault"))
+                  | None -> (None, "float32", Some "int8_unavailable"))
+                | Cbox_infer.Backend_student -> (
+                  match t.student with
+                  | Some s -> (
+                    match smodel_predict t index s cache trace with
+                    | Ok hr -> (Some (Ok hr), "student", None)
+                    | Error why ->
+                      journal_event t "student_fault" [ ("why", Runlog.S why) ];
+                      (None, "float32", Some "student_fault"))
+                  | None -> (None, "float32", Some "student_unavailable"))
+                | Cbox_infer.Backend_student_int8 -> (
+                  match t.sqmodel with
+                  | Some q -> (
+                    match qmodel_predict t index q cache trace with
+                    | Ok hr -> (Some (Ok hr), "student-int8", None)
+                    | Error why ->
+                      journal_event t "student_int8_fault" [ ("why", Runlog.S why) ];
+                      (None, "float32", Some "student_int8_fault"))
+                  | None -> (None, "float32", Some "student_int8_unavailable"))
                 | _ -> (None, "float32", None)
               in
               let result =
@@ -757,11 +866,13 @@ let infer_batch ?(replica = 0) t items =
   | [] -> []
   | _ ->
     let t0 = t.now () in
-    (* Snapshot the replica pool (and its quantization) once: a concurrent
-       reload swaps [t.pool] atomically, and this batch must drain entirely
-       on the model it started with. *)
+    (* Snapshot the replica pools (and the derived models) once: a
+       concurrent reload swaps the fields atomically, and this batch must
+       drain entirely on the generation it started with. *)
     let pool = t.pool in
     let qmodel = t.qmodel in
+    let spool = t.spool in
+    let sqmodel = t.sqmodel in
     let have_model = Array.length pool > 0 in
     let model_usable = have_model && Breaker.allow t.breaker in
     let est = ewma t in
@@ -773,7 +884,8 @@ let infer_batch ?(replica = 0) t items =
             else
               match it.item_backend with
               | Cbox_infer.Backend_hrd | Cbox_infer.Backend_stm -> P_analytic
-              | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8 ->
+              | Cbox_infer.Backend_float32 | Cbox_infer.Backend_int8
+              | Cbox_infer.Backend_student | Cbox_infer.Backend_student_int8 ->
                 if not model_usable then
                   P_baseline (if have_model then "breaker_open" else "model_unavailable")
                 else if t0 +. est > it.item_deadline then P_baseline "deadline"
@@ -815,11 +927,13 @@ let infer_batch ?(replica = 0) t items =
            | None -> Heatmap.of_trace t.spec it.item_trace )
        in
        (* Score one backend's sub-group through [synth_group] under the
-          replica lock. Each element carries its degradation reason (None =
-          a clean answer on the requested backend). A raised group failure
-          is returned so the caller decides: retry on float32 (int8 rung) or
-          fail every batch mate (float32 rung). *)
-       let score ~backend synth_group group =
+          given replica lock. Each element carries its degradation reason
+          (None = a clean answer on the requested backend). A raised group
+          failure is returned so the caller decides: retry on float32 (the
+          derived-model rungs) or fail every batch mate (float32 rung).
+          Each sub-group is one homogeneous wide-batch forward — backends
+          are never mixed inside a forward pass. *)
+       let score ~backend ~lock synth_group group =
          match group with
          | [] -> Ok ()
          | _ -> (
@@ -851,42 +965,83 @@ let infer_batch ?(replica = 0) t items =
            | exception e -> Error (Printexc.to_string e))
        in
        let t_f0 = t.now () in
-       let qitems, fitems =
-         List.partition (fun (it, _) -> it.item_backend = Cbox_infer.Backend_int8) fwd
+       let sitems, rest =
+         List.partition (fun (it, _) -> it.item_backend = Cbox_infer.Backend_student) fwd
        in
-       (* int8 sub-group first; any trouble (no quantized model, a raised
-          group failure, a per-item validity failure) drops the affected
-          items into the float32 pass, flagged — the int8 rung never trips
-          the breaker. *)
-       let refloat =
-         match (qitems, qmodel) with
+       let sqitems, rest =
+         List.partition
+           (fun (it, _) -> it.item_backend = Cbox_infer.Backend_student_int8)
+           rest
+       in
+       let qitems, fitems =
+         List.partition (fun (it, _) -> it.item_backend = Cbox_infer.Backend_int8) rest
+       in
+       (* Derived-model sub-groups first; any trouble (model not loaded, a
+          raised group failure, a per-item validity failure) drops the
+          affected items into the float32 pass, flagged — these rungs never
+          trip the breaker. [run_rung] scores one sub-group and returns the
+          items that must re-run on float32 with their reasons. *)
+       let run_rung ~backend ~reason items synth =
+         match (items, synth) with
          | [], _ -> []
-         | _, None -> List.map (fun p -> (p, Some "int8_unavailable")) qitems
-         | _, Some q -> (
+         | _, None -> List.map (fun p -> (p, Some (reason ^ "_unavailable"))) items
+         | _, Some (lock, synth_group) -> (
            match
-             score ~backend:"int8"
-               (fun inputs ->
-                 Cbox_infer.qsynthesize_group q t.spec ~batch_size:t.cfg.batch_size
-                   inputs)
-               (List.map (fun p -> (p, None)) qitems)
+             score ~backend ~lock synth_group (List.map (fun p -> (p, None)) items)
            with
            | Ok () ->
              List.filter_map
                (fun ((it, _) as p) ->
                  match Hashtbl.find_opt results it.item_index with
                  | Some (Error why) ->
-                   journal_event t "int8_fault" [ ("why", Runlog.S why) ];
-                   Some (p, Some "int8_fault")
+                   journal_event t (reason ^ "_fault") [ ("why", Runlog.S why) ];
+                   Some (p, Some (reason ^ "_fault"))
                  | _ -> None)
-               qitems
+               items
            | Error why ->
-             journal_event t "int8_fault" [ ("why", Runlog.S why) ];
-             List.map (fun p -> (p, Some "int8_fault")) qitems)
+             journal_event t (reason ^ "_fault") [ ("why", Runlog.S why) ];
+             List.map (fun p -> (p, Some (reason ^ "_fault"))) items)
        in
-       let fgroup = List.map (fun p -> (p, None)) fitems @ refloat in
+       let refloat_q =
+         run_rung ~backend:"int8" ~reason:"int8" qitems
+           (Option.map
+              (fun q ->
+                ( lock,
+                  fun inputs ->
+                    Cbox_infer.qsynthesize_group q t.spec ~batch_size:t.cfg.batch_size
+                      inputs ))
+              qmodel)
+       in
+       let replica_student =
+         if Array.length spool = 0 then None
+         else Some spool.(replica mod Array.length spool)
+       in
+       let refloat_s =
+         run_rung ~backend:"student" ~reason:"student" sitems
+           (Option.map
+              (fun (s, sl) ->
+                ( sl,
+                  fun inputs ->
+                    Cbox_infer.ssynthesize_group s t.spec ~batch_size:t.cfg.batch_size
+                      inputs ))
+              replica_student)
+       in
+       let refloat_sq =
+         run_rung ~backend:"student-int8" ~reason:"student_int8" sqitems
+           (Option.map
+              (fun q ->
+                ( lock,
+                  fun inputs ->
+                    Cbox_infer.qsynthesize_group q t.spec ~batch_size:t.cfg.batch_size
+                      inputs ))
+              sqmodel)
+       in
+       let fgroup =
+         List.map (fun p -> (p, None)) fitems @ refloat_q @ refloat_s @ refloat_sq
+       in
        let failed =
          match
-           score ~backend:"float32"
+           score ~backend:"float32" ~lock
              (fun inputs ->
                Cbox_infer.synthesize_group model t.spec ~batch_size:t.cfg.batch_size
                  inputs)

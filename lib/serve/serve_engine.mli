@@ -7,10 +7,13 @@
     escaped exception.
 
     The degradation ladder for [infer] (TAO-style hybrid):
-    + the int8-quantized model, when the request selects the [int8] backend
-      and a quantized model is available; a missing or faulting quantization
-      re-runs the request on float32, tagged [degraded:true] with reason
-      [int8_unavailable]/[int8_fault], without touching the breaker;
+    + a derived model — the int8 quantization, the distilled student, or
+      the student's int8 quantization — when the request selects the
+      [int8] / [student] / [student-int8] backend and that model is
+      available; a missing or faulting derived model re-runs the request on
+      float32, tagged [degraded:true] with reason
+      [int8_unavailable]/[int8_fault] (resp. [student_*],
+      [student_int8_*]), without touching the breaker;
     + learned model, if loaded, the breaker allows it and the deadline has
       headroom for it;
     + the analytical baseline (HRD or STM per {!config.fallback}), tagged
@@ -69,12 +72,17 @@ type reload_spec = {
   reload_default_path : string option;
       (** used when the reload request names no checkpoint (typically the
           daemon's startup checkpoint path, re-read on SIGHUP) *)
+  reload_student_path : string option;
+      (** student checkpoint re-read on every reload, so SIGHUP hot-swaps
+          the distilled backend along with the teacher; a checkpoint that
+          fails to load keeps the previous student serving *)
 }
 
 val create :
   ?now:(unit -> float) ->
   ?journal:Runlog.t ->
   ?reload:reload_spec ->
+  ?student_path:string ->
   spec:Heatmap.spec ->
   model:Cbgan.t option ->
   config ->
@@ -83,7 +91,11 @@ val create :
     [model = None] starts in degraded mode (every inference falls back).
     [reload] enables the hot-swap path ({!reload}, the [reload] wire verb
     and SIGHUP in the daemon); without it reloads are rejected as
-    [invalid_config]. *)
+    [invalid_config]. [student_path] loads a distilled student checkpoint
+    (and eagerly builds its int8 quantization) for the [student] and
+    [student-int8] backends; a checkpoint that fails to load — missing,
+    corrupt, wrong schema — is journalled ([student_reject]) and dropped,
+    with float32 serving untouched. *)
 
 val model_of_checkpoint :
   seed:int -> Cbgan.config -> path:string -> (Cbgan.t, Serve_error.t) result
@@ -123,6 +135,11 @@ val spec : t -> Heatmap.spec
 val stats : t -> Serve_stats.summary
 val breaker_state : t -> Breaker.state
 val model_loaded : t -> bool
+
+val student_loaded : t -> bool
+(** Whether a distilled student is currently serving (also reported as
+    [student_loaded] in the health reply). *)
+
 val requests_seen : t -> int
 (** Count of [infer] requests admitted so far (the fault-injection index). *)
 

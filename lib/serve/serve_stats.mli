@@ -35,8 +35,8 @@ type summary = {
           every live replica for the key was unusable *)
   backends : (string * int) list;
       (** successful answers per serving backend (["float32" | "int8" |
-          "hrd" | "stm"]), sorted by name; a backend absent from the list
-          has served nothing *)
+          "student" | "student-int8" | "hrd" | "stm"]), sorted by name; a
+          backend absent from the list has served nothing *)
 }
 
 val create : ?window:int -> unit -> t

@@ -296,7 +296,8 @@ let request ?(max_trace_len = default_max_trace_len) json =
               | Some b -> Ok (Some b)
               | None ->
                 err Serve_error.Invalid_config
-                  "unknown backend %S (expected float32, int8, hrd or stm)" s))
+                  "unknown backend %S (expected float32, int8, student, student-int8, \
+                   hrd or stm)" s))
         in
         Ok (Infer { id; sets; ways; source; deadline_s; backend })
       | Some "stream_open" ->

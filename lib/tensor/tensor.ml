@@ -288,6 +288,46 @@ let concat_channels a b =
   done;
   r
 
+let broadcast_spatial t ~h ~w =
+  if Array.length t.shape <> 4 then invalid_arg "Tensor.broadcast_spatial: need NCHW";
+  if t.shape.(2) <> 1 || t.shape.(3) <> 1 then
+    invalid_arg "Tensor.broadcast_spatial: source must be [n;c;1;1]";
+  if h <= 0 || w <= 0 then invalid_arg "Tensor.broadcast_spatial: bad target size";
+  let n = t.shape.(0) and c = t.shape.(1) in
+  let r = create [| n; c; h; w |] in
+  let hw = h * w in
+  let d = t.data and rd = r.data in
+  for nc = 0 to (n * c) - 1 do
+    let v = Bigarray.Array1.unsafe_get d nc in
+    let base = nc * hw in
+    for i = 0 to hw - 1 do
+      Bigarray.Array1.unsafe_set rd (base + i) v
+    done
+  done;
+  r
+
+let spatial_sum t =
+  if Array.length t.shape <> 4 then invalid_arg "Tensor.spatial_sum: need NCHW";
+  let n = t.shape.(0) and c = t.shape.(1) and h = t.shape.(2) and w = t.shape.(3) in
+  let r = create [| n; c; 1; 1 |] in
+  let hw = h * w in
+  let d = t.data and rd = r.data in
+  for nc = 0 to (n * c) - 1 do
+    let base = nc * hw in
+    let acc = ref 0.0 in
+    for i = 0 to hw - 1 do
+      acc := !acc +. Bigarray.Array1.unsafe_get d (base + i)
+    done;
+    Bigarray.Array1.unsafe_set rd nc !acc
+  done;
+  r
+
+let spatial_mean t =
+  let r = spatial_sum t in
+  let hw = float_of_int (t.shape.(2) * t.shape.(3)) in
+  scale_ r (1.0 /. hw);
+  { data = r.data; shape = [| t.shape.(0); t.shape.(1) |] }
+
 let split_channels t c =
   if Array.length t.shape <> 4 then invalid_arg "Tensor.split_channels: need NCHW";
   let n = t.shape.(0) and ct = t.shape.(1) and h = t.shape.(2) and w = t.shape.(3) in

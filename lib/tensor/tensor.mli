@@ -130,6 +130,19 @@ val split_channels : t -> int -> t * t
 (** [split_channels t c] undoes [concat_channels]: first [c] channels and
     the rest, as fresh tensors. *)
 
+val broadcast_spatial : t -> h:int -> w:int -> t
+(** Tile an [n; c; 1; 1] tensor to [n; c; h; w] — how a per-sample
+    conditioning vector is spread over a bottleneck whose spatial extent is
+    larger than 1x1 (the half-depth student generator). *)
+
+val spatial_sum : t -> t
+(** Sum an NCHW tensor over its H and W axes, to [n; c; 1; 1] — the adjoint
+    of {!broadcast_spatial}. *)
+
+val spatial_mean : t -> t
+(** Mean of an NCHW tensor over its H and W axes, to [n; c] — global average
+    pooling, used to compare bottleneck activations across architectures. *)
+
 val slice_batch : t -> int -> int -> t
 (** [slice_batch t off len] copies rows [off..off+len-1] of the leading
     (batch) axis. *)

@@ -84,4 +84,71 @@ echo "$OUT" | grep -q '"source": "hrd"' || fail "expected the hrd baseline: $OUT
 wait "$SERVE_PID"
 SERVE_PID=
 
+echo "== distill a tiny student and serve it next to the teacher"
+# The teacher checkpoint was corrupted above; retrain it first.
+"$CB" train --benchmarks 1 --epochs 1 --trace-len 4000 --checkpoint "$CKPT"
+STUDENT="$WORK/student.ckpt"
+"$CB" distill --benchmarks 1 --epochs 1 --trace-len 4000 \
+  --checkpoint "$CKPT" --out "$STUDENT"
+[ -f "$STUDENT" ] || fail "distill wrote no student checkpoint"
+
+echo "== no --student: a student request degrades to float32, flagged, breaker untouched"
+"$CB" serve --socket "$SOCK" --checkpoint "$CKPT" &
+SERVE_PID=$!
+wait_ready
+OUT=$("$CB" call --socket "$SOCK" \
+  "{\"op\": \"infer\", \"sets\": 64, \"ways\": 12, \"benchmark\": \"$BENCH\", \"trace_len\": 4000, \"backend\": \"student\"}")
+echo "$OUT" | grep -q '"degraded": true' || fail "student w/o checkpoint not degraded: $OUT"
+echo "$OUT" | grep -q '"backend": "float32"' || fail "degraded student rerun should name float32: $OUT"
+echo "$OUT" | grep -q '"reason": "student_unavailable"' || fail "missing student reason: $OUT"
+"$CB" call --socket "$SOCK" '{"op": "health"}' | grep -q '"breaker": "closed"' \
+  || fail "student_unavailable must not trip the breaker"
+"$CB" call --socket "$SOCK" '{"op": "shutdown"}' >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+
+echo "== --student: student and student-int8 answer first-class; counters reconcile"
+"$CB" serve --socket "$SOCK" --checkpoint "$CKPT" --student "$STUDENT" &
+SERVE_PID=$!
+wait_ready
+"$CB" call --socket "$SOCK" '{"op": "health"}' | grep -q '"student_loaded": true' \
+  || fail "health does not report the loaded student"
+OUT=$("$CB" call --socket "$SOCK" \
+  "{\"op\": \"infer\", \"sets\": 64, \"ways\": 12, \"benchmark\": \"$BENCH\", \"trace_len\": 4000, \"backend\": \"student\"}")
+echo "$OUT" | grep -q '"ok": true' || fail "student inference refused: $OUT"
+echo "$OUT" | grep -q '"backend": "student"' || fail "reply does not name the student: $OUT"
+echo "$OUT" | grep -q '"degraded": false' || fail "student answer wrongly degraded: $OUT"
+# loadgen reconciles the daemon's per-backend counter deltas against the
+# backends its clients observed in replies; it exits non-zero on any skew.
+"$CB" loadgen --socket "$SOCK" -n 2 -r 16 --backend student \
+  || fail "loadgen --backend student did not reconcile"
+"$CB" loadgen --socket "$SOCK" -n 2 -r 16 --backend-mix float32:2,int8:1,student:1 \
+  || fail "loadgen --backend-mix did not reconcile"
+
+echo "== SIGHUP hot-swaps the student atomically under load"
+"$CB" distill --benchmarks 1 --epochs 2 --trace-len 4000 \
+  --checkpoint "$CKPT" --out "$STUDENT.next"
+mv "$STUDENT.next" "$STUDENT"
+"$CB" loadgen --socket "$SOCK" -n 2 -r 32 --backend student &
+LOAD_PID=$!
+sleep 0.2
+kill -HUP "$SERVE_PID"
+wait "$LOAD_PID" || fail "loadgen failed across the student hot-swap"
+"$CB" call --socket "$SOCK" '{"op": "health"}' | grep -q '"student_loaded": true' \
+  || fail "student gone after SIGHUP reload"
+
+echo "== corrupt student on reload: previous student kept, float32 untouched"
+dd if=/dev/zero of="$STUDENT" bs=1 seek=60 count=8 conv=notrunc status=none
+kill -HUP "$SERVE_PID"
+sleep 0.5
+"$CB" call --socket "$SOCK" '{"op": "health"}' | grep -q '"status": "ok"' \
+  || fail "daemon unhealthy after corrupt student reload"
+OUT=$("$CB" call --socket "$SOCK" \
+  "{\"op\": \"infer\", \"sets\": 64, \"ways\": 12, \"benchmark\": \"$BENCH\", \"trace_len\": 4000, \"backend\": \"student\"}")
+echo "$OUT" | grep -q '"backend": "student"' \
+  || fail "previous student not kept after a corrupt reload: $OUT"
+"$CB" call --socket "$SOCK" '{"op": "shutdown"}' >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+
 echo "serve_smoke: OK"

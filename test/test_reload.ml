@@ -75,6 +75,7 @@ let with_reloadable_engine f =
       Serve_engine.reload_seed = 52;
       reload_model_cfg = tiny_model_config;
       reload_default_path = Some ckpt;
+      reload_student_path = None;
     }
   in
   let engine = Serve_engine.create ~reload ~spec:tiny_spec ~model cfg in
@@ -222,6 +223,7 @@ let with_reloadable_daemon f =
       Serve_engine.reload_seed = 52;
       reload_model_cfg = tiny_model_config;
       reload_default_path = Some ckpt;
+      reload_student_path = None;
     }
   in
   let thread = start_daemon ~model ~reload sock in
